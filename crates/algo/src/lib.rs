@@ -1,0 +1,47 @@
+//! Graph random walk algorithms: sampling methods, walk specifications and
+//! reference engines.
+//!
+//! This crate is the *functional* layer of the reproduction — what a GRW
+//! computes, independent of how hardware executes it:
+//!
+//! * [`WalkSpec`] — the five GRW algorithms of the paper (Table I): URW,
+//!   PPR, DeepWalk, Node2Vec (rejection or reservoir) and MetaPath, each
+//!   mapped to its sampling method and RP-entry width.
+//! * [`sampler`] — the sampling algorithms themselves. Every sampler
+//!   reports its *memory cost* ([`sampler::SampleOutcome`]): uniform trials,
+//!   membership probes, sequential scans and alias reads — the quantities
+//!   the cycle-level models charge against memory channels.
+//! * [`ReferenceEngine`] / [`ParallelEngine`] — software engines that
+//!   execute queries exactly per Algorithm II.1 of the paper; they define
+//!   correct output distributions for every accelerator model to match.
+//! * [`ppr_exact`] — power-iteration personalized PageRank used to validate
+//!   the PPR walk estimator end-to-end.
+//! * [`distribution`] — chi-square helpers for the statistical tests.
+//!
+//! # Example
+//!
+//! ```
+//! use grw_algo::{PreparedGraph, QuerySet, ReferenceEngine, WalkEngine, WalkSpec};
+//! use grw_graph::CsrGraph;
+//!
+//! let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], true);
+//! let spec = WalkSpec::urw(8);
+//! let prepared = PreparedGraph::new(g, &spec).unwrap();
+//! let queries = QuerySet::random(prepared.graph().vertex_count(), 10, 42);
+//! let paths = ReferenceEngine::new(7).run(&prepared, &spec, queries.queries());
+//! assert_eq!(paths.len(), 10);
+//! ```
+
+pub mod distribution;
+pub mod ppr_exact;
+mod prepared;
+mod query;
+pub mod sampler;
+mod spec;
+pub mod walk;
+pub mod walkstats;
+
+pub use prepared::{PreparedGraph, StepDecision, TerminationReason};
+pub use query::{QuerySet, WalkPath, WalkQuery};
+pub use spec::{Node2VecMethod, WalkSpec};
+pub use walk::{ParallelEngine, ReferenceEngine, WalkEngine};

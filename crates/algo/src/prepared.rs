@@ -1,0 +1,282 @@
+//! A graph prepared for a particular walk specification.
+
+use crate::sampler::{self, SampleOutcome};
+use crate::spec::{Node2VecMethod, WalkSpec};
+use grw_graph::{AliasTables, CsrGraph, VertexId};
+use grw_rng::RandomSource;
+use std::error::Error;
+use std::fmt;
+
+/// Why a walk ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TerminationReason {
+    /// The maximum hop count was reached.
+    MaxLength,
+    /// The current vertex has no outgoing edges (Fig. 1b, case II).
+    DeadEnd,
+    /// The PPR teleport coin ended the walk (Fig. 1b, case I).
+    Teleport,
+    /// No neighbor matches the MetaPath's required type.
+    NoTypedNeighbor,
+}
+
+/// The decision for one walk step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepDecision {
+    /// The walk terminates here.
+    Terminate(TerminationReason),
+    /// The walk advances to `next`.
+    Advance {
+        /// The sampled next vertex.
+        next: VertexId,
+        /// The sampling cost that produced it.
+        outcome: SampleOutcome,
+    },
+}
+
+/// Error preparing a graph for a walk spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrepareGraphError(String);
+
+impl fmt::Display for PrepareGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot prepare graph: {}", self.0)
+    }
+}
+
+impl Error for PrepareGraphError {}
+
+/// A [`CsrGraph`] validated and augmented (alias tables) for a spec.
+///
+/// All engines — the software references here and the cycle-level hardware
+/// models in other crates — advance walks exclusively through
+/// [`PreparedGraph::next_step`] and its parts, so the functional semantics
+/// of every execution back-end are identical by construction.
+///
+/// # Example
+///
+/// ```
+/// use grw_algo::{PreparedGraph, WalkSpec};
+/// use grw_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)], true);
+/// let p = PreparedGraph::new(g, &WalkSpec::urw(4)).unwrap();
+/// assert_eq!(p.graph().vertex_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedGraph {
+    graph: CsrGraph,
+    alias: Option<AliasTables>,
+}
+
+impl PreparedGraph {
+    /// Validates requirements and builds auxiliary structures.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec needs weights or vertex types the
+    /// graph does not carry.
+    pub fn new(graph: CsrGraph, spec: &WalkSpec) -> Result<Self, PrepareGraphError> {
+        if spec.requires_weights() && !graph.is_weighted() {
+            return Err(PrepareGraphError(format!(
+                "{} requires edge weights",
+                spec.name()
+            )));
+        }
+        if spec.requires_types() && !graph.is_typed() {
+            return Err(PrepareGraphError(format!(
+                "{} requires vertex types",
+                spec.name()
+            )));
+        }
+        let alias = spec
+            .requires_alias_tables()
+            .then(|| AliasTables::build(&graph));
+        Ok(Self { graph, alias })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The alias tables, when the spec needed them.
+    pub fn alias(&self) -> Option<&AliasTables> {
+        self.alias.as_ref()
+    }
+
+    /// PPR pre-hop termination: `true` with probability α for PPR specs,
+    /// never for the others. This consumes no memory access — hardware
+    /// checks it before issuing the Row-Access read.
+    pub fn teleport_terminates<G: RandomSource>(&self, spec: &WalkSpec, rng: &mut G) -> bool {
+        match spec {
+            WalkSpec::Ppr { alpha, .. } => rng.next_bool(*alpha),
+            _ => false,
+        }
+    }
+
+    /// Samples the next neighbor of `cur` for hop number `hop` (0-based).
+    ///
+    /// Returns `None` when the walk cannot continue (dead end / no typed
+    /// neighbor). `prev` is required for second-order specs after hop 0.
+    pub fn sample_neighbor<G: RandomSource>(
+        &self,
+        spec: &WalkSpec,
+        cur: VertexId,
+        prev: Option<VertexId>,
+        hop: u32,
+        rng: &mut G,
+    ) -> Option<(VertexId, SampleOutcome)> {
+        let outcome = match spec {
+            WalkSpec::Urw { .. } | WalkSpec::Ppr { .. } => {
+                sampler::uniform_sample(self.graph.degree(cur), rng)?
+            }
+            WalkSpec::DeepWalk { .. } => sampler::alias_sample(
+                &self.graph,
+                self.alias.as_ref().expect("alias tables built in new()"),
+                cur,
+                rng,
+            )?,
+            WalkSpec::Node2Vec { p, q, method, .. } => match method {
+                Node2VecMethod::Rejection => {
+                    sampler::node2vec_rejection(&self.graph, cur, prev, *p, *q, rng)?
+                }
+                Node2VecMethod::Reservoir => {
+                    sampler::node2vec_reservoir(&self.graph, cur, prev, *p, *q, rng)?
+                }
+            },
+            WalkSpec::MetaPath { pattern, .. } => {
+                let target = pattern[(hop as usize + 1) % pattern.len()];
+                sampler::typed_reservoir(&self.graph, cur, target, rng)?
+            }
+        };
+        let next = self.graph.neighbors(cur)[outcome.local_index as usize];
+        Some((next, outcome))
+    }
+
+    /// The full per-step decision of Algorithm II.1: length check, PPR
+    /// teleport coin, then sampling.
+    pub fn next_step<G: RandomSource>(
+        &self,
+        spec: &WalkSpec,
+        cur: VertexId,
+        prev: Option<VertexId>,
+        hop: u32,
+        rng: &mut G,
+    ) -> StepDecision {
+        if hop >= spec.max_len() {
+            return StepDecision::Terminate(TerminationReason::MaxLength);
+        }
+        if self.teleport_terminates(spec, rng) {
+            return StepDecision::Terminate(TerminationReason::Teleport);
+        }
+        match self.sample_neighbor(spec, cur, prev, hop, rng) {
+            Some((next, outcome)) => StepDecision::Advance { next, outcome },
+            None => {
+                if self.graph.degree(cur) == 0 {
+                    StepDecision::Terminate(TerminationReason::DeadEnd)
+                } else {
+                    StepDecision::Terminate(TerminationReason::NoTypedNeighbor)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grw_graph::weights;
+    use grw_rng::SplitMix64;
+
+    fn ring() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], true)
+    }
+
+    #[test]
+    fn missing_weights_are_rejected() {
+        let err = PreparedGraph::new(ring(), &WalkSpec::deepwalk(8)).unwrap_err();
+        assert!(err.to_string().contains("weights"), "{err}");
+    }
+
+    #[test]
+    fn missing_types_are_rejected() {
+        let g = ring().with_weights(|_, _, _| 1.0);
+        let err = PreparedGraph::new(g, &WalkSpec::metapath(8)).unwrap_err();
+        assert!(err.to_string().contains("types"), "{err}");
+    }
+
+    #[test]
+    fn alias_tables_are_built_only_when_needed() {
+        let g = ring().with_weights(|_, _, _| 1.0);
+        let dw = PreparedGraph::new(g.clone(), &WalkSpec::deepwalk(8)).unwrap();
+        assert!(dw.alias().is_some());
+        let urw = PreparedGraph::new(g, &WalkSpec::urw(8)).unwrap();
+        assert!(urw.alias().is_none());
+    }
+
+    #[test]
+    fn max_length_terminates() {
+        let p = PreparedGraph::new(ring(), &WalkSpec::urw(2)).unwrap();
+        let mut rng = SplitMix64::new(0);
+        let d = p.next_step(&WalkSpec::urw(2), 0, None, 2, &mut rng);
+        assert_eq!(d, StepDecision::Terminate(TerminationReason::MaxLength));
+    }
+
+    #[test]
+    fn dead_end_terminates() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)], true);
+        let spec = WalkSpec::urw(8);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let mut rng = SplitMix64::new(0);
+        let d = p.next_step(&spec, 1, None, 0, &mut rng);
+        assert_eq!(d, StepDecision::Terminate(TerminationReason::DeadEnd));
+    }
+
+    #[test]
+    fn teleport_rate_matches_alpha() {
+        let spec = WalkSpec::Ppr {
+            alpha: 0.25,
+            max_len: 1000,
+        };
+        let p = PreparedGraph::new(ring(), &spec).unwrap();
+        let mut rng = SplitMix64::new(5);
+        let n = 100_000;
+        let teleports = (0..n)
+            .filter(|_| p.teleport_terminates(&spec, &mut rng))
+            .count();
+        let f = teleports as f64 / n as f64;
+        assert!((f - 0.25).abs() < 0.01, "teleport rate {f}");
+    }
+
+    #[test]
+    fn ring_walk_advances_deterministically() {
+        let spec = WalkSpec::urw(8);
+        let p = PreparedGraph::new(ring(), &spec).unwrap();
+        let mut rng = SplitMix64::new(1);
+        match p.next_step(&spec, 0, None, 0, &mut rng) {
+            StepDecision::Advance { next, .. } => assert_eq!(next, 1),
+            other => panic!("expected advance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metapath_pattern_selects_target_types() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 0)], false)
+            .with_weights(|_, _, _| 1.0)
+            .with_vertex_types(weights::round_robin_types(3));
+        let spec = WalkSpec::MetaPath {
+            pattern: vec![0, 1, 2],
+            max_len: 8,
+        };
+        let p = PreparedGraph::new(g.clone(), &spec).unwrap();
+        let mut rng = SplitMix64::new(2);
+        // From vertex 0 (type 0) at hop 0 the target type is pattern[1] = 1.
+        for _ in 0..50 {
+            if let StepDecision::Advance { next, .. } = p.next_step(&spec, 0, None, 0, &mut rng)
+            {
+                assert_eq!(g.vertex_type(next), Some(1));
+            }
+        }
+    }
+}

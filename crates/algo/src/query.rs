@@ -1,0 +1,184 @@
+//! Walk queries and result paths.
+
+use grw_graph::VertexId;
+use grw_rng::{RandomSource, SplitMix64};
+
+/// One random-walk query: a unique id and a start vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WalkQuery {
+    /// Query identifier (the `ID_y` tag of the task tuple, Fig. 5a).
+    pub id: u64,
+    /// Starting vertex.
+    pub start: VertexId,
+}
+
+/// The traversed path of one completed query.
+///
+/// The path includes the start vertex; [`WalkPath::steps`] counts hops
+/// (sampled edges), which is what the paper's MStep/s metric counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkPath {
+    /// The query this path answers.
+    pub query: u64,
+    /// Visited vertices, starting with the query's start vertex.
+    pub vertices: Vec<VertexId>,
+}
+
+impl WalkPath {
+    /// Creates a path from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` is empty — a path always contains its start.
+    pub fn new(query: u64, vertices: Vec<VertexId>) -> Self {
+        assert!(!vertices.is_empty(), "a walk path contains its start vertex");
+        Self { query, vertices }
+    }
+
+    /// Number of hops taken (edges traversed).
+    pub fn steps(&self) -> u64 {
+        (self.vertices.len() - 1) as u64
+    }
+
+    /// The final vertex reached.
+    pub fn last(&self) -> VertexId {
+        *self.vertices.last().expect("non-empty by construction")
+    }
+}
+
+/// A batch of queries, as streamed into an engine.
+///
+/// # Example
+///
+/// ```
+/// use grw_algo::QuerySet;
+///
+/// let qs = QuerySet::random(100, 8, 42);
+/// assert_eq!(qs.len(), 8);
+/// assert!(qs.queries().iter().all(|q| (q.start as usize) < 100));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySet {
+    queries: Vec<WalkQuery>,
+}
+
+impl QuerySet {
+    /// Creates a set from explicit queries.
+    pub fn new(queries: Vec<WalkQuery>) -> Self {
+        Self { queries }
+    }
+
+    /// `count` queries with uniformly random start vertices over
+    /// `0..vertex_count`, ids `0..count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertex_count == 0`.
+    pub fn random(vertex_count: usize, count: usize, seed: u64) -> Self {
+        assert!(vertex_count > 0, "graph has no vertices");
+        let mut rng = SplitMix64::new(seed);
+        let queries = (0..count as u64)
+            .map(|id| WalkQuery {
+                id,
+                start: rng.next_below(vertex_count as u64) as VertexId,
+            })
+            .collect();
+        Self { queries }
+    }
+
+    /// One query per vertex (the DeepWalk/Node2Vec corpus convention).
+    pub fn one_per_vertex(vertex_count: usize) -> Self {
+        let queries = (0..vertex_count as u64)
+            .map(|id| WalkQuery {
+                id,
+                start: id as VertexId,
+            })
+            .collect();
+        Self { queries }
+    }
+
+    /// `count` queries all starting at `source` (the PPR estimator setup).
+    pub fn repeated(source: VertexId, count: usize) -> Self {
+        let queries = (0..count as u64)
+            .map(|id| WalkQuery { id, start: source })
+            .collect();
+        Self { queries }
+    }
+
+    /// The queries in issue order.
+    pub fn queries(&self) -> &[WalkQuery] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a QuerySet {
+    type Item = &'a WalkQuery;
+    type IntoIter = std::slice::Iter<'a, WalkQuery>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.queries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_set_is_deterministic() {
+        assert_eq!(QuerySet::random(50, 10, 3), QuerySet::random(50, 10, 3));
+        assert_ne!(QuerySet::random(50, 10, 3), QuerySet::random(50, 10, 4));
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let qs = QuerySet::random(10, 5, 0);
+        for (i, q) in qs.queries().iter().enumerate() {
+            assert_eq!(q.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn one_per_vertex_covers_all() {
+        let qs = QuerySet::one_per_vertex(4);
+        let starts: Vec<u32> = qs.queries().iter().map(|q| q.start).collect();
+        assert_eq!(starts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn repeated_pins_the_source() {
+        let qs = QuerySet::repeated(9, 3);
+        assert!(qs.queries().iter().all(|q| q.start == 9));
+        assert_eq!(qs.len(), 3);
+    }
+
+    #[test]
+    fn path_steps_count_hops() {
+        let p = WalkPath::new(0, vec![4, 5, 6]);
+        assert_eq!(p.steps(), 2);
+        assert_eq!(p.last(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "start vertex")]
+    fn empty_path_panics() {
+        let _ = WalkPath::new(0, vec![]);
+    }
+
+    #[test]
+    fn query_set_iterates() {
+        let qs = QuerySet::random(10, 3, 1);
+        assert_eq!((&qs).into_iter().count(), 3);
+        assert!(!qs.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! MetaPath sampling: weighted selection restricted to a vertex type.
+//!
+//! A MetaPath walk (metapath2vec) follows a cyclic type pattern; at each
+//! hop only neighbors of the required type are eligible. When none exists
+//! the walk terminates early — the irregularity that makes MetaPath the
+//! best showcase for the zero-bubble scheduler (Fig. 8d).
+
+use super::SampleOutcome;
+use grw_graph::{CsrGraph, VertexId};
+use grw_rng::RandomSource;
+
+/// One reservoir pass over `N(cur)` keeping only neighbors whose type is
+/// `target_type`, weighted by edge weight (or uniformly when unweighted).
+///
+/// Returns `None` when the vertex is a dead end or no neighbor matches —
+/// the early-termination case.
+///
+/// # Panics
+///
+/// Panics if the graph has no vertex types.
+pub fn typed_reservoir<G: RandomSource>(
+    graph: &CsrGraph,
+    cur: VertexId,
+    target_type: u8,
+    rng: &mut G,
+) -> Option<SampleOutcome> {
+    assert!(graph.is_typed(), "typed_reservoir requires vertex types");
+    let neighbors = graph.neighbors(cur);
+    if neighbors.is_empty() {
+        return None;
+    }
+    let weights = graph.neighbor_weights(cur);
+    let mut total = 0.0f64;
+    let mut chosen: Option<u32> = None;
+    for (i, &x) in neighbors.iter().enumerate() {
+        if graph.vertex_type(x) != Some(target_type) {
+            continue;
+        }
+        let w = weights.map_or(1.0, |ws| f64::from(ws[i]));
+        if w <= 0.0 {
+            continue;
+        }
+        total += w;
+        if rng.next_f64() < w / total {
+            chosen = Some(i as u32);
+        }
+    }
+    chosen.map(|local_index| SampleOutcome {
+        local_index,
+        uniform_trials: 1,
+        alias_reads: 0,
+        scanned: neighbors.len() as u32,
+        membership_probes: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grw_graph::weights;
+    use grw_rng::SplitMix64;
+
+    /// 0 → {1 (type 1), 2 (type 2), 3 (type 1), 4 (type 1)}.
+    fn typed_star() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)], true)
+            .with_vertex_types(|v| match v {
+                2 => 2,
+                0 => 0,
+                _ => 1,
+            })
+    }
+
+    #[test]
+    fn only_matching_types_are_chosen() {
+        let g = typed_star();
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..200 {
+            let o = typed_reservoir(&g, 0, 1, &mut rng).unwrap();
+            let picked = g.neighbors(0)[o.local_index as usize];
+            assert_eq!(g.vertex_type(picked), Some(1));
+        }
+    }
+
+    #[test]
+    fn unique_match_is_always_found() {
+        let g = typed_star();
+        let mut rng = SplitMix64::new(4);
+        let o = typed_reservoir(&g, 0, 2, &mut rng).unwrap();
+        assert_eq!(g.neighbors(0)[o.local_index as usize], 2);
+    }
+
+    #[test]
+    fn no_match_terminates_early() {
+        let g = typed_star();
+        let mut rng = SplitMix64::new(4);
+        assert!(typed_reservoir(&g, 0, 7, &mut rng).is_none());
+    }
+
+    #[test]
+    fn dead_end_returns_none() {
+        let g = typed_star();
+        let mut rng = SplitMix64::new(4);
+        assert!(typed_reservoir(&g, 1, 1, &mut rng).is_none());
+    }
+
+    #[test]
+    fn matching_neighbors_are_sampled_by_weight() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)], true)
+            .with_weights(|_, dst, _| if dst == 3 { 3.0 } else { 1.0 })
+            .with_vertex_types(weights::round_robin_types(2));
+        // Types: 1→1, 2→0, 3→1. Target type 1: candidates 1 (w=1), 3 (w=3).
+        let mut rng = SplitMix64::new(11);
+        let n = 50_000;
+        let mut heavy = 0;
+        for _ in 0..n {
+            let o = typed_reservoir(&g, 0, 1, &mut rng).unwrap();
+            if g.neighbors(0)[o.local_index as usize] == 3 {
+                heavy += 1;
+            }
+        }
+        let f = heavy as f64 / n as f64;
+        assert!((f - 0.75).abs() < 0.01, "heavy fraction {f}");
+    }
+
+    #[test]
+    fn scan_cost_is_full_degree() {
+        let g = typed_star();
+        let mut rng = SplitMix64::new(4);
+        let o = typed_reservoir(&g, 0, 1, &mut rng).unwrap();
+        assert_eq!(o.scanned, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex types")]
+    fn untyped_graph_panics() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)], true);
+        let mut rng = SplitMix64::new(0);
+        let _ = typed_reservoir(&g, 0, 1, &mut rng);
+    }
+}

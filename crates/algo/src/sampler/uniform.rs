@@ -1,0 +1,113 @@
+//! Uniform and alias sampling (URW, PPR, DeepWalk).
+
+use super::SampleOutcome;
+use grw_graph::{AliasTables, CsrGraph, VertexId};
+use grw_rng::RandomSource;
+
+/// Samples a neighbor index uniformly from a list of `degree` neighbors —
+/// the sampling of URW and PPR (Table I).
+///
+/// Returns `None` for dead ends.
+///
+/// # Example
+///
+/// ```
+/// use grw_algo::sampler::uniform_sample;
+/// use grw_rng::SplitMix64;
+///
+/// let mut rng = SplitMix64::new(1);
+/// let o = uniform_sample(5, &mut rng).unwrap();
+/// assert!(o.local_index < 5);
+/// ```
+pub fn uniform_sample<G: RandomSource>(degree: u32, rng: &mut G) -> Option<SampleOutcome> {
+    if degree == 0 {
+        return None;
+    }
+    if degree == 1 {
+        return Some(SampleOutcome::direct(0));
+    }
+    Some(SampleOutcome {
+        local_index: rng.next_below(u64::from(degree)) as u32,
+        uniform_trials: 1,
+        alias_reads: 0,
+        scanned: 0,
+        membership_probes: 0,
+    })
+}
+
+/// Samples a neighbor of `v` by its alias table — DeepWalk's O(1) weighted
+/// sampling. Costs one uniform slot draw plus one alias-entry read (a
+/// random access into the alias region).
+///
+/// Returns `None` for dead ends.
+pub fn alias_sample<G: RandomSource>(
+    graph: &CsrGraph,
+    tables: &AliasTables,
+    v: VertexId,
+    rng: &mut G,
+) -> Option<SampleOutcome> {
+    let local = tables.sample(graph, v, rng)?;
+    Some(SampleOutcome {
+        local_index: local,
+        uniform_trials: 1,
+        alias_reads: 1,
+        scanned: 0,
+        membership_probes: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grw_rng::SplitMix64;
+
+    #[test]
+    fn dead_end_yields_none() {
+        let mut rng = SplitMix64::new(0);
+        assert!(uniform_sample(0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn single_neighbor_is_free() {
+        let mut rng = SplitMix64::new(0);
+        let o = uniform_sample(1, &mut rng).unwrap();
+        assert_eq!(o.local_index, 0);
+    }
+
+    #[test]
+    fn uniform_sample_is_uniform() {
+        let mut rng = SplitMix64::new(5);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[uniform_sample(8, &mut rng).unwrap().local_index as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn alias_sample_reports_one_alias_read() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2)], true).with_weights(|_, _, _| 1.0);
+        let t = AliasTables::build(&g);
+        let mut rng = SplitMix64::new(2);
+        let o = alias_sample(&g, &t, 0, &mut rng).unwrap();
+        assert_eq!(o.alias_reads, 1);
+        assert!(o.local_index < 2);
+        assert!(alias_sample(&g, &t, 1, &mut rng).is_none());
+    }
+
+    #[test]
+    fn alias_sample_respects_weights() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2)], true)
+            .with_weights(|_, dst, _| if dst == 2 { 9.0 } else { 1.0 });
+        let t = AliasTables::build(&g);
+        let mut rng = SplitMix64::new(8);
+        let n = 50_000;
+        let heavy = (0..n)
+            .filter(|_| alias_sample(&g, &t, 0, &mut rng).unwrap().local_index == 1)
+            .count();
+        let f = heavy as f64 / n as f64;
+        assert!((f - 0.9).abs() < 0.01, "heavy fraction {f}");
+    }
+}

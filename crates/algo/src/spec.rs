@@ -1,0 +1,233 @@
+//! Walk algorithm specifications (Table I of the paper).
+
+use grw_graph::RpEntryKind;
+
+/// How Node2Vec's biased second-order sampling is realised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node2VecMethod {
+    /// KnightKing-style rejection sampling — unweighted graphs
+    /// (the gSampler comparison, Fig. 9d).
+    Rejection,
+    /// Single-pass weighted reservoir sampling — weighted graphs
+    /// (the LightRW comparison, Fig. 8c).
+    Reservoir,
+}
+
+/// A GRW algorithm with its parameters.
+///
+/// The variants map one-to-one onto Table I:
+///
+/// | GRW | weighted | sampling | RP entry |
+/// |---|---|---|---|
+/// | URW, PPR | no | uniform | 64-bit |
+/// | DeepWalk | yes | alias | 256-bit |
+/// | Node2Vec | no | rejection | 64-bit |
+/// | Node2Vec | yes | reservoir | 128-bit |
+/// | MetaPath | yes | reservoir | 128-bit |
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalkSpec {
+    /// Uniform random walk of fixed maximum length.
+    Urw {
+        /// Maximum number of hops.
+        max_len: u32,
+    },
+    /// Personalized-PageRank walk: terminates with probability `alpha`
+    /// before every hop (geometric length).
+    Ppr {
+        /// Teleport probability α.
+        alpha: f64,
+        /// Hard cap on hops.
+        max_len: u32,
+    },
+    /// DeepWalk: first-order weighted walk via alias sampling.
+    DeepWalk {
+        /// Maximum number of hops.
+        max_len: u32,
+    },
+    /// Node2Vec: second-order biased walk with return parameter `p` and
+    /// in-out parameter `q`.
+    Node2Vec {
+        /// Return parameter.
+        p: f64,
+        /// In-out parameter.
+        q: f64,
+        /// Maximum number of hops.
+        max_len: u32,
+        /// Sampling realisation.
+        method: Node2VecMethod,
+    },
+    /// MetaPath walk over a typed graph: hop `i` must land on a vertex of
+    /// type `pattern[i % pattern.len()]`; ends early when impossible.
+    MetaPath {
+        /// The cyclic type pattern.
+        pattern: Vec<u8>,
+        /// Maximum number of hops.
+        max_len: u32,
+    },
+}
+
+impl WalkSpec {
+    /// Uniform random walk with the paper's default query length (80).
+    pub fn urw(max_len: u32) -> Self {
+        WalkSpec::Urw { max_len }
+    }
+
+    /// PPR with the conventional α = 0.15.
+    pub fn ppr(max_len: u32) -> Self {
+        WalkSpec::Ppr {
+            alpha: 0.15,
+            max_len,
+        }
+    }
+
+    /// DeepWalk.
+    pub fn deepwalk(max_len: u32) -> Self {
+        WalkSpec::DeepWalk { max_len }
+    }
+
+    /// Node2Vec with the paper's evaluation parameters `p = 2, q = 0.5`.
+    pub fn node2vec(max_len: u32, method: Node2VecMethod) -> Self {
+        WalkSpec::Node2Vec {
+            p: 2.0,
+            q: 0.5,
+            max_len,
+            method,
+        }
+    }
+
+    /// MetaPath with a 3-type cyclic pattern.
+    pub fn metapath(max_len: u32) -> Self {
+        WalkSpec::MetaPath {
+            pattern: vec![0, 1, 2],
+            max_len,
+        }
+    }
+
+    /// Human-readable algorithm name as used in the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WalkSpec::Urw { .. } => "URW",
+            WalkSpec::Ppr { .. } => "PPR",
+            WalkSpec::DeepWalk { .. } => "DeepWalk",
+            WalkSpec::Node2Vec { .. } => "Node2Vec",
+            WalkSpec::MetaPath { .. } => "MetaPath",
+        }
+    }
+
+    /// Maximum number of hops a query may take.
+    pub fn max_len(&self) -> u32 {
+        match self {
+            WalkSpec::Urw { max_len }
+            | WalkSpec::Ppr { max_len, .. }
+            | WalkSpec::DeepWalk { max_len }
+            | WalkSpec::Node2Vec { max_len, .. }
+            | WalkSpec::MetaPath { max_len, .. } => *max_len,
+        }
+    }
+
+    /// Whether sampling depends on the previous vertex (second order).
+    pub fn is_second_order(&self) -> bool {
+        matches!(self, WalkSpec::Node2Vec { .. })
+    }
+
+    /// Whether the graph must carry edge weights.
+    pub fn requires_weights(&self) -> bool {
+        matches!(
+            self,
+            WalkSpec::DeepWalk { .. }
+                | WalkSpec::Node2Vec {
+                    method: Node2VecMethod::Reservoir,
+                    ..
+                }
+                | WalkSpec::MetaPath { .. }
+        )
+    }
+
+    /// Whether the graph must carry vertex types.
+    pub fn requires_types(&self) -> bool {
+        matches!(self, WalkSpec::MetaPath { .. })
+    }
+
+    /// Whether alias tables must be prepared (DeepWalk).
+    pub fn requires_alias_tables(&self) -> bool {
+        matches!(self, WalkSpec::DeepWalk { .. })
+    }
+
+    /// Row-pointer entry width for this algorithm (Table I).
+    pub fn rp_entry_kind(&self) -> RpEntryKind {
+        match self {
+            WalkSpec::Urw { .. } | WalkSpec::Ppr { .. } => RpEntryKind::Compact64,
+            WalkSpec::DeepWalk { .. } => RpEntryKind::Alias256,
+            WalkSpec::Node2Vec { method, .. } => match method {
+                Node2VecMethod::Rejection => RpEntryKind::Compact64,
+                Node2VecMethod::Reservoir => RpEntryKind::Weighted128,
+            },
+            WalkSpec::MetaPath { .. } => RpEntryKind::Weighted128,
+        }
+    }
+}
+
+impl std::fmt::Display for WalkSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_mapping_holds() {
+        assert_eq!(WalkSpec::urw(80).rp_entry_kind(), RpEntryKind::Compact64);
+        assert_eq!(WalkSpec::ppr(80).rp_entry_kind(), RpEntryKind::Compact64);
+        assert_eq!(WalkSpec::deepwalk(80).rp_entry_kind(), RpEntryKind::Alias256);
+        assert_eq!(
+            WalkSpec::node2vec(80, Node2VecMethod::Rejection).rp_entry_kind(),
+            RpEntryKind::Compact64
+        );
+        assert_eq!(
+            WalkSpec::node2vec(80, Node2VecMethod::Reservoir).rp_entry_kind(),
+            RpEntryKind::Weighted128
+        );
+        assert_eq!(
+            WalkSpec::metapath(80).rp_entry_kind(),
+            RpEntryKind::Weighted128
+        );
+    }
+
+    #[test]
+    fn requirements_are_consistent() {
+        assert!(!WalkSpec::urw(80).requires_weights());
+        assert!(WalkSpec::deepwalk(80).requires_weights());
+        assert!(WalkSpec::deepwalk(80).requires_alias_tables());
+        assert!(WalkSpec::metapath(80).requires_types());
+        assert!(WalkSpec::node2vec(80, Node2VecMethod::Rejection).is_second_order());
+        assert!(!WalkSpec::ppr(80).is_second_order());
+    }
+
+    #[test]
+    fn display_matches_figures() {
+        assert_eq!(WalkSpec::urw(80).to_string(), "URW");
+        assert_eq!(
+            WalkSpec::node2vec(80, Node2VecMethod::Reservoir).to_string(),
+            "Node2Vec"
+        );
+    }
+
+    #[test]
+    fn defaults_match_the_evaluation_setup() {
+        if let WalkSpec::Ppr { alpha, .. } = WalkSpec::ppr(80) {
+            assert!((alpha - 0.15).abs() < 1e-12);
+        } else {
+            unreachable!();
+        }
+        if let WalkSpec::Node2Vec { p, q, .. } = WalkSpec::node2vec(80, Node2VecMethod::Rejection)
+        {
+            assert_eq!(p, 2.0);
+            assert_eq!(q, 0.5);
+        } else {
+            unreachable!();
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Software walk engines: the functional reference for every accelerator.
+
+mod parallel;
+mod reference;
+
+pub use parallel::ParallelEngine;
+pub use reference::ReferenceEngine;
+
+use crate::{PreparedGraph, WalkPath, WalkQuery, WalkSpec};
+
+/// Anything that can execute a batch of walk queries.
+///
+/// Implementations must produce paths whose *distribution* matches
+/// Algorithm II.1 of the paper for the given spec; they are free to order
+/// execution however they like (the Markov property guarantees the result
+/// is exchangeable).
+pub trait WalkEngine {
+    /// Executes all `queries` and returns one path per query, in query
+    /// order.
+    fn run(
+        &mut self,
+        prepared: &PreparedGraph,
+        spec: &WalkSpec,
+        queries: &[WalkQuery],
+    ) -> Vec<WalkPath>;
+}
+
+/// Executes a single query to completion with the given RNG — the shared
+/// inner loop of both software engines.
+pub(crate) fn execute_query<G: grw_rng::RandomSource>(
+    prepared: &PreparedGraph,
+    spec: &WalkSpec,
+    query: &WalkQuery,
+    rng: &mut G,
+) -> WalkPath {
+    let mut vertices = Vec::with_capacity(spec.max_len() as usize + 1);
+    vertices.push(query.start);
+    let mut cur = query.start;
+    let mut prev = None;
+    let mut hop = 0u32;
+    loop {
+        match prepared.next_step(spec, cur, prev, hop, rng) {
+            crate::prepared::StepDecision::Advance { next, .. } => {
+                vertices.push(next);
+                prev = Some(cur);
+                cur = next;
+                hop += 1;
+            }
+            crate::prepared::StepDecision::Terminate(_) => break,
+        }
+    }
+    WalkPath::new(query.id, vertices)
+}

@@ -1,0 +1,115 @@
+//! Multi-threaded CPU engine (a ThunderRW-style in-memory walker).
+
+use super::{execute_query, reference::ReferenceEngine, WalkEngine};
+use crate::{PreparedGraph, WalkPath, WalkQuery, WalkSpec};
+
+/// Runs queries across OS threads, chunking the query set.
+///
+/// Because every query has its own RNG stream keyed by `(seed, id)`, the
+/// output is bit-identical to [`ReferenceEngine`] with the same seed — a
+/// property the tests rely on.
+///
+/// # Example
+///
+/// ```
+/// use grw_algo::{ParallelEngine, PreparedGraph, QuerySet, WalkEngine, WalkSpec};
+/// use grw_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)], true);
+/// let spec = WalkSpec::urw(4);
+/// let p = PreparedGraph::new(g, &spec).unwrap();
+/// let qs = QuerySet::random(3, 8, 0);
+/// let paths = ParallelEngine::new(1, 2).run(&p, &spec, qs.queries());
+/// assert_eq!(paths.len(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelEngine {
+    seed: u64,
+    threads: usize,
+}
+
+impl ParallelEngine {
+    /// Creates an engine with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(seed: u64, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        Self { seed, threads }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl WalkEngine for ParallelEngine {
+    fn run(
+        &mut self,
+        prepared: &PreparedGraph,
+        spec: &WalkSpec,
+        queries: &[WalkQuery],
+    ) -> Vec<WalkPath> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let chunk = queries.len().div_ceil(self.threads);
+        let mut results: Vec<Vec<WalkPath>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|part| {
+                    let seed = self.seed;
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|q| {
+                                let mut rng = ReferenceEngine::query_rng(seed, q.id);
+                                execute_query(prepared, spec, q, &mut rng)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("walk worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuerySet;
+    use grw_graph::generators::{Dataset, ScaleFactor};
+
+    #[test]
+    fn matches_reference_engine_exactly() {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(12);
+        let qs = QuerySet::random(g.vertex_count(), 64, 5);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let seq = ReferenceEngine::new(77).run(&p, &spec, qs.queries());
+        for threads in [1, 2, 4, 7] {
+            let par = ParallelEngine::new(77, threads).run(&p, &spec, qs.queries());
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_query_set_is_fine() {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(4);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        assert!(ParallelEngine::new(0, 4).run(&p, &spec, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let _ = ParallelEngine::new(0, 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Statistics over completed walks: lengths, coverage, visit counts,
+//! co-occurrences — the downstream quantities embedding and ranking
+//! applications consume.
+
+use crate::WalkPath;
+use grw_graph::VertexId;
+
+/// Summary statistics of a batch of walks.
+///
+/// # Example
+///
+/// ```
+/// use grw_algo::{walkstats::WalkStats, WalkPath};
+///
+/// let paths = vec![WalkPath::new(0, vec![0, 1, 2]), WalkPath::new(1, vec![2])];
+/// let s = WalkStats::from_paths(&paths, 3);
+/// assert_eq!(s.total_steps, 2);
+/// assert_eq!(s.max_len, 2);
+/// assert!((s.mean_len - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkStats {
+    /// Number of walks.
+    pub walks: usize,
+    /// Total hops across all walks.
+    pub total_steps: u64,
+    /// Mean hops per walk.
+    pub mean_len: f64,
+    /// Longest walk (hops).
+    pub max_len: u64,
+    /// Shortest walk (hops).
+    pub min_len: u64,
+    /// Distinct vertices visited.
+    pub vertices_covered: usize,
+    /// `vertices_covered / vertex_count`.
+    pub coverage: f64,
+    /// Per-vertex visit counts (including start vertices).
+    pub visits: Vec<u64>,
+}
+
+impl WalkStats {
+    /// Computes statistics for paths over a graph of `vertex_count`
+    /// vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty or a path references an out-of-range
+    /// vertex.
+    pub fn from_paths(paths: &[WalkPath], vertex_count: usize) -> Self {
+        assert!(!paths.is_empty(), "no walks to summarise");
+        let mut visits = vec![0u64; vertex_count];
+        let mut total = 0u64;
+        let mut max_len = 0u64;
+        let mut min_len = u64::MAX;
+        for w in paths {
+            let len = w.steps();
+            total += len;
+            max_len = max_len.max(len);
+            min_len = min_len.min(len);
+            for &v in &w.vertices {
+                visits[v as usize] += 1;
+            }
+        }
+        let covered = visits.iter().filter(|&&c| c > 0).count();
+        Self {
+            walks: paths.len(),
+            total_steps: total,
+            mean_len: total as f64 / paths.len() as f64,
+            max_len,
+            min_len,
+            vertices_covered: covered,
+            coverage: covered as f64 / vertex_count.max(1) as f64,
+            visits,
+        }
+    }
+
+    /// The `k` most-visited vertices, in descending visit order.
+    pub fn top_visited(&self, k: usize) -> Vec<(VertexId, u64)> {
+        let mut order: Vec<VertexId> = (0..self.visits.len() as u32).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(self.visits[v as usize]));
+        order
+            .into_iter()
+            .take(k)
+            .map(|v| (v, self.visits[v as usize]))
+            .collect()
+    }
+
+    /// Walk-length histogram with bucket width `width` hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn length_histogram(&self, paths: &[WalkPath], width: u64) -> Vec<usize> {
+        assert!(width > 0, "bucket width must be positive");
+        let buckets = (self.max_len / width + 1) as usize;
+        let mut hist = vec![0usize; buckets];
+        for w in paths {
+            hist[(w.steps() / width) as usize] += 1;
+        }
+        hist
+    }
+}
+
+/// Counts co-occurrence pairs within a sliding window over each walk —
+/// the skip-gram pair stream a DeepWalk/Node2Vec embedding trainer
+/// consumes. Returns the total number of (center, context) pairs.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn cooccurrence_pairs(paths: &[WalkPath], window: usize) -> u64 {
+    assert!(window > 0, "window must be positive");
+    let mut pairs = 0u64;
+    for w in paths {
+        let n = w.vertices.len();
+        for i in 0..n {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window).min(n - 1);
+            pairs += (hi - lo) as u64;
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths() -> Vec<WalkPath> {
+        vec![
+            WalkPath::new(0, vec![0, 1, 2, 1]),
+            WalkPath::new(1, vec![3]),
+            WalkPath::new(2, vec![1, 2]),
+        ]
+    }
+
+    #[test]
+    fn summary_counts_are_exact() {
+        let s = WalkStats::from_paths(&paths(), 5);
+        assert_eq!(s.walks, 3);
+        assert_eq!(s.total_steps, 4);
+        assert_eq!(s.max_len, 3);
+        assert_eq!(s.min_len, 0);
+        assert_eq!(s.vertices_covered, 4);
+        assert!((s.coverage - 0.8).abs() < 1e-12);
+        assert_eq!(s.visits[1], 3);
+        assert_eq!(s.visits[4], 0);
+    }
+
+    #[test]
+    fn top_visited_orders_by_count() {
+        let s = WalkStats::from_paths(&paths(), 5);
+        let top = s.top_visited(2);
+        assert_eq!(top[0], (1, 3));
+        assert_eq!(top[1].1, 2);
+    }
+
+    #[test]
+    fn histogram_buckets_walks() {
+        let s = WalkStats::from_paths(&paths(), 5);
+        let h = s.length_histogram(&paths(), 2);
+        // lengths 3, 0, 1 → buckets [0..2): 2 walks, [2..4): 1 walk.
+        assert_eq!(h, vec![2, 1]);
+    }
+
+    #[test]
+    fn cooccurrence_matches_hand_count() {
+        // Path [0,1,2]: window 1 pairs: (0,1),(1,0),(1,2),(2,1) = 4.
+        let p = vec![WalkPath::new(0, vec![0, 1, 2])];
+        assert_eq!(cooccurrence_pairs(&p, 1), 4);
+        // Window 2: each of 3 positions sees the other 2 → 6.
+        assert_eq!(cooccurrence_pairs(&p, 2), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no walks")]
+    fn empty_paths_panic() {
+        let _ = WalkStats::from_paths(&[], 3);
+    }
+}

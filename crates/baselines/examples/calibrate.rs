@@ -1,0 +1,111 @@
+//! Calibration probe: prints the raw throughput of every engine on a grid
+//! of workloads. Used to tune the baseline models against the paper's
+//! ratios; kept as an example so maintainers can re-run it after changes.
+
+use grw_algo::{Node2VecMethod, PreparedGraph, QuerySet, WalkSpec};
+use grw_baselines::{FastRw, GSampler, LightRw, SuEtAl};
+use grw_graph::generators::{Dataset, RmatConfig, ScaleFactor};
+use grw_sim::FpgaPlatform;
+use ridgewalker::{Accelerator, AcceleratorConfig};
+
+fn main() {
+    let queries = 8192;
+
+    println!("== Su et al. vs RidgeWalker (U280, WG tiny, URW-24) ==");
+    {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(24);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::random(p.graph().vertex_count(), queries, 1);
+        let su = SuEtAl::new().run(&p, &spec, qs.queries());
+        let rw = Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU280))
+            .run(&p, &spec, qs.queries());
+        println!(
+            "su {:.0} (bub {:.2}) rw {:.0} (bub {:.2}) speedup {:.2}",
+            su.msteps_per_sec,
+            su.bubble_ratio,
+            rw.msteps_per_sec,
+            rw.bubble_ratio,
+            rw.speedup_over(&su)
+        );
+    }
+
+    println!("== LightRW vs RidgeWalker (U250, LJ tiny, N2V-reservoir-20) ==");
+    {
+        let g = Dataset::LiveJournal.generate_weighted(ScaleFactor::Tiny);
+        let spec = WalkSpec::node2vec(20, Node2VecMethod::Reservoir);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::random(p.graph().vertex_count(), queries, 5);
+        let lw = LightRw::new().run(&p, &spec, qs.queries());
+        let rw = Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU250))
+            .run(&p, &spec, qs.queries());
+        println!(
+            "lightrw {:.1} ({} cyc, bub {:.2}, txn/step {:.1}) rw {:.1} ({} cyc, bub {:.2}, txn/step {:.1}) speedup {:.2}",
+            lw.msteps_per_sec, lw.cycles, lw.bubble_ratio, lw.txns_per_step(),
+            rw.msteps_per_sec, rw.cycles, rw.bubble_ratio, rw.txns_per_step(),
+            rw.speedup_over(&lw)
+        );
+    }
+
+    println!("== FastRW cache sweep (U50, WG tiny, DeepWalk-24) ==");
+    {
+        let g = Dataset::WebGoogle.generate_weighted(ScaleFactor::Tiny);
+        let spec = WalkSpec::deepwalk(24);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::random(p.graph().vertex_count(), queries, 7);
+        for cache in [usize::MAX, 56_000, 1_000, 16] {
+            let f = FastRw::new()
+                .cache_entries(cache.min(p.graph().vertex_count()))
+                .run(&p, &spec, qs.queries());
+            println!(
+                "cache {:>8}: {:.1} MStep/s (bub {:.2})",
+                cache.min(p.graph().vertex_count()),
+                f.msteps_per_sec,
+                f.bubble_ratio
+            );
+        }
+        let rw = Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU50))
+            .run(&p, &spec, qs.queries());
+        println!("ridgewalker: {:.1} MStep/s", rw.msteps_per_sec);
+    }
+
+    println!("== GPU: balanced vs graph500 RMAT (URW-40 / DeepWalk-40) ==");
+    {
+        for (name, cfg) in [
+            ("balanced s12 ef16", RmatConfig::balanced(12, 16).seed(1)),
+            ("graph500 s12 ef16", RmatConfig::graph500(12, 16).seed(1)),
+            ("graph500 s13 ef8", RmatConfig::graph500(13, 8).seed(1)),
+        ] {
+            let g = cfg.generate();
+            let spec = WalkSpec::urw(40);
+            let p = PreparedGraph::new(g, &spec).unwrap();
+            let qs = QuerySet::random(p.graph().vertex_count(), 2048, 3);
+            let r = GSampler::new().run(&p, &spec, qs.queries());
+            println!(
+                "{name}: {:.0} MStep/s live {:.2} cv {:.2} bound {:?}",
+                r.msteps_per_sec, r.live_lane_fraction, r.visited_degree_cv, r.bound
+            );
+        }
+    }
+
+    println!("== GPU on real stand-ins (URW-80) vs RW U55C ==");
+    {
+        for d in Dataset::all() {
+            let g = d.generate(ScaleFactor::Tiny);
+            let spec = WalkSpec::urw(80);
+            let p = PreparedGraph::new(g, &spec).unwrap();
+            let qs = QuerySet::random(p.graph().vertex_count(), 2048, 3);
+            let gpu = GSampler::new().run(&p, &spec, qs.queries());
+            let rw = Accelerator::new(AcceleratorConfig::new()).run(&p, &spec, qs.queries());
+            println!(
+                "{d}: gpu {:.0} (live {:.2} cv {:.2} {:?}) rw {:.0} speedup {:.2}",
+                gpu.msteps_per_sec,
+                gpu.live_lane_fraction,
+                gpu.visited_degree_cv,
+                gpu.bound,
+                rw.msteps_per_sec,
+                rw.msteps_per_sec / gpu.msteps_per_sec
+            );
+        }
+    }
+}

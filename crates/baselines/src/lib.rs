@@ -1,0 +1,33 @@
+//! Behavioural models of the systems RidgeWalker is evaluated against.
+//!
+//! None of the baselines ship usable artifacts for this reproduction
+//! (FastRW's code is not public; gSampler needs H100s), so each is rebuilt
+//! as a model that captures the mechanisms the paper identifies as its
+//! performance signature — see `DESIGN.md` for the substitution table:
+//!
+//! * [`FastRw`] — degree-ranked on-chip RP cache, CPU-pre-generated random
+//!   numbers streamed from HBM, in-order pointer chases, static batches
+//!   (§III-B Observation #1, Fig. 3a, Fig. 8a).
+//! * [`LightRw`] — well-pipelined memory path but ring-buffer batched
+//!   scheduling: early-terminated walks leave their slots empty until the
+//!   batch drains (§III-B Observation #2, Fig. 8c/8d).
+//! * [`SuEtAl`] — HBM-enabled sampler with a plain blocking AXI memory
+//!   path and static scheduling (Fig. 8b).
+//! * [`gpu::GSampler`] — warp-lockstep SIMT execution with super-batching:
+//!   memory-bandwidth, issue and ragged-access-serialization ceilings
+//!   (Fig. 9, Fig. 10).
+//!
+//! The three FPGA baselines run on the *same* cycle-level engine and
+//! memory model as RidgeWalker itself (`ridgewalker::Accelerator` with
+//! baseline knobs), so every comparison shares one notion of time.
+
+pub mod gpu;
+
+mod fastrw;
+mod lightrw;
+mod su;
+
+pub use fastrw::FastRw;
+pub use gpu::{GSampler, GpuReport, GpuSpec};
+pub use lightrw::LightRw;
+pub use su::SuEtAl;

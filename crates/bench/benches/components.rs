@@ -1,0 +1,132 @@
+//! Criterion microbenchmarks of the substrate components: the building
+//! blocks whose line-rate behaviour the paper's claims rest on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use grw_algo::{sampler, PreparedGraph, QuerySet, ReferenceEngine, WalkEngine, WalkSpec};
+use grw_graph::generators::RmatConfig;
+use grw_graph::AliasTables;
+use grw_rng::{Philox4x32, RandomSource, SplitMix64, ThunderRing};
+use grw_sim::{Fifo, MemoryChannel, MemoryChannelSpec};
+use ridgewalker::scheduler::ButterflyBalancer;
+use ridgewalker::{Accelerator, AcceleratorConfig};
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("splitmix64", |b| {
+        let mut g = SplitMix64::new(1);
+        b.iter(|| g.next_u64())
+    });
+    group.bench_function("philox_keyed_draw", |b| {
+        let mut q = 0u64;
+        b.iter(|| {
+            q += 1;
+            Philox4x32::keyed(q, 3).next_u64()
+        })
+    });
+    group.bench_function("thunderring_16_streams", |b| {
+        let mut ring = ThunderRing::new(7, 16);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 16;
+            ring.draw(i)
+        })
+    });
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let g = RmatConfig::graph500(12, 16)
+        .seed(3)
+        .generate()
+        .with_weights(grw_graph::weights::thunder_rw(1));
+    let tables = AliasTables::build(&g);
+    let hub = (0..g.vertex_count() as u32)
+        .max_by_key(|&v| g.degree(v))
+        .unwrap();
+    let mut group = c.benchmark_group("samplers");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("uniform", |b| {
+        let mut rng = SplitMix64::new(2);
+        b.iter(|| sampler::uniform_sample(g.degree(hub), &mut rng))
+    });
+    group.bench_function("alias", |b| {
+        let mut rng = SplitMix64::new(2);
+        b.iter(|| sampler::alias_sample(&g, &tables, hub, &mut rng))
+    });
+    group.bench_function("weighted_reservoir_hub", |b| {
+        let mut rng = SplitMix64::new(2);
+        let ws = g.neighbor_weights(hub).unwrap();
+        b.iter(|| sampler::weighted_reservoir(ws, &mut rng))
+    });
+    group.bench_function("node2vec_rejection", |b| {
+        let mut rng = SplitMix64::new(2);
+        let prev = g.neighbors(hub)[0];
+        b.iter(|| sampler::node2vec_rejection(&g, hub, Some(prev), 2.0, 0.5, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_hardware_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_primitives");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("fifo_push_pop_commit", |b| {
+        let mut f: Fifo<u64> = Fifo::new(16);
+        b.iter(|| {
+            f.push(1);
+            f.commit();
+            f.pop()
+        })
+    });
+    group.bench_function("memory_channel_cycle", |b| {
+        let mut ch = MemoryChannel::new(MemoryChannelSpec::default());
+        let mut cycle = 0u64;
+        b.iter(|| {
+            ch.begin_cycle(cycle);
+            ch.try_issue(cycle, 1.0, cycle);
+            while ch.pop_ready().is_some() {}
+            cycle += 1;
+        })
+    });
+    group.bench_function("butterfly_balancer_16_cycle", |b| {
+        let mut bal: ButterflyBalancer<u64> = ButterflyBalancer::new(16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            bal.push((i % 16) as usize, i);
+            bal.tick();
+            for lane in 0..16 {
+                std::hint::black_box(bal.pop(lane));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let g = RmatConfig::balanced(11, 8).seed(1).generate();
+    let spec = WalkSpec::urw(16);
+    let p = PreparedGraph::new(g, &spec).unwrap();
+    let qs = QuerySet::random(p.graph().vertex_count(), 256, 1);
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("reference_engine_256q", |b| {
+        b.iter(|| ReferenceEngine::new(1).run(&p, &spec, qs.queries()).len())
+    });
+    group.bench_function("accelerator_sim_256q_n4", |b| {
+        let acc = Accelerator::new(AcceleratorConfig::new().pipelines(4));
+        b.iter(|| acc.run(&p, &spec, qs.queries()).steps)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_samplers,
+    bench_hardware_primitives,
+    bench_engines
+);
+criterion_main!(benches);

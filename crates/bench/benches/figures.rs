@@ -1,0 +1,36 @@
+//! Criterion benches: one per paper table/figure.
+//!
+//! Each bench regenerates its experiment end-to-end at tiny scale, so
+//! `cargo bench` both times the harness and asserts (via the experiment
+//! modules' own invariants) that every figure still runs. For the
+//! paper-scale numbers use `repro --scale standard all` instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grw_bench::{experiments, HarnessConfig};
+
+fn bench_cfg() -> HarnessConfig {
+    let mut cfg = HarnessConfig::tiny();
+    cfg.queries = 256;
+    cfg.walk_len = 16;
+    cfg
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for id in experiments::ALL_IDS {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let exp = experiments::by_id(id, &cfg).expect("known id");
+                std::hint::black_box(exp.series.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale tiny|small|standard] [--queries N] [--len L] <ids…>|all|list
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! repro list                 # show experiment ids
+//! repro fig8a fig11          # two experiments at the default (small) scale
+//! repro --scale standard all # the full paper sweep
+//! ```
+
+use grw_bench::{experiments, HarnessConfig};
+use grw_graph::generators::ScaleFactor;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--scale tiny|small|standard] [--queries N] [--len L] <id...>|all|list\n\
+         experiment ids: {}",
+        experiments::ALL_IDS.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = HarnessConfig::small();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().map(String::as_str) {
+                Some("tiny") => cfg.scale = ScaleFactor::Tiny,
+                Some("small") => cfg.scale = ScaleFactor::Small,
+                Some("standard") => {
+                    cfg.scale = ScaleFactor::Standard;
+                    cfg.queries = HarnessConfig::standard().queries;
+                }
+                other => {
+                    eprintln!("bad --scale {other:?}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--queries" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => cfg.queries = n,
+                _ => {
+                    eprintln!("bad --queries\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--len" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => cfg.walk_len = n,
+                _ => {
+                    eprintln!("bad --len\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if ids.iter().any(|i| i == "list") {
+        for id in experiments::ALL_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<String> = if ids.iter().any(|i| i == "all") {
+        experiments::ALL_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        ids
+    };
+    println!(
+        "# RidgeWalker reproduction harness — scale {:?}, {} queries, walk length {}\n",
+        cfg.scale, cfg.queries, cfg.walk_len
+    );
+    for id in &selected {
+        match experiments::by_id(id, &cfg) {
+            Some(exp) => println!("{exp}"),
+            None => {
+                eprintln!("unknown experiment {id:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

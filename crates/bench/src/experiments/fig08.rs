@@ -1,0 +1,164 @@
+//! Fig. 8: throughput versus the state-of-the-art FPGA accelerators.
+
+use super::{query_set_for, run_ridge};
+use crate::{Experiment, HarnessConfig, Series};
+use grw_algo::{Node2VecMethod, PreparedGraph, WalkSpec};
+use grw_baselines::{FastRw, LightRw, SuEtAl};
+use grw_graph::generators::Dataset;
+use grw_sim::FpgaPlatform;
+
+/// Fig. 8a: DeepWalk vs FastRW on the Alveo U50.
+pub fn run_a(cfg: &HarnessConfig) -> Experiment {
+    let mut e = Experiment::new("fig8a", "DeepWalk throughput vs FastRW (U50)", "MStep/s");
+    let spec = WalkSpec::deepwalk(cfg.walk_len);
+    let mut fast = Series::new("FastRW");
+    let mut ridge = Series::new("RidgeWalker");
+    for d in Dataset::fastrw_set() {
+        let g = d.generate_weighted(cfg.scale);
+        let p = PreparedGraph::new(g, &spec).expect("weighted stand-in");
+        let qs = query_set_for(&p, cfg, &spec);
+        let x = d.spec().abbrev;
+        fast.push(
+            x,
+            FastRw::for_scale(cfg.scale)
+                .run(&p, &spec, qs.queries())
+                .msteps_per_sec,
+        );
+        ridge.push(
+            x,
+            run_ridge(FpgaPlatform::AlveoU50, &p, &spec, &qs).msteps_per_sec,
+        );
+    }
+    e.series = vec![fast, ridge];
+    let mut paper = Series::new("speedup");
+    for (x, v) in [("WG", 2.2), ("CP", 2.4), ("AS", 14.2), ("LJ", 71.0)] {
+        paper.push(x, v);
+    }
+    e.paper = vec![paper];
+    e
+}
+
+/// Fig. 8b: PPR and URW vs Su et al. on the Alveo U280 (WG only).
+pub fn run_b(cfg: &HarnessConfig) -> Experiment {
+    let mut e = Experiment::new("fig8b", "PPR/URW throughput vs Su et al. (U280, WG)", "MStep/s");
+    let g = Dataset::WebGoogle.generate(cfg.scale);
+    let mut su = Series::new("Su et al.");
+    let mut ridge = Series::new("RidgeWalker");
+    for (label, spec) in [
+        ("PPR", WalkSpec::ppr(cfg.walk_len)),
+        ("URW", WalkSpec::urw(cfg.walk_len)),
+    ] {
+        let p = PreparedGraph::new(g.clone(), &spec).expect("unweighted");
+        let qs = query_set_for(&p, cfg, &spec);
+        su.push(label, SuEtAl::new().run(&p, &spec, qs.queries()).msteps_per_sec);
+        ridge.push(
+            label,
+            run_ridge(FpgaPlatform::AlveoU280, &p, &spec, &qs).msteps_per_sec,
+        );
+    }
+    e.series = vec![su, ridge];
+    let mut paper = Series::new("speedup");
+    paper.push("PPR", 9.2);
+    paper.push("URW", 9.9);
+    e.paper = vec![paper];
+    e
+}
+
+/// Fig. 8c: Node2Vec (reservoir) vs LightRW on the Alveo U250.
+pub fn run_c(cfg: &HarnessConfig) -> Experiment {
+    let mut e = Experiment::new(
+        "fig8c",
+        "Node2Vec (reservoir) throughput vs LightRW (U250)",
+        "MStep/s",
+    );
+    let spec = WalkSpec::node2vec(cfg.walk_len, Node2VecMethod::Reservoir);
+    let mut light = Series::new("LightRW");
+    let mut ridge = Series::new("RidgeWalker");
+    for d in Dataset::all() {
+        let g = d.generate_weighted(cfg.scale);
+        let p = PreparedGraph::new(g, &spec).expect("weighted stand-in");
+        let qs = query_set_for(&p, cfg, &spec);
+        let x = d.spec().abbrev;
+        light.push(x, LightRw::new().run(&p, &spec, qs.queries()).msteps_per_sec);
+        ridge.push(
+            x,
+            run_ridge(FpgaPlatform::AlveoU250, &p, &spec, &qs).msteps_per_sec,
+        );
+    }
+    e.series = vec![light, ridge];
+    let mut paper = Series::new("speedup");
+    for (x, v) in [
+        ("WG", 1.2),
+        ("CP", 1.2),
+        ("AS", 1.2),
+        ("LJ", 1.1),
+        ("AB", 1.5),
+        ("UK", 1.3),
+    ] {
+        paper.push(x, v);
+    }
+    e.paper = vec![paper];
+    e
+}
+
+/// Fig. 8d: MetaPath vs LightRW on the Alveo U250.
+pub fn run_d(cfg: &HarnessConfig) -> Experiment {
+    let mut e = Experiment::new("fig8d", "MetaPath throughput vs LightRW (U250)", "MStep/s");
+    let spec = WalkSpec::metapath(cfg.walk_len);
+    let mut light = Series::new("LightRW");
+    let mut ridge = Series::new("RidgeWalker");
+    for d in Dataset::all() {
+        let g = d.generate_typed(cfg.scale, 3);
+        let p = PreparedGraph::new(g, &spec).expect("typed stand-in");
+        let qs = query_set_for(&p, cfg, &spec);
+        let x = d.spec().abbrev;
+        light.push(x, LightRw::new().run(&p, &spec, qs.queries()).msteps_per_sec);
+        ridge.push(
+            x,
+            run_ridge(FpgaPlatform::AlveoU250, &p, &spec, &qs).msteps_per_sec,
+        );
+    }
+    e.series = vec![light, ridge];
+    let mut paper = Series::new("speedup");
+    for (x, v) in [
+        ("WG", 1.6),
+        ("CP", 1.4),
+        ("AS", 1.3),
+        ("LJ", 1.5),
+        ("AB", 1.7),
+        ("UK", 1.5),
+    ] {
+        paper.push(x, v);
+    }
+    e.paper = vec![paper];
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8a_ridgewalker_wins_everywhere() {
+        let e = run_a(&HarnessConfig::tiny());
+        for d in Dataset::fastrw_set() {
+            let x = d.spec().abbrev;
+            let s = e.speedup("RidgeWalker", "FastRW", x);
+            assert!(s > 1.0, "{x}: speedup {s:.2}");
+        }
+    }
+
+    #[test]
+    fn fig8b_wins_are_large() {
+        let e = run_b(&HarnessConfig::tiny());
+        assert!(e.speedup("RidgeWalker", "Su et al.", "PPR") > 2.0);
+        assert!(e.speedup("RidgeWalker", "Su et al.", "URW") > 2.0);
+    }
+
+    #[test]
+    fn fig8d_metapath_terminates_early_and_still_wins() {
+        let e = run_d(&HarnessConfig::tiny());
+        let s = e.speedup("RidgeWalker", "LightRW", "WG");
+        assert!(s > 0.9, "WG MetaPath {s:.2}");
+    }
+}

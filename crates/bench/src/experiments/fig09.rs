@@ -1,0 +1,146 @@
+//! Fig. 9: normalized throughput versus gSampler (H100) on four GRW
+//! applications across the six real-graph stand-ins.
+
+use super::{query_set_for, run_ridge};
+use crate::{Experiment, HarnessConfig, Series};
+use grw_algo::{Node2VecMethod, PreparedGraph, WalkSpec};
+use grw_baselines::GSampler;
+use grw_graph::generators::Dataset;
+use grw_sim::FpgaPlatform;
+
+/// Which sub-figure of Fig. 9 to regenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuFigure {
+    /// Fig. 9a.
+    Ppr,
+    /// Fig. 9b.
+    Urw,
+    /// Fig. 9c.
+    DeepWalk,
+    /// Fig. 9d.
+    Node2Vec,
+}
+
+impl GpuFigure {
+    fn id(self) -> &'static str {
+        match self {
+            GpuFigure::Ppr => "fig9a",
+            GpuFigure::Urw => "fig9b",
+            GpuFigure::DeepWalk => "fig9c",
+            GpuFigure::Node2Vec => "fig9d",
+        }
+    }
+
+    fn spec(self, len: u32) -> WalkSpec {
+        match self {
+            GpuFigure::Ppr => WalkSpec::ppr(len),
+            GpuFigure::Urw => WalkSpec::urw(len),
+            GpuFigure::DeepWalk => WalkSpec::deepwalk(len),
+            GpuFigure::Node2Vec => WalkSpec::node2vec(len, Node2VecMethod::Rejection),
+        }
+    }
+
+    /// The paper's reported speedups per dataset.
+    fn paper(self) -> [(&'static str, f64); 6] {
+        match self {
+            GpuFigure::Ppr => [
+                ("WG", 18.7),
+                ("CP", 21.1),
+                ("AS", 10.9),
+                ("LJ", 9.5),
+                ("AB", 8.9),
+                ("UK", 8.8),
+            ],
+            GpuFigure::Urw => [
+                ("WG", 3.1),
+                ("CP", 7.6),
+                ("AS", 5.9),
+                ("LJ", 3.7),
+                ("AB", 4.3),
+                ("UK", 4.7),
+            ],
+            GpuFigure::DeepWalk => [
+                ("WG", 8.7),
+                ("CP", 16.7),
+                ("AS", 22.9),
+                ("LJ", 8.9),
+                ("AB", 10.0),
+                ("UK", 11.0),
+            ],
+            GpuFigure::Node2Vec => [
+                ("WG", 1.4),
+                ("CP", 2.2),
+                ("AS", 1.6),
+                ("LJ", 1.7),
+                ("AB", 1.3),
+                ("UK", 1.4),
+            ],
+        }
+    }
+}
+
+/// Regenerates one Fig. 9 sub-figure.
+pub fn run(cfg: &HarnessConfig, fig: GpuFigure) -> Experiment {
+    let spec = fig.spec(cfg.walk_len);
+    let mut e = Experiment::new(
+        fig.id(),
+        format!("{} throughput vs gSampler (H100 vs U55C)", spec.name()),
+        "MStep/s",
+    );
+    let mut gpu = Series::new("gSampler");
+    let mut ridge = Series::new("RidgeWalker");
+    for d in Dataset::all() {
+        let g = match fig {
+            GpuFigure::DeepWalk => d.generate_weighted(cfg.scale),
+            _ => d.generate(cfg.scale),
+        };
+        let p = PreparedGraph::new(g, &spec).expect("prepared stand-in");
+        let qs = query_set_for(&p, cfg, &spec);
+        let x = d.spec().abbrev;
+        gpu.push(x, GSampler::new().run(&p, &spec, qs.queries()).msteps_per_sec);
+        ridge.push(
+            x,
+            run_ridge(FpgaPlatform::AlveoU55c, &p, &spec, &qs).msteps_per_sec,
+        );
+    }
+    e.series = vec![gpu, ridge];
+    let mut paper = Series::new("speedup");
+    for (x, v) in fig.paper() {
+        paper.push(x, v);
+    }
+    e.paper = vec![paper];
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_figure_ids_are_stable() {
+        assert_eq!(GpuFigure::Ppr.id(), "fig9a");
+        assert_eq!(GpuFigure::Node2Vec.id(), "fig9d");
+    }
+
+    #[test]
+    fn ppr_beats_urw_in_relative_gain() {
+        // The lockstep mechanism must make PPR the stronger win, as in the
+        // paper (Fig. 9a vs 9b).
+        let cfg = HarnessConfig::tiny();
+        let ppr = run(&cfg, GpuFigure::Ppr);
+        let urw = run(&cfg, GpuFigure::Urw);
+        let mean = |e: &Experiment| {
+            let mut acc = 0.0;
+            for d in Dataset::all() {
+                acc += e.speedup("RidgeWalker", "gSampler", d.spec().abbrev);
+            }
+            acc / 6.0
+        };
+        assert!(
+            mean(&ppr) > mean(&urw),
+            "PPR mean speedup {:.2} should exceed URW {:.2}",
+            mean(&ppr),
+            mean(&urw)
+        );
+    }
+}

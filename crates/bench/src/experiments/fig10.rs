@@ -1,0 +1,102 @@
+//! Fig. 10: RMAT graphs under balanced and Graph500 initiators.
+//!
+//! The paper's headline architectural claim: gSampler approaches its
+//! random-access peak on evenly distributed (balanced) graphs but
+//! collapses by more than an order of magnitude under Graph500 skew,
+//! while RidgeWalker holds its throughput on both.
+
+use super::run_ridge;
+use crate::{Experiment, HarnessConfig, Series};
+use grw_algo::{PreparedGraph, QuerySet, WalkSpec};
+use grw_baselines::GSampler;
+use grw_graph::generators::{RmatConfig, ScaleFactor};
+use grw_sim::FpgaPlatform;
+
+/// The scaled RMAT grid: the paper's SC16/SC24 × EF 8/32 becomes
+/// SC13/SC16 × EF 8/32 so the sweep stays laptop-sized.
+fn grid(scale: ScaleFactor) -> Vec<(String, u32, u32)> {
+    let (lo, hi) = match scale {
+        ScaleFactor::Tiny => (11, 13),
+        ScaleFactor::Small => (12, 15),
+        ScaleFactor::Standard => (13, 16),
+    };
+    vec![
+        (format!("SC{lo}-8"), lo, 8),
+        (format!("SC{lo}-32"), lo, 32),
+        (format!("SC{hi}-8"), hi, 8),
+        (format!("SC{hi}-32"), hi, 32),
+    ]
+}
+
+/// Regenerates Fig. 10 (DeepWalk, as in the paper).
+pub fn run(cfg: &HarnessConfig) -> Experiment {
+    let mut e = Experiment::new(
+        "fig10",
+        "RMAT balanced vs Graph500: gSampler (H100) vs RidgeWalker (U55C)",
+        "MStep/s",
+    );
+    let spec = WalkSpec::deepwalk(cfg.walk_len);
+    let mut gpu_b = Series::new("gSampler/balanced");
+    let mut ridge_b = Series::new("RidgeWalker/balanced");
+    let mut gpu_s = Series::new("gSampler/graph500");
+    let mut ridge_s = Series::new("RidgeWalker/graph500");
+    for (label, sc, ef) in grid(cfg.scale) {
+        for (balanced, gpu_series, ridge_series) in [
+            (true, &mut gpu_b, &mut ridge_b),
+            (false, &mut gpu_s, &mut ridge_s),
+        ] {
+            let base = if balanced {
+                RmatConfig::balanced(sc, ef)
+            } else {
+                RmatConfig::graph500(sc, ef)
+            };
+            let g = base
+                .seed(0xF16_10)
+                .generate()
+                .with_weights(grw_graph::weights::thunder_rw(7));
+            let p = PreparedGraph::new(g, &spec).expect("weighted RMAT");
+            let qs = QuerySet::random(p.graph().vertex_count(), cfg.queries, cfg.seed);
+            gpu_series.push(
+                label.clone(),
+                GSampler::new().run(&p, &spec, qs.queries()).msteps_per_sec,
+            );
+            ridge_series.push(
+                label.clone(),
+                run_ridge(FpgaPlatform::AlveoU55c, &p, &spec, &qs).msteps_per_sec,
+            );
+        }
+    }
+    e.series = vec![gpu_b, ridge_b, gpu_s, ridge_s];
+    e.notes.push(
+        "paper: gSampler ~9473 MStep/s balanced vs 592 skewed; RidgeWalker ~2241 vs ~2130"
+            .into(),
+    );
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_collapses_the_gpu_but_not_ridgewalker() {
+        let cfg = HarnessConfig::tiny();
+        let e = run(&cfg);
+        let label = "SC11-32";
+        let gpu_drop = e.speedup("gSampler/balanced", "gSampler/graph500", label);
+        assert!(gpu_drop > 3.0, "GPU skew drop only {gpu_drop:.2}x");
+        let ridge_drop = e.speedup("RidgeWalker/balanced", "RidgeWalker/graph500", label);
+        assert!(
+            ridge_drop < gpu_drop / 2.0,
+            "RidgeWalker drop {ridge_drop:.2}x vs GPU {gpu_drop:.2}x"
+        );
+    }
+
+    #[test]
+    fn ridgewalker_wins_under_skew() {
+        let cfg = HarnessConfig::tiny();
+        let e = run(&cfg);
+        let s = e.speedup("RidgeWalker/graph500", "gSampler/graph500", "SC13-8");
+        assert!(s > 1.0, "RidgeWalker must win skewed RMAT, got {s:.2}x");
+    }
+}

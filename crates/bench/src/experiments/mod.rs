@@ -1,0 +1,98 @@
+//! One module per paper table/figure.
+
+pub mod fig03;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod table02;
+pub mod table03;
+pub mod table04;
+pub mod theorem;
+
+use crate::{Experiment, HarnessConfig};
+use grw_algo::{PreparedGraph, QuerySet, WalkSpec};
+use grw_sim::FpgaPlatform;
+use ridgewalker::{Accelerator, AcceleratorConfig, RunReport};
+
+/// Runs RidgeWalker with default settings on `platform`.
+pub(crate) fn run_ridge(
+    platform: FpgaPlatform,
+    prepared: &PreparedGraph,
+    spec: &WalkSpec,
+    queries: &QuerySet,
+) -> RunReport {
+    Accelerator::new(AcceleratorConfig::new().platform(platform)).run(
+        prepared,
+        spec,
+        queries.queries(),
+    )
+}
+
+/// The standard query set for a prepared graph under a harness config,
+/// with the continuous-stream adjustment for short-walk algorithms.
+pub(crate) fn query_set_for(
+    prepared: &PreparedGraph,
+    cfg: &HarnessConfig,
+    spec: &WalkSpec,
+) -> QuerySet {
+    QuerySet::random(
+        prepared.graph().vertex_count(),
+        cfg.queries_for(spec),
+        cfg.seed,
+    )
+}
+
+/// The standard query set for a prepared graph under a harness config.
+pub(crate) fn query_set(prepared: &PreparedGraph, cfg: &HarnessConfig) -> QuerySet {
+    QuerySet::random(prepared.graph().vertex_count(), cfg.queries, cfg.seed)
+}
+
+/// Every experiment of the paper, in presentation order.
+pub fn all(cfg: &HarnessConfig) -> Vec<Experiment> {
+    vec![
+        table02::run(cfg),
+        fig03::run(cfg),
+        fig08::run_a(cfg),
+        fig08::run_b(cfg),
+        fig08::run_c(cfg),
+        fig08::run_d(cfg),
+        fig09::run(cfg, fig09::GpuFigure::Ppr),
+        fig09::run(cfg, fig09::GpuFigure::Urw),
+        fig09::run(cfg, fig09::GpuFigure::DeepWalk),
+        fig09::run(cfg, fig09::GpuFigure::Node2Vec),
+        fig10::run(cfg),
+        fig11::run(cfg),
+        table03::run(cfg),
+        table04::run(cfg),
+        theorem::run(cfg),
+    ]
+}
+
+/// Looks up one experiment by id ("fig8a", "table3", …).
+pub fn by_id(id: &str, cfg: &HarnessConfig) -> Option<Experiment> {
+    Some(match id {
+        "table2" => table02::run(cfg),
+        "fig3" => fig03::run(cfg),
+        "fig8a" => fig08::run_a(cfg),
+        "fig8b" => fig08::run_b(cfg),
+        "fig8c" => fig08::run_c(cfg),
+        "fig8d" => fig08::run_d(cfg),
+        "fig9a" => fig09::run(cfg, fig09::GpuFigure::Ppr),
+        "fig9b" => fig09::run(cfg, fig09::GpuFigure::Urw),
+        "fig9c" => fig09::run(cfg, fig09::GpuFigure::DeepWalk),
+        "fig9d" => fig09::run(cfg, fig09::GpuFigure::Node2Vec),
+        "fig10" => fig10::run(cfg),
+        "fig11" => fig11::run(cfg),
+        "table3" => table03::run(cfg),
+        "table4" => table04::run(cfg),
+        "theorem" => theorem::run(cfg),
+        _ => return None,
+    })
+}
+
+/// All experiment ids, in presentation order.
+pub const ALL_IDS: [&str; 15] = [
+    "table2", "fig3", "fig8a", "fig8b", "fig8c", "fig8d", "fig9a", "fig9b", "fig9c", "fig9d",
+    "fig10", "fig11", "table3", "table4", "theorem",
+];

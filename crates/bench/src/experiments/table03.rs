@@ -1,0 +1,79 @@
+//! Table III: average URW throughput across FPGA platforms.
+//!
+//! The generality claim: the same architecture sustains 81–88% of each
+//! board's random-access bandwidth across DDR4, DDR4-NoC and HBM2 memory
+//! systems.
+
+use super::{query_set, run_ridge};
+use crate::{Experiment, HarnessConfig, Series};
+use grw_algo::{PreparedGraph, WalkSpec};
+use grw_graph::generators::Dataset;
+use grw_sim::FpgaPlatform;
+
+/// Regenerates Table III (average over the six dataset stand-ins).
+pub fn run(cfg: &HarnessConfig) -> Experiment {
+    let mut e = Experiment::new(
+        "table3",
+        "Average URW throughput and bandwidth utilization per platform",
+        "MStep/s / ratio",
+    );
+    let spec = WalkSpec::urw(cfg.walk_len);
+    let platforms = [
+        FpgaPlatform::AlveoU250,
+        FpgaPlatform::Vck5000,
+        FpgaPlatform::AlveoU50,
+        FpgaPlatform::AlveoU55c,
+    ];
+    let mut thr = Series::new("MStep/s");
+    let mut util = Series::new("BW util");
+    // Generate each graph once and reuse across platforms.
+    let prepared: Vec<PreparedGraph> = Dataset::all()
+        .into_iter()
+        .map(|d| PreparedGraph::new(d.generate(cfg.scale), &spec).expect("unweighted"))
+        .collect();
+    for platform in platforms {
+        let mut t_acc = 0.0;
+        let mut u_acc = 0.0;
+        for p in &prepared {
+            let qs = query_set(p, cfg);
+            let r = run_ridge(platform, p, &spec, &qs);
+            t_acc += r.msteps_per_sec;
+            u_acc += r.bandwidth_utilization;
+        }
+        let name = platform.spec().name;
+        thr.push(name, t_acc / prepared.len() as f64);
+        util.push(name, u_acc / prepared.len() as f64);
+    }
+    e.series = vec![thr, util];
+    let mut p_thr = Series::new("MStep/s");
+    let mut p_util = Series::new("BW util");
+    for (name, t, u) in [
+        ("Alveo U250", 258.0, 0.81),
+        ("VCK5000", 202.0, 0.87),
+        ("Alveo U50", 1463.0, 0.88),
+        ("Alveo U55C", 2098.0, 0.88),
+    ] {
+        p_thr.push(name, t);
+        p_util.push(name, u);
+    }
+    e.paper = vec![p_thr, p_util];
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_throughput_ordering_matches_table_iii() {
+        let e = run(&HarnessConfig::tiny());
+        let thr = &e.series[0];
+        let vck = thr.value("VCK5000").unwrap();
+        let u250 = thr.value("Alveo U250").unwrap();
+        let u50 = thr.value("Alveo U50").unwrap();
+        let u55c = thr.value("Alveo U55C").unwrap();
+        assert!(vck < u250, "VCK5000 {vck:.0} vs U250 {u250:.0}");
+        assert!(u250 < u50, "U250 {u250:.0} vs U50 {u50:.0}");
+        assert!(u50 < u55c, "U50 {u50:.0} vs U55C {u55c:.0}");
+    }
+}

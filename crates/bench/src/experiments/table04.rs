@@ -1,0 +1,94 @@
+//! Table IV: resource consumption and frequency per GRW kernel (U55C).
+
+use crate::{Experiment, HarnessConfig, Series};
+use grw_algo::{Node2VecMethod, WalkSpec};
+use ridgewalker::resource::{estimate, scheduler_standalone, U55C_DEVICE};
+
+/// Regenerates Table IV from the analytic resource model.
+pub fn run(_cfg: &HarnessConfig) -> Experiment {
+    let mut e = Experiment::new(
+        "table4",
+        "Resource utilization (%) and frequency (MHz) on U55C",
+        "%",
+    );
+    let kernels: [(&str, WalkSpec); 4] = [
+        ("PPR", WalkSpec::ppr(80)),
+        ("URW", WalkSpec::urw(80)),
+        ("DeepWalk", WalkSpec::deepwalk(80)),
+        ("Node2Vec", WalkSpec::node2vec(80, Node2VecMethod::Reservoir)),
+    ];
+    let mut luts = Series::new("LUTs");
+    let mut regs = Series::new("REGs");
+    let mut brams = Series::new("BRAMs");
+    let mut dsps = Series::new("DSPs");
+    let mut freq = Series::new("MHz");
+    for (name, spec) in &kernels {
+        let est = estimate(spec, 16);
+        let pct = est.usage.percent_of(U55C_DEVICE);
+        luts.push(*name, pct.luts);
+        regs.push(*name, pct.regs);
+        brams.push(*name, pct.brams);
+        dsps.push(*name, pct.dsps);
+        freq.push(*name, est.frequency_mhz);
+    }
+    e.series = vec![luts, regs, brams, dsps, freq];
+
+    let mut p_luts = Series::new("LUTs");
+    let mut p_regs = Series::new("REGs");
+    let mut p_brams = Series::new("BRAMs");
+    let mut p_dsps = Series::new("DSPs");
+    for (name, l, r, b, d) in [
+        ("PPR", 61.1, 29.8, 19.5, 2.2),
+        ("URW", 50.1, 24.0, 19.5, 2.2),
+        ("DeepWalk", 67.5, 32.3, 39.1, 4.4),
+        ("Node2Vec", 79.1, 41.6, 36.0, 7.3),
+    ] {
+        p_luts.push(name, l);
+        p_regs.push(name, r);
+        p_brams.push(name, b);
+        p_dsps.push(name, d);
+    }
+    e.paper = vec![p_luts, p_regs, p_brams, p_dsps];
+
+    let sched = scheduler_standalone();
+    let sp = sched.usage.percent_of(U55C_DEVICE);
+    e.notes.push(format!(
+        "standalone zero-bubble scheduler: {:.1}% LUTs at {:.0} MHz (paper: <=1.8% at 450 MHz)",
+        sp.luts, sched.frequency_mhz
+    ));
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_paper_within_tolerance() {
+        let e = run(&HarnessConfig::tiny());
+        for (m, p) in e.series.iter().take(4).zip(&e.paper) {
+            for (x, v) in &m.points {
+                let pv = p.value(x).unwrap();
+                assert!(
+                    (v - pv).abs() < 4.0,
+                    "{}/{}: measured {v:.1} vs paper {pv:.1}",
+                    m.label,
+                    x
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_is_320_for_all_kernels() {
+        let e = run(&HarnessConfig::tiny());
+        let freq = e.series.last().unwrap();
+        assert!(freq.points.iter().all(|&(_, f)| f == 320.0));
+    }
+
+    #[test]
+    fn scheduler_note_present() {
+        let e = run(&HarnessConfig::tiny());
+        assert!(e.notes[0].contains("scheduler"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Theorem VI.1: the buffer depth required for zero-bubble scheduling.
+//!
+//! Sweeps the per-pipeline FIFO depth under delayed feedback and backlog;
+//! the theorem's depth `1 + 4·log2(N)` must reach a zero bubble ratio
+//! while shallower buffers starve.
+
+use crate::{Experiment, HarnessConfig, Series};
+use grw_queueing::{ridgewalker_fifo_depth, simulate_feedback, FeedbackSimConfig};
+
+/// Regenerates the Theorem VI.1 validation.
+pub fn run(_cfg: &HarnessConfig) -> Experiment {
+    let mut e = Experiment::new(
+        "theorem",
+        "Zero-bubble buffer bound (bubble ratio vs FIFO depth)",
+        "bubble ratio",
+    );
+    for n in [4usize, 16] {
+        let full = ridgewalker_fifo_depth(n);
+        let mut s = Series::new(format!("N={n}"));
+        for depth in [1usize, full / 4, full / 2, full].into_iter().filter(|&d| d > 0) {
+            let mut cfg = FeedbackSimConfig::ridgewalker(n);
+            cfg.fifo_depth = depth;
+            let r = simulate_feedback(&cfg);
+            s.push(format!("D={depth}"), r.bubble_ratio);
+        }
+        e.series.push(s);
+    }
+    e.notes.push(format!(
+        "theorem depth for N=16 is 1 + 4*log2(16) = {}",
+        ridgewalker_fifo_depth(16)
+    ));
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_depth_reaches_zero_bubbles() {
+        let e = run(&HarnessConfig::tiny());
+        for s in &e.series {
+            let last = s.points.last().unwrap().1;
+            assert_eq!(last, 0.0, "{}: full depth must not bubble", s.label);
+            let first = s.points.first().unwrap().1;
+            assert!(first > 0.1, "{}: depth 1 must starve", s.label);
+        }
+    }
+
+    #[test]
+    fn bubble_ratio_is_monotone_in_depth() {
+        let e = run(&HarnessConfig::tiny());
+        for s in &e.series {
+            let vals: Vec<f64> = s.points.iter().map(|&(_, v)| v).collect();
+            assert!(
+                vals.windows(2).all(|w| w[0] >= w[1] - 1e-9),
+                "{}: {vals:?}",
+                s.label
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment module produces an [`Experiment`] — a set of labelled
+//! series plus the paper's reference numbers — and the `repro` binary
+//! renders them as the tables the paper reports. The same modules back the
+//! Criterion benches and the integration tests, so "the figure" is a
+//! single piece of code everywhere.
+//!
+//! | id | paper artifact | module |
+//! |---|---|---|
+//! | `fig3` | FastRW bandwidth collapse (motivation) | [`experiments::fig03`] |
+//! | `fig8a`–`fig8d` | FPGA baseline comparisons | [`experiments::fig08`] |
+//! | `fig9a`–`fig9d` | gSampler GPU comparisons | [`experiments::fig09`] |
+//! | `fig10` | RMAT balanced vs Graph500 | [`experiments::fig10`] |
+//! | `fig11` | ablation breakdown | [`experiments::fig11`] |
+//! | `table2` | dataset statistics | [`experiments::table02`] |
+//! | `table3` | URW across FPGA platforms | [`experiments::table03`] |
+//! | `table4` | resources & frequency | [`experiments::table04`] |
+//! | `theorem` | Theorem VI.1 buffer bound | [`experiments::theorem`] |
+//!
+//! # Example
+//!
+//! ```
+//! use grw_bench::{experiments::table04, HarnessConfig};
+//!
+//! let exp = table04::run(&HarnessConfig::tiny());
+//! assert_eq!(exp.id, "table4");
+//! println!("{exp}");
+//! ```
+
+pub mod experiments;
+mod harness;
+mod table;
+
+pub use harness::{Experiment, HarnessConfig, Series};
+pub use table::{fmt_msteps, fmt_percent, fmt_speedup, Table};

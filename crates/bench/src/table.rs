@@ -1,0 +1,149 @@
+//! Minimal ASCII table renderer for harness output.
+
+use std::fmt;
+
+/// A right-aligned ASCII table with a header row.
+///
+/// # Example
+///
+/// ```
+/// use grw_bench::Table;
+///
+/// let mut t = Table::new(vec!["graph", "MStep/s"]);
+/// t.row(vec!["WG".into(), "1463.0".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("WG"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has more cells than there are columns.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        assert!(
+            cells.len() <= self.headers.len(),
+            "row wider than the header"
+        );
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                if i == 0 {
+                    write!(f, "{:<w$}", cell, w = widths[i])?;
+                } else {
+                    write!(f, "{:>w$}", cell, w = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a throughput value as the paper does (whole MStep/s).
+pub fn fmt_msteps(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Formats a speedup like the figures ("7.0x").
+pub fn fmt_speedup(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+/// Formats a ratio as a percentage.
+pub fn fmt_percent(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22.5".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("value"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let _ = t.to_string();
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the header")]
+    fn wide_row_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_msteps(2098.4), "2098");
+        assert_eq!(fmt_speedup(7.04), "7.0x");
+        assert_eq!(fmt_percent(0.881), "88.1%");
+    }
+}

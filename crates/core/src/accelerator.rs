@@ -1,0 +1,927 @@
+//! The RidgeWalker accelerator: N asynchronous pipelines over paired
+//! memory channels, driven cycle by cycle.
+//!
+//! Dataflow per hop (Fig. 4a):
+//!
+//! ```text
+//! loader ─▶ scheduler(balancer, 2·logN) ─▶ ra_router ─▶ RA fifo ─▶ RA read
+//!    ▲                                                               │
+//!    │ recirculation (unfinished queries, priority)                  ▼
+//!    └──────────── CA read ◀─ SP sampling ◀─ cl_router ◀─ RP entry ──┘
+//! ```
+//!
+//! Each hop is one stateless [`Task`]; the Row-Access read goes to the
+//! channel owning `RP[v_curr]`, the RP entry names the Column-Access
+//! channel holding the neighbor list, and the completed hop recirculates
+//! into the scheduler. The static bulk-synchronous mode (ablation) binds
+//! queries to pipelines by id and separates execution into batch barriers.
+
+use crate::config::{AcceleratorConfig, ScheduleMode};
+#[cfg(test)]
+use crate::config::MemoryMode;
+use crate::engine::AsyncAccessEngine;
+use crate::report::{RunReport, TerminationBreakdown};
+use crate::router::TaskRouter;
+use crate::task::Task;
+use grw_algo::{PreparedGraph, WalkPath, WalkQuery, WalkSpec};
+use grw_graph::{ChannelLayout, RpEntryKind, VertexId};
+use grw_rng::RandomSource;
+use grw_sim::stats::UtilizationMeter;
+use grw_sim::{Cycle, Fifo, MemoryChannelSpec};
+use std::collections::VecDeque;
+
+/// Salt separating the teleport coin from the sampling stream.
+const TELEPORT_SALT: u64 = 0x7E1E_0000_0000_0000;
+
+/// Per-sampling-job bookkeeping inside a Sampling module.
+#[derive(Debug, Clone, Copy)]
+struct SpJob {
+    task: Task,
+    /// Sampled next vertex; `None` means the walk terminates at sampling
+    /// (MetaPath with no matching neighbor).
+    next: Option<VertexId>,
+    /// Random sampling reads still to issue.
+    random_left: u32,
+    /// Sequential scan transactions still to issue.
+    seq_left: u32,
+    /// Issued reads whose data has not returned yet.
+    pending: u32,
+}
+
+/// Metadata flowing through a Column-Access channel engine.
+#[derive(Debug, Clone, Copy)]
+enum CaMeta {
+    /// A sampling read for job `job` owned by pipeline `owner` (scans are
+    /// striped across channels, so completions can land anywhere).
+    Sp { owner: u32, job: u32 },
+    /// The final column read of a hop: the task and its sampled successor.
+    Final(Task, VertexId),
+}
+
+/// One asynchronous pipeline: Row Access + Sampling + Column Access over a
+/// private (RA, CA) channel pair.
+#[derive(Debug)]
+struct Pipeline {
+    ra_fifo: Fifo<Task>,
+    ra_engine: AsyncAccessEngine<Task>,
+    /// RA completions waiting to enter the column router.
+    ra_out: VecDeque<Task>,
+    sp_fifo: Fifo<Task>,
+    jobs: Vec<SpJob>,
+    free_jobs: Vec<u32>,
+    /// Jobs with reads left to issue (front gets one issue per cycle).
+    sp_issue: VecDeque<u32>,
+    /// Sampled hops awaiting the final column read.
+    ca_ready: VecDeque<(Task, Option<VertexId>)>,
+    ca_engine: AsyncAccessEngine<CaMeta>,
+    util: UtilizationMeter,
+}
+
+impl Pipeline {
+    fn new(fifo_depth: usize, ra_spec: MemoryChannelSpec, ca_spec: MemoryChannelSpec) -> Self {
+        Self {
+            ra_fifo: Fifo::new(fifo_depth),
+            ra_engine: AsyncAccessEngine::new(ra_spec, ra_spec.max_outstanding),
+            ra_out: VecDeque::new(),
+            sp_fifo: Fifo::new(8),
+            jobs: Vec::new(),
+            free_jobs: Vec::new(),
+            sp_issue: VecDeque::new(),
+            ca_ready: VecDeque::new(),
+            ca_engine: AsyncAccessEngine::new(ca_spec, ca_spec.max_outstanding),
+            util: UtilizationMeter::new(),
+        }
+    }
+
+    fn alloc_job(&mut self, job: SpJob) -> u32 {
+        if let Some(id) = self.free_jobs.pop() {
+            self.jobs[id as usize] = job;
+            id
+        } else {
+            self.jobs.push(job);
+            (self.jobs.len() - 1) as u32
+        }
+    }
+}
+
+/// How a task fares at an admission point (injection or recirculation).
+enum Admit {
+    Go(Task),
+    Complete(Termination),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Termination {
+    MaxLength,
+    DeadEnd,
+    Teleport,
+    NoTypedNeighbor,
+}
+
+/// The accelerator model.
+///
+/// See the crate docs for an end-to-end example; [`Accelerator::run`] is
+/// the entire public surface.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    config: AcceleratorConfig,
+}
+
+impl Accelerator {
+    /// Creates an accelerator from its configuration.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Executes `queries` over the prepared graph and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a query's start vertex is out of range, or if the run
+    /// exceeds `config.max_cycles` (a configuration error).
+    pub fn run(
+        &self,
+        prepared: &PreparedGraph,
+        spec: &WalkSpec,
+        queries: &[WalkQuery],
+    ) -> RunReport {
+        Simulation::new(&self.config, prepared, spec, queries).run()
+    }
+}
+
+struct Simulation<'a> {
+    cfg: &'a AcceleratorConfig,
+    prepared: &'a PreparedGraph,
+    spec: &'a WalkSpec,
+    queries: &'a [WalkQuery],
+    layout: ChannelLayout,
+    n: usize,
+    dynamic: bool,
+    rp_kind: RpEntryKind,
+    final_read_bytes: u64,
+    sched_latency: Cycle,
+    seed: u64,
+    /// FastRW-style cache membership per vertex, when modelled.
+    rp_cached: Option<Vec<bool>>,
+    /// Extra final-read credit for streamed pre-generated randoms.
+    rng_tax_cost: f64,
+
+    pipes: Vec<Pipeline>,
+    ra_router: TaskRouter<Task>,
+    cl_router: TaskRouter<Task>,
+    /// Balancer-latency delay line in front of the RA router.
+    sched_pipe: VecDeque<(Cycle, Task)>,
+    recirc: VecDeque<Task>,
+    pending_inject: VecDeque<Task>,
+
+    paths: Vec<Vec<VertexId>>,
+    next_query: usize,
+    inflight: usize,
+    completed: usize,
+    batch_remaining: usize,
+    steps: u64,
+    terms: TerminationBreakdown,
+}
+
+impl<'a> Simulation<'a> {
+    fn new(
+        cfg: &'a AcceleratorConfig,
+        prepared: &'a PreparedGraph,
+        spec: &'a WalkSpec,
+        queries: &'a [WalkQuery],
+    ) -> Self {
+        let graph = prepared.graph();
+        for q in queries {
+            assert!(
+                (q.start as usize) < graph.vertex_count(),
+                "query {} starts at out-of-range vertex {}",
+                q.id,
+                q.start
+            );
+        }
+        let n = cfg.effective_pipelines() as usize;
+        let platform = cfg.platform.spec();
+        let mut ra_chan = platform.channel_spec();
+        ra_chan.max_outstanding = cfg.effective_ra_outstanding();
+        let mut ca_chan = platform.channel_spec();
+        ca_chan.max_outstanding = cfg.effective_ca_outstanding();
+        let depth = cfg.effective_fifo_depth();
+        // FastRW-style cache: the top-K vertices by in-degree (the best
+        // static proxy for visit frequency) have their RP entries on chip.
+        let rp_cached = cfg.rp_cache_entries.map(|k| {
+            let nv = graph.vertex_count();
+            let mut in_deg = vec![0u32; nv];
+            for &w in graph.column_list() {
+                in_deg[w as usize] += 1;
+            }
+            let mut order: Vec<u32> = (0..nv as u32).collect();
+            order.sort_unstable_by_key(|&v| std::cmp::Reverse(in_deg[v as usize]));
+            let mut cached = vec![false; nv];
+            for &v in order.iter().take(k) {
+                cached[v as usize] = true;
+            }
+            cached
+        });
+        let rp_kind = spec.rp_entry_kind();
+        // DeepWalk folds the alias entry and the neighbor id into one
+        // 16-byte column read (URW-level transaction count, §VIII-C).
+        let final_read_bytes = if matches!(spec, WalkSpec::DeepWalk { .. }) {
+            16
+        } else {
+            8
+        };
+        let log_n = (usize::BITS - (n.max(2) - 1).leading_zeros()) as Cycle;
+        Self {
+            cfg,
+            prepared,
+            spec,
+            queries,
+            layout: ChannelLayout::new(graph, n as u32, n as u32),
+            n,
+            dynamic: cfg.schedule == ScheduleMode::ZeroBubble,
+            rp_kind,
+            final_read_bytes,
+            sched_latency: 2 * log_n,
+            seed: cfg.seed,
+            rp_cached,
+            // Sequential streamed randoms: one row activation per 8 words.
+            rng_tax_cost: f64::from(cfg.rng_seq_reads_per_step) * 0.125,
+            pipes: (0..n)
+                .map(|_| Pipeline::new(depth, ra_chan, ca_chan))
+                .collect(),
+            ra_router: TaskRouter::new(n),
+            cl_router: TaskRouter::new(n),
+            sched_pipe: VecDeque::new(),
+            recirc: VecDeque::new(),
+            pending_inject: VecDeque::new(),
+            paths: queries.iter().map(|q| vec![q.start]).collect(),
+            next_query: 0,
+            inflight: 0,
+            completed: 0,
+            batch_remaining: 0,
+            steps: 0,
+            terms: TerminationBreakdown::default(),
+        }
+    }
+
+    /// Admission: the max-length check and the PPR teleport coin, both
+    /// memory-free, applied before a task (re-)enters the scheduler.
+    fn admit(&self, task: Task) -> Admit {
+        if task.step >= self.spec.max_len() {
+            return Admit::Complete(Termination::MaxLength);
+        }
+        if let WalkSpec::Ppr { alpha, .. } = self.spec {
+            let mut rng = task.rng(self.seed ^ TELEPORT_SALT);
+            if rng.next_bool(*alpha) {
+                return Admit::Complete(Termination::Teleport);
+            }
+        }
+        Admit::Go(task)
+    }
+
+    fn finish(&mut self, query: u32, reason: Termination) {
+        self.completed += 1;
+        self.inflight -= 1;
+        if self.batch_remaining > 0 {
+            self.batch_remaining -= 1;
+        }
+        match reason {
+            Termination::MaxLength => self.terms.max_length += 1,
+            Termination::DeadEnd => self.terms.dead_end += 1,
+            Termination::Teleport => self.terms.teleport += 1,
+            Termination::NoTypedNeighbor => self.terms.no_typed_neighbor += 1,
+        }
+        debug_assert!((query as usize) < self.paths.len());
+    }
+
+    /// Routing ports: data-aware in dynamic mode, id-bound in static mode.
+    fn ra_port(&self, task: &Task) -> usize {
+        if self.dynamic {
+            self.layout.rp_channel(task.v_curr) as usize
+        } else {
+            task.query as usize % self.n
+        }
+    }
+
+    fn cl_port(&self, task: &Task) -> usize {
+        if self.dynamic {
+            self.layout.cl_channel(task.v_curr) as usize
+        } else {
+            task.query as usize % self.n
+        }
+    }
+
+    /// The sampling decision and its memory cost for one task.
+    fn sampling_job(&self, task: Task) -> SpJob {
+        let mut rng = task.rng(self.seed);
+        let decision =
+            self.prepared
+                .sample_neighbor(self.spec, task.v_curr, task.prev(), task.step, &mut rng);
+        match decision {
+            None => SpJob {
+                task,
+                next: None,
+                // A fruitless MetaPath scan still reads the whole list.
+                seq_left: match self.spec {
+                    WalkSpec::MetaPath { .. } => {
+                        div8(self.prepared.graph().degree(task.v_curr))
+                    }
+                    _ => 0,
+                },
+                random_left: 0,
+                pending: 0,
+            },
+            Some((next, outcome)) => {
+                let (random_left, seq_left) = match self.spec {
+                    // Alias entry folded into the final read.
+                    WalkSpec::DeepWalk { .. } => (0, 0),
+                    // Rejected candidates are real random reads; the
+                    // accepted candidate is the final read. Membership
+                    // tests against N(prev) are on-chip: the previous hop
+                    // already fetched that list (the LightRW/KnightKing
+                    // trick), so probes cost no memory transactions.
+                    WalkSpec::Node2Vec { .. } => (
+                        outcome.uniform_trials.saturating_sub(1),
+                        div8(outcome.scanned),
+                    ),
+                    WalkSpec::MetaPath { .. } => (0, div8(outcome.scanned)),
+                    WalkSpec::Urw { .. } | WalkSpec::Ppr { .. } => (0, 0),
+                };
+                SpJob {
+                    task,
+                    next: Some(next),
+                    random_left,
+                    seq_left,
+                    pending: 0,
+                }
+            }
+        }
+    }
+
+    /// Whether the system is *backlogged* in the Theorem VI.1 sense: the
+    /// loader still holds queries, or at least one ready task per pipeline
+    /// waits on the scheduler side. A pipeline idling outside backlog
+    /// (start-up fill, final drain) is not a bubble — the paper's
+    /// zero-bubble guarantee is conditioned on backlog (§VI-B).
+    fn work_exists(&self) -> bool {
+        self.next_query < self.queries.len()
+            || self.recirc.len() + self.pending_inject.len() >= self.n
+    }
+
+    fn run(mut self) -> RunReport {
+        let total = self.queries.len();
+        let mut cycle: Cycle = 0;
+        while self.completed < total {
+            assert!(
+                cycle < self.cfg.max_cycles,
+                "simulation exceeded {} cycles ({} of {} queries done)",
+                self.cfg.max_cycles,
+                self.completed,
+                total
+            );
+            self.step_cycle(cycle);
+            cycle += 1;
+        }
+
+        let platform = self.cfg.platform.spec();
+        let clock = platform.clock_mhz;
+        let mut util = UtilizationMeter::new();
+        let mut txns = 0u64;
+        let mut bytes = 0u64;
+        for p in &self.pipes {
+            util.merge(&p.util);
+            txns += p.ra_engine.issued() + p.ca_engine.issued();
+            bytes += p.ra_engine.bytes_moved() + p.ca_engine.bytes_moved();
+        }
+        let msteps = if cycle == 0 {
+            0.0
+        } else {
+            self.steps as f64 / cycle as f64 * clock
+        };
+        // §III-B: effective bandwidth is the *footprint of traversed
+        // edges* over time — one RP entry plus one column entry per step,
+        // regardless of whether a cache supplied the data. (URW: 16 B/step,
+        // matching Table III's 88% at 2098 MStep/s.)
+        let footprint = f64::from(self.rp_kind.bytes()) + 8.0;
+        let eff_bw = msteps * footprint / 1000.0;
+        let peak_bw = platform.peak_random_bandwidth_gbs();
+        let paths = self
+            .paths
+            .into_iter()
+            .zip(self.queries)
+            .map(|(vs, q)| WalkPath::new(q.id, vs))
+            .collect();
+        RunReport {
+            paths,
+            cycles: cycle,
+            steps: self.steps,
+            clock_mhz: clock,
+            msteps_per_sec: msteps,
+            bubble_ratio: util.bubble_ratio(),
+            pipeline_utilization: util.utilization(),
+            random_txns: txns,
+            bytes_moved: bytes,
+            effective_bandwidth_gbs: eff_bw,
+            peak_bandwidth_gbs: peak_bw,
+            bandwidth_utilization: (eff_bw / peak_bw).clamp(0.0, 1.0),
+            terminations: self.terms,
+        }
+    }
+
+    fn step_cycle(&mut self, cycle: Cycle) {
+        if cycle % 65_536 == 0 && cycle > 0 && std::env::var_os("RIDGE_TRACE").is_some() {
+            let ra_fifo: usize = self.pipes.iter().map(|p| p.ra_fifo.len()).sum();
+            let ra_out: usize = self.pipes.iter().map(|p| p.ra_out.len()).sum();
+            let ra_inflight: usize = self.pipes.iter().map(|p| p.ra_engine.in_flight()).sum();
+            let sp_fifo: usize = self.pipes.iter().map(|p| p.sp_fifo.len()).sum();
+            let ca_ready: usize = self.pipes.iter().map(|p| p.ca_ready.len()).sum();
+            let ca_inflight: usize = self.pipes.iter().map(|p| p.ca_engine.in_flight()).sum();
+            eprintln!(
+                "cycle {cycle}: inflight {} | sched_pipe {} recirc {} ra_router {} ra_fifo {ra_fifo} ra_eng {ra_inflight} ra_out {ra_out} cl_router {} sp_fifo {sp_fifo} ca_ready {ca_ready} ca_eng {ca_inflight}",
+                self.inflight,
+                self.sched_pipe.len(),
+                self.recirc.len(),
+                self.ra_router.in_flight(),
+                self.cl_router.in_flight(),
+            );
+            let per: Vec<(usize, usize, u64)> = self
+                .pipes
+                .iter()
+                .map(|p| (p.ca_ready.len(), p.ca_engine.in_flight(), p.ca_engine.issued()))
+                .collect();
+            eprintln!("  per-pipe ca (ready, inflight, issued): {per:?}");
+        }
+        // 1. Memory channels advance.
+        for p in &mut self.pipes {
+            p.ra_engine.begin_cycle(cycle);
+            p.ca_engine.begin_cycle(cycle);
+        }
+
+        // 2. Column-Access completions: finish hops, recirculate tasks.
+        for pi in 0..self.n {
+            while let Some(meta) = self.pipes[pi].ca_engine.pop_completed() {
+                match meta {
+                    CaMeta::Sp { owner, job } => {
+                        let p = &mut self.pipes[owner as usize];
+                        let j = &mut p.jobs[job as usize];
+                        j.pending -= 1;
+                        if j.pending == 0 && j.random_left == 0 && j.seq_left == 0 {
+                            let done = *j;
+                            p.ca_ready.push_back((done.task, done.next));
+                            p.free_jobs.push(job);
+                        }
+                    }
+                    CaMeta::Final(task, next) => {
+                        self.steps += 1;
+                        self.paths[task.query as usize].push(next);
+                        match self.admit(task.advance(next)) {
+                            Admit::Go(t) => self.recirc.push_back(t),
+                            Admit::Complete(r) => self.finish(task.query, r),
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Row-Access completions: dead-end check, hand to column router.
+        for pi in 0..self.n {
+            while let Some(task) = self.pipes[pi].ra_engine.pop_completed() {
+                if self.prepared.graph().degree(task.v_curr) == 0 {
+                    self.finish(task.query, Termination::DeadEnd);
+                } else {
+                    self.pipes[pi].ra_out.push_back(task);
+                }
+            }
+        }
+
+        // 4. Column Access issue: one final read per pipeline per cycle.
+        for pi in 0..self.n {
+            let p = &mut self.pipes[pi];
+            if let Some(&(task, next)) = p.ca_ready.front() {
+                match next {
+                    None => {
+                        // Terminated during sampling (no typed neighbor).
+                        p.ca_ready.pop_front();
+                        self.finish(task.query, Termination::NoTypedNeighbor);
+                    }
+                    Some(next) => {
+                        // The final read also pays the pre-generated-RNG
+                        // stream tax when a FastRW-style design is modelled.
+                        let cost = 1.0 + self.rng_tax_cost;
+                        if p.ca_engine.can_issue(cost)
+                            && p.ca_engine.try_issue(CaMeta::Final(task, next), cost, cycle)
+                        {
+                            p.ca_engine.add_bytes(self.final_read_bytes - 8);
+                            p.ca_ready.pop_front();
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Sampling issue: one sampling read per pipeline per cycle.
+        // Neighbor lists are shuffled/striped over the Column-Access
+        // channels (Fig. 4b), so in dynamic mode the k-th scan burst of a
+        // job targets channel (pi + k) mod N — long hub-list scans spread
+        // over the whole memory system instead of hammering one channel.
+        for pi in 0..self.n {
+            let Some(&job) = self.pipes[pi].sp_issue.front() else {
+                continue;
+            };
+            let j = self.pipes[pi].jobs[job as usize];
+            let meta = CaMeta::Sp {
+                owner: pi as u32,
+                job,
+            };
+            let (target, is_seq) = if j.random_left > 0 {
+                (pi, false)
+            } else {
+                debug_assert!(j.seq_left > 0);
+                let t = if self.dynamic {
+                    (pi + j.seq_left as usize) % self.n
+                } else {
+                    pi
+                };
+                (t, true)
+            };
+            if self.pipes[target].ca_engine.try_issue(meta, 1.0, cycle) {
+                if is_seq {
+                    // One activation streams 8 words of the list.
+                    self.pipes[target].ca_engine.add_bytes(56);
+                    self.pipes[pi].jobs[job as usize].seq_left -= 1;
+                } else {
+                    self.pipes[pi].jobs[job as usize].random_left -= 1;
+                }
+                let j = &mut self.pipes[pi].jobs[job as usize];
+                j.pending += 1;
+                if j.random_left == 0 && j.seq_left == 0 {
+                    self.pipes[pi].sp_issue.pop_front();
+                }
+            }
+        }
+
+        // 6. Sampling intake: decide one task per pipeline per cycle.
+        for pi in 0..self.n {
+            if !self.pipes[pi].sp_fifo.can_pop() {
+                continue;
+            }
+            let task = self.pipes[pi].sp_fifo.pop().expect("checked");
+            let job = self.sampling_job(task);
+            let p = &mut self.pipes[pi];
+            if job.random_left == 0 && job.seq_left == 0 {
+                p.ca_ready.push_back((job.task, job.next));
+            } else {
+                let id = p.alloc_job(job);
+                p.sp_issue.push_back(id);
+            }
+        }
+
+        // 7. Column router delivery into sampling FIFOs.
+        for pi in 0..self.n {
+            if self.pipes[pi].sp_fifo.can_push() {
+                if let Some(task) = self.cl_router.pop_ready(pi, cycle) {
+                    self.pipes[pi].sp_fifo.push(task);
+                }
+            }
+        }
+
+        // 8. RA output into the column router.
+        for pi in 0..self.n {
+            if let Some(task) = self.pipes[pi].ra_out.front().copied() {
+                let port = self.cl_port(&task);
+                if self.cl_router.push(task, port, cycle) {
+                    self.pipes[pi].ra_out.pop_front();
+                }
+            }
+        }
+
+        // 9. Row Access issue: one RP read per pipeline per cycle. An
+        // on-chip cache hit (FastRW model) bypasses the memory entirely.
+        let work = self.work_exists();
+        let rp_extra_bytes = u64::from(self.rp_kind.bytes()) - 8;
+        for pi in 0..self.n {
+            if self.pipes[pi].ra_fifo.can_pop() {
+                let front = *self.pipes[pi].ra_fifo.front().expect("checked");
+                let hit = self
+                    .rp_cached
+                    .as_ref()
+                    .is_some_and(|c| c[front.v_curr as usize]);
+                if hit {
+                    let task = self.pipes[pi].ra_fifo.pop().expect("checked");
+                    self.pipes[pi].util.record_busy();
+                    if self.prepared.graph().degree(task.v_curr) == 0 {
+                        self.finish(task.query, Termination::DeadEnd);
+                    } else {
+                        self.pipes[pi].ra_out.push_back(task);
+                    }
+                } else if self.pipes[pi].ra_engine.can_issue(1.0) {
+                    let task = self.pipes[pi].ra_fifo.pop().expect("checked");
+                    let ok = self.pipes[pi].ra_engine.try_issue(task, 1.0, cycle);
+                    debug_assert!(ok);
+                    self.pipes[pi].ra_engine.add_bytes(rp_extra_bytes);
+                    self.pipes[pi].util.record_busy();
+                } else {
+                    // Memory-stalled, not starved: the pipeline is occupied.
+                    self.pipes[pi].util.record_busy();
+                }
+            } else if work {
+                self.pipes[pi].util.record_bubble();
+            } else {
+                self.pipes[pi].util.record_drained();
+            }
+        }
+
+        // 10. RA router delivery into pipeline FIFOs.
+        for pi in 0..self.n {
+            if self.pipes[pi].ra_fifo.can_push() {
+                if let Some(task) = self.ra_router.pop_ready(pi, cycle) {
+                    self.pipes[pi].ra_fifo.push(task);
+                }
+            }
+        }
+
+        // 11. Scheduler: delay line → RA router (data-aware routing).
+        // Tasks are stateless, so one blocked port must not head-of-line
+        // block the rest: refused tasks rotate to the back of the line
+        // (in hardware each lane has its own path through the fabric).
+        for _ in 0..self.n {
+            match self.sched_pipe.front() {
+                Some(&(ready, _)) if ready <= cycle => {
+                    let (_, task) = self.sched_pipe.pop_front().expect("checked");
+                    let port = self.ra_port(&task);
+                    if !self.ra_router.push(task, port, cycle) {
+                        self.sched_pipe.push_back((ready, task));
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        // 12. Merge stage: recirculated tasks first (module ➋ priority),
+        // then fresh queries, up to N per cycle through the balancer.
+        for _ in 0..self.n {
+            let task = if let Some(t) = self.recirc.pop_front() {
+                t
+            } else if let Some(t) = self.pending_inject.pop_front() {
+                t
+            } else {
+                break;
+            };
+            self.sched_pipe.push_back((cycle + self.sched_latency, task));
+        }
+
+        // 13. Query loader.
+        self.load_queries();
+
+        // 14. Clock edge.
+        for p in &mut self.pipes {
+            p.ra_fifo.commit();
+            p.sp_fifo.commit();
+        }
+    }
+
+    fn load_queries(&mut self) {
+        match self.cfg.schedule {
+            ScheduleMode::ZeroBubble => {
+                let cap = self.cfg.effective_max_inflight();
+                while self.next_query < self.queries.len()
+                    && self.inflight < cap
+                    && self.pending_inject.len() < self.n
+                {
+                    self.inject_next();
+                }
+            }
+            ScheduleMode::StaticBatched => {
+                // A new batch loads only when the previous fully drained.
+                if self.batch_remaining == 0 && self.inflight == 0 {
+                    let b = self.cfg.effective_batch_size();
+                    let end = (self.next_query + b).min(self.queries.len());
+                    let count = end - self.next_query;
+                    self.batch_remaining = count;
+                    for _ in 0..count {
+                        self.inject_next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn inject_next(&mut self) {
+        let idx = self.next_query;
+        self.next_query += 1;
+        self.inflight += 1;
+        let q = &self.queries[idx];
+        let task = Task::initial(idx as u32, q.start);
+        match self.admit(task) {
+            Admit::Go(t) => self.pending_inject.push_back(t),
+            Admit::Complete(r) => self.finish(task.query, r),
+        }
+    }
+}
+
+fn div8(words: u32) -> u32 {
+    words.div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grw_algo::{Node2VecMethod, QuerySet, ReferenceEngine, WalkEngine};
+    use grw_graph::generators::{Dataset, RmatConfig, ScaleFactor};
+    use grw_graph::CsrGraph;
+    use grw_sim::FpgaPlatform;
+
+    fn small_config() -> AcceleratorConfig {
+        AcceleratorConfig::new()
+            .platform(FpgaPlatform::AlveoU55c)
+            .pipelines(4)
+    }
+
+    fn ring(n: usize) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect();
+        CsrGraph::from_edges(n, &edges, true)
+    }
+
+    #[test]
+    fn completes_every_query_with_full_paths() {
+        let spec = WalkSpec::urw(10);
+        let p = PreparedGraph::new(ring(16), &spec).unwrap();
+        let qs = QuerySet::random(16, 40, 3);
+        let report = Accelerator::new(small_config()).run(&p, &spec, qs.queries());
+        assert_eq!(report.paths.len(), 40);
+        for w in &report.paths {
+            assert_eq!(w.steps(), 10, "dead-end-free ring walks run to length");
+        }
+        assert_eq!(report.steps, 400);
+        assert_eq!(report.terminations.max_length, 40);
+    }
+
+    #[test]
+    fn paths_use_only_real_edges_on_every_spec() {
+        let g = Dataset::AsSkitter.generate_typed(ScaleFactor::Tiny, 3);
+        let specs = [
+            WalkSpec::urw(12),
+            WalkSpec::ppr(12),
+            WalkSpec::deepwalk(12),
+            WalkSpec::node2vec(12, Node2VecMethod::Rejection),
+            WalkSpec::node2vec(12, Node2VecMethod::Reservoir),
+            WalkSpec::metapath(12),
+        ];
+        for spec in specs {
+            let p = PreparedGraph::new(g.clone(), &spec).unwrap();
+            let qs = QuerySet::random(g.vertex_count(), 48, 1);
+            let report = Accelerator::new(small_config()).run(&p, &spec, qs.queries());
+            assert_eq!(report.paths.len(), 48, "{spec}");
+            for w in &report.paths {
+                assert!(w.steps() <= 12, "{spec}: length bound");
+                for pair in w.vertices.windows(2) {
+                    assert!(
+                        p.graph().has_edge(pair[0], pair[1]),
+                        "{spec}: bogus edge {} -> {}",
+                        pair[0],
+                        pair[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(20);
+        let p = PreparedGraph::new(g.clone(), &spec).unwrap();
+        let qs = QuerySet::random(g.vertex_count(), 64, 9);
+        let a = Accelerator::new(small_config()).run(&p, &spec, qs.queries());
+        let b = Accelerator::new(small_config()).run(&p, &spec, qs.queries());
+        assert_eq!(a.paths, b.paths);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn dead_ends_terminate_early() {
+        // A chain into a dead end.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], true);
+        let spec = WalkSpec::urw(50);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::repeated(0, 8);
+        let report = Accelerator::new(small_config()).run(&p, &spec, qs.queries());
+        for w in &report.paths {
+            assert_eq!(w.vertices, vec![0, 1, 2, 3]);
+        }
+        assert_eq!(report.terminations.dead_end, 8);
+    }
+
+    #[test]
+    fn ppr_mean_length_tracks_alpha() {
+        let spec = WalkSpec::Ppr {
+            alpha: 0.2,
+            max_len: 10_000,
+        };
+        let p = PreparedGraph::new(ring(64), &spec).unwrap();
+        let qs = QuerySet::random(64, 3000, 4);
+        let report = Accelerator::new(small_config()).run(&p, &spec, qs.queries());
+        let mean =
+            report.paths.iter().map(|w| w.steps() as f64).sum::<f64>() / report.paths.len() as f64;
+        assert!((mean - 4.0).abs() < 0.3, "mean PPR length {mean}");
+    }
+
+    #[test]
+    fn distribution_matches_reference_engine() {
+        // Chi-square the accelerator's next-hop choices out of a hub vertex
+        // against the reference engine's.
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 0), (2, 0), (3, 0), (4, 0), (5, 0)],
+            true,
+        );
+        let spec = WalkSpec::urw(8);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::repeated(0, 1500);
+        let report = Accelerator::new(small_config()).run(&p, &spec, qs.queries());
+        let counts_acc = grw_algo::distribution::next_hop_counts(&report.paths, 0);
+        let bins =
+            grw_algo::distribution::counts_for_neighbors(&counts_acc, p.graph().neighbors(0));
+        let probs = vec![0.2; 5];
+        assert!(
+            grw_algo::distribution::fits(&bins, &probs),
+            "accelerator hub distribution skewed: {bins:?}"
+        );
+        // Sanity: the reference engine passes the same test.
+        let ref_paths = ReferenceEngine::new(9).run(&p, &spec, qs.queries());
+        let counts_ref = grw_algo::distribution::next_hop_counts(&ref_paths, 0);
+        let bins_ref =
+            grw_algo::distribution::counts_for_neighbors(&counts_ref, p.graph().neighbors(0));
+        assert!(grw_algo::distribution::fits(&bins_ref, &probs));
+    }
+
+    #[test]
+    fn async_beats_blocking() {
+        let g = RmatConfig::graph500(11, 8).seed(5).generate();
+        let spec = WalkSpec::urw(40);
+        let p = PreparedGraph::new(g.clone(), &spec).unwrap();
+        let qs = QuerySet::random(g.vertex_count(), 1200, 2);
+        let full = Accelerator::new(small_config()).run(&p, &spec, qs.queries());
+        let blocking = Accelerator::new(small_config().memory(MemoryMode::Blocking))
+            .run(&p, &spec, qs.queries());
+        let speedup = full.speedup_over(&blocking);
+        assert!(
+            speedup > 3.0,
+            "async engine should dominate blocking access, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn zero_bubble_beats_static_on_irregular_graphs() {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny); // many dead ends
+        let spec = WalkSpec::urw(40);
+        let p = PreparedGraph::new(g.clone(), &spec).unwrap();
+        let qs = QuerySet::random(g.vertex_count(), 600, 2);
+        let dynamic = Accelerator::new(small_config()).run(&p, &spec, qs.queries());
+        let static_ = Accelerator::new(small_config().schedule(ScheduleMode::StaticBatched))
+            .run(&p, &spec, qs.queries());
+        let speedup = dynamic.speedup_over(&static_);
+        assert!(
+            speedup > 1.1,
+            "scheduler should win under early termination, got {speedup:.2}x"
+        );
+        assert!(
+            dynamic.bubble_ratio < static_.bubble_ratio,
+            "dynamic {:.3} vs static {:.3}",
+            dynamic.bubble_ratio,
+            static_.bubble_ratio
+        );
+    }
+
+    #[test]
+    fn near_peak_bandwidth_on_backlogged_urw() {
+        let g = RmatConfig::balanced(12, 16).seed(1).generate();
+        let spec = WalkSpec::urw(80);
+        let p = PreparedGraph::new(g.clone(), &spec).unwrap();
+        let qs = QuerySet::random(g.vertex_count(), 4000, 3);
+        let report = Accelerator::new(small_config()).run(&p, &spec, qs.queries());
+        // Each pipeline's channels admit ~0.469 txn/cycle; a perfectly
+        // pipelined run sustains close to that in steps/cycle/pipeline.
+        let steps_per_cycle = report.steps as f64 / report.cycles as f64 / 4.0;
+        assert!(
+            steps_per_cycle > 0.38,
+            "steps/cycle/pipeline {steps_per_cycle:.3}, want near 0.469"
+        );
+        assert!(report.bubble_ratio < 0.05, "bubbles {:.3}", report.bubble_ratio);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn bad_query_panics() {
+        let spec = WalkSpec::urw(4);
+        let p = PreparedGraph::new(ring(4), &spec).unwrap();
+        let queries = [grw_algo::WalkQuery { id: 0, start: 99 }];
+        let _ = Accelerator::new(small_config()).run(&p, &spec, &queries);
+    }
+}

@@ -1,0 +1,62 @@
+//! # RidgeWalker: a cycle-level model of the perfectly pipelined GRW accelerator
+//!
+//! This crate is the paper's primary contribution, reproduced as a
+//! cycle-accurate architectural simulator (no FPGA required — see
+//! `DESIGN.md` for the substitution argument). It implements:
+//!
+//! * **Markov task decomposition** ([`Task`]): each walk hop is a stateless
+//!   ≤512-bit tuple ⟨v_last, v_prev, query id, step⟩ that any pipeline can
+//!   execute (Fig. 5a). Randomness is counter-based (Philox keyed by
+//!   `(query, step)`), so a task draws identical samples wherever it runs.
+//! * **Asynchronous memory-access engine** ([`AsyncAccessEngine`]): a
+//!   non-blocking request/response proxy with a transaction-id slab and
+//!   metadata queue, sustaining up to 128 outstanding requests per channel
+//!   (Fig. 6). A blocking mode (1 outstanding) provides the ablation
+//!   baseline of Fig. 11.
+//! * **Zero-bubble scheduler** ([`scheduler`]): the branch-free
+//!   [`scheduler::Dispatcher`] (Algorithm VI.1) and [`scheduler::Merger`]
+//!   (Algorithm VI.2), composed into the N-to-N butterfly
+//!   [`scheduler::ButterflyBalancer`] of Fig. 7b, with FIFO depths
+//!   `1 + 4·log2(N)` from Theorem VI.1.
+//! * **Data-aware task routing** ([`TaskRouter`]): a butterfly interconnect
+//!   delivering each task to the memory channel owning its vertex.
+//! * **The accelerator** ([`Accelerator`]): N asynchronous pipelines
+//!   (Row Access → Sampling → Column Access) over per-pipeline HBM/DDR
+//!   channel pairs, with dynamic per-hop reassignment — plus the static
+//!   bulk-synchronous mode used as the Fig. 11 ablation baseline.
+//! * **Resource & frequency model** ([`resource`]): the analytic cost table
+//!   reproducing Table IV.
+//!
+//! # Example
+//!
+//! ```
+//! use grw_algo::{PreparedGraph, QuerySet, WalkSpec};
+//! use grw_graph::CsrGraph;
+//! use ridgewalker::{Accelerator, AcceleratorConfig};
+//!
+//! let g = CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 4), (4, 5), (5, 1)], false);
+//! let spec = WalkSpec::urw(16);
+//! let prepared = PreparedGraph::new(g, &spec).unwrap();
+//! let queries = QuerySet::random(8, 32, 1);
+//! let config = AcceleratorConfig::new().pipelines(4);
+//! let report = Accelerator::new(config).run(&prepared, &spec, queries.queries());
+//! assert_eq!(report.paths.len(), 32);
+//! assert!(report.msteps_per_sec > 0.0);
+//! ```
+
+mod accelerator;
+mod config;
+mod engine;
+pub mod report;
+pub mod resource;
+mod router;
+pub mod scheduler;
+pub mod verify;
+mod task;
+
+pub use accelerator::Accelerator;
+pub use config::{AcceleratorConfig, MemoryMode, ScheduleMode};
+pub use engine::AsyncAccessEngine;
+pub use report::{RunReport, TerminationBreakdown};
+pub use router::TaskRouter;
+pub use task::Task;

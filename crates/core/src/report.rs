@@ -1,0 +1,149 @@
+//! Run reports: the measurement quantities of the paper's evaluation.
+
+use grw_algo::WalkPath;
+
+/// Why walks ended, tallied over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TerminationBreakdown {
+    /// Walks that reached the maximum length.
+    pub max_length: u64,
+    /// Walks that hit a zero-out-degree vertex.
+    pub dead_end: u64,
+    /// PPR walks ended by the teleport coin.
+    pub teleport: u64,
+    /// MetaPath walks with no type-matching neighbor.
+    pub no_typed_neighbor: u64,
+}
+
+impl TerminationBreakdown {
+    /// Total completed walks.
+    pub fn total(&self) -> u64 {
+        self.max_length + self.dead_end + self.teleport + self.no_typed_neighbor
+    }
+
+    /// Fraction of walks that ended early (anything but max-length) —
+    /// the irregularity driver of Fig. 1b.
+    pub fn early_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (t - self.max_length) as f64 / t as f64
+        }
+    }
+}
+
+/// The result of executing a query set on a simulated engine.
+///
+/// All performance numbers use the paper's definitions: throughput is
+/// MStep/s (visited vertices per second, §VIII-A), effective bandwidth is
+/// the traversed-edge footprint over time (§III-B), and utilization is
+/// measured against the Eq. (1) random-access peak.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// One path per query, in input order.
+    pub paths: Vec<WalkPath>,
+    /// Simulated cycles to drain every query.
+    pub cycles: u64,
+    /// Total hops executed.
+    pub steps: u64,
+    /// Core clock used for time conversion (MHz).
+    pub clock_mhz: f64,
+    /// Throughput in MStep/s.
+    pub msteps_per_sec: f64,
+    /// Pipeline bubble ratio: starved cycles / (busy + starved).
+    pub bubble_ratio: f64,
+    /// Fraction of pipeline-cycles doing useful work.
+    pub pipeline_utilization: f64,
+    /// Random 64-bit transactions issued across all channels.
+    pub random_txns: u64,
+    /// Bytes moved (traversed-edge footprint).
+    pub bytes_moved: u64,
+    /// Effective bandwidth in GB/s.
+    pub effective_bandwidth_gbs: f64,
+    /// Eq. (1) peak random-access bandwidth of the platform, GB/s.
+    pub peak_bandwidth_gbs: f64,
+    /// `effective / peak` bandwidth utilization.
+    pub bandwidth_utilization: f64,
+    /// Why walks ended.
+    pub terminations: TerminationBreakdown,
+}
+
+impl RunReport {
+    /// Mean random transactions per executed step.
+    pub fn txns_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.random_txns as f64 / self.steps as f64
+        }
+    }
+
+    /// Speedup of this run over a baseline run (by step throughput).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline throughput is zero.
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        assert!(
+            baseline.msteps_per_sec > 0.0,
+            "baseline has zero throughput"
+        );
+        self.msteps_per_sec / baseline.msteps_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(msteps: f64) -> RunReport {
+        RunReport {
+            paths: Vec::new(),
+            cycles: 100,
+            steps: 50,
+            clock_mhz: 320.0,
+            msteps_per_sec: msteps,
+            bubble_ratio: 0.0,
+            pipeline_utilization: 1.0,
+            random_txns: 100,
+            bytes_moved: 800,
+            effective_bandwidth_gbs: 1.0,
+            peak_bandwidth_gbs: 38.4,
+            bandwidth_utilization: 1.0 / 38.4,
+            terminations: TerminationBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn txns_per_step_divides() {
+        let r = dummy(100.0);
+        assert!((r.txns_per_step() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_a_ratio() {
+        let fast = dummy(200.0);
+        let slow = dummy(50.0);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_fraction_math() {
+        let t = TerminationBreakdown {
+            max_length: 60,
+            dead_end: 30,
+            teleport: 10,
+            no_typed_neighbor: 0,
+        };
+        assert_eq!(t.total(), 100);
+        assert!((t.early_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(TerminationBreakdown::default().early_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero throughput")]
+    fn speedup_over_zero_panics() {
+        let _ = dummy(1.0).speedup_over(&dummy(0.0));
+    }
+}

@@ -1,0 +1,286 @@
+//! Analytic FPGA resource and frequency model (Table IV).
+//!
+//! Vivado reports are obviously out of reach for a software reproduction,
+//! so resource consumption is modelled as a calibrated cost table: a fixed
+//! platform shell, the zero-bubble scheduler fabric, and per-pipeline
+//! module costs that depend on the sampling method and RP-entry width.
+//! Constants are fitted to Table IV of the paper (U55C, 16 pipelines) and
+//! the §VIII-F standalone scheduler numbers (≤1.8% LUTs at 450 MHz); the
+//! model's value is showing *where* resources go and reproducing the
+//! relative ordering across kernels, not gate-level truth.
+
+use grw_algo::{Node2VecMethod, WalkSpec};
+
+/// Absolute resource totals of the VU47P device on the Alveo U55C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceResources {
+    /// Lookup tables.
+    pub luts: u64,
+    /// Flip-flop registers.
+    pub regs: u64,
+    /// BRAM36 blocks.
+    pub brams: u64,
+    /// DSP slices.
+    pub dsps: u64,
+}
+
+/// The U55C's VU47P totals.
+pub const U55C_DEVICE: DeviceResources = DeviceResources {
+    luts: 1_303_680,
+    regs: 2_607_360,
+    brams: 2_016,
+    dsps: 9_024,
+};
+
+/// Resource usage of one design (absolute counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// Lookup tables.
+    pub luts: u64,
+    /// Registers.
+    pub regs: u64,
+    /// BRAM36 blocks.
+    pub brams: u64,
+    /// DSP slices.
+    pub dsps: u64,
+}
+
+impl ResourceUsage {
+    fn add(&mut self, other: ResourceUsage, times: u64) {
+        self.luts += other.luts * times;
+        self.regs += other.regs * times;
+        self.brams += other.brams * times;
+        self.dsps += other.dsps * times;
+    }
+
+    /// Utilization percentages against a device.
+    pub fn percent_of(&self, device: DeviceResources) -> ResourcePercent {
+        ResourcePercent {
+            luts: 100.0 * self.luts as f64 / device.luts as f64,
+            regs: 100.0 * self.regs as f64 / device.regs as f64,
+            brams: 100.0 * self.brams as f64 / device.brams as f64,
+            dsps: 100.0 * self.dsps as f64 / device.dsps as f64,
+        }
+    }
+}
+
+/// Utilization percentages (the unit Table IV reports).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourcePercent {
+    /// LUT %.
+    pub luts: f64,
+    /// Register %.
+    pub regs: f64,
+    /// BRAM %.
+    pub brams: f64,
+    /// DSP %.
+    pub dsps: f64,
+}
+
+/// A full design estimate: resources plus achievable frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignEstimate {
+    /// Total resource usage.
+    pub usage: ResourceUsage,
+    /// Achievable clock in MHz (min over module fmax).
+    pub frequency_mhz: f64,
+}
+
+// ---- Calibrated module costs (per instance) --------------------------------
+
+/// Static platform shell: PCIe/XDMA, HBM controllers, clocking.
+const SHELL: ResourceUsage = ResourceUsage {
+    luts: 80_000,
+    regs: 120_000,
+    brams: 40,
+    dsps: 10,
+};
+
+/// The zero-bubble scheduler + both butterfly fabrics (§VIII-F: ≤1.8% LUTs).
+const SCHEDULER: ResourceUsage = ResourceUsage {
+    luts: 23_500,
+    regs: 30_000,
+    brams: 0, // LUT-based shallow FIFOs
+    dsps: 0,
+};
+
+/// One asynchronous pipeline's fixed part: RA/CA access engines (metadata
+/// queues in BRAM), control, theorem-sized FIFOs, ThundeRiNG instance.
+const PIPELINE_BASE: ResourceUsage = ResourceUsage {
+    luts: 30_000,
+    regs: 29_700,
+    brams: 21,
+    dsps: 12,
+};
+
+/// Per-pipeline sampling-module increments, by kernel.
+fn sampler_cost(spec: &WalkSpec) -> ResourceUsage {
+    match spec {
+        WalkSpec::Urw { .. } => ResourceUsage {
+            luts: 4_300,
+            regs: 0,
+            brams: 1,
+            dsps: 0,
+        },
+        WalkSpec::Ppr { .. } => ResourceUsage {
+            luts: 13_600,
+            regs: 9_500,
+            brams: 1,
+            dsps: 0,
+        },
+        WalkSpec::DeepWalk { .. } => ResourceUsage {
+            luts: 18_700,
+            regs: 13_000,
+            brams: 26,
+            dsps: 12,
+        },
+        WalkSpec::Node2Vec { method, .. } => match method {
+            Node2VecMethod::Rejection | Node2VecMethod::Reservoir => ResourceUsage {
+                luts: 28_200,
+                regs: 28_100,
+                brams: 22,
+                dsps: 29,
+            },
+        },
+        WalkSpec::MetaPath { .. } => ResourceUsage {
+            luts: 24_000,
+            regs: 24_000,
+            brams: 20,
+            dsps: 24,
+        },
+    }
+}
+
+/// Module fmax values in MHz; the design clock is their minimum.
+fn module_fmax(spec: &WalkSpec) -> [f64; 3] {
+    let sampler = match spec {
+        WalkSpec::Node2Vec { .. } => 320.0,
+        _ => 340.0,
+    };
+    // [pipeline datapath, scheduler fabric, sampler]
+    [320.0, 450.0, sampler]
+}
+
+/// Estimates the full design for `spec` with `pipelines` pipelines.
+///
+/// # Panics
+///
+/// Panics if `pipelines == 0`.
+///
+/// # Example
+///
+/// ```
+/// use grw_algo::WalkSpec;
+/// use ridgewalker::resource::{estimate, U55C_DEVICE};
+///
+/// let e = estimate(&WalkSpec::urw(80), 16);
+/// let pct = e.usage.percent_of(U55C_DEVICE);
+/// assert!((pct.luts - 50.1).abs() < 3.0); // Table IV: URW 50.1%
+/// ```
+pub fn estimate(spec: &WalkSpec, pipelines: u32) -> DesignEstimate {
+    assert!(pipelines > 0, "need at least one pipeline");
+    let mut usage = ResourceUsage::default();
+    usage.add(SHELL, 1);
+    usage.add(SCHEDULER, 1);
+    usage.add(PIPELINE_BASE, u64::from(pipelines));
+    usage.add(sampler_cost(spec), u64::from(pipelines));
+    let frequency_mhz = module_fmax(spec)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+    DesignEstimate {
+        usage,
+        frequency_mhz,
+    }
+}
+
+/// The standalone scheduler estimate (§VIII-F: independent profiling).
+pub fn scheduler_standalone() -> DesignEstimate {
+    DesignEstimate {
+        usage: SCHEDULER,
+        frequency_mhz: 450.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table IV targets: (LUT%, REG%, BRAM%, DSP%, MHz).
+    fn table_iv() -> [(WalkSpec, f64, f64, f64, f64); 4] {
+        [
+            (WalkSpec::ppr(80), 61.1, 29.8, 19.5, 2.2),
+            (WalkSpec::urw(80), 50.1, 24.0, 19.5, 2.2),
+            (WalkSpec::deepwalk(80), 67.5, 32.3, 39.1, 4.4),
+            (
+                WalkSpec::node2vec(80, grw_algo::Node2VecMethod::Reservoir),
+                79.1,
+                41.6,
+                36.0,
+                7.3,
+            ),
+        ]
+    }
+
+    #[test]
+    fn estimates_track_table_iv_within_tolerance() {
+        for (spec, lut, reg, bram, dsp) in table_iv() {
+            let pct = estimate(&spec, 16).usage.percent_of(U55C_DEVICE);
+            assert!((pct.luts - lut).abs() < 3.0, "{spec} LUT {0} vs {lut}", pct.luts);
+            assert!((pct.regs - reg).abs() < 3.0, "{spec} REG {0} vs {reg}", pct.regs);
+            assert!(
+                (pct.brams - bram).abs() < 4.0,
+                "{spec} BRAM {0} vs {bram}",
+                pct.brams
+            );
+            assert!((pct.dsps - dsp).abs() < 2.0, "{spec} DSP {0} vs {dsp}", pct.dsps);
+        }
+    }
+
+    #[test]
+    fn all_kernels_close_timing_at_320mhz() {
+        for (spec, ..) in table_iv() {
+            assert_eq!(estimate(&spec, 16).frequency_mhz, 320.0, "{spec}");
+        }
+    }
+
+    #[test]
+    fn kernel_ordering_matches_the_paper() {
+        // URW < PPR < DeepWalk < Node2Vec in LUTs.
+        let luts: Vec<f64> = [
+            WalkSpec::urw(80),
+            WalkSpec::ppr(80),
+            WalkSpec::deepwalk(80),
+            WalkSpec::node2vec(80, grw_algo::Node2VecMethod::Reservoir),
+        ]
+        .iter()
+        .map(|s| estimate(s, 16).usage.percent_of(U55C_DEVICE).luts)
+        .collect();
+        assert!(luts.windows(2).all(|w| w[0] < w[1]), "{luts:?}");
+    }
+
+    #[test]
+    fn scheduler_is_tiny_and_fast() {
+        let s = scheduler_standalone();
+        let pct = s.usage.percent_of(U55C_DEVICE);
+        assert!(pct.luts <= 1.81, "scheduler LUTs {}%", pct.luts);
+        assert_eq!(s.frequency_mhz, 450.0);
+    }
+
+    #[test]
+    fn memory_bound_design_leaves_headroom() {
+        // §VIII-F: the design leaves ample logic for downstream kernels.
+        for (spec, ..) in table_iv() {
+            let pct = estimate(&spec, 16).usage.percent_of(U55C_DEVICE);
+            assert!(pct.regs < 50.0, "{spec}");
+            assert!(pct.dsps < 10.0, "{spec}");
+        }
+    }
+
+    #[test]
+    fn resources_scale_with_pipelines() {
+        let small = estimate(&WalkSpec::urw(80), 4).usage.luts;
+        let large = estimate(&WalkSpec::urw(80), 16).usage.luts;
+        assert!(large > small);
+        assert!(large < 4 * small, "shared shell must not scale");
+    }
+}

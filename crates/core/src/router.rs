@@ -1,0 +1,182 @@
+//! The data-aware Task Router.
+//!
+//! A butterfly interconnect that delivers each task to the memory channel
+//! holding the data it needs next: the Row-Access channel owning
+//! `RP[v_curr]` for recirculated tasks, or the Column-Access channel named
+//! in a freshly read RP entry (§IV-B step ➍). The performance-relevant
+//! properties are its fixed pipeline latency (`2·log2(N)` cycles — two per
+//! stage) and the II=1 rate of each output port; this model captures both
+//! while keeping per-cycle cost O(ports).
+
+use grw_sim::Cycle;
+use std::collections::VecDeque;
+
+/// A fixed-latency, per-port-rate-limited routing fabric.
+///
+/// # Example
+///
+/// ```
+/// use ridgewalker::TaskRouter;
+///
+/// let mut r: TaskRouter<&str> = TaskRouter::new(4);
+/// r.push("task", 2, 0);
+/// assert!(r.pop_ready(2, 0).is_none()); // still in flight
+/// let lat = r.latency();
+/// assert_eq!(r.pop_ready(2, lat), Some("task"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskRouter<T> {
+    latency: Cycle,
+    per_port_window: usize,
+    ports: Vec<VecDeque<(Cycle, T)>>,
+    last_pop: Vec<Option<Cycle>>,
+    routed: u64,
+}
+
+impl<T> TaskRouter<T> {
+    /// In-flight budget per output port before the fabric backpressures.
+    const DEFAULT_WINDOW: usize = 8;
+
+    /// Creates a router with `ports` outputs (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero or not a power of two.
+    pub fn new(ports: usize) -> Self {
+        assert!(
+            ports > 0 && ports.is_power_of_two(),
+            "butterfly ports must be a power of two"
+        );
+        let stages = ports.trailing_zeros() as Cycle;
+        Self {
+            latency: 2 * stages,
+            per_port_window: Self::DEFAULT_WINDOW + 2 * stages as usize,
+            ports: (0..ports).map(|_| VecDeque::new()).collect(),
+            last_pop: vec![None; ports],
+            routed: 0,
+        }
+    }
+
+    /// Number of output ports.
+    pub fn ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Pipeline latency through the fabric in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Whether a task for `port` can enter this cycle (backpressure view).
+    pub fn can_push(&self, port: usize) -> bool {
+        self.ports[port].len() < self.per_port_window
+    }
+
+    /// Routes `value` toward `port`, entering at `cycle`.
+    ///
+    /// Returns `false` when that port's window is full (backpressure).
+    pub fn push(&mut self, value: T, port: usize, cycle: Cycle) -> bool {
+        if !self.can_push(port) {
+            return false;
+        }
+        self.ports[port].push_back((cycle + self.latency, value));
+        self.routed += 1;
+        true
+    }
+
+    /// Pops the next task that has traversed the fabric to `port`.
+    /// Each port delivers at most one task per cycle (II = 1).
+    pub fn pop_ready(&mut self, port: usize, cycle: Cycle) -> Option<T> {
+        if self.last_pop[port] == Some(cycle) {
+            return None; // one per port per cycle
+        }
+        if self.ports[port]
+            .front()
+            .is_some_and(|&(ready, _)| ready <= cycle)
+        {
+            self.last_pop[port] = Some(cycle);
+            return self.ports[port].pop_front().map(|(_, v)| v);
+        }
+        None
+    }
+
+    /// Tasks currently inside the fabric (all ports).
+    pub fn in_flight(&self) -> usize {
+        self.ports.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether the fabric holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight() == 0
+    }
+
+    /// Lifetime routed count.
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_scales_with_ports() {
+        assert_eq!(TaskRouter::<u8>::new(1).latency(), 0);
+        assert_eq!(TaskRouter::<u8>::new(4).latency(), 4);
+        assert_eq!(TaskRouter::<u8>::new(16).latency(), 8);
+    }
+
+    #[test]
+    fn tasks_arrive_after_latency_in_order() {
+        let mut r: TaskRouter<u32> = TaskRouter::new(4);
+        r.push(1, 0, 0);
+        r.push(2, 0, 1);
+        assert_eq!(r.pop_ready(0, 3), None);
+        assert_eq!(r.pop_ready(0, 4), Some(1));
+        assert_eq!(r.pop_ready(0, 5), Some(2));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn each_port_delivers_once_per_cycle() {
+        let mut r: TaskRouter<u32> = TaskRouter::new(2);
+        r.push(1, 1, 0);
+        r.push(2, 1, 0);
+        let at = r.latency() + 1;
+        assert_eq!(r.pop_ready(1, at), Some(1));
+        assert_eq!(r.pop_ready(1, at), None, "II = 1 per port");
+        assert_eq!(r.pop_ready(1, at + 1), Some(2));
+    }
+
+    #[test]
+    fn ports_are_independent() {
+        let mut r: TaskRouter<u32> = TaskRouter::new(2);
+        r.push(10, 0, 0);
+        r.push(11, 1, 0);
+        let at = r.latency();
+        assert_eq!(r.pop_ready(0, at), Some(10));
+        assert_eq!(r.pop_ready(1, at), Some(11));
+    }
+
+    #[test]
+    fn window_exerts_backpressure() {
+        let mut r: TaskRouter<u32> = TaskRouter::new(2);
+        let mut accepted = 0;
+        for i in 0..100 {
+            if r.push(i, 0, 0) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted < 100, "window must bound in-flight tasks");
+        assert_eq!(accepted, r.in_flight());
+        assert!(!r.can_push(0));
+        assert!(r.can_push(1), "other ports unaffected");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_port_count_panics() {
+        let _: TaskRouter<u8> = TaskRouter::new(3);
+    }
+}

@@ -1,0 +1,296 @@
+//! The N-to-N butterfly task balancer (Fig. 7b).
+//!
+//! `log2(N)` stages; each stage pairs one [`Dispatcher`] and one [`Merger`]
+//! per lane, with stage `s` crossing lane bit `s`. Each dispatcher splits
+//! its lane's traffic between "stay" and "cross" wires, and each merger
+//! recombines the two incoming wires — so any input's load spreads
+//! geometrically over all outputs, and congestion on one output diffuses
+//! upstream instead of blocking a single path. All elements are O(1),
+//! fully pipelined, and need no global arbitration — the paper's
+//! counterpoint to O(N log N) centralised schedulers like CFS (§VI-C1).
+
+use super::{Dispatcher, Merger};
+use grw_sim::Fifo;
+
+/// A cycle-accurate butterfly balancer over `N` lanes (`N` a power of two).
+///
+/// # Example
+///
+/// ```
+/// use ridgewalker::scheduler::ButterflyBalancer;
+///
+/// let mut b: ButterflyBalancer<u32> = ButterflyBalancer::new(4);
+/// b.push(0, 42);
+/// for cycle in 0..20 {
+///     b.tick();
+/// }
+/// let drained: usize = (0..4).filter_map(|l| b.pop(l)).count();
+/// assert_eq!(drained, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ButterflyBalancer<T> {
+    n: usize,
+    /// Lane FIFOs between stages: `levels[0]` are the inputs,
+    /// `levels[stages]` the outputs.
+    levels: Vec<Vec<Fifo<T>>>,
+    stages: Vec<Stage<T>>,
+}
+
+#[derive(Debug, Clone)]
+struct Stage<T> {
+    bit: usize,
+    dispatchers: Vec<Dispatcher>,
+    mergers: Vec<Merger>,
+    /// Wire from dispatcher `i`'s "stay" output to merger `i`.
+    straight: Vec<Fifo<T>>,
+    /// Wire into merger `j`'s cross input, fed by dispatcher `j ^ bit`.
+    cross: Vec<Fifo<T>>,
+}
+
+impl<T> ButterflyBalancer<T> {
+    const LANE_DEPTH: usize = 4;
+    const WIRE_DEPTH: usize = 2;
+
+    /// Creates a balancer with `n` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n.is_power_of_two(), "lanes must be a power of two");
+        let stage_count = n.trailing_zeros() as usize;
+        let mk_lane = || (0..n).map(|_| Fifo::new(Self::LANE_DEPTH)).collect();
+        let levels = (0..=stage_count).map(|_| mk_lane()).collect();
+        let stages = (0..stage_count)
+            .map(|s| Stage {
+                bit: 1 << s,
+                dispatchers: vec![Dispatcher::new(); n],
+                mergers: vec![Merger::new(); n],
+                straight: (0..n).map(|_| Fifo::new(Self::WIRE_DEPTH)).collect(),
+                cross: (0..n).map(|_| Fifo::new(Self::WIRE_DEPTH)).collect(),
+            })
+            .collect();
+        Self { n, levels, stages }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.n
+    }
+
+    /// Latency through the fabric: two pipelined elements per stage, two
+    /// cycles each (§VI-D's `2·log2(N)` bound per direction).
+    pub fn latency(&self) -> u64 {
+        2 * self.stages.len() as u64
+    }
+
+    /// Offers a value to input `lane`; `false` when that input is full.
+    pub fn push(&mut self, lane: usize, value: T) -> bool {
+        self.levels[0][lane].push(value)
+    }
+
+    /// Whether input `lane` can accept a value this cycle.
+    pub fn can_push(&self, lane: usize) -> bool {
+        self.levels[0][lane].can_push()
+    }
+
+    /// Takes a value from output `lane`, if one is ready.
+    pub fn pop(&mut self, lane: usize) -> Option<T> {
+        let last = self.levels.len() - 1;
+        self.levels[last][lane].pop()
+    }
+
+    /// Total values currently inside the fabric.
+    pub fn in_flight(&self) -> usize {
+        let lanes: usize = self.levels.iter().flatten().map(Fifo::len).sum();
+        let wires: usize = self
+            .stages
+            .iter()
+            .flat_map(|s| s.straight.iter().chain(&s.cross))
+            .map(Fifo::len)
+            .sum();
+        lanes + wires
+    }
+
+    /// Advances the whole fabric one cycle.
+    pub fn tick(&mut self) {
+        // Downstream stages first, so space frees in dataflow order.
+        for s in (0..self.stages.len()).rev() {
+            let (before, after) = self.levels.split_at_mut(s + 1);
+            let inputs = &mut before[s];
+            let outputs = &mut after[0];
+            let stage = &mut self.stages[s];
+            // Mergers: wires → next level. The three borrows are disjoint
+            // struct fields.
+            for j in 0..self.n {
+                stage.mergers[j].tick(
+                    &mut stage.straight[j],
+                    &mut stage.cross[j],
+                    &mut outputs[j],
+                );
+            }
+            // Dispatchers: this level → wires. Dispatcher `i` crosses to
+            // lane `i ^ bit`, i.e. writes cross[i ^ bit].
+            for i in 0..self.n {
+                let cross_idx = i ^ stage.bit;
+                stage.dispatchers[i].tick(
+                    &mut inputs[i],
+                    &mut stage.straight[i],
+                    &mut stage.cross[cross_idx],
+                );
+            }
+        }
+        // Clock edge: commit every FIFO.
+        for level in &mut self.levels {
+            for f in level {
+                f.commit();
+            }
+        }
+        for stage in &mut self.stages {
+            for f in stage.straight.iter_mut().chain(stage.cross.iter_mut()) {
+                f.commit();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Push `count` values into `lane`, run until drained, return per-output
+    /// tallies.
+    fn spray(n: usize, lane: usize, count: usize, throttled: Option<usize>) -> Vec<usize> {
+        let mut b: ButterflyBalancer<usize> = ButterflyBalancer::new(n);
+        let mut fed = 0;
+        let mut out = vec![0usize; n];
+        let mut idle = 0;
+        while idle < 200 {
+            if fed < count && b.push(lane, fed) {
+                fed += 1;
+            }
+            b.tick();
+            let mut moved = false;
+            for (j, slot) in out.iter_mut().enumerate() {
+                if Some(j) == throttled {
+                    continue;
+                }
+                if b.pop(j).is_some() {
+                    *slot += 1;
+                    moved = true;
+                }
+            }
+            if moved || fed < count {
+                idle = 0;
+            } else {
+                idle += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_input_spreads_over_all_outputs() {
+        let out = spray(4, 0, 400, None);
+        let total: usize = out.iter().sum();
+        assert_eq!(total, 400, "conservation");
+        for (j, &c) in out.iter().enumerate() {
+            assert!(
+                (70..=130).contains(&c),
+                "output {j} got {c}, expected ~100 of 400"
+            );
+        }
+    }
+
+    #[test]
+    fn any_input_lane_balances() {
+        for lane in 0..8 {
+            let out = spray(8, lane, 240, None);
+            assert_eq!(out.iter().sum::<usize>(), 240);
+            assert!(out.iter().all(|&c| c >= 12), "lane {lane}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn throttled_output_redirects_traffic_upstream() {
+        // Fig. 7b: one slow output must not cap aggregate throughput.
+        let out = spray(4, 0, 300, Some(2));
+        let total: usize = out.iter().sum();
+        // Output 2 is never drained: at most a few values are stuck inside
+        // the fabric and its output FIFO; everything else flows.
+        assert!(total >= 300 - 10, "only {total} of 300 delivered");
+        assert_eq!(out[2], 0);
+    }
+
+    #[test]
+    fn sustains_full_line_rate_on_all_inputs() {
+        let n = 8;
+        let mut b: ButterflyBalancer<usize> = ButterflyBalancer::new(n);
+        let cycles = 600;
+        let mut fed = 0usize;
+        let mut drained = 0usize;
+        for _ in 0..cycles {
+            for lane in 0..n {
+                if b.push(lane, 0) {
+                    fed += 1;
+                }
+            }
+            b.tick();
+            for lane in 0..n {
+                if b.pop(lane).is_some() {
+                    drained += 1;
+                }
+            }
+        }
+        // Line rate: ~1 per lane per cycle after fill latency.
+        let rate = drained as f64 / (cycles * n) as f64;
+        assert!(rate > 0.9, "aggregate rate {rate}, fed {fed}");
+    }
+
+    #[test]
+    fn conservation_with_random_draining() {
+        let n = 4;
+        let mut b: ButterflyBalancer<u64> = ButterflyBalancer::new(n);
+        let mut fed = 0u64;
+        let mut got = Vec::new();
+        for cycle in 0..2000u64 {
+            if fed < 500 && b.push((cycle % n as u64) as usize, fed) {
+                fed += 1;
+            }
+            b.tick();
+            for lane in 0..n {
+                if (cycle + lane as u64) % 3 != 0 {
+                    if let Some(v) = b.pop(lane) {
+                        got.push(v);
+                    }
+                }
+            }
+        }
+        for _ in 0..200 {
+            b.tick();
+            for lane in 0..n {
+                if let Some(v) = b.pop(lane) {
+                    got.push(v);
+                }
+            }
+        }
+        got.sort_unstable();
+        let expect: Vec<u64> = (0..500).collect();
+        assert_eq!(got, expect, "every task exactly once");
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn latency_is_two_cycles_per_stage() {
+        let b: ButterflyBalancer<u8> = ButterflyBalancer::new(16);
+        assert_eq!(b.latency(), 8);
+        let b1: ButterflyBalancer<u8> = ButterflyBalancer::new(1);
+        assert_eq!(b1.latency(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _: ButterflyBalancer<u8> = ButterflyBalancer::new(6);
+    }
+}

@@ -1,0 +1,251 @@
+//! The task Dispatcher — Algorithm VI.1, verbatim.
+
+use grw_sim::Fifo;
+
+/// Routes tasks from one input stream to two output channels while
+/// honouring backpressure and guaranteeing fairness (Algorithm VI.1).
+///
+/// The decision is a branch-free decode of a three-bit `scode`:
+/// `{out2.is_full, out1.is_full, last_selection}`:
+///
+/// | scode | situation | action |
+/// |---|---|---|
+/// | `0b001` | both free, last served out2 | alternate → out1 |
+/// | `0b111` | both full, last served out2 | block on out1 (fairness) |
+/// | `0b10x` | out2 full, out1 free | out1 (avoid stalling) |
+/// | others | | out2 |
+///
+/// Fully pipelined: II = 1, fixed latency two cycles (modelled by the
+/// staged FIFO commits around it).
+///
+/// # Example
+///
+/// ```
+/// use grw_sim::Fifo;
+/// use ridgewalker::scheduler::Dispatcher;
+///
+/// let mut d = Dispatcher::new();
+/// let mut input = Fifo::new(4);
+/// let (mut a, mut b) = (Fifo::new(4), Fifo::new(4));
+/// input.push(1u32);
+/// input.push(2);
+/// input.commit();
+/// d.tick(&mut input, &mut a, &mut b);
+/// d.tick(&mut input, &mut a, &mut b);
+/// a.commit();
+/// b.commit();
+/// assert_eq!(a.len() + b.len(), 2, "both tasks routed");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dispatcher {
+    /// One-bit state: which output was served most recently (0 = out1).
+    last_selection: u8,
+    /// When both outputs were full, the channel we committed to block on.
+    blocked_on: Option<u8>,
+    routed: u64,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher with `last_selection = 0` (Line 1 of VI.1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total tasks routed.
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Which output would be chosen given the current full flags
+    /// (the `build_scode` + `switch` of Algorithm VI.1): 0 = out1, 1 = out2.
+    fn decide(&self, out1_full: bool, out2_full: bool) -> u8 {
+        let scode =
+            ((out2_full as u8) << 2) | ((out1_full as u8) << 1) | (self.last_selection & 1);
+        match scode {
+            // Both have space; pick not-last-served to alternate (out1).
+            0b001 => 0,
+            // Both full; block on not-last-served to guarantee fairness.
+            0b111 => 0,
+            // Only out1 can accept (out2 full); route there to avoid a stall.
+            0b101 | 0b100 => 0,
+            // All remaining cases take out2 (including the symmetric ones).
+            _ => 1,
+        }
+    }
+
+    /// One cycle: non-blocking read from `input`, route to an output.
+    ///
+    /// A "blocking write" in hardware holds the task until its committed
+    /// channel drains; the dispatcher does the same by retrying the stored
+    /// task each cycle before accepting new input.
+    pub fn tick<T>(&mut self, input: &mut Fifo<T>, out1: &mut Fifo<T>, out2: &mut Fifo<T>) {
+        // Finish a blocked write first (blocking_write semantics): the
+        // dispatcher committed to a channel and must write there, keeping
+        // the fairness guarantee.
+        if let Some(ch) = self.blocked_on {
+            let target = if ch == 0 { &mut *out1 } else { &mut *out2 };
+            if target.is_full() {
+                return; // still blocked; II stalls upstream naturally
+            }
+            let task = input.pop().expect("a blocked dispatcher holds its input");
+            let ok = target.push(task);
+            debug_assert!(ok);
+            self.blocked_on = None;
+            self.last_selection = ch;
+            self.routed += 1;
+            return;
+        }
+        // Non-blocking read (Line 3): skip the iteration when no input.
+        if !input.can_pop() {
+            return;
+        }
+        let out1_full = out1.is_full();
+        let out2_full = out2.is_full();
+        let choice = self.decide(out1_full, out2_full);
+        let target_full = if choice == 0 { out1_full } else { out2_full };
+        if target_full {
+            // Both full (the 0b111/0b110 cases): commit to the chosen
+            // channel and stall the input until it drains.
+            self.blocked_on = Some(choice);
+            return;
+        }
+        let task = input.pop().expect("can_pop checked");
+        let ok = if choice == 0 {
+            out1.push(task)
+        } else {
+            out2.push(task)
+        };
+        debug_assert!(ok, "target checked not-full");
+        self.last_selection = choice;
+        self.routed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(d: &mut Dispatcher, input: &mut Fifo<u32>, a: &mut Fifo<u32>, b: &mut Fifo<u32>) {
+        d.tick(input, a, b);
+        input.commit();
+        a.commit();
+        b.commit();
+    }
+
+    #[test]
+    fn alternates_when_both_free() {
+        let mut d = Dispatcher::new();
+        let mut input = Fifo::new(16);
+        let (mut a, mut b) = (Fifo::new(16), Fifo::new(16));
+        for i in 0..8u32 {
+            input.push(i);
+        }
+        input.commit();
+        for _ in 0..8 {
+            drive(&mut d, &mut input, &mut a, &mut b);
+        }
+        assert_eq!(a.len(), 4, "strict alternation");
+        assert_eq!(b.len(), 4);
+        // Order within each channel is preserved.
+        assert_eq!(a.pop(), Some(1)); // first task goes to out2 (last=0)
+        assert_eq!(b.pop(), Some(0));
+    }
+
+    #[test]
+    fn avoids_the_full_channel() {
+        let mut d = Dispatcher::new();
+        let mut input = Fifo::new(16);
+        let (mut a, mut b) = (Fifo::new(16), Fifo::new(1));
+        b.push(99);
+        b.commit(); // b is now full
+        for i in 0..4u32 {
+            input.push(i);
+        }
+        input.commit();
+        for _ in 0..4 {
+            d.tick(&mut input, &mut a, &mut b);
+            input.commit();
+            a.commit();
+        }
+        assert_eq!(a.len(), 4, "everything must flow to the free channel");
+    }
+
+    #[test]
+    fn blocks_fairly_when_both_full_then_resumes() {
+        let mut d = Dispatcher::new();
+        let mut input = Fifo::new(16);
+        let (mut a, mut b) = (Fifo::new(1), Fifo::new(1));
+        a.push(7);
+        b.push(8);
+        a.commit();
+        b.commit();
+        input.push(1);
+        input.commit();
+        // Both full: dispatcher must commit to the not-last-served channel
+        // (out1, since last_selection = 0 → scode 0b110 → out2? No:
+        // last = 0 means out1 was last served, so fairness blocks on out2).
+        d.tick(&mut input, &mut a, &mut b);
+        assert_eq!(input.len(), 1, "task not consumed while blocked");
+        // Drain out2; the dispatcher resumes onto it.
+        b.pop();
+        a.commit();
+        b.commit();
+        d.tick(&mut input, &mut a, &mut b);
+        b.commit();
+        input.commit();
+        assert_eq!(b.len(), 1, "unblocked onto the committed channel");
+        assert_eq!(input.len(), 0);
+    }
+
+    #[test]
+    fn nothing_happens_without_input() {
+        let mut d = Dispatcher::new();
+        let mut input: Fifo<u32> = Fifo::new(4);
+        let (mut a, mut b) = (Fifo::new(4), Fifo::new(4));
+        drive(&mut d, &mut input, &mut a, &mut b);
+        assert_eq!(a.len() + b.len(), 0);
+        assert_eq!(d.routed(), 0);
+    }
+
+    #[test]
+    fn conserves_tasks_under_random_backpressure() {
+        let mut d = Dispatcher::new();
+        let mut input = Fifo::new(64);
+        let (mut a, mut b) = (Fifo::new(2), Fifo::new(3));
+        let mut fed = 0u32;
+        let mut drained = Vec::new();
+        for cycle in 0..400 {
+            if fed < 100 && input.can_push() {
+                input.push(fed);
+                fed += 1;
+            }
+            d.tick(&mut input, &mut a, &mut b);
+            // Irregular consumer rates downstream.
+            if cycle % 3 == 0 {
+                if let Some(x) = a.pop() {
+                    drained.push(x);
+                }
+            }
+            if cycle % 5 == 0 {
+                if let Some(x) = b.pop() {
+                    drained.push(x);
+                }
+            }
+            input.commit();
+            a.commit();
+            b.commit();
+        }
+        while let Some(x) = a.pop() {
+            drained.push(x);
+        }
+        while let Some(x) = b.pop() {
+            drained.push(x);
+        }
+        let total = drained.len() + input.len();
+        assert_eq!(total, 100, "no task lost or duplicated");
+        let mut seen = drained.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), drained.len(), "no duplicates");
+    }
+}

@@ -1,0 +1,187 @@
+//! The task Merger — Algorithm VI.2, verbatim.
+
+use grw_sim::Fifo;
+
+/// Merges two input streams into one output under backpressure, with
+/// starvation-free alternation (Algorithm VI.2).
+///
+/// The three-bit `scode` is `{in2.is_empty, in1.is_empty, last_selection}`:
+///
+/// | scode | situation | action |
+/// |---|---|---|
+/// | `0b111`, `0b110` | both empty | nothing |
+/// | `0b10x` | only in1 valid | forward in1 |
+/// | `0b001` | both valid, last served in2 | alternate → in1 |
+/// | others | | forward in2 |
+///
+/// In the scheduler this is module ➋: the recirculated-unfinished-query
+/// stream merges with freshly balanced queries, and the alternation bounds
+/// the worst-case waiting latency of both (§VI-C3).
+///
+/// # Example
+///
+/// ```
+/// use grw_sim::Fifo;
+/// use ridgewalker::scheduler::Merger;
+///
+/// let mut m = Merger::new();
+/// let (mut a, mut b, mut out) = (Fifo::new(4), Fifo::new(4), Fifo::new(4));
+/// a.push(1u32);
+/// b.push(2);
+/// a.commit();
+/// b.commit();
+/// m.tick(&mut a, &mut b, &mut out);
+/// m.tick(&mut a, &mut b, &mut out);
+/// out.commit();
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Merger {
+    /// One-bit state: which input was served most recently (0 = in1).
+    last_selection: u8,
+    merged: u64,
+}
+
+impl Merger {
+    /// Creates a merger with `last_selection = 0` (Line 1 of VI.2).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total tasks forwarded.
+    pub fn merged(&self) -> u64 {
+        self.merged
+    }
+
+    /// One cycle: pick an input per the scode table, forward to `out`.
+    /// A full output exerts backpressure (nothing is consumed).
+    pub fn tick<T>(&mut self, in1: &mut Fifo<T>, in2: &mut Fifo<T>, out: &mut Fifo<T>) {
+        if out.is_full() {
+            return; // blocking_write would stall: consume nothing
+        }
+        let e1 = !in1.can_pop();
+        let e2 = !in2.can_pop();
+        let scode = ((e2 as u8) << 2) | ((e1 as u8) << 1) | (self.last_selection & 1);
+        let choice = match scode {
+            // Both inputs empty.
+            0b111 | 0b110 => return,
+            // Only in1 has valid data; forward it directly.
+            0b101 | 0b100 => 0,
+            // Both valid; alternate to the not-last-served input (in1).
+            0b001 => 0,
+            // Everything else forwards in2 (only-in2-valid and the
+            // both-valid, last-served-in1 alternation case).
+            _ => 1,
+        };
+        let task = if choice == 0 {
+            in1.pop().expect("scode guarantees in1 valid")
+        } else {
+            in2.pop().expect("scode guarantees in2 valid")
+        };
+        let ok = out.push(task);
+        debug_assert!(ok, "output checked not-full");
+        self.last_selection = choice;
+        self.merged += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(m: &mut Merger, a: &mut Fifo<u32>, b: &mut Fifo<u32>, out: &mut Fifo<u32>) {
+        m.tick(a, b, out);
+        a.commit();
+        b.commit();
+        out.commit();
+    }
+
+    #[test]
+    fn alternates_between_busy_inputs() {
+        let mut m = Merger::new();
+        let (mut a, mut b, mut out) = (Fifo::new(8), Fifo::new(8), Fifo::new(16));
+        for i in 0..4u32 {
+            a.push(i * 2); // evens from in1
+            b.push(i * 2 + 1); // odds from in2
+        }
+        a.commit();
+        b.commit();
+        let mut order = Vec::new();
+        for _ in 0..8 {
+            drive(&mut m, &mut a, &mut b, &mut out);
+            while let Some(x) = out.pop() {
+                order.push(x);
+            }
+        }
+        // Strict alternation starting with in2 (last_selection = 0).
+        assert_eq!(order, vec![1, 0, 3, 2, 5, 4, 7, 6]);
+    }
+
+    #[test]
+    fn forwards_the_only_busy_input_at_line_rate() {
+        let mut m = Merger::new();
+        let (mut a, mut b, mut out) = (Fifo::new(8), Fifo::new(8), Fifo::new(16));
+        for i in 0..5u32 {
+            a.push(i);
+        }
+        a.commit();
+        for _ in 0..5 {
+            drive(&mut m, &mut a, &mut b, &mut out);
+        }
+        assert_eq!(out.len(), 5, "no throughput lost to the idle input");
+    }
+
+    #[test]
+    fn respects_output_backpressure() {
+        let mut m = Merger::new();
+        let (mut a, mut b, mut out) = (Fifo::new(8), Fifo::new(8), Fifo::new(1));
+        a.push(1);
+        a.push(2);
+        a.commit();
+        drive(&mut m, &mut a, &mut b, &mut out);
+        drive(&mut m, &mut a, &mut b, &mut out);
+        assert_eq!(out.len(), 1, "full output accepts nothing more");
+        assert_eq!(a.len(), 1, "input not consumed while blocked");
+    }
+
+    #[test]
+    fn empty_inputs_do_nothing() {
+        let mut m = Merger::new();
+        let (mut a, mut b, mut out) = (Fifo::new(2), Fifo::new(2), Fifo::new(2));
+        drive(&mut m, &mut a, &mut b, &mut out);
+        assert_eq!(out.len(), 0);
+        assert_eq!(m.merged(), 0);
+    }
+
+    #[test]
+    fn no_starvation_under_congestion() {
+        // in2 produces every cycle; in1 occasionally. in1 must still get
+        // through within bounded delay (the fairness guarantee).
+        let mut m = Merger::new();
+        let (mut a, mut b, mut out) = (Fifo::new(8), Fifo::new(8), Fifo::new(2));
+        let mut got_from_a = 0u32;
+        let mut fed_b = 0u32;
+        a.push(1000);
+        a.commit();
+        for cycle in 0..100 {
+            if b.can_push() {
+                b.push(fed_b);
+                fed_b += 1;
+            }
+            m.tick(&mut a, &mut b, &mut out);
+            if let Some(x) = out.pop() {
+                if x >= 1000 {
+                    got_from_a += 1;
+                }
+            }
+            a.commit();
+            b.commit();
+            out.commit();
+            if got_from_a > 0 {
+                assert!(cycle < 10, "in1 starved for {cycle} cycles");
+                break;
+            }
+        }
+        assert_eq!(got_from_a, 1);
+    }
+}

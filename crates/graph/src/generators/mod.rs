@@ -1,0 +1,13 @@
+//! Synthetic graph generators.
+//!
+//! * [`rmat`] — the recursive-matrix generator used throughout the paper's
+//!   synthetic evaluation (Fig. 10), with the balanced and Graph500
+//!   initiator presets.
+//! * [`catalog`] — scaled stand-ins for the six real-world datasets of
+//!   Table II (WG, CP, AS, LJ, AB, UK).
+
+pub mod catalog;
+pub mod rmat;
+
+pub use catalog::{Dataset, DatasetSpec, ScaleFactor};
+pub use rmat::RmatConfig;

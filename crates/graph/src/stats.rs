@@ -1,0 +1,184 @@
+//! Graph statistics: the numbers behind Table II.
+
+use crate::{CsrGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Summary statistics of a graph.
+///
+/// # Example
+///
+/// ```
+/// use grw_graph::{CsrGraph, GraphStats};
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], false);
+/// let s = GraphStats::compute(&g);
+/// assert_eq!(s.vertices, 4);
+/// assert_eq!(s.approx_diameter, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Directed edge count as stored.
+    pub edges: usize,
+    /// Mean out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: u32,
+    /// Vertices with zero out-degree.
+    pub dead_ends: usize,
+    /// `dead_ends / vertices`.
+    pub dead_end_fraction: f64,
+    /// Diameter estimate by double-sweep BFS on the undirected view.
+    pub approx_diameter: u32,
+}
+
+impl GraphStats {
+    /// Computes all statistics. Cost is O(V + E) plus two BFS sweeps.
+    pub fn compute(graph: &CsrGraph) -> Self {
+        let vertices = graph.vertex_count();
+        let edges = graph.edge_count();
+        let mut max_degree = 0u32;
+        let mut dead_ends = 0usize;
+        for v in 0..vertices as VertexId {
+            let d = graph.degree(v);
+            max_degree = max_degree.max(d);
+            if d == 0 {
+                dead_ends += 1;
+            }
+        }
+        Self {
+            vertices,
+            edges,
+            avg_degree: if vertices == 0 {
+                0.0
+            } else {
+                edges as f64 / vertices as f64
+            },
+            max_degree,
+            dead_ends,
+            dead_end_fraction: if vertices == 0 {
+                0.0
+            } else {
+                dead_ends as f64 / vertices as f64
+            },
+            approx_diameter: approx_diameter(graph),
+        }
+    }
+}
+
+/// Estimates the diameter with the double-sweep heuristic on the
+/// undirected view of the graph: BFS from an arbitrary vertex to its
+/// farthest reachable vertex `u`, then BFS from `u`; the second
+/// eccentricity lower-bounds the diameter and is usually tight on
+/// small-world graphs.
+pub fn approx_diameter(graph: &CsrGraph) -> u32 {
+    let n = graph.vertex_count();
+    if n == 0 || graph.edge_count() == 0 {
+        return 0;
+    }
+    // Undirected view needs in-neighbors; build a reverse adjacency once.
+    let mut rev_deg = vec![0u32; n];
+    for v in 0..n as VertexId {
+        for &w in graph.neighbors(v) {
+            rev_deg[w as usize] += 1;
+        }
+    }
+    let mut rev_ptr = vec![0usize; n + 1];
+    for i in 0..n {
+        rev_ptr[i + 1] = rev_ptr[i] + rev_deg[i] as usize;
+    }
+    let mut rev_col = vec![0 as VertexId; graph.edge_count()];
+    let mut cursor = rev_ptr.clone();
+    for v in 0..n as VertexId {
+        for &w in graph.neighbors(v) {
+            rev_col[cursor[w as usize]] = v;
+            cursor[w as usize] += 1;
+        }
+    }
+
+    let bfs = |start: VertexId| -> (VertexId, u32) {
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[start as usize] = 0;
+        queue.push_back(start);
+        let mut far = (start, 0u32);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v as usize];
+            if d > far.1 {
+                far = (v, d);
+            }
+            let forward = graph.neighbors(v).iter().copied();
+            let backward =
+                rev_col[rev_ptr[v as usize]..rev_ptr[v as usize + 1]].iter().copied();
+            for w in forward.chain(backward) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = d + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        far
+    };
+
+    // Start from a vertex that has any incident edge.
+    let start = (0..n as VertexId)
+        .find(|&v| graph.degree(v) > 0 || rev_ptr[v as usize + 1] > rev_ptr[v as usize])
+        .unwrap_or(0);
+    let (u, _) = bfs(start);
+    let (_, ecc) = bfs(u);
+    ecc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{Dataset, RmatConfig, ScaleFactor};
+
+    #[test]
+    fn path_graph_diameter() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)], true);
+        // Directed path, but diameter uses the undirected view.
+        assert_eq!(approx_diameter(&g), 4);
+    }
+
+    #[test]
+    fn star_graph_diameter_is_two() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)], true);
+        assert_eq!(approx_diameter(&g), 2);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_diameter() {
+        let g = CsrGraph::from_edges(3, &[], true);
+        assert_eq!(approx_diameter(&g), 0);
+    }
+
+    #[test]
+    fn stats_fields_are_consistent() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)], true);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.dead_ends, 3);
+        assert!((s.avg_degree - 0.75).abs() < 1e-9);
+        assert!((s.dead_end_fraction - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmat_stats_are_sane() {
+        let g = RmatConfig::graph500(10, 8).seed(2).generate();
+        let s = GraphStats::compute(&g);
+        assert!(s.max_degree > 8, "skewed graph should have hubs");
+        assert!(s.approx_diameter >= 2);
+    }
+
+    #[test]
+    fn web_standin_is_skewed_like_a_web_graph() {
+        let g = Dataset::Arabic2005.generate(ScaleFactor::Tiny);
+        let s = GraphStats::compute(&g);
+        // Hubs should be much larger than the mean degree.
+        assert!(f64::from(s.max_degree) > 10.0 * s.avg_degree);
+    }
+}

@@ -1,0 +1,194 @@
+//! Graph transformations: reversal, symmetrisation, subgraphs.
+//!
+//! Used by the harness (in-degree-ranked caches need the reverse view),
+//! the diameter estimator, and downstream users preparing datasets.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// The reverse graph: every edge `u → v` becomes `v → u`.
+///
+/// Weights follow their edges; vertex types are preserved.
+///
+/// # Example
+///
+/// ```
+/// use grw_graph::{transform, CsrGraph};
+///
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2)], true);
+/// let r = transform::reverse(&g);
+/// assert_eq!(r.neighbors(1), &[0]);
+/// assert_eq!(r.degree(0), 0);
+/// ```
+pub fn reverse(graph: &CsrGraph) -> CsrGraph {
+    let n = graph.vertex_count();
+    let mut b = GraphBuilder::new(n);
+    b.keep_self_loops(true);
+    for v in 0..n as VertexId {
+        for &w in graph.neighbors(v) {
+            b.add_edge(w, v);
+        }
+    }
+    let mut out = b.build();
+    if graph.is_weighted() {
+        // Weight of reversed edge (w, v) = weight of original (v, w).
+        let src = graph.clone();
+        out = out.with_weights(move |w, v, _| {
+            let ns = src.neighbors(v);
+            let i = ns.binary_search(&w).expect("edge exists in the original");
+            src.neighbor_weights(v).expect("weighted")[i]
+        });
+    }
+    if graph.is_typed() {
+        let src = graph.clone();
+        out = out.with_vertex_types(move |v| src.vertex_type(v).expect("typed"));
+    }
+    out
+}
+
+/// The symmetrised (undirected) view: edges in both directions.
+pub fn symmetrize(graph: &CsrGraph) -> CsrGraph {
+    let n = graph.vertex_count();
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as VertexId {
+        for &w in graph.neighbors(v) {
+            b.add_edge(v, w);
+        }
+    }
+    b.directed(false).build()
+}
+
+/// The induced subgraph on `vertices` (relabelled 0..k in the given
+/// order). Returns the subgraph and the mapping from new to old ids.
+///
+/// # Panics
+///
+/// Panics if `vertices` contains duplicates or out-of-range ids.
+pub fn induced_subgraph(graph: &CsrGraph, vertices: &[VertexId]) -> (CsrGraph, Vec<VertexId>) {
+    let n = graph.vertex_count();
+    let mut new_id = vec![u32::MAX; n];
+    for (i, &v) in vertices.iter().enumerate() {
+        assert!((v as usize) < n, "vertex {v} out of range");
+        assert!(new_id[v as usize] == u32::MAX, "duplicate vertex {v}");
+        new_id[v as usize] = i as u32;
+    }
+    let mut b = GraphBuilder::new(vertices.len());
+    for &v in vertices {
+        for &w in graph.neighbors(v) {
+            let nw = new_id[w as usize];
+            if nw != u32::MAX {
+                b.add_edge(new_id[v as usize], nw);
+            }
+        }
+    }
+    b.directed(graph.is_directed());
+    (b.build(), vertices.to_vec())
+}
+
+/// In-degrees of every vertex (one O(E) pass).
+pub fn in_degrees(graph: &CsrGraph) -> Vec<u32> {
+    let mut deg = vec![0u32; graph.vertex_count()];
+    for &w in graph.column_list() {
+        deg[w as usize] += 1;
+    }
+    deg
+}
+
+/// Out-degree histogram: `hist[k]` = number of vertices with degree in
+/// `[2^k, 2^(k+1))`; `hist[0]` counts degree 0 and 1.
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in 0..graph.vertex_count() as VertexId {
+        let d = graph.degree(v);
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (32 - d.leading_zeros()) as usize - 1
+        };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights;
+
+    fn sample() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (3, 0)], true)
+    }
+
+    #[test]
+    fn reverse_flips_every_edge() {
+        let g = sample();
+        let r = reverse(&g);
+        assert_eq!(r.edge_count(), g.edge_count());
+        for v in 0..4u32 {
+            for &w in g.neighbors(v) {
+                assert!(r.has_edge(w, v), "missing reversed {w}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_reverse_is_identity() {
+        let g = sample();
+        assert_eq!(reverse(&reverse(&g)), g);
+    }
+
+    #[test]
+    fn reverse_carries_weights() {
+        let g = sample().with_weights(weights::thunder_rw(1));
+        let r = reverse(&g);
+        for v in 0..4u32 {
+            let ns = g.neighbors(v);
+            let ws = g.neighbor_weights(v).unwrap();
+            for (i, &w) in ns.iter().enumerate() {
+                let back = r.neighbors(w).binary_search(&v).unwrap();
+                assert_eq!(r.neighbor_weights(w).unwrap()[back], ws[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_makes_edges_bidirectional() {
+        let s = symmetrize(&sample());
+        assert!(s.has_edge(1, 0) && s.has_edge(0, 1));
+        assert!(!s.is_directed());
+        assert_eq!(s.dead_end_count(), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = sample();
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(map, vec![0, 1, 2]);
+        assert!(sub.has_edge(0, 1) && sub.has_edge(0, 2) && sub.has_edge(1, 2));
+        assert_eq!(sub.edge_count(), 3, "edge from 3 must be dropped");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_vertices_panic() {
+        let _ = induced_subgraph(&sample(), &[0, 0]);
+    }
+
+    #[test]
+    fn in_degrees_count_incoming() {
+        let d = in_degrees(&sample());
+        assert_eq!(d, vec![1, 1, 2, 0]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 0)], true);
+        let h = degree_histogram(&g);
+        // degree 5 → bucket 2; degree 1 → bucket 0; degree 0 ×4 → bucket 0.
+        assert_eq!(h[0], 5);
+        assert_eq!(h[2], 1);
+    }
+}

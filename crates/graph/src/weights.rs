@@ -1,0 +1,117 @@
+//! Edge-weight and vertex-type generators.
+//!
+//! The paper generates edge weights "according to the ThunderRW method"
+//! (Sun et al., VLDB'21): every edge receives an independent uniform weight.
+//! We draw from `[1, 5)`, which keeps weights strictly positive (no
+//! degenerate alias tables) and gives reservoir sampling a non-trivial
+//! distribution to work against.
+
+use crate::VertexId;
+use grw_rng::{RandomSource, SplitMix64};
+
+/// Returns a weight generator implementing the ThunderRW scheme: i.i.d.
+/// uniform weights in `[1, 5)`, keyed deterministically by the edge.
+///
+/// # Example
+///
+/// ```
+/// use grw_graph::{weights, CsrGraph};
+///
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)], true)
+///     .with_weights(weights::thunder_rw(42));
+/// let w = g.neighbor_weights(0).unwrap()[0];
+/// assert!((1.0..5.0).contains(&w));
+/// ```
+pub fn thunder_rw(seed: u64) -> impl FnMut(VertexId, VertexId, usize) -> f32 {
+    uniform(seed, 1.0, 5.0)
+}
+
+/// Returns a generator of i.i.d. uniform weights in `[lo, hi)`.
+///
+/// Weights are a pure function of `(seed, src, dst)` so regenerating the
+/// same graph yields identical weights regardless of edge insertion order.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(seed: u64, lo: f32, hi: f32) -> impl FnMut(VertexId, VertexId, usize) -> f32 {
+    assert!(lo < hi, "empty weight range");
+    move |src, dst, _| {
+        let key = SplitMix64::mix(seed ^ ((u64::from(src) << 32) | u64::from(dst)));
+        let mut g = SplitMix64::new(key);
+        lo + (hi - lo) * g.next_f64() as f32
+    }
+}
+
+/// Returns a vertex-type assigner cycling deterministically through
+/// `num_types` labels — the heterogeneous-graph labelling used by MetaPath
+/// walks.
+pub fn round_robin_types(num_types: u8) -> impl FnMut(VertexId) -> u8 {
+    assert!(num_types > 0, "need at least one type");
+    move |v| (v % u32::from(num_types)) as u8
+}
+
+/// Returns a pseudo-random vertex-type assigner (uniform over labels).
+pub fn random_types(num_types: u8, seed: u64) -> impl FnMut(VertexId) -> u8 {
+    assert!(num_types > 0, "need at least one type");
+    move |v| (SplitMix64::mix(seed ^ u64::from(v)) % u64::from(num_types)) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrGraph;
+
+    #[test]
+    fn thunder_rw_weights_in_range() {
+        let g = CsrGraph::from_edges(10, &[(0, 1), (0, 2), (3, 4), (5, 6)], true)
+            .with_weights(thunder_rw(1));
+        for v in 0..10u32 {
+            for &w in g.neighbor_weights(v).unwrap() {
+                assert!((1.0..5.0).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn weights_are_edge_keyed() {
+        // Same edge set added in different orders → identical weights.
+        let a = CsrGraph::from_edges(3, &[(0, 1), (0, 2)], true).with_weights(thunder_rw(9));
+        let b = CsrGraph::from_edges(3, &[(0, 2), (0, 1)], true).with_weights(thunder_rw(9));
+        assert_eq!(a.neighbor_weights(0), b.neighbor_weights(0));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut f = uniform(3, 10.0, 11.0);
+        for v in 0..100u32 {
+            let w = f(v, v + 1, 0);
+            assert!((10.0..11.0).contains(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weight range")]
+    fn inverted_range_panics() {
+        let _ = uniform(0, 2.0, 1.0);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut f = round_robin_types(3);
+        assert_eq!(f(0), 0);
+        assert_eq!(f(1), 1);
+        assert_eq!(f(2), 2);
+        assert_eq!(f(3), 0);
+    }
+
+    #[test]
+    fn random_types_cover_labels() {
+        let mut f = random_types(4, 8);
+        let mut seen = [false; 4];
+        for v in 0..200u32 {
+            seen[f(v) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,34 @@
+//! Queueing theory behind RidgeWalker's zero-bubble scheduler (§VI).
+//!
+//! The paper models the scheduler as an `M/M/1[N]` bulk-service queue: tasks
+//! arrive Poisson(λ), service is exponential(μ), and the single
+//! scheduler/balancer "server" dispatches up to `N` tasks per decision epoch
+//! — one per asynchronous pipeline. Feedback (FIFO full/empty wires) reaches
+//! the scheduler only after a delay of up to `C` cycles, and Theorem VI.1
+//! (after Lu et al.) gives the buffer depth that keeps every pipeline busy
+//! despite that delay:
+//!
+//! ```text
+//! D = N + O(μ · C_max · N)
+//! ```
+//!
+//! This crate provides all three pieces:
+//!
+//! * [`BulkQueueModel`] — the analytic `M/M/1[N]` stationary distribution
+//!   and derived metrics;
+//! * [`processes`] — Poisson arrival and exponential service generators;
+//! * [`buffer_bound`] — the Theorem VI.1 depth formulas **and** a
+//!   slotted-cycle simulator with delayed feedback that verifies them
+//!   empirically (used by the `repro theorem` experiment).
+
+pub mod buffer_bound;
+mod mm1n;
+mod mmn;
+pub mod processes;
+
+pub use buffer_bound::{
+    required_depth_per_server, ridgewalker_fifo_depth, scheduler_feedback_delay,
+    simulate as simulate_feedback, ArrivalModel, FeedbackSimConfig, FeedbackSimReport,
+};
+pub use mm1n::BulkQueueModel;
+pub use mmn::MmnQueue;

@@ -1,0 +1,213 @@
+//! Analytic `M/M/1[N]` bulk-service queue.
+//!
+//! States count tasks in the system. Arrivals occur at rate λ (one task);
+//! the single bulk server, when busy, completes a batch at rate μ, removing
+//! `min(n, N)` tasks at once. The chain is not birth–death (downward jumps
+//! of size up to `N`), so the stationary distribution is computed by
+//! uniformisation + power iteration on a truncated state space.
+
+/// The `M/M/1[N]` model of the zero-bubble scheduler.
+///
+/// # Example
+///
+/// ```
+/// use grw_queueing::BulkQueueModel;
+///
+/// let q = BulkQueueModel::new(3.0, 1.0, 4); // λ=3, μ=1, batch 4 → stable
+/// assert!(q.is_stable());
+/// let pi = q.stationary(256);
+/// assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BulkQueueModel {
+    /// Poisson arrival rate λ.
+    pub lambda: f64,
+    /// Exponential batch-service rate μ.
+    pub mu: f64,
+    /// Maximum batch size `N` (the pipeline count).
+    pub batch: usize,
+}
+
+impl BulkQueueModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate is not positive or `batch == 0`.
+    pub fn new(lambda: f64, mu: f64, batch: usize) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0, "rates must be positive");
+        assert!(batch > 0, "batch size must be positive");
+        Self { lambda, mu, batch }
+    }
+
+    /// Offered load ρ = λ / (N·μ); the queue is stable iff ρ < 1.
+    pub fn load(&self) -> f64 {
+        self.lambda / (self.mu * self.batch as f64)
+    }
+
+    /// Whether the queue has a stationary distribution.
+    pub fn is_stable(&self) -> bool {
+        self.load() < 1.0
+    }
+
+    /// Stationary distribution over `0..truncation` tasks-in-system.
+    ///
+    /// Uses uniformisation: `P = I + Q/Λ` with `Λ = λ + μ`, iterated until
+    /// the L1 change drops below 1e-12 (or 200k sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truncation < batch + 1` or the model is unstable.
+    pub fn stationary(&self, truncation: usize) -> Vec<f64> {
+        assert!(
+            truncation > self.batch,
+            "truncation must exceed the batch size"
+        );
+        assert!(self.is_stable(), "unstable queue has no stationary law");
+        let k = truncation;
+        let cap = self.lambda + self.mu;
+        let a = self.lambda / cap; // arrival jump probability
+        let s = self.mu / cap; // service jump probability
+        let mut pi = vec![0.0f64; k];
+        pi[0] = 1.0;
+        let mut next = vec![0.0f64; k];
+        for _ in 0..200_000 {
+            next.iter_mut().for_each(|x| *x = 0.0);
+            for n in 0..k {
+                let p = pi[n];
+                if p == 0.0 {
+                    continue;
+                }
+                // Arrival: n -> n+1 (reflected at the truncation boundary).
+                let up = if n + 1 < k { n + 1 } else { n };
+                next[up] += p * a;
+                // Service: n -> n - min(n, N); state 0 self-loops.
+                let down = n.saturating_sub(self.batch);
+                next[down] += p * s;
+            }
+            let delta: f64 = pi.iter().zip(&next).map(|(x, y)| (x - y).abs()).sum();
+            std::mem::swap(&mut pi, &mut next);
+            if delta < 1e-12 {
+                break;
+            }
+        }
+        let total: f64 = pi.iter().sum();
+        for x in &mut pi {
+            *x /= total;
+        }
+        pi
+    }
+
+    /// P(system empty) under the stationary law.
+    pub fn idle_probability(&self, truncation: usize) -> f64 {
+        self.stationary(truncation)[0]
+    }
+
+    /// Server utilization: probability the bulk server is busy.
+    pub fn utilization(&self, truncation: usize) -> f64 {
+        1.0 - self.idle_probability(truncation)
+    }
+
+    /// Mean number of tasks in the system.
+    pub fn mean_in_system(&self, truncation: usize) -> f64 {
+        self.stationary(truncation)
+            .iter()
+            .enumerate()
+            .map(|(n, p)| n as f64 * p)
+            .sum()
+    }
+
+    /// Mean batch actually served per service completion,
+    /// `E[min(n, N) | n > 0]`-weighted: the effective parallelism the
+    /// scheduler extracts from the pipelines.
+    pub fn mean_served_batch(&self, truncation: usize) -> f64 {
+        let pi = self.stationary(truncation);
+        let busy: f64 = pi.iter().skip(1).sum();
+        if busy == 0.0 {
+            return 0.0;
+        }
+        pi.iter()
+            .enumerate()
+            .skip(1)
+            .map(|(n, p)| n.min(self.batch) as f64 * p)
+            .sum::<f64>()
+            / busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// With batch = 1 the model degenerates to M/M/1, whose stationary law
+    /// is geometric: π_n = (1-ρ) ρ^n.
+    #[test]
+    fn batch_one_matches_mm1_closed_form() {
+        let q = BulkQueueModel::new(0.6, 1.0, 1);
+        let pi = q.stationary(400);
+        let rho: f64 = 0.6;
+        for n in 0..10 {
+            let expect = (1.0 - rho) * rho.powi(n as i32);
+            assert!(
+                (pi[n] - expect).abs() < 1e-6,
+                "pi[{n}] = {}, want {expect}",
+                pi[n]
+            );
+        }
+        assert!((q.utilization(400) - rho).abs() < 1e-6);
+        // M/M/1 mean L = ρ/(1-ρ) = 1.5.
+        assert!((q.mean_in_system(400) - 1.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let q = BulkQueueModel::new(2.5, 1.0, 4);
+        let pi = q.stationary(256);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn bigger_batches_drain_the_queue() {
+        let small = BulkQueueModel::new(3.0, 1.0, 4);
+        let large = BulkQueueModel::new(3.0, 1.0, 16);
+        assert!(
+            large.mean_in_system(512) < small.mean_in_system(512),
+            "larger batch should shorten the queue"
+        );
+    }
+
+    #[test]
+    fn heavier_load_raises_utilization() {
+        let light = BulkQueueModel::new(1.0, 1.0, 8);
+        let heavy = BulkQueueModel::new(7.0, 1.0, 8);
+        assert!(heavy.utilization(512) > light.utilization(512));
+        assert!(heavy.load() < 1.0 && heavy.is_stable());
+    }
+
+    #[test]
+    fn mean_served_batch_grows_with_load() {
+        let light = BulkQueueModel::new(0.5, 1.0, 8);
+        let heavy = BulkQueueModel::new(7.5, 1.0, 8);
+        assert!(heavy.mean_served_batch(1024) > light.mean_served_batch(1024));
+        assert!(heavy.mean_served_batch(1024) <= 8.0);
+    }
+
+    #[test]
+    fn instability_is_detected() {
+        let q = BulkQueueModel::new(5.0, 1.0, 4);
+        assert!(!q.is_stable());
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn stationary_of_unstable_queue_panics() {
+        let _ = BulkQueueModel::new(5.0, 1.0, 4).stationary(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be positive")]
+    fn zero_rate_panics() {
+        let _ = BulkQueueModel::new(0.0, 1.0, 4);
+    }
+}

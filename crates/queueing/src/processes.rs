@@ -1,0 +1,143 @@
+//! Stochastic arrival and service processes.
+//!
+//! The `M/M/1[N]` model assumes Poisson task injection and exponential
+//! service; these generators realise both for the simulators and make the
+//! assumptions testable (exponential interarrivals, Poisson counts).
+
+use grw_rng::{dist, SplitMix64};
+
+/// A Poisson arrival process with the given rate (events per unit time).
+///
+/// # Example
+///
+/// ```
+/// use grw_queueing::processes::PoissonProcess;
+///
+/// let mut p = PoissonProcess::new(2.0, 7);
+/// let t1 = p.next_arrival();
+/// let t2 = p.next_arrival();
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate: f64,
+    clock: f64,
+    rng: SplitMix64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with `rate > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Self {
+            rate,
+            clock: 0.0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Absolute time of the next arrival (monotonically increasing).
+    pub fn next_arrival(&mut self) -> f64 {
+        self.clock += dist::exponential(&mut self.rng, self.rate);
+        self.clock
+    }
+
+    /// Number of arrivals in a window of length `dt` (restarts the count
+    /// each call; used for slotted-time simulation).
+    pub fn arrivals_in(&mut self, dt: f64) -> u64 {
+        dist::poisson(&mut self.rng, self.rate * dt)
+    }
+}
+
+/// An exponential service-time sampler with rate μ.
+#[derive(Debug, Clone)]
+pub struct ExponentialService {
+    mu: f64,
+    rng: SplitMix64,
+}
+
+impl ExponentialService {
+    /// Creates a sampler with `mu > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is not positive.
+    pub fn new(mu: f64, seed: u64) -> Self {
+        assert!(mu > 0.0, "service rate must be positive");
+        Self {
+            mu,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Samples one service duration.
+    pub fn next_service(&mut self) -> f64 {
+        dist::exponential(&mut self.rng, self.mu)
+    }
+
+    /// Per-cycle completion probability of the discretised (geometric)
+    /// service used by the slotted simulator: `1 - exp(-mu)` per unit slot.
+    pub fn per_cycle_probability(&self) -> f64 {
+        1.0 - (-self.mu).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interarrival_mean_is_inverse_rate() {
+        let mut p = PoissonProcess::new(4.0, 1);
+        let n = 40_000;
+        let mut prev = 0.0;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let t = p.next_arrival();
+            sum += t - prev;
+            prev = t;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean gap {mean}");
+    }
+
+    #[test]
+    fn windowed_counts_match_rate() {
+        let mut p = PoissonProcess::new(3.0, 2);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.arrivals_in(1.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean count {mean}");
+    }
+
+    #[test]
+    fn service_mean_is_inverse_mu() {
+        let mut s = ExponentialService::new(2.0, 3);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| s.next_service()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean service {mean}");
+    }
+
+    #[test]
+    fn per_cycle_probability_is_consistent() {
+        let s = ExponentialService::new(1.0, 0);
+        let p = s.per_cycle_probability();
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_process_panics() {
+        let _ = PoissonProcess::new(0.0, 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The ThundeRiNG multi-stream generator.
+//!
+//! ThundeRiNG (Tan et al., ICS'21 — the RNG RidgeWalker instantiates next to
+//! every sampling module) generates `S` statistically independent sequences
+//! from a *single* shared state-transition core: one LCG update per cycle is
+//! broadcast to `S` lightweight per-stream decorrelators, each consisting of
+//! a unique Weyl increment plus an xorshift output permutation. On the FPGA
+//! this costs one DSP multiplier total plus a few LUTs per stream; here it
+//! means `S` streams share one `Lcg64` update per draw round.
+
+use crate::{Lcg64, RandomSource, SplitMix64, XorShift64Star};
+
+/// One decorrelated output stream of a [`ThunderRing`].
+///
+/// A stream owns its Weyl counter and xorshift register; it consumes raw
+/// core states pushed by the ring. `StreamRng` is also usable standalone by
+/// driving it with [`StreamRng::absorb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamRng {
+    /// Per-stream Weyl increment (odd, unique per stream).
+    increment: u64,
+    /// Weyl accumulator.
+    weyl: u64,
+    /// xorshift decorrelation register.
+    xs: u64,
+    /// Last absorbed core state.
+    core: u64,
+}
+
+impl StreamRng {
+    /// Creates a stream with the given unique odd increment.
+    pub fn new(stream_id: u64, seed: u64) -> Self {
+        let mixed = SplitMix64::mix(seed ^ stream_id.wrapping_mul(0xA24B_AED4_963E_E407));
+        Self {
+            increment: (stream_id << 1) | 1,
+            weyl: mixed,
+            xs: if mixed == 0 { 1 } else { mixed },
+            core: SplitMix64::mix(seed),
+        }
+    }
+
+    /// Feeds one shared core state into the stream (the hardware broadcast).
+    pub fn absorb(&mut self, core_state: u64) {
+        self.core = core_state;
+    }
+
+    fn output(&mut self) -> u64 {
+        // Weyl sequence: s_i(t) = t * increment_i, full period, distinct per
+        // stream; combined with the shared core and passed through xorshift.
+        self.weyl = self.weyl.wrapping_add(self.increment.wrapping_mul(SplitMix64::GAMMA));
+        self.xs = XorShift64Star::step(self.xs);
+        SplitMix64::mix(self.core ^ self.weyl).wrapping_add(self.xs)
+    }
+}
+
+impl RandomSource for StreamRng {
+    fn next_u64(&mut self) -> u64 {
+        self.output()
+    }
+}
+
+/// The multi-stream ring: one shared LCG core feeding `S` streams.
+///
+/// # Example
+///
+/// ```
+/// use grw_rng::{RandomSource, ThunderRing};
+///
+/// let mut ring = ThunderRing::new(1, 8);
+/// assert_eq!(ring.streams(), 8);
+/// let x = ring.stream_mut(5).next_u64();
+/// let y = ring.stream_mut(5).next_u64();
+/// assert_ne!(x, y);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThunderRing {
+    core: Lcg64,
+    streams: Vec<StreamRng>,
+}
+
+impl ThunderRing {
+    /// Creates a ring with `streams` decorrelated outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams == 0`.
+    pub fn new(seed: u64, streams: usize) -> Self {
+        assert!(streams > 0, "a ThunderRing needs at least one stream");
+        let core = Lcg64::new(SplitMix64::mix(seed));
+        let streams = (0..streams as u64)
+            .map(|i| StreamRng::new(i, seed))
+            .collect();
+        Self { core, streams }
+    }
+
+    /// Number of streams in the ring.
+    pub fn streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Advances the shared core once and broadcasts it to all streams.
+    ///
+    /// Models one hardware cycle of the generator. Call before draining each
+    /// stream's output in lock-step designs; `stream_mut` also advances the
+    /// core lazily, so calling this is optional for software use.
+    pub fn tick(&mut self) {
+        let state = self.core.next_u64();
+        for s in &mut self.streams {
+            s.absorb(state);
+        }
+    }
+
+    /// Mutable access to stream `i`, advancing the shared core first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.streams()`.
+    pub fn stream_mut(&mut self, i: usize) -> &mut StreamRng {
+        let state = self.core.next_u64();
+        let s = &mut self.streams[i];
+        s.absorb(state);
+        s
+    }
+
+    /// Draws one value from stream `i` (convenience for `stream_mut(i).next_u64()`).
+    pub fn draw(&mut self, i: usize) -> u64 {
+        self.stream_mut(i).next_u64()
+    }
+}
+
+impl RandomSource for ThunderRing {
+    /// Draws from stream 0; lets a whole ring act as a scalar source.
+    fn next_u64(&mut self) -> u64 {
+        self.draw(0)
+    }
+}
+
+/// Pearson correlation between two equal-length u64 sequences, mapped to
+/// [0,1) floats. Used by the independence tests and exposed for reuse.
+pub fn correlation(xs: &[u64], ys: &[u64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let to_f = |v: u64| (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let n = xs.len() as f64;
+    let mx = xs.iter().map(|&x| to_f(x)).sum::<f64>() / n;
+    let my = ys.iter().map(|&y| to_f(y)).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = to_f(x) - mx;
+        let dy = to_f(y) - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_panics() {
+        let _ = ThunderRing::new(1, 0);
+    }
+
+    #[test]
+    fn ring_is_deterministic() {
+        let mut a = ThunderRing::new(77, 4);
+        let mut b = ThunderRing::new(77, 4);
+        for i in 0..4 {
+            assert_eq!(a.draw(i), b.draw(i));
+        }
+    }
+
+    #[test]
+    fn streams_differ_from_each_other() {
+        let mut ring = ThunderRing::new(5, 8);
+        let mut outs: Vec<Vec<u64>> = Vec::new();
+        for i in 0..8 {
+            outs.push((0..64).map(|_| ring.draw(i)).collect());
+        }
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_ne!(outs[i], outs[j], "streams {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn inter_stream_correlation_is_low() {
+        let mut ring = ThunderRing::new(31, 2);
+        let n = 20_000;
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            ring.tick();
+            xs.push(ring.streams[0].next_u64());
+            ys.push(ring.streams[1].next_u64());
+        }
+        let r = correlation(&xs, &ys);
+        assert!(r.abs() < 0.03, "cross-stream correlation {r} too high");
+    }
+
+    #[test]
+    fn lagged_self_correlation_is_low() {
+        let mut ring = ThunderRing::new(13, 1);
+        let n = 20_000;
+        let seq: Vec<u64> = (0..n + 1).map(|_| ring.draw(0)).collect();
+        let r = correlation(&seq[..n], &seq[1..]);
+        assert!(r.abs() < 0.03, "lag-1 autocorrelation {r} too high");
+    }
+
+    #[test]
+    fn stream_mean_is_balanced() {
+        let mut ring = ThunderRing::new(2, 3);
+        let mean: f64 = (0..30_000).map(|_| {
+            let v = ring.draw(1);
+            (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        })
+        .sum::<f64>()
+            / 30_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn correlation_of_identical_sequences_is_one() {
+        let xs: Vec<u64> = (0..100).map(|i| SplitMix64::mix(i)).collect();
+        let r = correlation(&xs, &xs);
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+}

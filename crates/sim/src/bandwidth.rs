@@ -1,0 +1,108 @@
+//! Peak random-access bandwidth per Eq. (1) of the paper.
+//!
+//! ```text
+//! B_peak = f_mem / t_RRD × N_chn × 64-bit / 8
+//! ```
+//!
+//! Every GRW access is assumed to miss the DRAM row buffer, so the
+//! row-to-row activation delay `t_RRD` — not the burst rate — limits random
+//! throughput. The platform presets store the effective `f_mem / t_RRD`
+//! directly as `random_mtps_per_channel`; the helpers here convert between
+//! transaction rates, byte rates and step rates.
+
+use crate::platform::PlatformSpec;
+
+/// Eq. (1): peak random-access bandwidth in GB/s from first principles.
+///
+/// `f_mem_mhz / t_rrd_ns` is evaluated with units made explicit:
+/// one activation per `t_RRD` per channel, each moving a 64-bit word.
+///
+/// # Panics
+///
+/// Panics if `t_rrd_ns` is not positive.
+///
+/// # Example
+///
+/// ```
+/// // HBM2-like: effective tRRD ≈ 6.67 ns → 150 Mtxn/s/channel; 32 channels.
+/// let gbs = grw_sim::bandwidth::peak_random_bandwidth_gbs(6.67, 32);
+/// assert!((gbs - 38.4).abs() < 0.5);
+/// ```
+pub fn peak_random_bandwidth_gbs(t_rrd_ns: f64, channels: u32) -> f64 {
+    assert!(t_rrd_ns > 0.0, "tRRD must be positive");
+    let txn_per_sec_per_channel = 1.0e9 / t_rrd_ns; // one activation per tRRD
+    txn_per_sec_per_channel * f64::from(channels) * 8.0 / 1.0e9
+}
+
+/// Converts a step rate (MStep/s) into effective bandwidth (GB/s), counting
+/// `bytes_per_step` of traversed-edge footprint — the measurement definition
+/// of Sec. III-B.
+pub fn msteps_to_gbs(msteps: f64, bytes_per_step: f64) -> f64 {
+    msteps * bytes_per_step / 1000.0
+}
+
+/// Bandwidth utilization `B_measured / B_peak`, clamped to `[0, 1]`.
+pub fn utilization(measured_gbs: f64, peak_gbs: f64) -> f64 {
+    if peak_gbs <= 0.0 {
+        0.0
+    } else {
+        (measured_gbs / peak_gbs).clamp(0.0, 1.0)
+    }
+}
+
+/// Effective `t_RRD` implied by a platform's calibrated per-channel rate.
+pub fn effective_t_rrd_ns(spec: &PlatformSpec) -> f64 {
+    1.0e3 / spec.random_mtps_per_channel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::FpgaPlatform;
+
+    #[test]
+    fn eq1_matches_platform_presets() {
+        for p in FpgaPlatform::all() {
+            let spec = p.spec();
+            let from_eq1 =
+                peak_random_bandwidth_gbs(effective_t_rrd_ns(&spec), spec.channels);
+            let from_spec = spec.peak_random_bandwidth_gbs();
+            assert!(
+                (from_eq1 - from_spec).abs() < 1e-6,
+                "{}: {from_eq1} vs {from_spec}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn random_peak_is_far_below_sequential() {
+        // The central premise of the paper: random-access peak is a small
+        // fraction of the quoted sequential bandwidth.
+        for p in FpgaPlatform::all() {
+            let spec = p.spec();
+            assert!(
+                spec.peak_random_bandwidth_gbs() < 0.55 * spec.seq_bandwidth_gbs,
+                "{}: random {} vs seq {}",
+                spec.name,
+                spec.peak_random_bandwidth_gbs(),
+                spec.seq_bandwidth_gbs
+            );
+        }
+    }
+
+    #[test]
+    fn conversions_are_consistent() {
+        let gbs = msteps_to_gbs(1000.0, 16.0);
+        assert!((gbs - 16.0).abs() < 1e-9);
+        assert!((utilization(8.0, 16.0) - 0.5).abs() < 1e-9);
+        assert_eq!(utilization(32.0, 16.0), 1.0, "clamped");
+        assert_eq!(utilization(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tRRD must be positive")]
+    fn zero_t_rrd_panics() {
+        let _ = peak_random_bandwidth_gbs(0.0, 4);
+    }
+}

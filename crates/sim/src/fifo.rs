@@ -1,0 +1,232 @@
+//! Bounded hardware FIFO with two-phase commit.
+
+use std::collections::VecDeque;
+
+/// A registered hardware FIFO.
+///
+/// During a cycle, producers [`push`](Fifo::push) and consumers
+/// [`pop`](Fifo::pop) freely; pushed values are *staged* and only become
+/// poppable after [`commit`](Fifo::commit) — the register update at the
+/// clock edge. Capacity counts staged plus stored elements, so a producer
+/// can never overfill the FIFO within a cycle.
+///
+/// The paper implements shallow inter-module FIFOs in LUTs and deeper ones
+/// (metadata queues, scheduler buffers) in BRAM; both behave like this.
+///
+/// # Example
+///
+/// ```
+/// use grw_sim::Fifo;
+///
+/// let mut f = Fifo::new(2);
+/// assert!(f.push(1));
+/// assert!(f.pop().is_none()); // not visible until the clock edge
+/// f.commit();
+/// assert_eq!(f.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    stored: VecDeque<T>,
+    staged: VecDeque<T>,
+    capacity: usize,
+    pushes: u64,
+    pops: u64,
+    high_water: usize,
+    occupancy_sum: u64,
+    occupancy_samples: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Self {
+            stored: VecDeque::with_capacity(capacity),
+            staged: VecDeque::new(),
+            capacity,
+            pushes: 0,
+            pops: 0,
+            high_water: 0,
+            occupancy_sum: 0,
+            occupancy_samples: 0,
+        }
+    }
+
+    /// Total occupancy (stored + staged) — what a producer's `full` wire sees.
+    pub fn len(&self) -> usize {
+        self.stored.len() + self.staged.len()
+    }
+
+    /// Whether the FIFO holds no elements at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a consumer sees data this cycle (committed elements only).
+    pub fn can_pop(&self) -> bool {
+        !self.stored.is_empty()
+    }
+
+    /// Whether a producer can push this cycle.
+    pub fn can_push(&self) -> bool {
+        self.len() < self.capacity
+    }
+
+    /// The `full` backpressure wire (inverse of [`Fifo::can_push`]).
+    pub fn is_full(&self) -> bool {
+        !self.can_push()
+    }
+
+    /// Number of committed elements a consumer could pop this cycle.
+    pub fn poppable(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// Capacity the FIFO was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pushes a value; returns `false` (dropping nothing) when full.
+    pub fn push(&mut self, value: T) -> bool {
+        if !self.can_push() {
+            return false;
+        }
+        self.staged.push_back(value);
+        self.pushes += 1;
+        true
+    }
+
+    /// Pops the oldest committed value, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let v = self.stored.pop_front();
+        if v.is_some() {
+            self.pops += 1;
+        }
+        v
+    }
+
+    /// Peeks at the oldest committed value.
+    pub fn front(&self) -> Option<&T> {
+        self.stored.front()
+    }
+
+    /// Clock edge: staged values become visible; occupancy stats update.
+    pub fn commit(&mut self) {
+        self.stored.append(&mut self.staged);
+        self.high_water = self.high_water.max(self.stored.len());
+        self.occupancy_sum += self.stored.len() as u64;
+        self.occupancy_samples += 1;
+    }
+
+    /// Lifetime number of successful pushes.
+    pub fn total_pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Lifetime number of successful pops.
+    pub fn total_pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Deepest committed occupancy observed at any clock edge.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Mean committed occupancy over all clock edges.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.occupancy_samples as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_is_invisible_until_commit() {
+        let mut f = Fifo::new(4);
+        assert!(f.push(7));
+        assert!(!f.can_pop());
+        assert_eq!(f.pop(), None);
+        f.commit();
+        assert!(f.can_pop());
+        assert_eq!(f.pop(), Some(7));
+    }
+
+    #[test]
+    fn capacity_counts_staged_elements() {
+        let mut f = Fifo::new(2);
+        assert!(f.push(1));
+        assert!(f.push(2));
+        assert!(!f.push(3), "staged elements must count toward capacity");
+        assert!(f.is_full());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_across_commits() {
+        let mut f = Fifo::new(8);
+        f.push(1);
+        f.push(2);
+        f.commit();
+        f.push(3);
+        f.commit();
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn pop_frees_capacity_within_the_cycle() {
+        let mut f = Fifo::new(1);
+        f.push(1);
+        f.commit();
+        assert!(f.is_full());
+        assert_eq!(f.pop(), Some(1));
+        // A pop in the same cycle frees the slot (standard FIFO behaviour:
+        // simultaneous read+write at full is legal).
+        assert!(f.push(2));
+        f.commit();
+        assert_eq!(f.pop(), Some(2));
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut f = Fifo::new(4);
+        f.push(1);
+        f.push(2);
+        f.commit();
+        f.pop();
+        f.commit();
+        assert_eq!(f.total_pushes(), 2);
+        assert_eq!(f.total_pops(), 1);
+        assert_eq!(f.high_water(), 2);
+        assert!((f.mean_occupancy() - 1.5).abs() < 1e-9); // (2 + 1) / 2
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+
+    #[test]
+    fn front_peeks_without_removing() {
+        let mut f = Fifo::new(2);
+        f.push(9);
+        f.commit();
+        assert_eq!(f.front(), Some(&9));
+        assert_eq!(f.poppable(), 1);
+        assert_eq!(f.pop(), Some(9));
+    }
+}

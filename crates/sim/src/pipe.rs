@@ -1,0 +1,160 @@
+//! Fixed-latency, fully pipelined module model (II = 1).
+
+use crate::Cycle;
+use std::collections::VecDeque;
+
+/// A processing module with `latency` pipeline stages and an initiation
+/// interval of one cycle — the paper's model for Row Access, Sampling and
+/// Column Access (Fig. 5b: "all modules have two pipeline stages and
+/// II = 1").
+///
+/// At most one value can enter per cycle; a value pushed at cycle `t` is
+/// available at cycle `t + latency`. In-flight occupancy is bounded by
+/// `latency`, like a real shift-register pipeline.
+///
+/// # Example
+///
+/// ```
+/// use grw_sim::LatencyPipe;
+///
+/// let mut p = LatencyPipe::new(2);
+/// assert!(p.push(10u32, 0));
+/// assert!(p.pop_ready(1).is_none());
+/// assert_eq!(p.pop_ready(2), Some(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyPipe<T> {
+    latency: Cycle,
+    inflight: VecDeque<(Cycle, T)>,
+    last_push: Option<Cycle>,
+}
+
+impl<T> LatencyPipe<T> {
+    /// Creates a pipe with the given latency (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency == 0`.
+    pub fn new(latency: Cycle) -> Self {
+        assert!(latency > 0, "latency must be at least one cycle");
+        Self {
+            latency,
+            inflight: VecDeque::new(),
+            last_push: None,
+        }
+    }
+
+    /// The configured latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Whether a new value may enter at `cycle` (II=1 and stage occupancy).
+    pub fn can_push(&self, cycle: Cycle) -> bool {
+        self.last_push != Some(cycle) && (self.inflight.len() as Cycle) < self.latency
+    }
+
+    /// Pushes a value at `cycle`; returns `false` if the pipe refuses it.
+    pub fn push(&mut self, value: T, cycle: Cycle) -> bool {
+        if !self.can_push(cycle) {
+            return false;
+        }
+        self.inflight.push_back((cycle + self.latency, value));
+        self.last_push = Some(cycle);
+        true
+    }
+
+    /// Pops the front value if it has reached the end of the pipe.
+    pub fn pop_ready(&mut self, cycle: Cycle) -> Option<T> {
+        if self.inflight.front().is_some_and(|&(ready, _)| ready <= cycle) {
+            self.inflight.pop_front().map(|(_, v)| v)
+        } else {
+            None
+        }
+    }
+
+    /// Peeks at the front value if ready.
+    pub fn front_ready(&self, cycle: Cycle) -> Option<&T> {
+        self.inflight
+            .front()
+            .filter(|&&(ready, _)| ready <= cycle)
+            .map(|(_, v)| v)
+    }
+
+    /// Number of values currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether the pipe is completely empty.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_respected() {
+        let mut p = LatencyPipe::new(3);
+        p.push('a', 5);
+        assert!(p.pop_ready(6).is_none());
+        assert!(p.pop_ready(7).is_none());
+        assert_eq!(p.pop_ready(8), Some('a'));
+    }
+
+    #[test]
+    fn initiation_interval_is_one() {
+        let mut p = LatencyPipe::new(4);
+        assert!(p.push(1, 0));
+        assert!(!p.can_push(0), "second push in one cycle must be refused");
+        assert!(p.can_push(1));
+        assert!(p.push(2, 1));
+        assert_eq!(p.pop_ready(4), Some(1));
+        assert_eq!(p.pop_ready(4), None, "II=1: one result per cycle");
+        assert_eq!(p.pop_ready(5), Some(2));
+    }
+
+    #[test]
+    fn occupancy_is_bounded_by_latency() {
+        let mut p = LatencyPipe::new(2);
+        assert!(p.push(1, 0));
+        assert!(p.push(2, 1));
+        // Pipe holds `latency` values and none popped yet: stage 0 is busy.
+        assert!(!p.can_push(2));
+        assert_eq!(p.pop_ready(2), Some(1));
+        assert!(p.can_push(2));
+    }
+
+    #[test]
+    fn results_keep_order() {
+        let mut p = LatencyPipe::new(2);
+        p.push(1, 0);
+        p.push(2, 1);
+        let mut out = Vec::new();
+        for c in 0..6 {
+            while let Some(v) = p.pop_ready(c) {
+                out.push(v);
+            }
+        }
+        assert_eq!(out, vec![1, 2]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_latency_panics() {
+        let _: LatencyPipe<u8> = LatencyPipe::new(0);
+    }
+
+    #[test]
+    fn front_ready_peeks() {
+        let mut p = LatencyPipe::new(1);
+        p.push(42, 0);
+        assert_eq!(p.front_ready(0), None);
+        assert_eq!(p.front_ready(1), Some(&42));
+        assert_eq!(p.in_flight(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Utilization, bubble and throughput meters.
+//!
+//! The paper's two headline diagnostics are *bandwidth utilization*
+//! (`B_measured / B_peak`, Sec. III) and the *bubble ratio* (cycles a
+//! pipeline starves while work exists, Sec. III Obs. #2). These meters are
+//! embedded by every engine in the suite so all results report the same
+//! quantities.
+
+use crate::Cycle;
+
+/// Per-pipeline utilization accounting.
+///
+/// Each simulated cycle is classified as exactly one of:
+/// * **busy** — the pipeline accepted or processed a task;
+/// * **bubble** — the pipeline was idle *while work existed* somewhere
+///   upstream (the waste RidgeWalker eliminates);
+/// * **drained** — idle with no work anywhere (start-up/run-out, charged to
+///   neither side).
+///
+/// # Example
+///
+/// ```
+/// use grw_sim::stats::UtilizationMeter;
+///
+/// let mut m = UtilizationMeter::new();
+/// m.record_busy();
+/// m.record_bubble();
+/// assert!((m.bubble_ratio() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UtilizationMeter {
+    busy: u64,
+    bubble: u64,
+    drained: u64,
+}
+
+impl UtilizationMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a cycle in which the pipeline did useful work.
+    pub fn record_busy(&mut self) {
+        self.busy += 1;
+    }
+
+    /// Records a cycle in which the pipeline starved despite pending work.
+    pub fn record_bubble(&mut self) {
+        self.bubble += 1;
+    }
+
+    /// Records an idle cycle with no pending work.
+    pub fn record_drained(&mut self) {
+        self.drained += 1;
+    }
+
+    /// Busy cycles.
+    pub fn busy(&self) -> u64 {
+        self.busy
+    }
+
+    /// Bubble cycles.
+    pub fn bubbles(&self) -> u64 {
+        self.bubble
+    }
+
+    /// Idle-without-work cycles.
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Bubbles / (busy + bubbles): the paper's bubble ratio. Zero when the
+    /// meter is empty.
+    pub fn bubble_ratio(&self) -> f64 {
+        let active = self.busy + self.bubble;
+        if active == 0 {
+            0.0
+        } else {
+            self.bubble as f64 / active as f64
+        }
+    }
+
+    /// Busy / all recorded cycles.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy + self.bubble + self.drained;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy as f64 / total as f64
+        }
+    }
+
+    /// Merges another meter into this one (for cross-pipeline totals).
+    pub fn merge(&mut self, other: &UtilizationMeter) {
+        self.busy += other.busy;
+        self.bubble += other.bubble;
+        self.drained += other.drained;
+    }
+}
+
+/// Steps-versus-cycles throughput accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThroughputMeter {
+    steps: u64,
+    cycles: Cycle,
+}
+
+impl ThroughputMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` completed GRW steps (traversed vertices).
+    pub fn add_steps(&mut self, n: u64) {
+        self.steps += n;
+    }
+
+    /// Sets the total elapsed cycles of the run.
+    pub fn set_cycles(&mut self, cycles: Cycle) {
+        self.cycles = cycles;
+    }
+
+    /// Completed steps.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> Cycle {
+        self.cycles
+    }
+
+    /// Throughput in MStep/s for a core clock in MHz — the paper's primary
+    /// performance metric (Sec. VIII-A).
+    pub fn msteps_per_sec(&self, clock_mhz: f64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.steps as f64 / self.cycles as f64 * clock_mhz
+        }
+    }
+
+    /// Effective random-access bandwidth in GB/s given the bytes touched
+    /// per step ("total memory footprint of traversed edges", Sec. III-B).
+    pub fn effective_bandwidth_gbs(&self, clock_mhz: f64, bytes_per_step: f64) -> f64 {
+        self.msteps_per_sec(clock_mhz) * bytes_per_step / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bubble_ratio_ignores_drained_cycles() {
+        let mut m = UtilizationMeter::new();
+        for _ in 0..60 {
+            m.record_busy();
+        }
+        for _ in 0..40 {
+            m.record_bubble();
+        }
+        for _ in 0..100 {
+            m.record_drained();
+        }
+        assert!((m.bubble_ratio() - 0.4).abs() < 1e-9);
+        assert!((m.utilization() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_meters_are_zero() {
+        let m = UtilizationMeter::new();
+        assert_eq!(m.bubble_ratio(), 0.0);
+        assert_eq!(m.utilization(), 0.0);
+        let t = ThroughputMeter::new();
+        assert_eq!(t.msteps_per_sec(320.0), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = UtilizationMeter::new();
+        a.record_busy();
+        let mut b = UtilizationMeter::new();
+        b.record_bubble();
+        a.merge(&b);
+        assert_eq!(a.busy(), 1);
+        assert_eq!(a.bubbles(), 1);
+    }
+
+    #[test]
+    fn msteps_math_checks_out() {
+        let mut t = ThroughputMeter::new();
+        t.add_steps(1_000_000);
+        t.set_cycles(1_000_000);
+        // 1 step/cycle at 320 MHz = 320 MStep/s.
+        assert!((t.msteps_per_sec(320.0) - 320.0).abs() < 1e-9);
+        // 16 B/step → 320 M * 16 B = 5.12 GB/s.
+        assert!((t.effective_bandwidth_gbs(320.0, 16.0) - 5.12).abs() < 1e-9);
+    }
+}

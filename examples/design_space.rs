@@ -1,0 +1,48 @@
+//! Design-space exploration: URW throughput across FPGA platforms and
+//! pipeline counts (a Table III-style sweep through the public API).
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use ridgewalker_suite::accel::{Accelerator, AcceleratorConfig};
+use ridgewalker_suite::algo::{PreparedGraph, QuerySet, WalkSpec};
+use ridgewalker_suite::graph::generators::{Dataset, ScaleFactor};
+use ridgewalker_suite::sim::FpgaPlatform;
+
+fn main() {
+    let graph = Dataset::AsSkitter.generate(ScaleFactor::Tiny);
+    let spec = WalkSpec::urw(40);
+    let prepared = PreparedGraph::new(graph, &spec).expect("unweighted graph");
+    let queries = QuerySet::random(prepared.graph().vertex_count(), 8_192, 1);
+
+    println!("URW-40 on the AS stand-in, 8192 queries\n");
+    println!("platform      pipelines   MStep/s   peak MStep/s   BW util   bubbles");
+    for platform in FpgaPlatform::all() {
+        let spec_hw = platform.spec();
+        let n = spec_hw.pipelines();
+        let report = Accelerator::new(AcceleratorConfig::new().platform(platform))
+            .run(&prepared, &spec, queries.queries());
+        println!(
+            "{:<12}  {:>9}  {:>8.0}  {:>13.0}  {:>7.1}%  {:>6.1}%",
+            spec_hw.name,
+            n,
+            report.msteps_per_sec,
+            spec_hw.peak_msteps(2.0),
+            100.0 * report.bandwidth_utilization,
+            100.0 * report.bubble_ratio,
+        );
+    }
+
+    println!("\npipeline scaling on the U55C (same workload):");
+    println!("pipelines   MStep/s   steps/cycle");
+    for n in [2u32, 4, 8, 16] {
+        let report = Accelerator::new(AcceleratorConfig::new().pipelines(n))
+            .run(&prepared, &spec, queries.queries());
+        println!(
+            "{n:>9}  {:>8.0}  {:>11.2}",
+            report.msteps_per_sec,
+            report.steps as f64 / report.cycles as f64
+        );
+    }
+}

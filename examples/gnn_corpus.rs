@@ -1,0 +1,58 @@
+//! Node2Vec corpus generation for GNN/embedding training — the
+//! graph-learning workload from the paper's introduction — comparing the
+//! simulated RidgeWalker against the LightRW baseline model.
+//!
+//! ```text
+//! cargo run --release --example gnn_corpus
+//! ```
+
+use ridgewalker_suite::accel::{Accelerator, AcceleratorConfig};
+use ridgewalker_suite::algo::{Node2VecMethod, PreparedGraph, QuerySet, WalkSpec};
+use ridgewalker_suite::baselines::LightRw;
+use ridgewalker_suite::graph::generators::{Dataset, ScaleFactor};
+use ridgewalker_suite::graph::GraphStats;
+use ridgewalker_suite::sim::FpgaPlatform;
+
+fn main() {
+    // The LiveJournal stand-in: the social graph DeepWalk/Node2Vec papers
+    // train embeddings on.
+    let graph = Dataset::LiveJournal.generate_weighted(ScaleFactor::Tiny);
+    let stats = GraphStats::compute(&graph);
+    println!(
+        "LJ stand-in: {} vertices, {} edges, max degree {}",
+        stats.vertices, stats.edges, stats.max_degree
+    );
+
+    // Node2Vec with the paper's parameters p=2, q=0.5; one walk per vertex.
+    let spec = WalkSpec::node2vec(40, Node2VecMethod::Reservoir);
+    let prepared = PreparedGraph::new(graph, &spec).expect("weighted graph");
+    let queries = QuerySet::one_per_vertex(prepared.graph().vertex_count());
+
+    let ridge = Accelerator::new(
+        AcceleratorConfig::new().platform(FpgaPlatform::AlveoU250),
+    )
+    .run(&prepared, &spec, queries.queries());
+    let light = LightRw::new().run(&prepared, &spec, queries.queries());
+
+    let corpus_tokens: u64 = ridge.paths.iter().map(|p| p.vertices.len() as u64).sum();
+    println!("\ncorpus: {} walks, {corpus_tokens} tokens", ridge.paths.len());
+    println!(
+        "sample walk from vertex 0: {:?}",
+        &ridge.paths[0].vertices[..ridge.paths[0].vertices.len().min(12)]
+    );
+    println!("\nthroughput on the Alveo U250 model:");
+    println!(
+        "  RidgeWalker: {:>8.1} MStep/s (bubble ratio {:.1}%)",
+        ridge.msteps_per_sec,
+        100.0 * ridge.bubble_ratio
+    );
+    println!(
+        "  LightRW:     {:>8.1} MStep/s (bubble ratio {:.1}%)",
+        light.msteps_per_sec,
+        100.0 * light.bubble_ratio
+    );
+    println!(
+        "  speedup:     {:>8.2}x (paper Fig. 8c: 1.1-1.5x)",
+        ridge.speedup_over(&light)
+    );
+}

@@ -1,0 +1,64 @@
+//! Personalized PageRank via accelerated random walks, validated against
+//! exact power iteration.
+//!
+//! The Monte-Carlo estimator: launch many PPR walks from a source; the
+//! fraction of walks terminating at `v` estimates PPR(v). This is the
+//! database workload the paper motivates (personalized recommendation),
+//! executed on the simulated accelerator.
+//!
+//! ```text
+//! cargo run --release --example ppr_ranking
+//! ```
+
+use ridgewalker_suite::accel::{Accelerator, AcceleratorConfig};
+use ridgewalker_suite::algo::ppr_exact::{l1_distance, personalized_pagerank};
+use ridgewalker_suite::algo::{PreparedGraph, QuerySet, WalkSpec};
+use ridgewalker_suite::graph::generators::RmatConfig;
+
+fn main() {
+    // An undirected community graph (no dead ends, so the walk estimator
+    // matches the classic restart formulation exactly).
+    let graph = RmatConfig::balanced(9, 8).seed(11).generate();
+    let n = graph.vertex_count();
+    let source = 7u32;
+    let alpha = 0.15;
+
+    // Exact reference by power iteration.
+    let exact = personalized_pagerank(&graph, source, alpha, 200);
+
+    // Monte-Carlo on the accelerator: 60k walks from the source.
+    let spec = WalkSpec::Ppr {
+        alpha,
+        max_len: 400,
+    };
+    let prepared = PreparedGraph::new(graph, &spec).expect("unweighted graph");
+    let queries = QuerySet::repeated(source, 60_000);
+    let config = AcceleratorConfig::new().pipelines(8).seed(3);
+    let report = Accelerator::new(config).run(&prepared, &spec, queries.queries());
+
+    let mut counts = vec![0u64; n];
+    for path in &report.paths {
+        counts[path.last() as usize] += 1;
+    }
+    let estimate: Vec<f64> = counts
+        .iter()
+        .map(|&c| c as f64 / report.paths.len() as f64)
+        .collect();
+
+    let mut top: Vec<usize> = (0..n).collect();
+    top.sort_by(|&a, &b| estimate[b].partial_cmp(&estimate[a]).unwrap());
+    println!("top-10 personalized PageRank for source {source} (alpha {alpha}):");
+    println!("vertex   walk-estimate   exact");
+    for &v in top.iter().take(10) {
+        println!("{v:>6}   {:>12.5}   {:.5}", estimate[v], exact[v]);
+    }
+    let d = l1_distance(&estimate, &exact);
+    println!("\nL1 distance estimator vs exact: {d:.4} (60k walks)");
+    println!(
+        "accelerator: {:.0} MStep/s, mean walk length {:.2} (expected {:.2})",
+        report.msteps_per_sec,
+        report.steps as f64 / report.paths.len() as f64,
+        (1.0 - alpha) / alpha
+    );
+    assert!(d < 0.05, "estimator should converge to the exact vector");
+}

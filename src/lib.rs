@@ -1,0 +1,29 @@
+//! # RidgeWalker reproduction suite
+//!
+//! This is the umbrella crate of the reproduction of *RidgeWalker: Perfectly
+//! Pipelined Graph Random Walks on FPGAs* (HPCA 2026). It re-exports every
+//! workspace crate so examples and downstream users can depend on a single
+//! package:
+//!
+//! * [`graph`] — CSR graphs, generators, channel-aware layouts ([`grw_graph`]).
+//! * [`rng`] — ThundeRiNG-style multi-stream RNG ([`grw_rng`]).
+//! * [`algo`] — sampling + walk algorithms and reference engines ([`grw_algo`]).
+//! * [`sim`] — cycle-level hardware simulation substrate ([`grw_sim`]).
+//! * [`queueing`] — M/M/1[N] theory and the zero-bubble buffer bound
+//!   ([`grw_queueing`]).
+//! * [`accel`] — the RidgeWalker accelerator model itself ([`ridgewalker`]).
+//! * [`baselines`] — FastRW / LightRW / Su et al. / gSampler models
+//!   ([`grw_baselines`]).
+//! * [`bench`] — the experiment harness regenerating every paper figure and
+//!   table ([`grw_bench`]).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use grw_algo as algo;
+pub use grw_baselines as baselines;
+pub use grw_bench as bench;
+pub use grw_graph as graph;
+pub use grw_queueing as queueing;
+pub use grw_rng as rng;
+pub use grw_sim as sim;
+pub use ridgewalker as accel;

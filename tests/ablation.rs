@@ -1,0 +1,72 @@
+//! The Fig. 11 ablation, asserted as ordering properties across crates.
+//! Uses the paper's configuration (U55C, 16 pipelines, default batch) —
+//! the regime where the figure's orderings are defined.
+
+use ridgewalker_suite::accel::{Accelerator, AcceleratorConfig};
+use ridgewalker_suite::algo::{PreparedGraph, QuerySet, WalkSpec};
+use ridgewalker_suite::graph::generators::{Dataset, ScaleFactor};
+
+fn throughputs(dataset: Dataset) -> [f64; 4] {
+    let g = dataset.generate(ScaleFactor::Tiny);
+    let spec = WalkSpec::urw(40);
+    let p = PreparedGraph::new(g.clone(), &spec).unwrap();
+    let qs = QuerySet::random(g.vertex_count(), 1_024, 0xE0);
+    let grid = AcceleratorConfig::new().ablation_grid();
+    grid.map(|cfg| Accelerator::new(cfg).run(&p, &spec, qs.queries()).msteps_per_sec)
+}
+
+#[test]
+fn every_mechanism_improves_on_the_baseline_where_the_paper_says_so() {
+    // WG: directed with early terminations — both levers pay off.
+    let [baseline, sched_only, async_only, full] = throughputs(Dataset::WebGoogle);
+    assert!(
+        sched_only > baseline,
+        "scheduler: {sched_only:.0} vs baseline {baseline:.0}"
+    );
+    assert!(
+        async_only > baseline,
+        "async: {async_only:.0} vs baseline {baseline:.0}"
+    );
+    assert!(full > baseline, "full: {full:.0} vs baseline {baseline:.0}");
+
+    // LJ: undirected, few early terminations — the paper's own smallest
+    // scheduler gain; only require it not to hurt materially.
+    let [lj_base, lj_sched, lj_async, lj_full] = throughputs(Dataset::LiveJournal);
+    assert!(
+        lj_sched > lj_base * 0.8,
+        "LJ scheduler: {lj_sched:.0} vs baseline {lj_base:.0}"
+    );
+    assert!(lj_async > lj_base, "LJ async: {lj_async:.0} vs {lj_base:.0}");
+    assert!(lj_full > lj_base, "LJ full: {lj_full:.0} vs {lj_base:.0}");
+}
+
+#[test]
+fn async_engine_is_the_bigger_lever() {
+    // Paper: +async gives 6.8-14.7x, +scheduler 1.6-4.8x.
+    let [_, sched_only, async_only, _] = throughputs(Dataset::LiveJournal);
+    assert!(
+        async_only > sched_only,
+        "async {async_only:.0} should beat scheduler {sched_only:.0}"
+    );
+}
+
+#[test]
+fn combined_design_is_best_or_near_best() {
+    for d in [Dataset::WebGoogle, Dataset::LiveJournal] {
+        let [_, sched_only, async_only, full] = throughputs(d);
+        assert!(
+            full >= async_only.max(sched_only) * 0.9,
+            "{d}: full {full:.0} vs async {async_only:.0} / sched {sched_only:.0}"
+        );
+    }
+}
+
+#[test]
+fn full_speedup_is_large_on_irregular_graphs() {
+    let [baseline, _, _, full] = throughputs(Dataset::WebGoogle);
+    let speedup = full / baseline;
+    assert!(
+        speedup > 3.0,
+        "paper reports 12.4-16.7x at scale; tiny-scale run gave {speedup:.1}x"
+    );
+}

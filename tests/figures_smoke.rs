@@ -1,0 +1,63 @@
+//! Smoke test: every paper experiment regenerates at reduced scale and the
+//! headline qualitative claims hold.
+
+use grw_graph::generators::ScaleFactor;
+use ridgewalker_suite::bench::{experiments, HarnessConfig};
+
+fn smoke_cfg() -> HarnessConfig {
+    let mut cfg = HarnessConfig::tiny();
+    cfg.scale = ScaleFactor::Tiny;
+    cfg.queries = 512;
+    cfg.walk_len = 24;
+    cfg
+}
+
+#[test]
+fn every_experiment_regenerates() {
+    let cfg = smoke_cfg();
+    for id in experiments::ALL_IDS {
+        let exp = experiments::by_id(id, &cfg).expect("known id");
+        assert_eq!(exp.id, id);
+        assert!(!exp.series.is_empty(), "{id}: no series");
+        for s in &exp.series {
+            assert!(!s.points.is_empty(), "{id}/{}: empty series", s.label);
+            for (x, v) in &s.points {
+                assert!(v.is_finite(), "{id}/{}/{x}: non-finite value", s.label);
+                assert!(*v >= 0.0, "{id}/{}/{x}: negative value", s.label);
+            }
+        }
+        // Rendering never panics and mentions the id.
+        let text = exp.to_string();
+        assert!(text.contains(id), "{id}: bad rendering");
+    }
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert!(experiments::by_id("fig99", &smoke_cfg()).is_none());
+}
+
+#[test]
+fn headline_claims_hold_at_smoke_scale() {
+    let cfg = smoke_cfg();
+
+    // Fig. 8b: the memory subsystem win over Su et al. is large.
+    let fig8b = experiments::by_id("fig8b", &cfg).unwrap();
+    assert!(fig8b.speedup("RidgeWalker", "Su et al.", "URW") > 2.0);
+
+    // Fig. 10: skew collapses the GPU far more than RidgeWalker.
+    let fig10 = experiments::by_id("fig10", &cfg).unwrap();
+    let x = "SC13-8";
+    let gpu_drop = fig10.speedup("gSampler/balanced", "gSampler/graph500", x);
+    let ridge_drop = fig10.speedup("RidgeWalker/balanced", "RidgeWalker/graph500", x);
+    assert!(
+        gpu_drop > 2.0 * ridge_drop,
+        "gpu drop {gpu_drop:.1}x vs ridge drop {ridge_drop:.1}x"
+    );
+
+    // Theorem: full depth yields exactly zero bubbles.
+    let theorem = experiments::by_id("theorem", &cfg).unwrap();
+    for s in &theorem.series {
+        assert_eq!(s.points.last().unwrap().1, 0.0, "{}", s.label);
+    }
+}

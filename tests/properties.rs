@@ -1,0 +1,150 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the suite.
+
+use proptest::prelude::*;
+use ridgewalker_suite::algo::{PreparedGraph, QuerySet, ReferenceEngine, WalkEngine, WalkSpec};
+use ridgewalker_suite::graph::{io, AliasTables, CsrGraph, GraphBuilder};
+use ridgewalker_suite::rng::{Lcg64, RandomSource, SplitMix64};
+use ridgewalker_suite::sim::Fifo;
+use std::collections::VecDeque;
+
+/// Arbitrary small edge list over up to 24 vertices.
+fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let edge = (0u32..n as u32, 0u32..n as u32);
+        proptest::collection::vec(edge, 0..96).prop_map(move |es| (n, es))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_invariants_hold_for_any_edge_list((n, edges) in edges_strategy(), directed in any::<bool>()) {
+        let g = CsrGraph::from_edges(n, &edges, directed);
+        // Row pointers are a monotone prefix sum ending at |E|.
+        let rp = g.row_pointers();
+        prop_assert!(rp.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*rp.last().unwrap() as usize, g.edge_count());
+        for v in 0..n as u32 {
+            let ns = g.neighbors(v);
+            // Sorted, deduplicated, in range, no self loops.
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "vertex {} list {:?}", v, ns);
+            prop_assert!(ns.iter().all(|&w| (w as usize) < n && w != v));
+            // has_edge agrees with the list.
+            for &w in ns {
+                prop_assert!(g.has_edge(v, w));
+            }
+        }
+        if !directed {
+            for v in 0..n as u32 {
+                for &w in g.neighbors(v) {
+                    prop_assert!(g.has_edge(w, v), "mirror edge {}->{}", w, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_io_roundtrips_any_graph((n, edges) in edges_strategy(), directed in any::<bool>()) {
+        let g = CsrGraph::from_edges(n, &edges, directed);
+        let bytes = io::write_binary(&g);
+        prop_assert_eq!(io::read_binary(&bytes).unwrap(), g);
+    }
+
+    #[test]
+    fn alias_tables_preserve_total_probability(weights in proptest::collection::vec(0.01f32..100.0, 1..24)) {
+        let n = weights.len() as u32 + 1;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        let ws = weights.clone();
+        let g = CsrGraph::from_edges(n as usize, &edges, true)
+            .with_weights(move |_, dst, _| ws[(dst - 1) as usize]);
+        let t = AliasTables::build(&g);
+        let total: f64 = (0..weights.len() as u32)
+            .map(|i| t.probability_of(&g, 0, i))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-4, "total probability {}", total);
+        // Each probability tracks its weight share.
+        let wsum: f64 = weights.iter().map(|&w| f64::from(w)).sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = f64::from(w) / wsum;
+            let got = t.probability_of(&g, 0, i as u32);
+            prop_assert!((got - expect).abs() < 1e-4, "index {}: {} vs {}", i, got, expect);
+        }
+    }
+
+    #[test]
+    fn lemire_bounded_sampling_stays_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut g = SplitMix64::new(seed);
+        for _ in 0..64 {
+            prop_assert!(g.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn lcg_jump_equals_stepping(seed in any::<u64>(), steps in 0u64..512) {
+        let mut a = Lcg64::new(seed);
+        for _ in 0..steps {
+            a.next_u64();
+        }
+        let mut b = Lcg64::new(seed);
+        b.jump(steps);
+        prop_assert_eq!(a.peek_state(), b.peek_state());
+    }
+
+    #[test]
+    fn fifo_behaves_like_a_queue_with_one_cycle_delay(
+        ops in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..200),
+        capacity in 1usize..16,
+    ) {
+        let mut fifo: Fifo<u8> = Fifo::new(capacity);
+        let mut model: VecDeque<u8> = VecDeque::new(); // committed content
+        let mut staged: VecDeque<u8> = VecDeque::new();
+        for (is_push, value) in ops {
+            if is_push {
+                let fits = model.len() + staged.len() < capacity;
+                prop_assert_eq!(fifo.push(value), fits);
+                if fits {
+                    staged.push_back(value);
+                }
+            } else {
+                prop_assert_eq!(fifo.pop(), model.pop_front());
+            }
+            // Clock edge every operation keeps the model simple.
+            fifo.commit();
+            model.append(&mut staged);
+            prop_assert_eq!(fifo.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn walks_are_always_valid_paths(
+        seed in any::<u64>(),
+        scale in 4u32..8,
+        len in 1u32..24,
+    ) {
+        let g = ridgewalker_suite::graph::generators::RmatConfig::graph500(scale, 6)
+            .seed(seed)
+            .generate();
+        let spec = WalkSpec::urw(len);
+        let n = g.vertex_count();
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::random(n, 16, seed);
+        let paths = ReferenceEngine::new(seed).run(&p, &spec, qs.queries());
+        for w in &paths {
+            prop_assert!(w.steps() <= u64::from(len));
+            for pair in w.vertices.windows(2) {
+                prop_assert!(p.graph().has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn builder_is_order_insensitive((n, mut edges) in edges_strategy()) {
+        let mut fwd = GraphBuilder::new(n);
+        fwd.add_edges(edges.iter().copied());
+        let a = fwd.build();
+        edges.reverse();
+        let mut rev = GraphBuilder::new(n);
+        rev.add_edges(edges.iter().copied());
+        prop_assert_eq!(a, rev.build());
+    }
+}
