@@ -56,7 +56,11 @@ pub fn chi_square_critical(df: usize, z: f64) -> f64 {
 /// Convenience goodness-of-fit test at the 99.9% level: returns `true`
 /// when `observed` is consistent with `expected`.
 pub fn fits(observed: &[u64], expected: &[f64]) -> bool {
-    let df = expected.iter().filter(|&&p| p > 0.0).count().saturating_sub(1);
+    let df = expected
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .count()
+        .saturating_sub(1);
     if df == 0 {
         return true;
     }
@@ -80,11 +84,11 @@ pub fn next_hop_counts(paths: &[WalkPath], from: VertexId) -> HashMap<VertexId, 
 
 /// Projects hop counts onto a vertex's neighbor list, yielding aligned
 /// observation bins for [`chi_square`].
-pub fn counts_for_neighbors(
-    counts: &HashMap<VertexId, u64>,
-    neighbors: &[VertexId],
-) -> Vec<u64> {
-    neighbors.iter().map(|v| counts.get(v).copied().unwrap_or(0)).collect()
+pub fn counts_for_neighbors(counts: &HashMap<VertexId, u64>, neighbors: &[VertexId]) -> Vec<u64> {
+    neighbors
+        .iter()
+        .map(|v| counts.get(v).copied().unwrap_or(0))
+        .collect()
 }
 
 #[cfg(test)]

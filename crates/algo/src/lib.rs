@@ -14,6 +14,10 @@
 //! * [`ReferenceEngine`] / [`ParallelEngine`] — software engines that
 //!   execute queries exactly per Algorithm II.1 of the paper; they define
 //!   correct output distributions for every accelerator model to match.
+//! * [`WalkBackend`] — the streaming execution interface (incremental
+//!   submit / poll / drain with backpressure) every engine exposes; the
+//!   batch [`WalkEngine::run`] is a compatibility shim over it. See
+//!   [`walk::backend`].
 //! * [`ppr_exact`] — power-iteration personalized PageRank used to validate
 //!   the PPR walk estimator end-to-end.
 //! * [`distribution`] — chi-square helpers for the statistical tests.
@@ -44,4 +48,7 @@ pub mod walkstats;
 pub use prepared::{PreparedGraph, StepDecision, TerminationReason};
 pub use query::{QuerySet, WalkPath, WalkQuery};
 pub use spec::{Node2VecMethod, WalkSpec};
-pub use walk::{ParallelEngine, ReferenceEngine, WalkEngine};
+pub use walk::{
+    run_streamed, BackendTelemetry, BatchFnBackend, ParallelBackend, ParallelEngine,
+    ReferenceBackend, ReferenceEngine, WalkBackend, WalkEngine,
+};

@@ -61,14 +61,14 @@ pub fn personalized_pagerank(
         }
         // Damp the propagated mass; restart mass (teleport + dangling)
         // re-enters at the source.
-        for v in 0..n {
-            next[v] *= 1.0 - alpha;
+        for mass in &mut next {
+            *mass *= 1.0 - alpha;
         }
         next[source as usize] += alpha + (1.0 - alpha) * dangling;
         // Renormalise to guard accumulated FP drift.
         let total: f64 = next.iter().sum();
-        for v in 0..n {
-            next[v] /= total;
+        for mass in &mut next {
+            *mass /= total;
         }
         x.copy_from_slice(&next);
     }
@@ -88,11 +88,7 @@ mod tests {
     use crate::{PreparedGraph, QuerySet, ReferenceEngine, WalkEngine, WalkSpec};
 
     fn cycle_with_chord() -> CsrGraph {
-        CsrGraph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)],
-            false,
-        )
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)], false)
     }
 
     #[test]
@@ -136,7 +132,7 @@ mod tests {
         let p = PreparedGraph::new(g, &spec).unwrap();
         let qs = QuerySet::repeated(0, 30_000);
         let paths = ReferenceEngine::new(123).run(&p, &spec, qs.queries());
-        let mut counts = vec![0u64; 5];
+        let mut counts = [0u64; 5];
         for w in &paths {
             counts[w.last() as usize] += 1;
         }

@@ -273,8 +273,7 @@ mod tests {
         let mut rng = SplitMix64::new(2);
         // From vertex 0 (type 0) at hop 0 the target type is pattern[1] = 1.
         for _ in 0..50 {
-            if let StepDecision::Advance { next, .. } = p.next_step(&spec, 0, None, 0, &mut rng)
-            {
+            if let StepDecision::Advance { next, .. } = p.next_step(&spec, 0, None, 0, &mut rng) {
                 assert_eq!(g.vertex_type(next), Some(1));
             }
         }

@@ -31,7 +31,10 @@ impl WalkPath {
     ///
     /// Panics if `vertices` is empty — a path always contains its start.
     pub fn new(query: u64, vertices: Vec<VertexId>) -> Self {
-        assert!(!vertices.is_empty(), "a walk path contains its start vertex");
+        assert!(
+            !vertices.is_empty(),
+            "a walk path contains its start vertex"
+        );
         Self { query, vertices }
     }
 

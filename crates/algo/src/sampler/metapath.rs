@@ -62,12 +62,13 @@ mod tests {
 
     /// 0 → {1 (type 1), 2 (type 2), 3 (type 1), 4 (type 1)}.
     fn typed_star() -> CsrGraph {
-        CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)], true)
-            .with_vertex_types(|v| match v {
+        CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)], true).with_vertex_types(|v| {
+            match v {
                 2 => 2,
                 0 => 0,
                 _ => 1,
-            })
+            }
+        })
     }
 
     #[test]

@@ -26,10 +26,7 @@ use grw_rng::RandomSource;
 /// assert!(o.local_index < 3);
 /// assert_eq!(o.scanned, 3);
 /// ```
-pub fn weighted_reservoir<G: RandomSource>(
-    weights: &[f32],
-    rng: &mut G,
-) -> Option<SampleOutcome> {
+pub fn weighted_reservoir<G: RandomSource>(weights: &[f32], rng: &mut G) -> Option<SampleOutcome> {
     let mut total = 0.0f64;
     let mut chosen: Option<u32> = None;
     for (i, &w) in weights.iter().enumerate() {

@@ -99,8 +99,13 @@ mod tests {
 
     #[test]
     fn alias_sample_respects_weights() {
-        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2)], true)
-            .with_weights(|_, dst, _| if dst == 2 { 9.0 } else { 1.0 });
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2)], true).with_weights(|_, dst, _| {
+            if dst == 2 {
+                9.0
+            } else {
+                1.0
+            }
+        });
         let t = AliasTables::build(&g);
         let mut rng = SplitMix64::new(8);
         let n = 50_000;

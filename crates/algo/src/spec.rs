@@ -181,7 +181,10 @@ mod tests {
     fn table_i_mapping_holds() {
         assert_eq!(WalkSpec::urw(80).rp_entry_kind(), RpEntryKind::Compact64);
         assert_eq!(WalkSpec::ppr(80).rp_entry_kind(), RpEntryKind::Compact64);
-        assert_eq!(WalkSpec::deepwalk(80).rp_entry_kind(), RpEntryKind::Alias256);
+        assert_eq!(
+            WalkSpec::deepwalk(80).rp_entry_kind(),
+            RpEntryKind::Alias256
+        );
         assert_eq!(
             WalkSpec::node2vec(80, Node2VecMethod::Rejection).rp_entry_kind(),
             RpEntryKind::Compact64
@@ -222,8 +225,7 @@ mod tests {
         } else {
             unreachable!();
         }
-        if let WalkSpec::Node2Vec { p, q, .. } = WalkSpec::node2vec(80, Node2VecMethod::Rejection)
-        {
+        if let WalkSpec::Node2Vec { p, q, .. } = WalkSpec::node2vec(80, Node2VecMethod::Rejection) {
             assert_eq!(p, 2.0);
             assert_eq!(q, 0.5);
         } else {

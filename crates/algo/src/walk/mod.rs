@@ -1,8 +1,17 @@
 //! Software walk engines: the functional reference for every accelerator.
+//!
+//! Execution is organised around the streaming [`WalkBackend`] trait
+//! (submit / poll / drain with backpressure); the batch [`WalkEngine`]
+//! interface survives as a compatibility shim implemented via
+//! [`run_streamed`] on each engine's backend.
 
+pub mod backend;
 mod parallel;
 mod reference;
 
+pub use backend::{
+    run_streamed, BackendTelemetry, BatchFnBackend, ParallelBackend, ReferenceBackend, WalkBackend,
+};
 pub use parallel::ParallelEngine;
 pub use reference::ReferenceEngine;
 
@@ -14,6 +23,12 @@ use crate::{PreparedGraph, WalkPath, WalkQuery, WalkSpec};
 /// Algorithm II.1 of the paper for the given spec; they are free to order
 /// execution however they like (the Markov property guarantees the result
 /// is exchangeable).
+///
+/// This is the legacy bulk interface: every implementation in this
+/// workspace is a thin shim that opens a streaming [`WalkBackend`], feeds
+/// it the whole batch via [`run_streamed`], and returns the reordered
+/// result. New code that wants incremental submission, interleaving or
+/// backpressure should use the backend directly.
 pub trait WalkEngine {
     /// Executes all `queries` and returns one path per query, in query
     /// order.
@@ -38,16 +53,13 @@ pub(crate) fn execute_query<G: grw_rng::RandomSource>(
     let mut cur = query.start;
     let mut prev = None;
     let mut hop = 0u32;
-    loop {
-        match prepared.next_step(spec, cur, prev, hop, rng) {
-            crate::prepared::StepDecision::Advance { next, .. } => {
-                vertices.push(next);
-                prev = Some(cur);
-                cur = next;
-                hop += 1;
-            }
-            crate::prepared::StepDecision::Terminate(_) => break,
-        }
+    while let crate::prepared::StepDecision::Advance { next, .. } =
+        prepared.next_step(spec, cur, prev, hop, rng)
+    {
+        vertices.push(next);
+        prev = Some(cur);
+        cur = next;
+        hop += 1;
     }
     WalkPath::new(query.id, vertices)
 }

@@ -1,6 +1,6 @@
 //! Multi-threaded CPU engine (a ThunderRW-style in-memory walker).
 
-use super::{execute_query, reference::ReferenceEngine, WalkEngine};
+use super::WalkEngine;
 use crate::{PreparedGraph, WalkPath, WalkQuery, WalkSpec};
 
 /// Runs queries across OS threads, chunking the query set.
@@ -43,9 +43,20 @@ impl ParallelEngine {
     pub fn threads(&self) -> usize {
         self.threads
     }
+
+    /// Opens a streaming backend bound to a prepared graph and spec.
+    pub fn backend<P: std::borrow::Borrow<PreparedGraph>>(
+        &self,
+        prepared: P,
+        spec: &WalkSpec,
+    ) -> super::ParallelBackend<P> {
+        super::ParallelBackend::new(prepared, spec.clone(), self.seed, self.threads)
+    }
 }
 
 impl WalkEngine for ParallelEngine {
+    /// Compatibility shim: streams the whole batch through
+    /// [`ParallelEngine::backend`].
     fn run(
         &mut self,
         prepared: &PreparedGraph,
@@ -55,35 +66,14 @@ impl WalkEngine for ParallelEngine {
         if queries.is_empty() {
             return Vec::new();
         }
-        let chunk = queries.len().div_ceil(self.threads);
-        let mut results: Vec<Vec<WalkPath>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|part| {
-                    let seed = self.seed;
-                    scope.spawn(move || {
-                        part.iter()
-                            .map(|q| {
-                                let mut rng = ReferenceEngine::query_rng(seed, q.id);
-                                execute_query(prepared, spec, q, &mut rng)
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("walk worker panicked"));
-            }
-        });
-        results.into_iter().flatten().collect()
+        super::run_streamed(&mut self.backend(prepared, spec), queries)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::QuerySet;
+    use crate::{QuerySet, ReferenceEngine};
     use grw_graph::generators::{Dataset, ScaleFactor};
 
     #[test]

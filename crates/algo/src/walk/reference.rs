@@ -1,6 +1,6 @@
 //! The sequential reference engine (Algorithm II.1, executed literally).
 
-use super::{execute_query, WalkEngine};
+use super::WalkEngine;
 use crate::{PreparedGraph, WalkPath, WalkQuery, WalkSpec};
 use grw_rng::{SplitMix64, Xoshiro256StarStar};
 
@@ -41,20 +41,27 @@ impl ReferenceEngine {
     }
 }
 
+impl ReferenceEngine {
+    /// Opens a streaming backend bound to a prepared graph and spec.
+    pub fn backend<P: std::borrow::Borrow<PreparedGraph>>(
+        &self,
+        prepared: P,
+        spec: &WalkSpec,
+    ) -> super::ReferenceBackend<P> {
+        super::ReferenceBackend::new(prepared, spec.clone(), self.seed)
+    }
+}
+
 impl WalkEngine for ReferenceEngine {
+    /// Compatibility shim: streams the whole batch through
+    /// [`ReferenceEngine::backend`].
     fn run(
         &mut self,
         prepared: &PreparedGraph,
         spec: &WalkSpec,
         queries: &[WalkQuery],
     ) -> Vec<WalkPath> {
-        queries
-            .iter()
-            .map(|q| {
-                let mut rng = Self::query_rng(self.seed, q.id);
-                execute_query(prepared, spec, q, &mut rng)
-            })
-            .collect()
+        super::run_streamed(&mut self.backend(prepared, spec), queries)
     }
 }
 
@@ -120,8 +127,7 @@ mod tests {
         let p = PreparedGraph::new(ring(8), &spec).unwrap();
         let qs = QuerySet::random(8, 4_000, 11);
         let paths = ReferenceEngine::new(2).run(&p, &spec, qs.queries());
-        let mean: f64 =
-            paths.iter().map(|w| w.steps() as f64).sum::<f64>() / paths.len() as f64;
+        let mean: f64 = paths.iter().map(|w| w.steps() as f64).sum::<f64>() / paths.len() as f64;
         // E[steps] = (1-α)/α = 4 for termination *before* each hop.
         assert!((mean - 4.0).abs() < 0.25, "mean PPR length {mean}");
     }

@@ -18,8 +18,11 @@ fn main() {
         let p = PreparedGraph::new(g, &spec).unwrap();
         let qs = QuerySet::random(p.graph().vertex_count(), queries, 1);
         let su = SuEtAl::new().run(&p, &spec, qs.queries());
-        let rw = Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU280))
-            .run(&p, &spec, qs.queries());
+        let rw = Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU280)).run(
+            &p,
+            &spec,
+            qs.queries(),
+        );
         println!(
             "su {:.0} (bub {:.2}) rw {:.0} (bub {:.2}) speedup {:.2}",
             su.msteps_per_sec,
@@ -37,8 +40,11 @@ fn main() {
         let p = PreparedGraph::new(g, &spec).unwrap();
         let qs = QuerySet::random(p.graph().vertex_count(), queries, 5);
         let lw = LightRw::new().run(&p, &spec, qs.queries());
-        let rw = Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU250))
-            .run(&p, &spec, qs.queries());
+        let rw = Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU250)).run(
+            &p,
+            &spec,
+            qs.queries(),
+        );
         println!(
             "lightrw {:.1} ({} cyc, bub {:.2}, txn/step {:.1}) rw {:.1} ({} cyc, bub {:.2}, txn/step {:.1}) speedup {:.2}",
             lw.msteps_per_sec, lw.cycles, lw.bubble_ratio, lw.txns_per_step(),
@@ -64,8 +70,11 @@ fn main() {
                 f.bubble_ratio
             );
         }
-        let rw = Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU50))
-            .run(&p, &spec, qs.queries());
+        let rw = Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU50)).run(
+            &p,
+            &spec,
+            qs.queries(),
+        );
         println!("ridgewalker: {:.1} MStep/s", rw.msteps_per_sec);
     }
 

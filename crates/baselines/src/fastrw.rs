@@ -120,6 +120,16 @@ impl FastRw {
     ) -> RunReport {
         Accelerator::new(self.config(spec)).run(prepared, spec, queries)
     }
+
+    /// Opens a streaming backend (one micro-batch per poll) over this
+    /// model's engine configuration.
+    pub fn backend<P: std::borrow::Borrow<PreparedGraph>>(
+        &self,
+        prepared: P,
+        spec: &WalkSpec,
+    ) -> ridgewalker::AcceleratorBackend<P> {
+        Accelerator::new(self.config(spec)).backend(prepared, spec)
+    }
 }
 
 impl Default for FastRw {
@@ -140,11 +150,11 @@ mod tests {
         let spec = WalkSpec::deepwalk(24);
         let p = PreparedGraph::new(g, &spec).unwrap();
         let qs = QuerySet::random(p.graph().vertex_count(), 384, 7);
-        let fast = FastRw::new().cache_entries(cache).run(&p, &spec, qs.queries());
-        let ridge = ridgewalker::Accelerator::new(
-            RwConfig::new().platform(FpgaPlatform::AlveoU50),
-        )
-        .run(&p, &spec, qs.queries());
+        let fast = FastRw::new()
+            .cache_entries(cache)
+            .run(&p, &spec, qs.queries());
+        let ridge = ridgewalker::Accelerator::new(RwConfig::new().platform(FpgaPlatform::AlveoU50))
+            .run(&p, &spec, qs.queries());
         (fast.msteps_per_sec, ridge.msteps_per_sec)
     }
 

@@ -154,6 +154,21 @@ impl GSampler {
         }
     }
 
+    /// Streaming adapter over the native super-batched execution: queries
+    /// buffered since the last poll run as one GPU batch (super-batching
+    /// *is* gSampler's performance signature, so the adapter preserves it).
+    pub fn backend<'a>(
+        &self,
+        prepared: &'a PreparedGraph,
+        spec: &WalkSpec,
+    ) -> grw_algo::BatchFnBackend<impl FnMut(&[WalkQuery]) -> Vec<grw_algo::WalkPath> + 'a> {
+        let model = *self;
+        let spec = spec.clone();
+        grw_algo::BatchFnBackend::new(move |queries: &[WalkQuery]| {
+            model.run(prepared, &spec, queries).paths
+        })
+    }
+
     /// Runs the model.
     pub fn run(
         &self,
@@ -177,36 +192,31 @@ impl GSampler {
             let mut cur = q.start;
             let mut prev: Option<VertexId> = None;
             let mut hop = 0u32;
-            loop {
-                match prepared.next_step(spec, cur, prev, hop, &mut rng) {
-                    grw_algo::StepDecision::Advance { next, outcome } => {
-                        let d = f64::from(graph.degree(cur));
-                        degree_sum += d;
-                        degree_sq += d * d;
-                        visits += 1;
-                        // RP read + final column read, plus sampling costs.
-                        // Membership probes hit the previous hop's list,
-                        // which both platforms keep close (GPU cache / FPGA
-                        // on-chip buffer): no memory charge.
-                        let extra = match spec {
-                            WalkSpec::DeepWalk { .. } => 1.0, // alias entry
-                            WalkSpec::Node2Vec { .. } => {
-                                f64::from(outcome.uniform_trials - 1)
-                                    + f64::from(outcome.scanned.div_ceil(8))
-                            }
-                            WalkSpec::MetaPath { .. } => {
-                                f64::from(outcome.scanned.div_ceil(8))
-                            }
-                            _ => 0.0,
-                        };
-                        txns.push(2.0 + extra);
-                        vertices.push(next);
-                        prev = Some(cur);
-                        cur = next;
-                        hop += 1;
+            while let grw_algo::StepDecision::Advance { next, outcome } =
+                prepared.next_step(spec, cur, prev, hop, &mut rng)
+            {
+                let d = f64::from(graph.degree(cur));
+                degree_sum += d;
+                degree_sq += d * d;
+                visits += 1;
+                // RP read + final column read, plus sampling costs.
+                // Membership probes hit the previous hop's list,
+                // which both platforms keep close (GPU cache / FPGA
+                // on-chip buffer): no memory charge.
+                let extra = match spec {
+                    WalkSpec::DeepWalk { .. } => 1.0, // alias entry
+                    WalkSpec::Node2Vec { .. } => {
+                        f64::from(outcome.uniform_trials - 1)
+                            + f64::from(outcome.scanned.div_ceil(8))
                     }
-                    grw_algo::StepDecision::Terminate(_) => break,
-                }
+                    WalkSpec::MetaPath { .. } => f64::from(outcome.scanned.div_ceil(8)),
+                    _ => 0.0,
+                };
+                txns.push(2.0 + extra);
+                vertices.push(next);
+                prev = Some(cur);
+                cur = next;
+                hop += 1;
             }
             paths.push(WalkPath::new(q.id, vertices));
             hop_txns.push(txns);

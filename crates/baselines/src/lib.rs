@@ -31,3 +31,41 @@ pub use fastrw::FastRw;
 pub use gpu::{GSampler, GpuReport, GpuSpec};
 pub use lightrw::LightRw;
 pub use su::SuEtAl;
+
+#[cfg(test)]
+mod backend_tests {
+    use super::*;
+    use grw_algo::{run_streamed, PreparedGraph, QuerySet, WalkSpec};
+    use grw_graph::generators::{Dataset, ScaleFactor};
+
+    /// Every baseline's streaming backend reproduces its batch `run`
+    /// exactly when fed the same queries as one micro-batch.
+    #[test]
+    fn streaming_backends_match_batch_run() {
+        let g = Dataset::WebGoogle.generate_weighted(ScaleFactor::Tiny);
+        let spec = WalkSpec::deepwalk(10);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::random(p.graph().vertex_count(), 96, 4);
+
+        let fast = FastRw::new();
+        assert_eq!(
+            fast.run(&p, &spec, qs.queries()).paths,
+            run_streamed(&mut fast.backend(&p, &spec), qs.queries())
+        );
+        let light = LightRw::new();
+        assert_eq!(
+            light.run(&p, &spec, qs.queries()).paths,
+            run_streamed(&mut light.backend(&p, &spec), qs.queries())
+        );
+        let su = SuEtAl::new();
+        assert_eq!(
+            su.run(&p, &spec, qs.queries()).paths,
+            run_streamed(&mut su.backend(&p, &spec), qs.queries())
+        );
+        let gpu = GSampler::new();
+        assert_eq!(
+            gpu.run(&p, &spec, qs.queries()).paths,
+            run_streamed(&mut gpu.backend(&p, &spec), qs.queries())
+        );
+    }
+}

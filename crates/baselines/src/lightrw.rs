@@ -76,6 +76,16 @@ impl LightRw {
     ) -> RunReport {
         Accelerator::new(self.config()).run(prepared, spec, queries)
     }
+
+    /// Opens a streaming backend (one micro-batch per poll) over this
+    /// model's engine configuration.
+    pub fn backend<P: std::borrow::Borrow<PreparedGraph>>(
+        &self,
+        prepared: P,
+        spec: &WalkSpec,
+    ) -> ridgewalker::AcceleratorBackend<P> {
+        Accelerator::new(self.config()).backend(prepared, spec)
+    }
 }
 
 impl Default for LightRw {
@@ -100,10 +110,8 @@ mod tests {
         let p = PreparedGraph::new(g, &spec).unwrap();
         let qs = QuerySet::random(p.graph().vertex_count(), 2_048, 5);
         let light = LightRw::new().run(&p, &spec, qs.queries());
-        let ridge = Accelerator::new(
-            AcceleratorConfig::new().platform(FpgaPlatform::AlveoU250),
-        )
-        .run(&p, &spec, qs.queries());
+        let ridge = Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU250))
+            .run(&p, &spec, qs.queries());
         let speedup = ridge.speedup_over(&light);
         assert!(
             speedup > 1.05 && speedup < 4.0,
@@ -120,19 +128,16 @@ mod tests {
 
         let n2v = WalkSpec::node2vec(20, Node2VecMethod::Reservoir);
         let pn = PreparedGraph::new(g.clone(), &n2v).unwrap();
-        let n2v_ratio = Accelerator::new(
-            AcceleratorConfig::new().platform(FpgaPlatform::AlveoU250),
-        )
-        .run(&pn, &n2v, qs.queries())
-        .speedup_over(&LightRw::new().run(&pn, &n2v, qs.queries()));
+        let n2v_ratio =
+            Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU250))
+                .run(&pn, &n2v, qs.queries())
+                .speedup_over(&LightRw::new().run(&pn, &n2v, qs.queries()));
 
         let mp = WalkSpec::metapath(20);
         let pm = PreparedGraph::new(g, &mp).unwrap();
-        let mp_ratio = Accelerator::new(
-            AcceleratorConfig::new().platform(FpgaPlatform::AlveoU250),
-        )
-        .run(&pm, &mp, qs.queries())
-        .speedup_over(&LightRw::new().run(&pm, &mp, qs.queries()));
+        let mp_ratio = Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU250))
+            .run(&pm, &mp, qs.queries())
+            .speedup_over(&LightRw::new().run(&pm, &mp, qs.queries()));
 
         assert!(
             mp_ratio > n2v_ratio * 0.95,

@@ -60,6 +60,16 @@ impl SuEtAl {
     ) -> RunReport {
         Accelerator::new(self.config()).run(prepared, spec, queries)
     }
+
+    /// Opens a streaming backend (one micro-batch per poll) over this
+    /// model's engine configuration.
+    pub fn backend<P: std::borrow::Borrow<PreparedGraph>>(
+        &self,
+        prepared: P,
+        spec: &WalkSpec,
+    ) -> ridgewalker::AcceleratorBackend<P> {
+        Accelerator::new(self.config()).backend(prepared, spec)
+    }
 }
 
 impl Default for SuEtAl {

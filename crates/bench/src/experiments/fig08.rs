@@ -40,7 +40,11 @@ pub fn run_a(cfg: &HarnessConfig) -> Experiment {
 
 /// Fig. 8b: PPR and URW vs Su et al. on the Alveo U280 (WG only).
 pub fn run_b(cfg: &HarnessConfig) -> Experiment {
-    let mut e = Experiment::new("fig8b", "PPR/URW throughput vs Su et al. (U280, WG)", "MStep/s");
+    let mut e = Experiment::new(
+        "fig8b",
+        "PPR/URW throughput vs Su et al. (U280, WG)",
+        "MStep/s",
+    );
     let g = Dataset::WebGoogle.generate(cfg.scale);
     let mut su = Series::new("Su et al.");
     let mut ridge = Series::new("RidgeWalker");
@@ -50,7 +54,10 @@ pub fn run_b(cfg: &HarnessConfig) -> Experiment {
     ] {
         let p = PreparedGraph::new(g.clone(), &spec).expect("unweighted");
         let qs = query_set_for(&p, cfg, &spec);
-        su.push(label, SuEtAl::new().run(&p, &spec, qs.queries()).msteps_per_sec);
+        su.push(
+            label,
+            SuEtAl::new().run(&p, &spec, qs.queries()).msteps_per_sec,
+        );
         ridge.push(
             label,
             run_ridge(FpgaPlatform::AlveoU280, &p, &spec, &qs).msteps_per_sec,
@@ -79,7 +86,10 @@ pub fn run_c(cfg: &HarnessConfig) -> Experiment {
         let p = PreparedGraph::new(g, &spec).expect("weighted stand-in");
         let qs = query_set_for(&p, cfg, &spec);
         let x = d.spec().abbrev;
-        light.push(x, LightRw::new().run(&p, &spec, qs.queries()).msteps_per_sec);
+        light.push(
+            x,
+            LightRw::new().run(&p, &spec, qs.queries()).msteps_per_sec,
+        );
         ridge.push(
             x,
             run_ridge(FpgaPlatform::AlveoU250, &p, &spec, &qs).msteps_per_sec,
@@ -112,7 +122,10 @@ pub fn run_d(cfg: &HarnessConfig) -> Experiment {
         let p = PreparedGraph::new(g, &spec).expect("typed stand-in");
         let qs = query_set_for(&p, cfg, &spec);
         let x = d.spec().abbrev;
-        light.push(x, LightRw::new().run(&p, &spec, qs.queries()).msteps_per_sec);
+        light.push(
+            x,
+            LightRw::new().run(&p, &spec, qs.queries()).msteps_per_sec,
+        );
         ridge.push(
             x,
             run_ridge(FpgaPlatform::AlveoU250, &p, &spec, &qs).msteps_per_sec,

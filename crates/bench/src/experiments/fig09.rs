@@ -97,7 +97,10 @@ pub fn run(cfg: &HarnessConfig, fig: GpuFigure) -> Experiment {
         let p = PreparedGraph::new(g, &spec).expect("prepared stand-in");
         let qs = query_set_for(&p, cfg, &spec);
         let x = d.spec().abbrev;
-        gpu.push(x, GSampler::new().run(&p, &spec, qs.queries()).msteps_per_sec);
+        gpu.push(
+            x,
+            GSampler::new().run(&p, &spec, qs.queries()).msteps_per_sec,
+        );
         ridge.push(
             x,
             run_ridge(FpgaPlatform::AlveoU55c, &p, &spec, &qs).msteps_per_sec,

@@ -51,7 +51,7 @@ pub fn run(cfg: &HarnessConfig) -> Experiment {
                 RmatConfig::graph500(sc, ef)
             };
             let g = base
-                .seed(0xF16_10)
+                .seed(0x000F_1610)
                 .generate()
                 .with_weights(grw_graph::weights::thunder_rw(7));
             let p = PreparedGraph::new(g, &spec).expect("weighted RMAT");
@@ -68,8 +68,7 @@ pub fn run(cfg: &HarnessConfig) -> Experiment {
     }
     e.series = vec![gpu_b, ridge_b, gpu_s, ridge_s];
     e.notes.push(
-        "paper: gSampler ~9473 MStep/s balanced vs 592 skewed; RidgeWalker ~2241 vs ~2130"
-            .into(),
+        "paper: gSampler ~9473 MStep/s balanced vs 592 skewed; RidgeWalker ~2241 vs ~2130".into(),
     );
     e
 }

@@ -75,7 +75,10 @@ mod tests {
             if d.spec().directed {
                 assert!(sched > base, "{x}: scheduler {sched:.3} vs base {base:.3}");
             } else {
-                assert!(sched > base * 0.8, "{x}: scheduler {sched:.3} vs base {base:.3}");
+                assert!(
+                    sched > base * 0.8,
+                    "{x}: scheduler {sched:.3} vs base {base:.3}"
+                );
             }
             assert!(asyn > base, "{x}: async {asyn:.3} vs base {base:.3}");
             assert!(full >= asyn * 0.9, "{x}: full {full:.3} vs async {asyn:.3}");

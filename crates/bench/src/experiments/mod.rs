@@ -15,14 +15,16 @@ use grw_algo::{PreparedGraph, QuerySet, WalkSpec};
 use grw_sim::FpgaPlatform;
 use ridgewalker::{Accelerator, AcceleratorConfig, RunReport};
 
-/// Runs RidgeWalker with default settings on `platform`.
+/// Runs RidgeWalker with default settings on `platform`, through the
+/// streaming backend path the serving layer uses.
 pub(crate) fn run_ridge(
     platform: FpgaPlatform,
     prepared: &PreparedGraph,
     spec: &WalkSpec,
     queries: &QuerySet,
 ) -> RunReport {
-    Accelerator::new(AcceleratorConfig::new().platform(platform)).run(
+    crate::run_accelerator_streamed(
+        &Accelerator::new(AcceleratorConfig::new().platform(platform)),
         prepared,
         spec,
         queries.queries(),

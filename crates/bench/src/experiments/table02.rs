@@ -10,7 +10,11 @@ use grw_graph::GraphStats;
 
 /// Regenerates Table II.
 pub fn run(cfg: &HarnessConfig) -> Experiment {
-    let mut e = Experiment::new("table2", "Evaluated graph datasets (scaled stand-ins)", "see cols");
+    let mut e = Experiment::new(
+        "table2",
+        "Evaluated graph datasets (scaled stand-ins)",
+        "see cols",
+    );
     let mut vertices = Series::new("V(k)");
     let mut edges = Series::new("E(k)");
     let mut dead = Series::new("dead-end %");

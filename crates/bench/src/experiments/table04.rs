@@ -15,7 +15,10 @@ pub fn run(_cfg: &HarnessConfig) -> Experiment {
         ("PPR", WalkSpec::ppr(80)),
         ("URW", WalkSpec::urw(80)),
         ("DeepWalk", WalkSpec::deepwalk(80)),
-        ("Node2Vec", WalkSpec::node2vec(80, Node2VecMethod::Reservoir)),
+        (
+            "Node2Vec",
+            WalkSpec::node2vec(80, Node2VecMethod::Reservoir),
+        ),
     ];
     let mut luts = Series::new("LUTs");
     let mut regs = Series::new("REGs");

@@ -17,7 +17,10 @@ pub fn run(_cfg: &HarnessConfig) -> Experiment {
     for n in [4usize, 16] {
         let full = ridgewalker_fifo_depth(n);
         let mut s = Series::new(format!("N={n}"));
-        for depth in [1usize, full / 4, full / 2, full].into_iter().filter(|&d| d > 0) {
+        for depth in [1usize, full / 4, full / 2, full]
+            .into_iter()
+            .filter(|&d| d > 0)
+        {
             let mut cfg = FeedbackSimConfig::ridgewalker(n);
             cfg.fifo_depth = depth;
             let r = simulate_feedback(&cfg);

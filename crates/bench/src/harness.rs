@@ -1,8 +1,37 @@
-//! Shared experiment plumbing: configuration, series, rendering.
+//! Shared experiment plumbing: configuration, execution, series, rendering.
 
 use crate::table::{fmt_speedup, Table};
+use grw_algo::{run_streamed, PreparedGraph, WalkQuery, WalkSpec};
 use grw_graph::generators::ScaleFactor;
+use ridgewalker::{Accelerator, RunReport};
 use std::fmt;
+
+/// Executes queries on an accelerator through the streaming
+/// [`grw_algo::WalkBackend`] interface — the same code path the
+/// `grw_service` serving layer drives — and returns the familiar
+/// [`RunReport`] with the completed paths attached in query order.
+///
+/// Feeding the whole workload before the first poll forms a single
+/// micro-batch, so the report is bit-identical to `Accelerator::run`; the
+/// figures measure the serving-layer execution path without changing what
+/// they measure.
+pub fn run_accelerator_streamed(
+    accel: &Accelerator,
+    prepared: &PreparedGraph,
+    spec: &WalkSpec,
+    queries: &[WalkQuery],
+) -> RunReport {
+    // Size the backend queue to the workload: a workload larger than the
+    // default capacity would otherwise split into multiple micro-batches
+    // and measure a different execution than `Accelerator::run`.
+    let mut backend = accel
+        .backend(prepared, spec)
+        .queue_capacity(queries.len().max(1));
+    let paths = run_streamed(&mut backend, queries);
+    let mut report = backend.cumulative_report();
+    report.paths = paths;
+    report
+}
 
 /// Workload sizing for a harness run.
 ///
@@ -165,8 +194,11 @@ impl fmt::Display for Experiment {
         if self.series.is_empty() {
             return writeln!(f, "(no data)");
         }
-        let categories: Vec<String> =
-            self.series[0].points.iter().map(|(x, _)| x.clone()).collect();
+        let categories: Vec<String> = self.series[0]
+            .points
+            .iter()
+            .map(|(x, _)| x.clone())
+            .collect();
         let mut headers = vec!["".to_string()];
         headers.extend(self.series.iter().map(|s| s.label.clone()));
         // Per-category speedup column when exactly two series of the same
@@ -174,9 +206,7 @@ impl fmt::Display for Experiment {
         // metric tables (e.g. throughput next to utilization) get none.
         let comparable = self.series.len() == 2
             && self.unit == "MStep/s"
-            && categories
-                .iter()
-                .all(|x| self.series[1].value(x).is_some());
+            && categories.iter().all(|x| self.series[1].value(x).is_some());
         let speedup_pair = comparable.then(|| {
             headers.push("speedup".into());
             (self.series[1].label.clone(), self.series[0].label.clone())
@@ -258,5 +288,24 @@ mod tests {
     fn configs_are_ordered_by_scale() {
         assert!(HarnessConfig::tiny().queries < HarnessConfig::small().queries);
         assert!(HarnessConfig::small().queries < HarnessConfig::standard().queries);
+    }
+
+    #[test]
+    fn streamed_execution_reproduces_batch_run_exactly() {
+        use grw_algo::QuerySet;
+        use grw_graph::generators::{Dataset, ScaleFactor};
+        use ridgewalker::AcceleratorConfig;
+
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(10);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::random(p.graph().vertex_count(), 96, 2);
+        let accel = Accelerator::new(AcceleratorConfig::new().pipelines(4));
+        let batch = accel.run(&p, &spec, qs.queries());
+        let streamed = run_accelerator_streamed(&accel, &p, &spec, qs.queries());
+        assert_eq!(batch.paths, streamed.paths);
+        assert_eq!(batch.cycles, streamed.cycles);
+        assert_eq!(batch.steps, streamed.steps);
+        assert!((batch.msteps_per_sec - streamed.msteps_per_sec).abs() < 1e-9);
     }
 }

@@ -32,5 +32,5 @@ pub mod experiments;
 mod harness;
 mod table;
 
-pub use harness::{Experiment, HarnessConfig, Series};
+pub use harness::{run_accelerator_streamed, Experiment, HarnessConfig, Series};
 pub use table::{fmt_msteps, fmt_percent, fmt_speedup, Table};

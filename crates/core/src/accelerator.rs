@@ -16,9 +16,9 @@
 //! into the scheduler. The static bulk-synchronous mode (ablation) binds
 //! queries to pipelines by id and separates execution into batch barriers.
 
-use crate::config::{AcceleratorConfig, ScheduleMode};
 #[cfg(test)]
 use crate::config::MemoryMode;
+use crate::config::{AcceleratorConfig, ScheduleMode};
 use crate::engine::AsyncAccessEngine;
 use crate::report::{RunReport, TerminationBreakdown};
 use crate::router::TaskRouter;
@@ -328,9 +328,7 @@ impl<'a> Simulation<'a> {
                 next: None,
                 // A fruitless MetaPath scan still reads the whole list.
                 seq_left: match self.spec {
-                    WalkSpec::MetaPath { .. } => {
-                        div8(self.prepared.graph().degree(task.v_curr))
-                    }
+                    WalkSpec::MetaPath { .. } => div8(self.prepared.graph().degree(task.v_curr)),
                     _ => 0,
                 },
                 random_left: 0,
@@ -434,7 +432,7 @@ impl<'a> Simulation<'a> {
     }
 
     fn step_cycle(&mut self, cycle: Cycle) {
-        if cycle % 65_536 == 0 && cycle > 0 && std::env::var_os("RIDGE_TRACE").is_some() {
+        if cycle.is_multiple_of(65_536) && cycle > 0 && std::env::var_os("RIDGE_TRACE").is_some() {
             let ra_fifo: usize = self.pipes.iter().map(|p| p.ra_fifo.len()).sum();
             let ra_out: usize = self.pipes.iter().map(|p| p.ra_out.len()).sum();
             let ra_inflight: usize = self.pipes.iter().map(|p| p.ra_engine.in_flight()).sum();
@@ -452,7 +450,13 @@ impl<'a> Simulation<'a> {
             let per: Vec<(usize, usize, u64)> = self
                 .pipes
                 .iter()
-                .map(|p| (p.ca_ready.len(), p.ca_engine.in_flight(), p.ca_engine.issued()))
+                .map(|p| {
+                    (
+                        p.ca_ready.len(),
+                        p.ca_engine.in_flight(),
+                        p.ca_engine.issued(),
+                    )
+                })
                 .collect();
             eprintln!("  per-pipe ca (ready, inflight, issued): {per:?}");
         }
@@ -514,7 +518,8 @@ impl<'a> Simulation<'a> {
                         // stream tax when a FastRW-style design is modelled.
                         let cost = 1.0 + self.rng_tax_cost;
                         if p.ca_engine.can_issue(cost)
-                            && p.ca_engine.try_issue(CaMeta::Final(task, next), cost, cycle)
+                            && p.ca_engine
+                                .try_issue(CaMeta::Final(task, next), cost, cycle)
                         {
                             p.ca_engine.add_bytes(self.final_read_bytes - 8);
                             p.ca_ready.pop_front();
@@ -672,7 +677,8 @@ impl<'a> Simulation<'a> {
             } else {
                 break;
             };
-            self.sched_pipe.push_back((cycle + self.sched_latency, task));
+            self.sched_pipe
+                .push_back((cycle + self.sched_latency, task));
         }
 
         // 13. Query loader.
@@ -838,7 +844,18 @@ mod tests {
         // against the reference engine's.
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 0), (2, 0), (3, 0), (4, 0), (5, 0)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 0),
+                (2, 0),
+                (3, 0),
+                (4, 0),
+                (5, 0),
+            ],
             true,
         );
         let spec = WalkSpec::urw(8);
@@ -868,8 +885,11 @@ mod tests {
         let p = PreparedGraph::new(g.clone(), &spec).unwrap();
         let qs = QuerySet::random(g.vertex_count(), 1200, 2);
         let full = Accelerator::new(small_config()).run(&p, &spec, qs.queries());
-        let blocking = Accelerator::new(small_config().memory(MemoryMode::Blocking))
-            .run(&p, &spec, qs.queries());
+        let blocking = Accelerator::new(small_config().memory(MemoryMode::Blocking)).run(
+            &p,
+            &spec,
+            qs.queries(),
+        );
         let speedup = full.speedup_over(&blocking);
         assert!(
             speedup > 3.0,
@@ -884,8 +904,11 @@ mod tests {
         let p = PreparedGraph::new(g.clone(), &spec).unwrap();
         let qs = QuerySet::random(g.vertex_count(), 600, 2);
         let dynamic = Accelerator::new(small_config()).run(&p, &spec, qs.queries());
-        let static_ = Accelerator::new(small_config().schedule(ScheduleMode::StaticBatched))
-            .run(&p, &spec, qs.queries());
+        let static_ = Accelerator::new(small_config().schedule(ScheduleMode::StaticBatched)).run(
+            &p,
+            &spec,
+            qs.queries(),
+        );
         let speedup = dynamic.speedup_over(&static_);
         assert!(
             speedup > 1.1,
@@ -913,7 +936,11 @@ mod tests {
             steps_per_cycle > 0.38,
             "steps/cycle/pipeline {steps_per_cycle:.3}, want near 0.469"
         );
-        assert!(report.bubble_ratio < 0.05, "bubbles {:.3}", report.bubble_ratio);
+        assert!(
+            report.bubble_ratio < 0.05,
+            "bubbles {:.3}",
+            report.bubble_ratio
+        );
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Streaming backend over the cycle-level accelerator model.
+//!
+//! The hardware streams tasks hop-by-hop; the software interface streams
+//! *queries* micro-batch by micro-batch: submissions accumulate until a
+//! [`poll`](grw_algo::WalkBackend::poll), which runs the accumulated batch
+//! through the cycle simulation and banks its report. Cumulative counters
+//! (cycles, steps, transactions, bytes) merge across micro-batches so a
+//! serving layer sees one continuous simulated machine.
+
+use crate::accelerator::Accelerator;
+use crate::report::{RunReport, TerminationBreakdown};
+use grw_algo::{BackendTelemetry, PreparedGraph, WalkBackend, WalkPath, WalkQuery, WalkSpec};
+use std::borrow::Borrow;
+use std::collections::VecDeque;
+
+/// Default bound on queries the backend buffers before pushing back.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1 << 20;
+
+/// An [`Accelerator`] bound to a graph and spec, exposed as a streaming
+/// [`WalkBackend`].
+///
+/// Micro-batch semantics: all queries accepted since the last poll are
+/// simulated as one continuous run (back-to-back with earlier batches in
+/// cumulative time). Paths for a query therefore depend on the composition
+/// of its micro-batch — deterministic for a fixed submission/poll sequence,
+/// exactly like re-running `Accelerator::run` on the same batches.
+///
+/// # Example
+///
+/// ```
+/// use grw_algo::{PreparedGraph, QuerySet, WalkBackend, WalkSpec};
+/// use grw_graph::CsrGraph;
+/// use ridgewalker::{Accelerator, AcceleratorConfig};
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], true);
+/// let spec = WalkSpec::urw(8);
+/// let prepared = PreparedGraph::new(g, &spec).unwrap();
+/// let queries = QuerySet::random(4, 16, 3);
+/// let accel = Accelerator::new(AcceleratorConfig::new().pipelines(2));
+/// let mut backend = accel.backend(&prepared, &spec);
+/// assert_eq!(backend.submit(queries.queries()), 16);
+/// let paths = backend.drain();
+/// assert_eq!(paths.len(), 16);
+/// assert!(backend.telemetry().cycles.unwrap() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcceleratorBackend<P> {
+    accel: Accelerator,
+    prepared: P,
+    spec: WalkSpec,
+    queued: Vec<WalkQuery>,
+    ready: VecDeque<WalkPath>,
+    queue_cap: usize,
+    stats: CumulativeStats,
+}
+
+/// Merged counters across micro-batches.
+#[derive(Debug, Clone, Copy, Default)]
+struct CumulativeStats {
+    batches: u64,
+    cycles: u64,
+    steps: u64,
+    random_txns: u64,
+    bytes_moved: u64,
+    /// Cycle-weighted sums for the ratio quantities.
+    bubble_weighted: f64,
+    util_weighted: f64,
+    terminations: TerminationBreakdown,
+    clock_mhz: f64,
+    peak_bandwidth_gbs: f64,
+    /// Bytes per step of traversed-edge footprint (spec-dependent),
+    /// recorded from the batch reports for bandwidth recomputation.
+    footprint_per_step: f64,
+}
+
+impl Accelerator {
+    /// Opens a streaming backend bound to a prepared graph and spec.
+    pub fn backend<P: Borrow<PreparedGraph>>(
+        &self,
+        prepared: P,
+        spec: &WalkSpec,
+    ) -> AcceleratorBackend<P> {
+        AcceleratorBackend {
+            accel: self.clone(),
+            prepared,
+            spec: spec.clone(),
+            queued: Vec::new(),
+            ready: VecDeque::new(),
+            queue_cap: DEFAULT_QUEUE_CAPACITY,
+            stats: CumulativeStats::default(),
+        }
+    }
+}
+
+impl<P: Borrow<PreparedGraph>> AcceleratorBackend<P> {
+    /// Bounds the micro-batch buffer (backpressure point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        self.queue_cap = cap;
+        self
+    }
+
+    /// The accelerator configuration driving this backend.
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accel
+    }
+
+    /// Micro-batches simulated so far.
+    pub fn batches_run(&self) -> u64 {
+        self.stats.batches
+    }
+
+    /// The cumulative run report across every micro-batch simulated so
+    /// far: cycles/steps/transactions summed, ratio quantities
+    /// cycle-weighted, throughput and bandwidth recomputed from the
+    /// totals. `paths` is empty — completed paths stream out of
+    /// [`poll`](WalkBackend::poll)/[`drain`](WalkBackend::drain).
+    pub fn cumulative_report(&self) -> RunReport {
+        let s = &self.stats;
+        let msteps = if s.cycles == 0 {
+            0.0
+        } else {
+            s.steps as f64 / s.cycles as f64 * s.clock_mhz
+        };
+        let eff_bw = msteps * s.footprint_per_step / 1000.0;
+        let (bubble, util) = if s.cycles == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                s.bubble_weighted / s.cycles as f64,
+                s.util_weighted / s.cycles as f64,
+            )
+        };
+        RunReport {
+            paths: Vec::new(),
+            cycles: s.cycles,
+            steps: s.steps,
+            clock_mhz: s.clock_mhz,
+            msteps_per_sec: msteps,
+            bubble_ratio: bubble,
+            pipeline_utilization: util,
+            random_txns: s.random_txns,
+            bytes_moved: s.bytes_moved,
+            effective_bandwidth_gbs: eff_bw,
+            peak_bandwidth_gbs: s.peak_bandwidth_gbs,
+            bandwidth_utilization: if s.peak_bandwidth_gbs > 0.0 {
+                (eff_bw / s.peak_bandwidth_gbs).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            terminations: s.terminations,
+        }
+    }
+
+    /// Simulates the currently queued micro-batch, if any.
+    fn run_queued(&mut self) {
+        if self.queued.is_empty() {
+            return;
+        }
+        let report = self
+            .accel
+            .run(self.prepared.borrow(), &self.spec, &self.queued);
+        self.queued.clear();
+        let s = &mut self.stats;
+        s.batches += 1;
+        s.cycles += report.cycles;
+        s.steps += report.steps;
+        s.random_txns += report.random_txns;
+        s.bytes_moved += report.bytes_moved;
+        s.bubble_weighted += report.bubble_ratio * report.cycles as f64;
+        s.util_weighted += report.pipeline_utilization * report.cycles as f64;
+        s.terminations.max_length += report.terminations.max_length;
+        s.terminations.dead_end += report.terminations.dead_end;
+        s.terminations.teleport += report.terminations.teleport;
+        s.terminations.no_typed_neighbor += report.terminations.no_typed_neighbor;
+        s.clock_mhz = report.clock_mhz;
+        s.peak_bandwidth_gbs = report.peak_bandwidth_gbs;
+        if report.msteps_per_sec > 0.0 {
+            // footprint = eff_bw * 1000 / msteps, constant per spec.
+            s.footprint_per_step = report.effective_bandwidth_gbs * 1000.0 / report.msteps_per_sec;
+        }
+        self.ready.extend(report.paths);
+    }
+}
+
+impl<P: Borrow<PreparedGraph>> WalkBackend for AcceleratorBackend<P> {
+    fn submit(&mut self, queries: &[WalkQuery]) -> usize {
+        let room = self.queue_cap.saturating_sub(self.queued.len());
+        let n = room.min(queries.len());
+        self.queued.extend_from_slice(&queries[..n]);
+        n
+    }
+
+    fn poll(&mut self) -> Vec<WalkPath> {
+        self.run_queued();
+        self.ready.drain(..).collect()
+    }
+
+    fn drain(&mut self) -> Vec<WalkPath> {
+        self.poll()
+    }
+
+    fn capacity_hint(&self) -> usize {
+        self.queue_cap.saturating_sub(self.queued.len())
+    }
+
+    fn in_flight(&self) -> usize {
+        self.queued.len() + self.ready.len()
+    }
+
+    fn telemetry(&self) -> BackendTelemetry {
+        BackendTelemetry {
+            steps: self.stats.steps,
+            cycles: Some(self.stats.cycles),
+            clock_mhz: if self.stats.batches > 0 {
+                Some(self.stats.clock_mhz)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+    use grw_algo::{run_streamed, QuerySet};
+    use grw_graph::generators::{Dataset, ScaleFactor};
+    use grw_sim::FpgaPlatform;
+
+    fn accel() -> Accelerator {
+        Accelerator::new(
+            AcceleratorConfig::new()
+                .platform(FpgaPlatform::AlveoU55c)
+                .pipelines(4),
+        )
+    }
+
+    #[test]
+    fn single_batch_streaming_is_bit_identical_to_run() {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = grw_algo::WalkSpec::urw(16);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::random(p.graph().vertex_count(), 128, 3);
+        let legacy = accel().run(&p, &spec, qs.queries());
+        let mut backend = accel().backend(&p, &spec);
+        let streamed = run_streamed(&mut backend, qs.queries());
+        assert_eq!(legacy.paths, streamed);
+        let cum = backend.cumulative_report();
+        assert_eq!(cum.cycles, legacy.cycles);
+        assert_eq!(cum.steps, legacy.steps);
+        assert_eq!(cum.random_txns, legacy.random_txns);
+        assert_eq!(cum.bytes_moved, legacy.bytes_moved);
+        assert!((cum.msteps_per_sec - legacy.msteps_per_sec).abs() < 1e-9);
+        assert!((cum.bubble_ratio - legacy.bubble_ratio).abs() < 1e-12);
+        assert!((cum.bandwidth_utilization - legacy.bandwidth_utilization).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_batches_accumulate_cycles_and_steps() {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = grw_algo::WalkSpec::urw(12);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::random(p.graph().vertex_count(), 90, 5);
+        let mut backend = accel().backend(&p, &spec);
+        let mut total = 0;
+        for chunk in qs.queries().chunks(30) {
+            assert_eq!(backend.submit(chunk), 30);
+            total += backend.poll().len();
+        }
+        total += backend.drain().len();
+        assert_eq!(total, 90);
+        assert_eq!(backend.batches_run(), 3);
+        let t = backend.telemetry();
+        assert!(t.cycles.unwrap() > 0);
+        assert_eq!(
+            t.steps,
+            backend.cumulative_report().steps,
+            "telemetry and report agree"
+        );
+        assert_eq!(backend.in_flight(), 0);
+    }
+
+    #[test]
+    fn backpressure_bounds_the_queue() {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = grw_algo::WalkSpec::urw(4);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::random(p.graph().vertex_count(), 64, 1);
+        let mut backend = accel().backend(&p, &spec).queue_capacity(10);
+        assert_eq!(backend.submit(qs.queries()), 10);
+        assert_eq!(backend.capacity_hint(), 0);
+        assert_eq!(backend.submit(qs.queries()), 0);
+        assert_eq!(backend.poll().len(), 10);
+        assert_eq!(backend.capacity_hint(), 10);
+    }
+}

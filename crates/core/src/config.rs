@@ -131,12 +131,14 @@ impl AcceleratorConfig {
 
     /// Resolved RA outstanding window.
     pub fn effective_ra_outstanding(&self) -> usize {
-        self.ra_outstanding.unwrap_or_else(|| self.effective_outstanding())
+        self.ra_outstanding
+            .unwrap_or_else(|| self.effective_outstanding())
     }
 
     /// Resolved CA outstanding window.
     pub fn effective_ca_outstanding(&self) -> usize {
-        self.ca_outstanding.unwrap_or_else(|| self.effective_outstanding())
+        self.ca_outstanding
+            .unwrap_or_else(|| self.effective_outstanding())
     }
 
     /// Sets the platform.
@@ -286,7 +288,10 @@ mod tests {
             combos[0],
             (ScheduleMode::StaticBatched, MemoryMode::Blocking)
         );
-        assert_eq!(combos[3], (ScheduleMode::ZeroBubble, MemoryMode::Asynchronous));
+        assert_eq!(
+            combos[3],
+            (ScheduleMode::ZeroBubble, MemoryMode::Asynchronous)
+        );
     }
 
     #[test]

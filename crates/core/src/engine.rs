@@ -88,7 +88,9 @@ impl<M> AsyncAccessEngine<M> {
         self.free_ids.pop();
         self.slab[id as usize] = Some(meta);
         self.issued += 1;
-        self.bytes += (cost.max(0.125) * 8.0) as u64;
+        // Partial-beat costs still move whole bytes on the bus: round up,
+        // and never account a transaction at zero bytes.
+        self.bytes += ((cost * 8.0).ceil() as u64).max(1);
         true
     }
 
@@ -225,6 +227,21 @@ mod tests {
         assert_eq!(e.bytes_moved(), 8);
         e.add_bytes(24); // a 256-bit RP entry moves 24 extra bytes
         assert_eq!(e.bytes_moved(), 32);
+    }
+
+    #[test]
+    fn sub_byte_costs_round_up_not_down() {
+        let mut e: AsyncAccessEngine<u32> = AsyncAccessEngine::new(spec(8), 8);
+        e.begin_cycle(0);
+        // 0.3 credits = 2.4 bytes of bus traffic: must charge 3, not 2.
+        assert!(e.try_issue(0, 0.3, 0));
+        assert_eq!(e.bytes_moved(), 3);
+        // A fractional credit below one byte still moves one byte.
+        assert!(e.try_issue(1, 0.01, 0));
+        assert_eq!(e.bytes_moved(), 4);
+        // 1.125 credits (the FastRW RNG-tax shape) = 9 bytes exactly.
+        assert!(e.try_issue(2, 1.125, 0));
+        assert_eq!(e.bytes_moved(), 13);
     }
 
     #[test]

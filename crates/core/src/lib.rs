@@ -24,6 +24,10 @@
 //!   (Row Access → Sampling → Column Access) over per-pipeline HBM/DDR
 //!   channel pairs, with dynamic per-hop reassignment — plus the static
 //!   bulk-synchronous mode used as the Fig. 11 ablation baseline.
+//! * **Streaming backend** ([`AcceleratorBackend`]): the accelerator
+//!   behind the incremental `grw_algo::WalkBackend` interface
+//!   (submit / poll / drain, micro-batch per poll, cumulative report) —
+//!   what the `grw_service` serving layer shards over.
 //! * **Resource & frequency model** ([`resource`]): the analytic cost table
 //!   reproducing Table IV.
 //!
@@ -45,16 +49,18 @@
 //! ```
 
 mod accelerator;
+mod backend;
 mod config;
 mod engine;
 pub mod report;
 pub mod resource;
 mod router;
 pub mod scheduler;
-pub mod verify;
 mod task;
+pub mod verify;
 
 pub use accelerator::Accelerator;
+pub use backend::AcceleratorBackend;
 pub use config::{AcceleratorConfig, MemoryMode, ScheduleMode};
 pub use engine::AsyncAccessEngine;
 pub use report::{RunReport, TerminationBreakdown};

@@ -184,9 +184,7 @@ pub fn estimate(spec: &WalkSpec, pipelines: u32) -> DesignEstimate {
     usage.add(SCHEDULER, 1);
     usage.add(PIPELINE_BASE, u64::from(pipelines));
     usage.add(sampler_cost(spec), u64::from(pipelines));
-    let frequency_mhz = module_fmax(spec)
-        .into_iter()
-        .fold(f64::INFINITY, f64::min);
+    let frequency_mhz = module_fmax(spec).into_iter().fold(f64::INFINITY, f64::min);
     DesignEstimate {
         usage,
         frequency_mhz,
@@ -225,14 +223,26 @@ mod tests {
     fn estimates_track_table_iv_within_tolerance() {
         for (spec, lut, reg, bram, dsp) in table_iv() {
             let pct = estimate(&spec, 16).usage.percent_of(U55C_DEVICE);
-            assert!((pct.luts - lut).abs() < 3.0, "{spec} LUT {0} vs {lut}", pct.luts);
-            assert!((pct.regs - reg).abs() < 3.0, "{spec} REG {0} vs {reg}", pct.regs);
+            assert!(
+                (pct.luts - lut).abs() < 3.0,
+                "{spec} LUT {0} vs {lut}",
+                pct.luts
+            );
+            assert!(
+                (pct.regs - reg).abs() < 3.0,
+                "{spec} REG {0} vs {reg}",
+                pct.regs
+            );
             assert!(
                 (pct.brams - bram).abs() < 4.0,
                 "{spec} BRAM {0} vs {bram}",
                 pct.brams
             );
-            assert!((pct.dsps - dsp).abs() < 2.0, "{spec} DSP {0} vs {dsp}", pct.dsps);
+            assert!(
+                (pct.dsps - dsp).abs() < 2.0,
+                "{spec} DSP {0} vs {dsp}",
+                pct.dsps
+            );
         }
     }
 

@@ -122,19 +122,15 @@ impl<T> ButterflyBalancer<T> {
             let stage = &mut self.stages[s];
             // Mergers: wires → next level. The three borrows are disjoint
             // struct fields.
-            for j in 0..self.n {
-                stage.mergers[j].tick(
-                    &mut stage.straight[j],
-                    &mut stage.cross[j],
-                    &mut outputs[j],
-                );
+            for (j, out) in outputs.iter_mut().enumerate().take(self.n) {
+                stage.mergers[j].tick(&mut stage.straight[j], &mut stage.cross[j], out);
             }
             // Dispatchers: this level → wires. Dispatcher `i` crosses to
             // lane `i ^ bit`, i.e. writes cross[i ^ bit].
-            for i in 0..self.n {
+            for (i, input) in inputs.iter_mut().enumerate().take(self.n) {
                 let cross_idx = i ^ stage.bit;
                 stage.dispatchers[i].tick(
-                    &mut inputs[i],
+                    input,
                     &mut stage.straight[i],
                     &mut stage.cross[cross_idx],
                 );
@@ -259,7 +255,7 @@ mod tests {
             }
             b.tick();
             for lane in 0..n {
-                if (cycle + lane as u64) % 3 != 0 {
+                if !(cycle + lane as u64).is_multiple_of(3) {
                     if let Some(v) = b.pop(lane) {
                         got.push(v);
                     }

@@ -59,8 +59,7 @@ impl Dispatcher {
     /// Which output would be chosen given the current full flags
     /// (the `build_scode` + `switch` of Algorithm VI.1): 0 = out1, 1 = out2.
     fn decide(&self, out1_full: bool, out2_full: bool) -> u8 {
-        let scode =
-            ((out2_full as u8) << 2) | ((out1_full as u8) << 1) | (self.last_selection & 1);
+        let scode = ((out2_full as u8) << 2) | ((out1_full as u8) << 1) | (self.last_selection & 1);
         match scode {
             // Both have space; pick not-last-served to alternate (out1).
             0b001 => 0,

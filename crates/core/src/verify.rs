@@ -109,8 +109,8 @@ mod tests {
         let p = PreparedGraph::new(g.clone(), &spec).unwrap();
         let qs = QuerySet::random(g.vertex_count(), 3_000, 1);
         let reference = ReferenceEngine::new(4).run(&p, &spec, qs.queries());
-        let accel = Accelerator::new(AcceleratorConfig::new().pipelines(4))
-            .run(&p, &spec, qs.queries());
+        let accel =
+            Accelerator::new(AcceleratorConfig::new().pipelines(4)).run(&p, &spec, qs.queries());
         let report = compare_transition_distributions(&g, &reference, &accel.paths, 200);
         assert!(report.vertices_checked > 10, "{report:?}");
         // At the 99.9% level a few false rejections are expected; demand

@@ -79,7 +79,10 @@ impl AliasTables {
             return;
         }
         let scale = n as f64 / total;
-        let mut scaled: Vec<f64> = weights.iter().map(|&w| f64::from(w.max(0.0)) * scale).collect();
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| f64::from(w.max(0.0)) * scale)
+            .collect();
         let mut small: Vec<usize> = Vec::new();
         let mut large: Vec<usize> = Vec::new();
         for (i, &s) in scaled.iter().enumerate() {

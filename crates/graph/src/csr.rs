@@ -57,7 +57,10 @@ impl CsrGraph {
         directed: bool,
     ) -> Self {
         debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
-        debug_assert_eq!(*row_ptr.last().expect("non-empty row_ptr") as usize, col.len());
+        debug_assert_eq!(
+            *row_ptr.last().expect("non-empty row_ptr") as usize,
+            col.len()
+        );
         Self {
             row_ptr,
             col,
@@ -264,9 +267,8 @@ impl GraphBuilder {
 
     /// Sorts, mirrors (if undirected), dedups and freezes into a [`CsrGraph`].
     pub fn build(&self) -> CsrGraph {
-        let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(
-            self.edges.len() * if self.directed { 1 } else { 2 },
-        );
+        let mut edges: Vec<(VertexId, VertexId)> =
+            Vec::with_capacity(self.edges.len() * if self.directed { 1 } else { 2 });
         for &(u, v) in &self.edges {
             if u == v && !self.keep_self_loops {
                 continue;

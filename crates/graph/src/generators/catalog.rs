@@ -186,7 +186,10 @@ impl Dataset {
     pub fn generate(self, scale: ScaleFactor) -> CsrGraph {
         let spec = self.spec();
         let (a, b, c, d) = spec.initiator;
-        let sc = spec.standard_scale.saturating_sub(scale.scale_shift()).max(8);
+        let sc = spec
+            .standard_scale
+            .saturating_sub(scale.scale_shift())
+            .max(8);
         RmatConfig::balanced(sc, spec.edge_factor)
             .with_initiator(a, b, c, d)
             .directed(spec.directed)
@@ -231,7 +234,10 @@ mod tests {
 
     #[test]
     fn paper_edge_counts_are_ascending() {
-        let specs: Vec<u64> = Dataset::all().iter().map(|d| d.spec().paper_edges).collect();
+        let specs: Vec<u64> = Dataset::all()
+            .iter()
+            .map(|d| d.spec().paper_edges)
+            .collect();
         assert!(specs.windows(2).all(|w| w[0] <= w[1]));
     }
 

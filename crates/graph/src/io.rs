@@ -43,7 +43,9 @@ impl Error for ParseEdgeListError {}
 /// assert_eq!(edges, vec![(0, 1), (1, 2)]);
 /// assert_eq!(n, 3);
 /// ```
-pub fn parse_edge_list(text: &str) -> Result<(Vec<(VertexId, VertexId)>, usize), ParseEdgeListError> {
+pub fn parse_edge_list(
+    text: &str,
+) -> Result<(Vec<(VertexId, VertexId)>, usize), ParseEdgeListError> {
     let mut edges = Vec::new();
     let mut max_id: u64 = 0;
     let mut any = false;
@@ -108,9 +110,8 @@ pub fn write_binary(graph: &CsrGraph) -> Vec<u8> {
     let mut out = Vec::with_capacity(24 + (n + 1) * 8 + e * 4);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
-    let flags: u32 = (graph.is_directed() as u32)
-        | ((weighted as u32) << 1)
-        | ((typed as u32) << 2);
+    let flags: u32 =
+        (graph.is_directed() as u32) | ((weighted as u32) << 1) | ((typed as u32) << 2);
     out.extend_from_slice(&flags.to_le_bytes());
     out.extend_from_slice(&(n as u64).to_le_bytes());
     out.extend_from_slice(&(e as u64).to_le_bytes());
@@ -261,7 +262,10 @@ mod tests {
     fn binary_rejects_bad_magic() {
         let mut bytes = write_binary(&sample());
         bytes[0] = b'X';
-        assert!(read_binary(&bytes).unwrap_err().to_string().contains("magic"));
+        assert!(read_binary(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
     }
 
     #[test]

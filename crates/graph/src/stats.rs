@@ -109,8 +109,9 @@ pub fn approx_diameter(graph: &CsrGraph) -> u32 {
                 far = (v, d);
             }
             let forward = graph.neighbors(v).iter().copied();
-            let backward =
-                rev_col[rev_ptr[v as usize]..rev_ptr[v as usize + 1]].iter().copied();
+            let backward = rev_col[rev_ptr[v as usize]..rev_ptr[v as usize + 1]]
+                .iter()
+                .copied();
             for w in forward.chain(backward) {
                 if dist[w as usize] == u32::MAX {
                     dist[w as usize] = d + 1;

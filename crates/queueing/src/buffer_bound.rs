@@ -121,9 +121,10 @@ pub fn simulate(config: &FeedbackSimConfig) -> FeedbackSimReport {
     let mut rng = SplitMix64::new(config.seed ^ 0x5EED_F00D);
     let mut arrivals = match config.arrival {
         ArrivalModel::Backlogged => None,
-        ArrivalModel::Poisson(rate) => {
-            Some(crate::processes::PoissonProcess::new(rate.max(1e-12), config.seed))
-        }
+        ArrivalModel::Poisson(rate) => Some(crate::processes::PoissonProcess::new(
+            rate.max(1e-12),
+            config.seed,
+        )),
     };
 
     // Per-server state.
@@ -173,15 +174,14 @@ pub fn simulate(config: &FeedbackSimConfig) -> FeedbackSimReport {
         }
 
         // Server phase: each server attempts one pop with probability μ.
-        for s in 0..n {
-            let wants_to_serve =
-                config.service_prob >= 1.0 || rng.next_f64() < config.service_prob;
+        for fifo in occupancy.iter_mut().take(n) {
+            let wants_to_serve = config.service_prob >= 1.0 || rng.next_f64() < config.service_prob;
             if !wants_to_serve {
                 continue;
             }
             service_opportunities += 1;
-            if occupancy[s] > 0 {
-                occupancy[s] -= 1;
+            if *fifo > 0 {
+                *fifo -= 1;
                 served += 1;
             } else {
                 let upstream_work = match config.arrival {

@@ -73,8 +73,7 @@ impl BulkQueueModel {
         let mut next = vec![0.0f64; k];
         for _ in 0..200_000 {
             next.iter_mut().for_each(|x| *x = 0.0);
-            for n in 0..k {
-                let p = pi[n];
+            for (n, &p) in pi.iter().enumerate().take(k) {
                 if p == 0.0 {
                     continue;
                 }
@@ -146,13 +145,9 @@ mod tests {
         let q = BulkQueueModel::new(0.6, 1.0, 1);
         let pi = q.stationary(400);
         let rho: f64 = 0.6;
-        for n in 0..10 {
+        for (n, &p) in pi.iter().enumerate().take(10) {
             let expect = (1.0 - rho) * rho.powi(n as i32);
-            assert!(
-                (pi[n] - expect).abs() < 1e-6,
-                "pi[{n}] = {}, want {expect}",
-                pi[n]
-            );
+            assert!((p - expect).abs() < 1e-6, "pi[{n}] = {p}, want {expect}");
         }
         assert!((q.utilization(400) - rho).abs() < 1e-6);
         // M/M/1 mean L = ρ/(1-ρ) = 1.5.

@@ -227,7 +227,7 @@ mod tests {
     fn zipf_exponent_zero_is_uniform() {
         let zipf = Zipf::new(10, 0.0);
         let mut g = SplitMix64::new(6);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         let n = 100_000;
         for _ in 0..n {
             counts[zipf.sample(&mut g)] += 1;

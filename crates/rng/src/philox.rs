@@ -147,9 +147,7 @@ mod tests {
     fn adjacent_task_keys_are_uncorrelated() {
         let mut a = Philox4x32::keyed(1, 1);
         let mut b = Philox4x32::keyed(1, 2);
-        let collisions = (0..256)
-            .filter(|_| a.next_u64() == b.next_u64())
-            .count();
+        let collisions = (0..256).filter(|_| a.next_u64() == b.next_u64()).count();
         assert_eq!(collisions, 0);
     }
 

@@ -47,7 +47,9 @@ impl StreamRng {
     fn output(&mut self) -> u64 {
         // Weyl sequence: s_i(t) = t * increment_i, full period, distinct per
         // stream; combined with the shared core and passed through xorshift.
-        self.weyl = self.weyl.wrapping_add(self.increment.wrapping_mul(SplitMix64::GAMMA));
+        self.weyl = self
+            .weyl
+            .wrapping_add(self.increment.wrapping_mul(SplitMix64::GAMMA));
         self.xs = XorShift64Star::step(self.xs);
         SplitMix64::mix(self.core ^ self.weyl).wrapping_add(self.xs)
     }
@@ -219,18 +221,19 @@ mod tests {
     #[test]
     fn stream_mean_is_balanced() {
         let mut ring = ThunderRing::new(2, 3);
-        let mean: f64 = (0..30_000).map(|_| {
-            let v = ring.draw(1);
-            (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-        })
-        .sum::<f64>()
+        let mean: f64 = (0..30_000)
+            .map(|_| {
+                let v = ring.draw(1);
+                (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+            })
+            .sum::<f64>()
             / 30_000.0;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 
     #[test]
     fn correlation_of_identical_sequences_is_one() {
-        let xs: Vec<u64> = (0..100).map(|i| SplitMix64::mix(i)).collect();
+        let xs: Vec<u64> = (0..100).map(SplitMix64::mix).collect();
         let r = correlation(&xs, &xs);
         assert!((r - 1.0).abs() < 1e-9);
     }

@@ -1,0 +1,188 @@
+//! The per-shard micro-batch coalescer.
+//!
+//! Incoming queries park in a bounded buffer until either the buffer holds
+//! a full micro-batch (`max_batch`) or the oldest parked query has waited
+//! `max_delay_ticks` service ticks — the classic size-or-deadline batching
+//! front-end. Size flushes favour throughput; deadline flushes bound the
+//! latency a trickle of traffic can suffer.
+
+use grw_algo::WalkQuery;
+
+/// Why a micro-batch left the coalescing buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The buffer reached the size bound.
+    Size,
+    /// The oldest parked query reached the deadline bound.
+    Deadline,
+    /// The service is draining: everything goes, ready or not.
+    Drain,
+}
+
+/// Size/deadline-bounded coalescing buffer for one shard.
+#[derive(Debug, Clone)]
+pub(crate) struct MicroBatcher {
+    buf: Vec<WalkQuery>,
+    /// Tick at which the oldest parked query arrived.
+    opened_at: Option<u64>,
+    /// Age of the batch most recently removed by `take_batch`, restored by
+    /// `unshift` so backend pushback does not reset the deadline clock.
+    last_taken_opened_at: Option<u64>,
+    max_batch: usize,
+    max_delay_ticks: u64,
+    capacity: usize,
+}
+
+impl MicroBatcher {
+    pub(crate) fn new(max_batch: usize, max_delay_ticks: u64, capacity: usize) -> Self {
+        assert!(max_batch > 0, "micro-batch size must be positive");
+        assert!(capacity >= max_batch, "buffer must hold one full batch");
+        Self {
+            buf: Vec::new(),
+            opened_at: None,
+            last_taken_opened_at: None,
+            max_batch,
+            max_delay_ticks,
+            capacity,
+        }
+    }
+
+    /// Parks a query; `false` means the buffer is full (backpressure).
+    pub(crate) fn push(&mut self, q: WalkQuery, now: u64) -> bool {
+        if self.buf.len() >= self.capacity {
+            return false;
+        }
+        if self.buf.is_empty() {
+            self.opened_at = Some(now);
+        }
+        self.buf.push(q);
+        true
+    }
+
+    /// Whether a batch should flush at tick `now`, and why.
+    pub(crate) fn due(&self, now: u64) -> Option<FlushReason> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        if self.buf.len() >= self.max_batch {
+            return Some(FlushReason::Size);
+        }
+        let age = now.saturating_sub(self.opened_at.expect("non-empty buffer has an age"));
+        (age >= self.max_delay_ticks).then_some(FlushReason::Deadline)
+    }
+
+    /// Takes up to one micro-batch out of the buffer. The remainder (if
+    /// the buffer held more than `max_batch`) stays parked with its age
+    /// preserved.
+    pub(crate) fn take_batch(&mut self, now: u64) -> Vec<WalkQuery> {
+        let n = self.buf.len().min(self.max_batch);
+        let batch: Vec<WalkQuery> = self.buf.drain(..n).collect();
+        self.last_taken_opened_at = self.opened_at;
+        self.opened_at = if self.buf.is_empty() {
+            None
+        } else {
+            // Conservative: the survivors are at most as old as the batch
+            // that just left.
+            Some(now)
+        };
+        batch
+    }
+
+    /// Returns unaccepted queries to the *front* of the buffer (backend
+    /// pushback) so ordering is preserved. The restored queries keep the
+    /// age they had before `take_batch`: a query that already passed its
+    /// deadline must stay past-deadline and retry on the next tick, not
+    /// wait out a fresh `max_delay_ticks`.
+    pub(crate) fn unshift(&mut self, rejected: &[WalkQuery], now: u64) {
+        if rejected.is_empty() {
+            return;
+        }
+        let mut restored = Vec::with_capacity(rejected.len() + self.buf.len());
+        restored.extend_from_slice(rejected);
+        restored.append(&mut self.buf);
+        self.buf = restored;
+        let age = self.last_taken_opened_at.unwrap_or(now);
+        self.opened_at = Some(self.opened_at.map_or(age, |cur| cur.min(age)));
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(id: u64) -> WalkQuery {
+        WalkQuery { id, start: 0 }
+    }
+
+    #[test]
+    fn size_flush_fires_at_max_batch() {
+        let mut b = MicroBatcher::new(3, 100, 16);
+        assert!(b.due(0).is_none());
+        b.push(q(0), 0);
+        b.push(q(1), 0);
+        assert!(b.due(0).is_none(), "under-size batch waits for deadline");
+        b.push(q(2), 0);
+        assert_eq!(b.due(0), Some(FlushReason::Size));
+        assert_eq!(b.take_batch(0).len(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn deadline_flush_fires_on_age() {
+        let mut b = MicroBatcher::new(64, 5, 128);
+        b.push(q(0), 10);
+        assert!(b.due(14).is_none());
+        assert_eq!(b.due(15), Some(FlushReason::Deadline));
+    }
+
+    #[test]
+    fn oversized_buffer_flushes_in_batch_sized_pieces() {
+        let mut b = MicroBatcher::new(2, 0, 8);
+        for i in 0..5 {
+            assert!(b.push(q(i), 0));
+        }
+        assert_eq!(b.take_batch(0).len(), 2);
+        assert_eq!(b.take_batch(0).len(), 2);
+        assert_eq!(b.take_batch(0).len(), 1);
+        assert!(b.take_batch(0).is_empty());
+    }
+
+    #[test]
+    fn capacity_pushes_back() {
+        let mut b = MicroBatcher::new(2, 0, 2);
+        assert!(b.push(q(0), 0));
+        assert!(b.push(q(1), 0));
+        assert!(!b.push(q(2), 0), "full buffer must refuse");
+    }
+
+    #[test]
+    fn unshift_preserves_order() {
+        let mut b = MicroBatcher::new(4, 0, 8);
+        b.push(q(2), 0);
+        b.unshift(&[q(0), q(1)], 0);
+        let batch = b.take_batch(0);
+        let ids: Vec<u64> = batch.iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unshift_after_pushback_keeps_the_deadline_clock_running() {
+        let mut b = MicroBatcher::new(64, 4, 128);
+        b.push(q(0), 10);
+        // Deadline passes at tick 14; the flush attempt is pushed back.
+        assert_eq!(b.due(14), Some(FlushReason::Deadline));
+        let batch = b.take_batch(14);
+        b.unshift(&batch, 14);
+        // The query is still past its deadline: retry immediately, don't
+        // wait out another max_delay_ticks.
+        assert_eq!(b.due(15), Some(FlushReason::Deadline));
+    }
+}

@@ -1,0 +1,612 @@
+//! # grw_service — a sharded, multi-tenant walk-serving layer
+//!
+//! The ROADMAP north star is a production-scale system serving heavy walk
+//! traffic. This crate is that serving layer, built entirely on the
+//! streaming [`WalkBackend`] interface from `grw_algo`:
+//!
+//! * **Sharding** — N backend shards, each bound to the shared graph
+//!   (`Arc<PreparedGraph>` fits the backend's `Borrow` bound), with
+//!   queries partitioned by a hash of their start vertex. Any backend
+//!   works: software engines ([`grw_algo::ParallelBackend`]), the
+//!   cycle-level accelerator (`ridgewalker::AcceleratorBackend`), or a
+//!   mix via trait objects.
+//! * **Micro-batching** — a coalescing front-end parks incoming queries
+//!   per shard and flushes size- or deadline-bounded micro-batches
+//!   ([`FlushReason`]), the standard latency/throughput trade of a
+//!   high-traffic serving tier.
+//! * **Multi-tenancy** — tenants submit queries with their own id spaces;
+//!   the service namespaces ids ([`TenantId::namespace`]) on the way in
+//!   and routes every completed path back to its tenant on the way out.
+//! * **Observability** — [`ServiceStats`]: throughput in MStep/s (wall
+//!   time, plus simulated time when backends report cycles), queue depth,
+//!   micro-batch p50/p99 latency, flush-reason and shard-balance
+//!   breakdowns.
+//!
+//! Time is a logical *tick*: every [`WalkService::tick`] call advances the
+//! deadline clock, flushes what is due, and polls every shard. Paths are
+//! therefore a deterministic function of the submission/tick sequence —
+//! wall time only shows up in the latency statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use grw_algo::{ParallelBackend, PreparedGraph, QuerySet, WalkSpec};
+//! use grw_graph::CsrGraph;
+//! use grw_service::{ServiceConfig, TenantId, WalkService};
+//! use std::sync::Arc;
+//!
+//! let g = CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)], true);
+//! let spec = WalkSpec::urw(6);
+//! let prepared = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+//! let mut service = WalkService::new(ServiceConfig::new(2), |shard| {
+//!     ParallelBackend::new(prepared.clone(), spec.clone(), 0xFEED ^ shard as u64, 2)
+//! });
+//!
+//! let queries = QuerySet::random(8, 100, 1);
+//! let accepted = service.submit(TenantId(7), queries.queries());
+//! assert_eq!(accepted, 100);
+//! let done = service.drain();
+//! assert_eq!(done.len(), 100);
+//! assert!(done.iter().all(|c| c.tenant == TenantId(7)));
+//! println!("{}", service.stats());
+//! ```
+
+mod batch;
+mod stats;
+mod tenant;
+
+pub use batch::FlushReason;
+pub use stats::ServiceStats;
+pub use tenant::{TenantId, LOCAL_ID_BITS, MAX_LOCAL_ID};
+
+use batch::MicroBatcher;
+use grw_algo::{WalkBackend, WalkPath, WalkQuery};
+use grw_rng::SplitMix64;
+use stats::StatsCollector;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// Configuration of a [`WalkService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of backend shards.
+    pub shards: usize,
+    /// Micro-batch size bound: a shard flushes as soon as this many
+    /// queries have coalesced.
+    pub max_batch: usize,
+    /// Micro-batch deadline bound, in service ticks: a non-empty buffer
+    /// never waits longer than this.
+    pub max_delay_ticks: u64,
+    /// Per-shard coalescing-buffer capacity (the service-level
+    /// backpressure point).
+    pub buffer_capacity: usize,
+}
+
+impl ServiceConfig {
+    /// A sensible default configuration with `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self {
+            shards,
+            max_batch: 256,
+            max_delay_ticks: 4,
+            buffer_capacity: 1024,
+        }
+    }
+
+    /// Sets the micro-batch size bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        assert!(n > 0, "micro-batch size must be positive");
+        self.max_batch = n;
+        self
+    }
+
+    /// Sets the micro-batch deadline bound in ticks.
+    pub fn max_delay_ticks(mut self, ticks: u64) -> Self {
+        self.max_delay_ticks = ticks;
+        self
+    }
+
+    /// Sets the per-shard buffer capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < max_batch` (a buffer must hold one full batch).
+    pub fn buffer_capacity(mut self, n: usize) -> Self {
+        assert!(n >= self.max_batch, "buffer must hold one full batch");
+        self.buffer_capacity = n;
+        self
+    }
+}
+
+/// A completed walk, routed back to the tenant that asked for it.
+///
+/// `path.query` is the *tenant-local* query id again — the namespacing
+/// applied at submission is undone before delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedWalk {
+    /// The tenant that submitted the query.
+    pub tenant: TenantId,
+    /// The walk, keyed by the tenant's own query id.
+    pub path: WalkPath,
+}
+
+/// A micro-batch in flight, for latency accounting.
+#[derive(Debug, Clone, Copy)]
+struct BatchInFlight {
+    remaining: usize,
+    flushed_at: Instant,
+    flushed_tick: u64,
+}
+
+struct Shard<B> {
+    backend: B,
+    batcher: MicroBatcher,
+    submitted: u64,
+}
+
+/// The sharded, multi-tenant serving front-end over N walk backends.
+///
+/// See the crate docs for the full model; the lifecycle is
+/// [`submit`](Self::submit) → [`tick`](Self::tick)* →
+/// [`drain`](Self::drain), with [`stats`](Self::stats) available at any
+/// point.
+pub struct WalkService<B: WalkBackend> {
+    cfg: ServiceConfig,
+    shards: Vec<Shard<B>>,
+    tick: u64,
+    started: Instant,
+    collector: StatsCollector,
+    /// (shard, internal query id) -> batches awaiting it, in flush order.
+    /// Keyed per shard because each shard's backend completes its batches
+    /// FIFO, but completions *across* shards interleave arbitrarily — a
+    /// tenant reusing a local id on two shards must not cross-credit
+    /// batches. The deque handles repeats within one shard.
+    waiting: HashMap<(usize, u64), VecDeque<u64>>,
+    batches: HashMap<u64, BatchInFlight>,
+    next_batch_id: u64,
+}
+
+impl<B: WalkBackend> WalkService<B> {
+    /// Builds a service whose `shard`-th backend comes from
+    /// `make_backend(shard)`.
+    pub fn new(cfg: ServiceConfig, mut make_backend: impl FnMut(usize) -> B) -> Self {
+        let shards = (0..cfg.shards)
+            .map(|i| Shard {
+                backend: make_backend(i),
+                batcher: MicroBatcher::new(cfg.max_batch, cfg.max_delay_ticks, cfg.buffer_capacity),
+                submitted: 0,
+            })
+            .collect();
+        Self {
+            cfg,
+            shards,
+            tick: 0,
+            started: Instant::now(),
+            collector: StatsCollector::default(),
+            waiting: HashMap::new(),
+            batches: HashMap::new(),
+            next_batch_id: 0,
+        }
+    }
+
+    /// The shard a start vertex routes to (stable vertex-hash partition).
+    pub fn shard_of(&self, start: u32) -> usize {
+        (SplitMix64::mix(u64::from(start)) % self.cfg.shards as u64) as usize
+    }
+
+    /// Offers queries on behalf of `tenant`; accepts a prefix and returns
+    /// its length (service-level backpressure: a full shard buffer stops
+    /// acceptance).
+    ///
+    /// Query ids are tenant-local and must fit [`MAX_LOCAL_ID`]; the
+    /// completed paths come back keyed by the same local ids.
+    pub fn submit(&mut self, tenant: TenantId, queries: &[WalkQuery]) -> usize {
+        let mut accepted = 0;
+        for q in queries {
+            let internal = tenant.namespace_query(q);
+            let shard = self.shard_of(q.start);
+            if !self.shards[shard].batcher.push(internal, self.tick) {
+                // Try to make room once by flushing a full batch.
+                self.flush_shard(shard, FlushReason::Size);
+                if !self.shards[shard].batcher.push(internal, self.tick) {
+                    break;
+                }
+            }
+            self.shards[shard].submitted += 1;
+            self.collector.submitted += 1;
+            accepted += 1;
+            if self.shards[shard].batcher.due(self.tick) == Some(FlushReason::Size) {
+                self.flush_shard(shard, FlushReason::Size);
+            }
+        }
+        accepted
+    }
+
+    /// Advances the logical clock one tick: flushes every micro-batch that
+    /// is due (size or deadline), polls every shard, and returns the walks
+    /// that completed.
+    pub fn tick(&mut self) -> Vec<CompletedWalk> {
+        self.tick += 1;
+        for shard in 0..self.shards.len() {
+            while let Some(reason) = self.shards[shard].batcher.due(self.tick) {
+                if !self.flush_shard(shard, reason) {
+                    break;
+                }
+            }
+        }
+        self.poll_shards()
+    }
+
+    /// Flushes everything and runs every shard dry; returns the remaining
+    /// walks. Afterwards [`ServiceStats::queue_depth`] is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a backend refuses its remaining work without making any
+    /// progress (a backend bug, not a reachable service state).
+    pub fn drain(&mut self) -> Vec<CompletedWalk> {
+        let mut delivered = Vec::new();
+        loop {
+            // Flush coalescing buffers as far as the backends accept.
+            for shard in 0..self.shards.len() {
+                while !self.shards[shard].batcher.is_empty() {
+                    if !self.flush_shard(shard, FlushReason::Drain) {
+                        break;
+                    }
+                }
+            }
+            let mut progressed = false;
+            for shard in 0..self.shards.len() {
+                let paths = self.shards[shard].backend.drain();
+                progressed |= !paths.is_empty();
+                for p in paths {
+                    delivered.push(self.deliver(shard, p));
+                }
+            }
+            if self.queue_depth() == 0 {
+                return delivered;
+            }
+            // Buffers still hold pushback from a previously-full backend;
+            // draining must have freed capacity for the next round.
+            assert!(
+                progressed,
+                "service stalled: backends hold work but complete nothing"
+            );
+        }
+    }
+
+    /// Queries parked in buffers plus queries in flight inside backends.
+    pub fn queue_depth(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.batcher.len() + s.backend.in_flight())
+            .sum()
+    }
+
+    /// Point-in-time service statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let mut steps = 0;
+        // Shards are parallel devices: simulated wall time is the slowest
+        // shard's cycles *through its own clock* — cycle counts from
+        // different platforms are not commensurable directly.
+        let mut sim: Option<(u64, f64)> = Some((0, 0.0));
+        for s in &self.shards {
+            let t = s.backend.telemetry();
+            steps += t.steps;
+            sim = match (sim, t.cycles) {
+                (Some((max_cycles, max_secs)), Some(c)) => match t.clock_mhz {
+                    Some(clock) if clock > 0.0 => {
+                        Some((max_cycles.max(c), max_secs.max(c as f64 / (clock * 1e6))))
+                    }
+                    // No clock reported yet (no work run): zero time.
+                    _ if c == 0 => Some((max_cycles, max_secs)),
+                    // Cycles without a clock cannot become time.
+                    _ => None,
+                },
+                // One shard without a cycle counter disables simulated time.
+                _ => None,
+            };
+        }
+        let simulated = sim;
+        ServiceStats::build(
+            &self.collector,
+            self.cfg.shards,
+            self.queue_depth(),
+            steps,
+            self.started.elapsed().as_secs_f64(),
+            simulated,
+            self.shards.iter().map(|s| s.submitted).collect(),
+        )
+    }
+
+    /// The current logical tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Immutable access to a shard's backend (telemetry, reports).
+    pub fn backend(&self, shard: usize) -> &B {
+        &self.shards[shard].backend
+    }
+
+    /// Takes one micro-batch out of shard `shard`'s buffer and submits it
+    /// to the backend. Returns `false` when the backend accepted nothing
+    /// (pushback) — the batch goes back to the buffer.
+    fn flush_shard(&mut self, shard: usize, reason: FlushReason) -> bool {
+        let tick = self.tick;
+        let s = &mut self.shards[shard];
+        let batch = s.batcher.take_batch(tick);
+        if batch.is_empty() {
+            return false;
+        }
+        let taken = s.backend.submit(&batch);
+        if taken < batch.len() {
+            s.batcher.unshift(&batch[taken..], tick);
+        }
+        if taken == 0 {
+            return false;
+        }
+        let id = self.next_batch_id;
+        self.next_batch_id += 1;
+        self.batches.insert(
+            id,
+            BatchInFlight {
+                remaining: taken,
+                flushed_at: Instant::now(),
+                flushed_tick: tick,
+            },
+        );
+        for q in &batch[..taken] {
+            self.waiting.entry((shard, q.id)).or_default().push_back(id);
+        }
+        self.collector.batches_flushed += 1;
+        match reason {
+            FlushReason::Size => self.collector.flushed_by_size += 1,
+            FlushReason::Deadline => self.collector.flushed_by_deadline += 1,
+            FlushReason::Drain => self.collector.flushed_by_drain += 1,
+        }
+        true
+    }
+
+    fn poll_shards(&mut self) -> Vec<CompletedWalk> {
+        let mut raw = Vec::new();
+        for shard in 0..self.shards.len() {
+            for p in self.shards[shard].backend.poll() {
+                raw.push((shard, p));
+            }
+        }
+        raw.into_iter()
+            .map(|(shard, p)| self.deliver(shard, p))
+            .collect()
+    }
+
+    /// Un-namespaces a completed path and settles its batch accounting.
+    fn deliver(&mut self, shard: usize, mut path: WalkPath) -> CompletedWalk {
+        let internal = path.query;
+        let (tenant, local) = TenantId::unpack(internal);
+        path.query = local;
+        self.collector.completed += 1;
+        let key = (shard, internal);
+        let batch_id = self
+            .waiting
+            .get_mut(&key)
+            .and_then(|q| q.pop_front())
+            .expect("completed path must belong to a flushed batch");
+        if self.waiting.get(&key).is_some_and(|q| q.is_empty()) {
+            self.waiting.remove(&key);
+        }
+        let done = {
+            let b = self
+                .batches
+                .get_mut(&batch_id)
+                .expect("batch record exists until its last path returns");
+            b.remaining -= 1;
+            (b.remaining == 0).then_some(*b)
+        };
+        if let Some(b) = done {
+            self.batches.remove(&batch_id);
+            self.collector
+                .record_batch_done(b.flushed_at.elapsed(), self.tick - b.flushed_tick);
+        }
+        CompletedWalk { tenant, path }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grw_algo::{ParallelBackend, PreparedGraph, QuerySet, ReferenceBackend, WalkSpec};
+    use grw_graph::generators::{Dataset, ScaleFactor};
+    use std::sync::Arc;
+
+    fn shared() -> (Arc<PreparedGraph>, WalkSpec) {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(8);
+        (Arc::new(PreparedGraph::new(g, &spec).unwrap()), spec)
+    }
+
+    fn service(
+        shards: usize,
+        cfg: ServiceConfig,
+    ) -> (
+        WalkService<ParallelBackend<Arc<PreparedGraph>>>,
+        Arc<PreparedGraph>,
+    ) {
+        let (p, spec) = shared();
+        let prepared = p.clone();
+        let svc = WalkService::new(cfg.max_batch(32), move |shard| {
+            ParallelBackend::new(prepared.clone(), spec.clone(), 0xBEEF ^ shard as u64, 2)
+        });
+        assert_eq!(svc.stats().shards, shards);
+        (svc, p)
+    }
+
+    #[test]
+    fn every_query_is_answered_exactly_once_for_its_tenant() {
+        let (mut svc, p) = service(3, ServiceConfig::new(3));
+        let nv = p.graph().vertex_count();
+        let tenants = [TenantId(0), TenantId(1), TenantId(9)];
+        let mut expected = std::collections::HashSet::new();
+        for (i, &t) in tenants.iter().enumerate() {
+            let qs = QuerySet::random(nv, 200, i as u64);
+            assert_eq!(svc.submit(t, qs.queries()), 200);
+            for q in qs.queries() {
+                expected.insert((t, q.id));
+            }
+        }
+        let mut done = Vec::new();
+        for _ in 0..3 {
+            done.extend(svc.tick());
+        }
+        done.extend(svc.drain());
+        assert_eq!(done.len(), 600);
+        let mut seen = std::collections::HashSet::new();
+        for c in &done {
+            assert!(
+                seen.insert((c.tenant, c.path.query)),
+                "duplicate delivery {:?}/{}",
+                c.tenant,
+                c.path.query
+            );
+        }
+        assert_eq!(seen, expected, "every query answered exactly once");
+        assert_eq!(svc.queue_depth(), 0);
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 600);
+        assert_eq!(stats.per_shard_submitted.iter().sum::<u64>(), 600);
+        assert!(
+            stats.per_shard_submitted.iter().all(|&n| n > 0),
+            "hash balance"
+        );
+    }
+
+    #[test]
+    fn paths_are_deterministic_across_runs_and_backend_kinds() {
+        let run = || {
+            let (mut svc, _) = service(2, ServiceConfig::new(2));
+            let qs = QuerySet::random(100, 300, 7);
+            svc.submit(TenantId(3), qs.queries());
+            let mut out = svc.drain();
+            out.sort_by_key(|c| c.path.query);
+            out
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        // Same sharding and seeds but sequential reference backends:
+        // bit-identical, because software backends key RNG by (seed, id).
+        let (p, spec) = shared();
+        let prepared = p.clone();
+        let mut svc = WalkService::new(ServiceConfig::new(2).max_batch(32), move |shard| {
+            ReferenceBackend::new(prepared.clone(), spec.clone(), 0xBEEF ^ shard as u64)
+        });
+        let qs = QuerySet::random(100, 300, 7);
+        svc.submit(TenantId(3), qs.queries());
+        let mut c = svc.drain();
+        c.sort_by_key(|x| x.path.query);
+        let a_paths: Vec<_> = a.iter().map(|x| &x.path).collect();
+        let c_paths: Vec<_> = c.iter().map(|x| &x.path).collect();
+        assert_eq!(a_paths, c_paths);
+    }
+
+    #[test]
+    fn deadline_flushes_a_trickle() {
+        let (mut svc, _) = service(2, ServiceConfig::new(2).max_delay_ticks(3));
+        // One lonely query: far below max_batch.
+        svc.submit(TenantId(0), &[WalkQuery { id: 1, start: 5 }]);
+        assert!(svc.tick().is_empty());
+        assert!(svc.tick().is_empty());
+        let done = svc.tick(); // deadline reached -> flush + poll
+        assert_eq!(done.len(), 1, "deadline must flush a below-size batch");
+        assert_eq!(svc.stats().flushed_by_deadline, 1);
+    }
+
+    #[test]
+    fn backpressure_stops_acceptance_prefix_wise() {
+        let (p, spec) = shared();
+        let prepared = p.clone();
+        // Tiny backend queues + tiny buffers force pushback.
+        let mut svc = WalkService::new(
+            ServiceConfig::new(1).max_batch(4).buffer_capacity(4),
+            move |_| ReferenceBackend::new(prepared.clone(), spec.clone(), 1).queue_capacity(4),
+        );
+        let qs = QuerySet::random(50, 100, 2);
+        let accepted = svc.submit(TenantId(0), qs.queries());
+        assert!(
+            accepted < 100,
+            "bounded service must push back, took {accepted}"
+        );
+        let done = svc.drain();
+        assert_eq!(done.len(), accepted);
+        // The rejected suffix can be resubmitted afterwards.
+        let rest = svc.submit(TenantId(0), &qs.queries()[accepted..]);
+        assert!(rest > 0);
+        assert_eq!(svc.drain().len(), rest);
+    }
+
+    #[test]
+    fn stats_track_throughput_and_latency() {
+        let (mut svc, _) = service(2, ServiceConfig::new(2));
+        let qs = QuerySet::random(100, 400, 3);
+        svc.submit(TenantId(5), qs.queries());
+        let done = svc.drain();
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 400);
+        assert!(
+            stats.batches_flushed >= 12,
+            "32-sized batches over 400 queries"
+        );
+        assert!(stats.steps > 0);
+        let expected_steps: u64 = done.iter().map(|c| c.path.steps()).sum();
+        assert_eq!(stats.steps, expected_steps);
+        assert!(stats.msteps_per_sec_wall > 0.0);
+        assert!(stats.p99_batch_latency_us >= stats.p50_batch_latency_us);
+        assert!(
+            stats.simulated_cycles.is_none(),
+            "software backends report no cycle clock"
+        );
+    }
+
+    #[test]
+    fn duplicate_local_ids_on_different_shards_stay_separate() {
+        let (mut svc, p) = service(2, ServiceConfig::new(2));
+        let nv = p.graph().vertex_count() as u32;
+        // Two queries sharing one tenant-local id, landing on different
+        // shards: batch accounting must not cross-credit them.
+        let a = (0..nv).find(|&v| svc.shard_of(v) == 0).unwrap();
+        let b = (0..nv).find(|&v| svc.shard_of(v) == 1).unwrap();
+        let queries = [WalkQuery { id: 5, start: a }, WalkQuery { id: 5, start: b }];
+        assert_eq!(svc.submit(TenantId(1), &queries), 2);
+        let done = svc.drain();
+        assert_eq!(done.len(), 2);
+        let mut starts: Vec<u32> = done.iter().map(|c| c.path.vertices[0]).collect();
+        starts.sort_unstable();
+        let mut want = vec![a, b];
+        want.sort_unstable();
+        assert_eq!(starts, want);
+        assert!(done.iter().all(|c| c.path.query == 5));
+        assert_eq!(svc.stats().batches_flushed, 2);
+    }
+
+    #[test]
+    fn mixed_start_vertices_route_stably() {
+        let (svc, _) = service(4, ServiceConfig::new(4));
+        for v in 0..100u32 {
+            assert_eq!(
+                svc.shard_of(v),
+                svc.shard_of(v),
+                "routing is a pure function"
+            );
+            assert!(svc.shard_of(v) < 4);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Service-level measurement: throughput, queue depth, batch latency.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Tracks per-micro-batch completion latency and aggregate counters.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StatsCollector {
+    pub submitted: u64,
+    pub completed: u64,
+    pub batches_flushed: u64,
+    pub flushed_by_size: u64,
+    pub flushed_by_deadline: u64,
+    pub flushed_by_drain: u64,
+    /// Completed micro-batch latencies, in microseconds of wall time.
+    pub batch_latencies_us: Vec<u64>,
+    /// Completed micro-batch latencies, in service ticks.
+    pub batch_latencies_ticks: Vec<u64>,
+}
+
+impl StatsCollector {
+    pub(crate) fn record_batch_done(&mut self, wall: Duration, ticks: u64) {
+        self.batch_latencies_us.push(wall.as_micros() as u64);
+        self.batch_latencies_ticks.push(ticks);
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample; 0 for an empty one.
+fn percentile(sample: &[u64], p: f64) -> u64 {
+    if sample.is_empty() {
+        return 0;
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A point-in-time report of service health and performance.
+///
+/// Throughput follows the paper's MStep/s definition (hops executed per
+/// second). Wall-clock throughput measures this process; when every shard
+/// backend reports simulated cycles (the accelerator model), the report
+/// also includes throughput in *simulated* time, with the shards treated
+/// as N parallel devices (time = the slowest shard's cycles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Number of backend shards.
+    pub shards: usize,
+    /// Queries accepted since the service started.
+    pub submitted: u64,
+    /// Paths returned to tenants.
+    pub completed: u64,
+    /// Queries parked in coalescing buffers or in-flight in backends.
+    pub queue_depth: usize,
+    /// Micro-batches flushed to backends.
+    pub batches_flushed: u64,
+    /// … of which flushed because they reached the size bound.
+    pub flushed_by_size: u64,
+    /// … of which flushed because they aged past the deadline bound.
+    pub flushed_by_deadline: u64,
+    /// … of which flushed by an explicit drain.
+    pub flushed_by_drain: u64,
+    /// Total hops executed across shards.
+    pub steps: u64,
+    /// Wall-clock seconds since the service started.
+    pub wall_seconds: f64,
+    /// Hops per second of wall time, in millions.
+    pub msteps_per_sec_wall: f64,
+    /// Slowest shard's simulated cycles, when all backends report cycles.
+    pub simulated_cycles: Option<u64>,
+    /// Slowest shard's simulated seconds (each shard's cycles through its
+    /// own clock — cycle counts across platforms are not commensurable).
+    pub simulated_seconds: Option<f64>,
+    /// Hops per second of simulated time, in millions (shards in
+    /// parallel), when available.
+    pub msteps_per_sec_simulated: Option<f64>,
+    /// Median micro-batch completion latency (flush → last path), µs wall.
+    pub p50_batch_latency_us: u64,
+    /// 99th-percentile micro-batch completion latency, µs wall.
+    pub p99_batch_latency_us: u64,
+    /// Median micro-batch completion latency in service ticks.
+    pub p50_batch_latency_ticks: u64,
+    /// 99th-percentile micro-batch completion latency in service ticks.
+    pub p99_batch_latency_ticks: u64,
+    /// Queries routed to each shard (hash balance check).
+    pub per_shard_submitted: Vec<u64>,
+}
+
+impl ServiceStats {
+    /// `simulated` is `(slowest shard's cycles, slowest shard's simulated
+    /// seconds)` when every shard backend reports a cycle clock.
+    pub(crate) fn build(
+        c: &StatsCollector,
+        shards: usize,
+        queue_depth: usize,
+        steps: u64,
+        wall_seconds: f64,
+        simulated: Option<(u64, f64)>,
+        per_shard_submitted: Vec<u64>,
+    ) -> Self {
+        let msteps_wall = if wall_seconds > 0.0 {
+            steps as f64 / wall_seconds / 1e6
+        } else {
+            0.0
+        };
+        let (simulated_cycles, simulated_seconds, msteps_sim) = match simulated {
+            Some((cycles, secs)) if secs > 0.0 => {
+                (Some(cycles), Some(secs), Some(steps as f64 / secs / 1e6))
+            }
+            Some((cycles, secs)) => (Some(cycles), Some(secs), None),
+            None => (None, None, None),
+        };
+        ServiceStats {
+            shards,
+            submitted: c.submitted,
+            completed: c.completed,
+            queue_depth,
+            batches_flushed: c.batches_flushed,
+            flushed_by_size: c.flushed_by_size,
+            flushed_by_deadline: c.flushed_by_deadline,
+            flushed_by_drain: c.flushed_by_drain,
+            steps,
+            wall_seconds,
+            msteps_per_sec_wall: msteps_wall,
+            simulated_cycles,
+            simulated_seconds,
+            msteps_per_sec_simulated: msteps_sim,
+            p50_batch_latency_us: percentile(&c.batch_latencies_us, 50.0),
+            p99_batch_latency_us: percentile(&c.batch_latencies_us, 99.0),
+            p50_batch_latency_ticks: percentile(&c.batch_latencies_ticks, 50.0),
+            p99_batch_latency_ticks: percentile(&c.batch_latencies_ticks, 99.0),
+            per_shard_submitted,
+        }
+    }
+}
+
+impl fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "service: {} shards | {} submitted, {} completed, {} queued",
+            self.shards, self.submitted, self.completed, self.queue_depth
+        )?;
+        writeln!(
+            f,
+            "batches: {} flushed ({} size, {} deadline, {} drain)",
+            self.batches_flushed,
+            self.flushed_by_size,
+            self.flushed_by_deadline,
+            self.flushed_by_drain
+        )?;
+        write!(
+            f,
+            "throughput: {} steps in {:.3}s wall -> {:.2} MStep/s",
+            self.steps, self.wall_seconds, self.msteps_per_sec_wall
+        )?;
+        if let (Some(cycles), Some(msteps)) = (self.simulated_cycles, self.msteps_per_sec_simulated)
+        {
+            write!(f, " | {cycles} simulated cycles -> {msteps:.1} MStep/s")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "batch latency: p50 {}us / p99 {}us (p50 {} / p99 {} ticks)",
+            self.p50_batch_latency_us,
+            self.p99_batch_latency_us,
+            self.p50_batch_latency_ticks,
+            self.p99_batch_latency_ticks
+        )?;
+        write!(f, "shard load: {:?}", self.per_shard_submitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 50.0), 50);
+        assert_eq!(percentile(&s, 99.0), 99);
+        assert_eq!(percentile(&s, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn display_mentions_the_essentials() {
+        let c = StatsCollector {
+            submitted: 10,
+            completed: 10,
+            batches_flushed: 2,
+            flushed_by_size: 1,
+            flushed_by_deadline: 1,
+            ..StatsCollector::default()
+        };
+        // 1000 cycles at 320 MHz = 3.125 µs of simulated time.
+        let s = ServiceStats::build(&c, 2, 0, 500, 0.5, Some((1000, 3.125e-6)), vec![5, 5]);
+        let text = s.to_string();
+        assert!(text.contains("2 shards"), "{text}");
+        assert!(text.contains("MStep/s"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        assert!((s.msteps_per_sec_wall - 0.001).abs() < 1e-9);
+        assert!((s.msteps_per_sec_simulated.unwrap() - 160.0).abs() < 1e-6);
+    }
+}

@@ -64,8 +64,7 @@ mod tests {
     fn eq1_matches_platform_presets() {
         for p in FpgaPlatform::all() {
             let spec = p.spec();
-            let from_eq1 =
-                peak_random_bandwidth_gbs(effective_t_rrd_ns(&spec), spec.channels);
+            let from_eq1 = peak_random_bandwidth_gbs(effective_t_rrd_ns(&spec), spec.channels);
             let from_spec = spec.peak_random_bandwidth_gbs();
             assert!(
                 (from_eq1 - from_spec).abs() < 1e-6,

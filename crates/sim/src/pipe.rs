@@ -66,7 +66,11 @@ impl<T> LatencyPipe<T> {
 
     /// Pops the front value if it has reached the end of the pipe.
     pub fn pop_ready(&mut self, cycle: Cycle) -> Option<T> {
-        if self.inflight.front().is_some_and(|&(ready, _)| ready <= cycle) {
+        if self
+            .inflight
+            .front()
+            .is_some_and(|&(ready, _)| ready <= cycle)
+        {
             self.inflight.pop_front().map(|(_, v)| v)
         } else {
             None

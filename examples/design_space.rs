@@ -21,8 +21,11 @@ fn main() {
     for platform in FpgaPlatform::all() {
         let spec_hw = platform.spec();
         let n = spec_hw.pipelines();
-        let report = Accelerator::new(AcceleratorConfig::new().platform(platform))
-            .run(&prepared, &spec, queries.queries());
+        let report = Accelerator::new(AcceleratorConfig::new().platform(platform)).run(
+            &prepared,
+            &spec,
+            queries.queries(),
+        );
         println!(
             "{:<12}  {:>9}  {:>8.0}  {:>13.0}  {:>7.1}%  {:>6.1}%",
             spec_hw.name,
@@ -37,8 +40,11 @@ fn main() {
     println!("\npipeline scaling on the U55C (same workload):");
     println!("pipelines   MStep/s   steps/cycle");
     for n in [2u32, 4, 8, 16] {
-        let report = Accelerator::new(AcceleratorConfig::new().pipelines(n))
-            .run(&prepared, &spec, queries.queries());
+        let report = Accelerator::new(AcceleratorConfig::new().pipelines(n)).run(
+            &prepared,
+            &spec,
+            queries.queries(),
+        );
         println!(
             "{n:>9}  {:>8.0}  {:>11.2}",
             report.msteps_per_sec,

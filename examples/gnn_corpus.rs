@@ -28,14 +28,18 @@ fn main() {
     let prepared = PreparedGraph::new(graph, &spec).expect("weighted graph");
     let queries = QuerySet::one_per_vertex(prepared.graph().vertex_count());
 
-    let ridge = Accelerator::new(
-        AcceleratorConfig::new().platform(FpgaPlatform::AlveoU250),
-    )
-    .run(&prepared, &spec, queries.queries());
+    let ridge = Accelerator::new(AcceleratorConfig::new().platform(FpgaPlatform::AlveoU250)).run(
+        &prepared,
+        &spec,
+        queries.queries(),
+    );
     let light = LightRw::new().run(&prepared, &spec, queries.queries());
 
     let corpus_tokens: u64 = ridge.paths.iter().map(|p| p.vertices.len() as u64).sum();
-    println!("\ncorpus: {} walks, {corpus_tokens} tokens", ridge.paths.len());
+    println!(
+        "\ncorpus: {} walks, {corpus_tokens} tokens",
+        ridge.paths.len()
+    );
     println!(
         "sample walk from vertex 0: {:?}",
         &ridge.paths[0].vertices[..ridge.paths[0].vertices.len().min(12)]

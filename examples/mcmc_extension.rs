@@ -90,6 +90,9 @@ fn main() {
         );
     }
     println!("\nL1 distance empirical vs target: {l1:.4}");
-    println!("({} chains x {} samples, stateless counter-based steps)", chains, samples_per_chain);
+    println!(
+        "({} chains x {} samples, stateless counter-based steps)",
+        chains, samples_per_chain
+    );
     assert!(l1 < 0.15, "MH chain failed to converge (L1 = {l1:.3})");
 }

@@ -1,11 +1,12 @@
-//! Quickstart: simulate RidgeWalker executing DeepWalk on a small graph.
+//! Quickstart: simulate RidgeWalker executing DeepWalk on a small graph,
+//! through the streaming submit/poll/drain interface.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use ridgewalker_suite::accel::{Accelerator, AcceleratorConfig};
-use ridgewalker_suite::algo::{PreparedGraph, QuerySet, WalkSpec};
+use ridgewalker_suite::algo::{PreparedGraph, QuerySet, WalkBackend, WalkSpec};
 use ridgewalker_suite::graph::{weights, CsrGraph};
 
 fn main() {
@@ -36,17 +37,34 @@ fn main() {
     // One walk per vertex, like an embedding corpus pass.
     let queries = QuerySet::one_per_vertex(prepared.graph().vertex_count());
 
-    // Simulate the accelerator with 4 asynchronous pipelines.
+    // Open a streaming backend on an accelerator with 4 asynchronous
+    // pipelines: queries go in incrementally (here: two waves, as a
+    // serving front-end would submit them), paths come back from poll().
     let config = AcceleratorConfig::new().pipelines(4).seed(7);
-    let report = Accelerator::new(config).run(&prepared, &spec, queries.queries());
+    let mut backend = Accelerator::new(config).backend(&prepared, &spec);
+
+    let (first, second) = queries.queries().split_at(queries.len() / 2);
+    let mut paths = Vec::new();
+    assert_eq!(backend.submit(first), first.len());
+    paths.extend(backend.poll()); // first micro-batch simulates here
+    assert_eq!(backend.submit(second), second.len());
+    paths.extend(backend.drain()); // second micro-batch + drain
+    paths.sort_by_key(|p| p.query);
 
     println!("\nwalks:");
-    for path in &report.paths {
+    for path in &paths {
         println!("  q{}: {:?}", path.query, path.vertices);
     }
+
+    // The backend accumulates one continuous report across micro-batches.
+    let report = backend.cumulative_report();
     println!(
-        "\nsimulated {} steps in {} cycles -> {:.1} MStep/s at {:.0} MHz",
-        report.steps, report.cycles, report.msteps_per_sec, report.clock_mhz
+        "\nsimulated {} steps in {} cycles over {} micro-batches -> {:.1} MStep/s at {:.0} MHz",
+        report.steps,
+        report.cycles,
+        backend.batches_run(),
+        report.msteps_per_sec,
+        report.clock_mhz
     );
     println!(
         "pipeline utilization {:.1}%, bubble ratio {:.2}%",

@@ -14,10 +14,13 @@
 //! * [`accel`] — the RidgeWalker accelerator model itself ([`ridgewalker`]).
 //! * [`baselines`] — FastRW / LightRW / Su et al. / gSampler models
 //!   ([`grw_baselines`]).
+//! * [`service`] — the sharded, multi-tenant walk-serving layer over the
+//!   streaming `WalkBackend` interface ([`grw_service`]).
 //! * [`bench`] — the experiment harness regenerating every paper figure and
 //!   table ([`grw_bench`]).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/serving.rs` for the serving layer end to end.
 
 pub use grw_algo as algo;
 pub use grw_baselines as baselines;
@@ -25,5 +28,6 @@ pub use grw_bench as bench;
 pub use grw_graph as graph;
 pub use grw_queueing as queueing;
 pub use grw_rng as rng;
+pub use grw_service as service;
 pub use grw_sim as sim;
 pub use ridgewalker as accel;

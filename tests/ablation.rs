@@ -12,7 +12,11 @@ fn throughputs(dataset: Dataset) -> [f64; 4] {
     let p = PreparedGraph::new(g.clone(), &spec).unwrap();
     let qs = QuerySet::random(g.vertex_count(), 1_024, 0xE0);
     let grid = AcceleratorConfig::new().ablation_grid();
-    grid.map(|cfg| Accelerator::new(cfg).run(&p, &spec, qs.queries()).msteps_per_sec)
+    grid.map(|cfg| {
+        Accelerator::new(cfg)
+            .run(&p, &spec, qs.queries())
+            .msteps_per_sec
+    })
 }
 
 #[test]
@@ -36,7 +40,10 @@ fn every_mechanism_improves_on_the_baseline_where_the_paper_says_so() {
         lj_sched > lj_base * 0.8,
         "LJ scheduler: {lj_sched:.0} vs baseline {lj_base:.0}"
     );
-    assert!(lj_async > lj_base, "LJ async: {lj_async:.0} vs {lj_base:.0}");
+    assert!(
+        lj_async > lj_base,
+        "LJ async: {lj_async:.0} vs {lj_base:.0}"
+    );
     assert!(lj_full > lj_base, "LJ full: {lj_full:.0} vs {lj_base:.0}");
 }
 

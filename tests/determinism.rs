@@ -30,10 +30,16 @@ fn engines_are_seed_deterministic() {
     let p1 = ParallelEngine::new(9, 4).run(&p, &spec, qs.queries());
     assert_eq!(r1, p1, "parallel engine must equal the reference bitwise");
 
-    let a1 = Accelerator::new(AcceleratorConfig::new().pipelines(4).seed(5))
-        .run(&p, &spec, qs.queries());
-    let a2 = Accelerator::new(AcceleratorConfig::new().pipelines(4).seed(5))
-        .run(&p, &spec, qs.queries());
+    let a1 = Accelerator::new(AcceleratorConfig::new().pipelines(4).seed(5)).run(
+        &p,
+        &spec,
+        qs.queries(),
+    );
+    let a2 = Accelerator::new(AcceleratorConfig::new().pipelines(4).seed(5)).run(
+        &p,
+        &spec,
+        qs.queries(),
+    );
     assert_eq!(a1.paths, a2.paths);
     assert_eq!(a1.cycles, a2.cycles);
     assert_eq!(a1.random_txns, a2.random_txns);
@@ -50,10 +56,16 @@ fn different_seeds_change_walks_but_not_validity() {
     let spec = WalkSpec::urw(16);
     let p = PreparedGraph::new(g.clone(), &spec).unwrap();
     let qs = QuerySet::random(g.vertex_count(), 64, 7);
-    let a = Accelerator::new(AcceleratorConfig::new().pipelines(4).seed(1))
-        .run(&p, &spec, qs.queries());
-    let b = Accelerator::new(AcceleratorConfig::new().pipelines(4).seed(2))
-        .run(&p, &spec, qs.queries());
+    let a = Accelerator::new(AcceleratorConfig::new().pipelines(4).seed(1)).run(
+        &p,
+        &spec,
+        qs.queries(),
+    );
+    let b = Accelerator::new(AcceleratorConfig::new().pipelines(4).seed(2)).run(
+        &p,
+        &spec,
+        qs.queries(),
+    );
     assert_ne!(a.paths, b.paths, "seeds must matter");
     assert_eq!(a.paths.len(), b.paths.len());
 }
@@ -73,7 +85,8 @@ fn edge_list_io_round_trips() {
     let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
     let text = io::format_edge_list(&g);
     let (edges, n) = io::parse_edge_list(&text).expect("parse");
-    let back = ridgewalker_suite::graph::CsrGraph::from_edges(n.max(g.vertex_count()), &edges, true);
+    let back =
+        ridgewalker_suite::graph::CsrGraph::from_edges(n.max(g.vertex_count()), &edges, true);
     for v in 0..g.vertex_count() as u32 {
         assert_eq!(g.neighbors(v), back.neighbors(v), "vertex {v}");
     }

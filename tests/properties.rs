@@ -1,57 +1,88 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants of the suite.
+//! Property-based tests on the core data structures and invariants of the
+//! suite.
+//!
+//! The container this reproduction builds in has no network and no vendored
+//! registry, so `proptest` is unavailable; the same properties are checked
+//! with a hand-rolled generator: many seeded random cases per property,
+//! deterministic across runs (every case derives from a fixed master seed).
 
-use proptest::prelude::*;
 use ridgewalker_suite::algo::{PreparedGraph, QuerySet, ReferenceEngine, WalkEngine, WalkSpec};
 use ridgewalker_suite::graph::{io, AliasTables, CsrGraph, GraphBuilder};
 use ridgewalker_suite::rng::{Lcg64, RandomSource, SplitMix64};
 use ridgewalker_suite::sim::Fifo;
 use std::collections::VecDeque;
 
-/// Arbitrary small edge list over up to 24 vertices.
-fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2usize..24).prop_flat_map(|n| {
-        let edge = (0u32..n as u32, 0u32..n as u32);
-        proptest::collection::vec(edge, 0..96).prop_map(move |es| (n, es))
-    })
+const CASES: u64 = 64;
+
+/// A random small edge list over 2..24 vertices.
+fn random_edges(rng: &mut SplitMix64) -> (usize, Vec<(u32, u32)>) {
+    let n = 2 + rng.next_below(22) as usize;
+    let m = rng.next_below(96) as usize;
+    let edges = (0..m)
+        .map(|_| {
+            (
+                rng.next_below(n as u64) as u32,
+                rng.next_below(n as u64) as u32,
+            )
+        })
+        .collect();
+    (n, edges)
 }
 
-proptest! {
-    #[test]
-    fn csr_invariants_hold_for_any_edge_list((n, edges) in edges_strategy(), directed in any::<bool>()) {
+#[test]
+fn csr_invariants_hold_for_any_edge_list() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC5A0 ^ case);
+        let (n, edges) = random_edges(&mut rng);
+        let directed = rng.next_bool(0.5);
         let g = CsrGraph::from_edges(n, &edges, directed);
         // Row pointers are a monotone prefix sum ending at |E|.
         let rp = g.row_pointers();
-        prop_assert!(rp.windows(2).all(|w| w[0] <= w[1]));
-        prop_assert_eq!(*rp.last().unwrap() as usize, g.edge_count());
+        assert!(rp.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*rp.last().unwrap() as usize, g.edge_count());
         for v in 0..n as u32 {
             let ns = g.neighbors(v);
             // Sorted, deduplicated, in range, no self loops.
-            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "vertex {} list {:?}", v, ns);
-            prop_assert!(ns.iter().all(|&w| (w as usize) < n && w != v));
+            assert!(
+                ns.windows(2).all(|w| w[0] < w[1]),
+                "case {case}: vertex {v} list {ns:?}"
+            );
+            assert!(ns.iter().all(|&w| (w as usize) < n && w != v));
             // has_edge agrees with the list.
             for &w in ns {
-                prop_assert!(g.has_edge(v, w));
+                assert!(g.has_edge(v, w));
             }
         }
         if !directed {
             for v in 0..n as u32 {
                 for &w in g.neighbors(v) {
-                    prop_assert!(g.has_edge(w, v), "mirror edge {}->{}", w, v);
+                    assert!(g.has_edge(w, v), "case {case}: mirror edge {w}->{v}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn binary_io_roundtrips_any_graph((n, edges) in edges_strategy(), directed in any::<bool>()) {
+#[test]
+fn binary_io_roundtrips_any_graph() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB10 ^ case);
+        let (n, edges) = random_edges(&mut rng);
+        let directed = rng.next_bool(0.5);
         let g = CsrGraph::from_edges(n, &edges, directed);
         let bytes = io::write_binary(&g);
-        prop_assert_eq!(io::read_binary(&bytes).unwrap(), g);
+        assert_eq!(io::read_binary(&bytes).unwrap(), g);
     }
+}
 
-    #[test]
-    fn alias_tables_preserve_total_probability(weights in proptest::collection::vec(0.01f32..100.0, 1..24)) {
+#[test]
+fn alias_tables_preserve_total_probability() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xA11A5 ^ case);
+        let k = 1 + rng.next_below(23) as usize;
+        let weights: Vec<f32> = (0..k)
+            .map(|_| 0.01 + rng.next_f64() as f32 * 99.99)
+            .collect();
         let n = weights.len() as u32 + 1;
         let edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
         let ws = weights.clone();
@@ -61,66 +92,88 @@ proptest! {
         let total: f64 = (0..weights.len() as u32)
             .map(|i| t.probability_of(&g, 0, i))
             .sum();
-        prop_assert!((total - 1.0).abs() < 1e-4, "total probability {}", total);
+        assert!(
+            (total - 1.0).abs() < 1e-4,
+            "case {case}: total probability {total}"
+        );
         // Each probability tracks its weight share.
         let wsum: f64 = weights.iter().map(|&w| f64::from(w)).sum();
         for (i, &w) in weights.iter().enumerate() {
             let expect = f64::from(w) / wsum;
             let got = t.probability_of(&g, 0, i as u32);
-            prop_assert!((got - expect).abs() < 1e-4, "index {}: {} vs {}", i, got, expect);
+            assert!(
+                (got - expect).abs() < 1e-4,
+                "case {case}: index {i}: {got} vs {expect}"
+            );
         }
     }
+}
 
-    #[test]
-    fn lemire_bounded_sampling_stays_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+#[test]
+fn lemire_bounded_sampling_stays_in_range() {
+    for case in 0..CASES {
+        let mut meta = SplitMix64::new(0x1E81 ^ case);
+        let seed = meta.next_u64();
+        let bound = 1 + meta.next_below(1_000_000);
         let mut g = SplitMix64::new(seed);
         for _ in 0..64 {
-            prop_assert!(g.next_below(bound) < bound);
+            assert!(g.next_below(bound) < bound);
         }
     }
+}
 
-    #[test]
-    fn lcg_jump_equals_stepping(seed in any::<u64>(), steps in 0u64..512) {
+#[test]
+fn lcg_jump_equals_stepping() {
+    for case in 0..CASES {
+        let mut meta = SplitMix64::new(0x1C6 ^ case);
+        let seed = meta.next_u64();
+        let steps = meta.next_below(512);
         let mut a = Lcg64::new(seed);
         for _ in 0..steps {
             a.next_u64();
         }
         let mut b = Lcg64::new(seed);
         b.jump(steps);
-        prop_assert_eq!(a.peek_state(), b.peek_state());
+        assert_eq!(a.peek_state(), b.peek_state(), "case {case}: {steps} steps");
     }
+}
 
-    #[test]
-    fn fifo_behaves_like_a_queue_with_one_cycle_delay(
-        ops in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..200),
-        capacity in 1usize..16,
-    ) {
+#[test]
+fn fifo_behaves_like_a_queue_with_one_cycle_delay() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xF1F0 ^ case);
+        let capacity = 1 + rng.next_below(15) as usize;
+        let ops = 1 + rng.next_below(199) as usize;
         let mut fifo: Fifo<u8> = Fifo::new(capacity);
         let mut model: VecDeque<u8> = VecDeque::new(); // committed content
         let mut staged: VecDeque<u8> = VecDeque::new();
-        for (is_push, value) in ops {
+        for _ in 0..ops {
+            let is_push = rng.next_bool(0.5);
+            let value = rng.next_u64() as u8;
             if is_push {
                 let fits = model.len() + staged.len() < capacity;
-                prop_assert_eq!(fifo.push(value), fits);
+                assert_eq!(fifo.push(value), fits, "case {case}");
                 if fits {
                     staged.push_back(value);
                 }
             } else {
-                prop_assert_eq!(fifo.pop(), model.pop_front());
+                assert_eq!(fifo.pop(), model.pop_front(), "case {case}");
             }
             // Clock edge every operation keeps the model simple.
             fifo.commit();
             model.append(&mut staged);
-            prop_assert_eq!(fifo.len(), model.len());
+            assert_eq!(fifo.len(), model.len(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn walks_are_always_valid_paths(
-        seed in any::<u64>(),
-        scale in 4u32..8,
-        len in 1u32..24,
-    ) {
+#[test]
+fn walks_are_always_valid_paths() {
+    for case in 0..16 {
+        let mut meta = SplitMix64::new(0x3A1C ^ case);
+        let seed = meta.next_u64();
+        let scale = 4 + meta.next_below(4) as u32;
+        let len = 1 + meta.next_below(23) as u32;
         let g = ridgewalker_suite::graph::generators::RmatConfig::graph500(scale, 6)
             .seed(seed)
             .generate();
@@ -130,21 +183,25 @@ proptest! {
         let qs = QuerySet::random(n, 16, seed);
         let paths = ReferenceEngine::new(seed).run(&p, &spec, qs.queries());
         for w in &paths {
-            prop_assert!(w.steps() <= u64::from(len));
+            assert!(w.steps() <= u64::from(len));
             for pair in w.vertices.windows(2) {
-                prop_assert!(p.graph().has_edge(pair[0], pair[1]));
+                assert!(p.graph().has_edge(pair[0], pair[1]), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn builder_is_order_insensitive((n, mut edges) in edges_strategy()) {
+#[test]
+fn builder_is_order_insensitive() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB01D ^ case);
+        let (n, mut edges) = random_edges(&mut rng);
         let mut fwd = GraphBuilder::new(n);
         fwd.add_edges(edges.iter().copied());
         let a = fwd.build();
         edges.reverse();
         let mut rev = GraphBuilder::new(n);
         rev.add_edges(edges.iter().copied());
-        prop_assert_eq!(a, rev.build());
+        assert_eq!(a, rev.build(), "case {case}");
     }
 }

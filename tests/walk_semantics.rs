@@ -49,8 +49,8 @@ fn every_engine_emits_only_real_edges_for_every_algorithm() {
         assert_paths_valid(&reference, &p, &spec, "reference");
         let parallel = ParallelEngine::new(1, 3).run(&p, &spec, qs.queries());
         assert_paths_valid(&parallel, &p, &spec, "parallel");
-        let accel = Accelerator::new(AcceleratorConfig::new().pipelines(4))
-            .run(&p, &spec, qs.queries());
+        let accel =
+            Accelerator::new(AcceleratorConfig::new().pipelines(4)).run(&p, &spec, qs.queries());
         assert_paths_valid(&accel.paths, &p, &spec, "accelerator");
         let gpu = GSampler::new().run(&p, &spec, qs.queries());
         assert_paths_valid(&gpu.paths, &p, &spec, "gpu");

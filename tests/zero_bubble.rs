@@ -4,15 +4,16 @@
 use ridgewalker_suite::accel::{Accelerator, AcceleratorConfig};
 use ridgewalker_suite::algo::{PreparedGraph, QuerySet, WalkSpec};
 use ridgewalker_suite::graph::generators::RmatConfig;
-use ridgewalker_suite::queueing::{
-    ridgewalker_fifo_depth, simulate_feedback, FeedbackSimConfig,
-};
+use ridgewalker_suite::queueing::{ridgewalker_fifo_depth, simulate_feedback, FeedbackSimConfig};
 
 #[test]
 fn queueing_model_certifies_the_theorem_depth() {
     for n in [2usize, 4, 8, 16, 32] {
         let r = simulate_feedback(&FeedbackSimConfig::ridgewalker(n));
-        assert_eq!(r.bubble_ratio, 0.0, "N={n} must not bubble at theorem depth");
+        assert_eq!(
+            r.bubble_ratio, 0.0,
+            "N={n} must not bubble at theorem depth"
+        );
     }
 }
 
@@ -32,8 +33,7 @@ fn accelerator_sustains_low_bubbles_at_theorem_depth() {
     let spec = WalkSpec::urw(60);
     let p = PreparedGraph::new(g.clone(), &spec).unwrap();
     let qs = QuerySet::random(g.vertex_count(), 3_000, 1);
-    let full = Accelerator::new(AcceleratorConfig::new().pipelines(4))
-        .run(&p, &spec, qs.queries());
+    let full = Accelerator::new(AcceleratorConfig::new().pipelines(4)).run(&p, &spec, qs.queries());
     assert!(
         full.bubble_ratio < 0.08,
         "theorem-depth FIFOs should stay busy: {}",
@@ -48,10 +48,12 @@ fn accelerator_with_depth_one_fifos_bubbles_more() {
     let spec = WalkSpec::urw(60);
     let p = PreparedGraph::new(g.clone(), &spec).unwrap();
     let qs = QuerySet::random(g.vertex_count(), 2_000, 1);
-    let full = Accelerator::new(AcceleratorConfig::new().pipelines(4))
-        .run(&p, &spec, qs.queries());
-    let shallow = Accelerator::new(AcceleratorConfig::new().pipelines(4).fifo_depth(1))
-        .run(&p, &spec, qs.queries());
+    let full = Accelerator::new(AcceleratorConfig::new().pipelines(4)).run(&p, &spec, qs.queries());
+    let shallow = Accelerator::new(AcceleratorConfig::new().pipelines(4).fifo_depth(1)).run(
+        &p,
+        &spec,
+        qs.queries(),
+    );
     assert!(
         shallow.bubble_ratio > full.bubble_ratio,
         "shallow {} vs full {}",
