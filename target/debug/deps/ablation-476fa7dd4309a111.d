@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-476fa7dd4309a111.d: tests/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-476fa7dd4309a111.rmeta: tests/ablation.rs Cargo.toml
+
+tests/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-947113a5d0aadd8c.d: tests/ablation.rs
+
+/root/repo/target/debug/deps/ablation-947113a5d0aadd8c: tests/ablation.rs
+
+tests/ablation.rs:

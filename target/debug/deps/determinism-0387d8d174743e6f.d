@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-0387d8d174743e6f.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-0387d8d174743e6f: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-146cc75d17f9670b.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-146cc75d17f9670b: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

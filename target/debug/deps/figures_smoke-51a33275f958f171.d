@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_smoke-51a33275f958f171.d: tests/figures_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_smoke-51a33275f958f171.rmeta: tests/figures_smoke.rs Cargo.toml
+
+tests/figures_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

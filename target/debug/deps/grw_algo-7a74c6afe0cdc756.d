@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/grw_algo-7a74c6afe0cdc756.d: crates/algo/src/lib.rs crates/algo/src/distribution.rs crates/algo/src/ppr_exact.rs crates/algo/src/prepared.rs crates/algo/src/query.rs crates/algo/src/sampler/mod.rs crates/algo/src/sampler/metapath.rs crates/algo/src/sampler/rejection.rs crates/algo/src/sampler/reservoir.rs crates/algo/src/sampler/uniform.rs crates/algo/src/spec.rs crates/algo/src/walk/mod.rs crates/algo/src/walk/backend.rs crates/algo/src/walk/parallel.rs crates/algo/src/walk/reference.rs crates/algo/src/walkstats.rs
+
+/root/repo/target/debug/deps/libgrw_algo-7a74c6afe0cdc756.rlib: crates/algo/src/lib.rs crates/algo/src/distribution.rs crates/algo/src/ppr_exact.rs crates/algo/src/prepared.rs crates/algo/src/query.rs crates/algo/src/sampler/mod.rs crates/algo/src/sampler/metapath.rs crates/algo/src/sampler/rejection.rs crates/algo/src/sampler/reservoir.rs crates/algo/src/sampler/uniform.rs crates/algo/src/spec.rs crates/algo/src/walk/mod.rs crates/algo/src/walk/backend.rs crates/algo/src/walk/parallel.rs crates/algo/src/walk/reference.rs crates/algo/src/walkstats.rs
+
+/root/repo/target/debug/deps/libgrw_algo-7a74c6afe0cdc756.rmeta: crates/algo/src/lib.rs crates/algo/src/distribution.rs crates/algo/src/ppr_exact.rs crates/algo/src/prepared.rs crates/algo/src/query.rs crates/algo/src/sampler/mod.rs crates/algo/src/sampler/metapath.rs crates/algo/src/sampler/rejection.rs crates/algo/src/sampler/reservoir.rs crates/algo/src/sampler/uniform.rs crates/algo/src/spec.rs crates/algo/src/walk/mod.rs crates/algo/src/walk/backend.rs crates/algo/src/walk/parallel.rs crates/algo/src/walk/reference.rs crates/algo/src/walkstats.rs
+
+crates/algo/src/lib.rs:
+crates/algo/src/distribution.rs:
+crates/algo/src/ppr_exact.rs:
+crates/algo/src/prepared.rs:
+crates/algo/src/query.rs:
+crates/algo/src/sampler/mod.rs:
+crates/algo/src/sampler/metapath.rs:
+crates/algo/src/sampler/rejection.rs:
+crates/algo/src/sampler/reservoir.rs:
+crates/algo/src/sampler/uniform.rs:
+crates/algo/src/spec.rs:
+crates/algo/src/walk/mod.rs:
+crates/algo/src/walk/backend.rs:
+crates/algo/src/walk/parallel.rs:
+crates/algo/src/walk/reference.rs:
+crates/algo/src/walkstats.rs:

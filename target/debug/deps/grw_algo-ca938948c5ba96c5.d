@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/grw_algo-ca938948c5ba96c5.d: crates/algo/src/lib.rs crates/algo/src/distribution.rs crates/algo/src/ppr_exact.rs crates/algo/src/prepared.rs crates/algo/src/query.rs crates/algo/src/sampler/mod.rs crates/algo/src/sampler/metapath.rs crates/algo/src/sampler/rejection.rs crates/algo/src/sampler/reservoir.rs crates/algo/src/sampler/uniform.rs crates/algo/src/spec.rs crates/algo/src/walk/mod.rs crates/algo/src/walk/backend.rs crates/algo/src/walk/parallel.rs crates/algo/src/walk/reference.rs crates/algo/src/walkstats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrw_algo-ca938948c5ba96c5.rmeta: crates/algo/src/lib.rs crates/algo/src/distribution.rs crates/algo/src/ppr_exact.rs crates/algo/src/prepared.rs crates/algo/src/query.rs crates/algo/src/sampler/mod.rs crates/algo/src/sampler/metapath.rs crates/algo/src/sampler/rejection.rs crates/algo/src/sampler/reservoir.rs crates/algo/src/sampler/uniform.rs crates/algo/src/spec.rs crates/algo/src/walk/mod.rs crates/algo/src/walk/backend.rs crates/algo/src/walk/parallel.rs crates/algo/src/walk/reference.rs crates/algo/src/walkstats.rs Cargo.toml
+
+crates/algo/src/lib.rs:
+crates/algo/src/distribution.rs:
+crates/algo/src/ppr_exact.rs:
+crates/algo/src/prepared.rs:
+crates/algo/src/query.rs:
+crates/algo/src/sampler/mod.rs:
+crates/algo/src/sampler/metapath.rs:
+crates/algo/src/sampler/rejection.rs:
+crates/algo/src/sampler/reservoir.rs:
+crates/algo/src/sampler/uniform.rs:
+crates/algo/src/spec.rs:
+crates/algo/src/walk/mod.rs:
+crates/algo/src/walk/backend.rs:
+crates/algo/src/walk/parallel.rs:
+crates/algo/src/walk/reference.rs:
+crates/algo/src/walkstats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

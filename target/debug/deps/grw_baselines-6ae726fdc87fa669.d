@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/grw_baselines-6ae726fdc87fa669.d: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/fastrw.rs crates/baselines/src/lightrw.rs crates/baselines/src/su.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrw_baselines-6ae726fdc87fa669.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/fastrw.rs crates/baselines/src/lightrw.rs crates/baselines/src/su.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/fastrw.rs:
+crates/baselines/src/lightrw.rs:
+crates/baselines/src/su.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

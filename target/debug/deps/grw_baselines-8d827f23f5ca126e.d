@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/grw_baselines-8d827f23f5ca126e.d: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/fastrw.rs crates/baselines/src/lightrw.rs crates/baselines/src/su.rs
+
+/root/repo/target/debug/deps/libgrw_baselines-8d827f23f5ca126e.rlib: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/fastrw.rs crates/baselines/src/lightrw.rs crates/baselines/src/su.rs
+
+/root/repo/target/debug/deps/libgrw_baselines-8d827f23f5ca126e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/fastrw.rs crates/baselines/src/lightrw.rs crates/baselines/src/su.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/fastrw.rs:
+crates/baselines/src/lightrw.rs:
+crates/baselines/src/su.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grw_baselines-efa958a61364c022.d: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/fastrw.rs crates/baselines/src/lightrw.rs crates/baselines/src/su.rs
+
+/root/repo/target/debug/deps/grw_baselines-efa958a61364c022: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/fastrw.rs crates/baselines/src/lightrw.rs crates/baselines/src/su.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/fastrw.rs:
+crates/baselines/src/lightrw.rs:
+crates/baselines/src/su.rs:

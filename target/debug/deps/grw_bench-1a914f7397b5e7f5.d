@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/grw_bench-1a914f7397b5e7f5.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/table02.rs crates/bench/src/experiments/table03.rs crates/bench/src/experiments/table04.rs crates/bench/src/experiments/theorem.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libgrw_bench-1a914f7397b5e7f5.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/table02.rs crates/bench/src/experiments/table03.rs crates/bench/src/experiments/table04.rs crates/bench/src/experiments/theorem.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libgrw_bench-1a914f7397b5e7f5.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/table02.rs crates/bench/src/experiments/table03.rs crates/bench/src/experiments/table04.rs crates/bench/src/experiments/theorem.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/fig03.rs:
+crates/bench/src/experiments/fig08.rs:
+crates/bench/src/experiments/fig09.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/table02.rs:
+crates/bench/src/experiments/table03.rs:
+crates/bench/src/experiments/table04.rs:
+crates/bench/src/experiments/theorem.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/grw_bench-d43be1832e57100c.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/table02.rs crates/bench/src/experiments/table03.rs crates/bench/src/experiments/table04.rs crates/bench/src/experiments/theorem.rs crates/bench/src/harness.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrw_bench-d43be1832e57100c.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/table02.rs crates/bench/src/experiments/table03.rs crates/bench/src/experiments/table04.rs crates/bench/src/experiments/theorem.rs crates/bench/src/harness.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/fig03.rs:
+crates/bench/src/experiments/fig08.rs:
+crates/bench/src/experiments/fig09.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/table02.rs:
+crates/bench/src/experiments/table03.rs:
+crates/bench/src/experiments/table04.rs:
+crates/bench/src/experiments/theorem.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/grw_graph-d5b4088fa4e90327.d: crates/graph/src/lib.rs crates/graph/src/alias.rs crates/graph/src/csr.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/catalog.rs crates/graph/src/generators/rmat.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs crates/graph/src/transform.rs crates/graph/src/weights.rs
+
+/root/repo/target/debug/deps/grw_graph-d5b4088fa4e90327: crates/graph/src/lib.rs crates/graph/src/alias.rs crates/graph/src/csr.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/catalog.rs crates/graph/src/generators/rmat.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs crates/graph/src/transform.rs crates/graph/src/weights.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/alias.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/catalog.rs:
+crates/graph/src/generators/rmat.rs:
+crates/graph/src/io.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/transform.rs:
+crates/graph/src/weights.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/grw_graph-e77fb238fbaf1ebb.d: crates/graph/src/lib.rs crates/graph/src/alias.rs crates/graph/src/csr.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/catalog.rs crates/graph/src/generators/rmat.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs crates/graph/src/transform.rs crates/graph/src/weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrw_graph-e77fb238fbaf1ebb.rmeta: crates/graph/src/lib.rs crates/graph/src/alias.rs crates/graph/src/csr.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/catalog.rs crates/graph/src/generators/rmat.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs crates/graph/src/transform.rs crates/graph/src/weights.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/alias.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/catalog.rs:
+crates/graph/src/generators/rmat.rs:
+crates/graph/src/io.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/transform.rs:
+crates/graph/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

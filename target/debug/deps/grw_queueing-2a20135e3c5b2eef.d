@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/grw_queueing-2a20135e3c5b2eef.d: crates/queueing/src/lib.rs crates/queueing/src/buffer_bound.rs crates/queueing/src/mm1n.rs crates/queueing/src/mmn.rs crates/queueing/src/processes.rs
+
+/root/repo/target/debug/deps/libgrw_queueing-2a20135e3c5b2eef.rlib: crates/queueing/src/lib.rs crates/queueing/src/buffer_bound.rs crates/queueing/src/mm1n.rs crates/queueing/src/mmn.rs crates/queueing/src/processes.rs
+
+/root/repo/target/debug/deps/libgrw_queueing-2a20135e3c5b2eef.rmeta: crates/queueing/src/lib.rs crates/queueing/src/buffer_bound.rs crates/queueing/src/mm1n.rs crates/queueing/src/mmn.rs crates/queueing/src/processes.rs
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/buffer_bound.rs:
+crates/queueing/src/mm1n.rs:
+crates/queueing/src/mmn.rs:
+crates/queueing/src/processes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grw_queueing-effb7472b2c0a952.d: crates/queueing/src/lib.rs crates/queueing/src/buffer_bound.rs crates/queueing/src/mm1n.rs crates/queueing/src/mmn.rs crates/queueing/src/processes.rs
+
+/root/repo/target/debug/deps/grw_queueing-effb7472b2c0a952: crates/queueing/src/lib.rs crates/queueing/src/buffer_bound.rs crates/queueing/src/mm1n.rs crates/queueing/src/mmn.rs crates/queueing/src/processes.rs
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/buffer_bound.rs:
+crates/queueing/src/mm1n.rs:
+crates/queueing/src/mmn.rs:
+crates/queueing/src/processes.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/grw_rng-1c8c4d5e52be47a9.d: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/lcg.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/thundering.rs crates/rng/src/xorshift.rs
+
+/root/repo/target/debug/deps/libgrw_rng-1c8c4d5e52be47a9.rlib: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/lcg.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/thundering.rs crates/rng/src/xorshift.rs
+
+/root/repo/target/debug/deps/libgrw_rng-1c8c4d5e52be47a9.rmeta: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/lcg.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/thundering.rs crates/rng/src/xorshift.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/dist.rs:
+crates/rng/src/lcg.rs:
+crates/rng/src/philox.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/thundering.rs:
+crates/rng/src/xorshift.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/grw_rng-4ce40da5d71f2f61.d: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/lcg.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/thundering.rs crates/rng/src/xorshift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrw_rng-4ce40da5d71f2f61.rmeta: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/lcg.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/thundering.rs crates/rng/src/xorshift.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+crates/rng/src/dist.rs:
+crates/rng/src/lcg.rs:
+crates/rng/src/philox.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/thundering.rs:
+crates/rng/src/xorshift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

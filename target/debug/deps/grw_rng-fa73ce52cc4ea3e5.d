@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/grw_rng-fa73ce52cc4ea3e5.d: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/lcg.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/thundering.rs crates/rng/src/xorshift.rs
+
+/root/repo/target/debug/deps/grw_rng-fa73ce52cc4ea3e5: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/lcg.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/thundering.rs crates/rng/src/xorshift.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/dist.rs:
+crates/rng/src/lcg.rs:
+crates/rng/src/philox.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/thundering.rs:
+crates/rng/src/xorshift.rs:

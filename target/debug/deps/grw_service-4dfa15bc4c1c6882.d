@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/grw_service-4dfa15bc4c1c6882.d: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrw_service-4dfa15bc4c1c6882.rmeta: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/batch.rs:
+crates/service/src/stats.rs:
+crates/service/src/tenant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

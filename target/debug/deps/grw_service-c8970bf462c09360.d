@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/grw_service-c8970bf462c09360.d: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs
+
+/root/repo/target/debug/deps/grw_service-c8970bf462c09360: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs
+
+crates/service/src/lib.rs:
+crates/service/src/batch.rs:
+crates/service/src/stats.rs:
+crates/service/src/tenant.rs:

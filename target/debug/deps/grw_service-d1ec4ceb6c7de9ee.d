@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/grw_service-d1ec4ceb6c7de9ee.d: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrw_service-d1ec4ceb6c7de9ee.rmeta: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/batch.rs:
+crates/service/src/stats.rs:
+crates/service/src/tenant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

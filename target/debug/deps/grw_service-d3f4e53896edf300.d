@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/grw_service-d3f4e53896edf300.d: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs
+
+/root/repo/target/debug/deps/libgrw_service-d3f4e53896edf300.rlib: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs
+
+/root/repo/target/debug/deps/libgrw_service-d3f4e53896edf300.rmeta: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs
+
+crates/service/src/lib.rs:
+crates/service/src/batch.rs:
+crates/service/src/stats.rs:
+crates/service/src/tenant.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/grw_sim-ebadff1350c0dad3.d: crates/sim/src/lib.rs crates/sim/src/bandwidth.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/pipe.rs crates/sim/src/platform.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/grw_sim-ebadff1350c0dad3: crates/sim/src/lib.rs crates/sim/src/bandwidth.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/pipe.rs crates/sim/src/platform.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bandwidth.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/pipe.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/grw_sim-ed2bf74bae48630f.d: crates/sim/src/lib.rs crates/sim/src/bandwidth.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/pipe.rs crates/sim/src/platform.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libgrw_sim-ed2bf74bae48630f.rlib: crates/sim/src/lib.rs crates/sim/src/bandwidth.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/pipe.rs crates/sim/src/platform.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libgrw_sim-ed2bf74bae48630f.rmeta: crates/sim/src/lib.rs crates/sim/src/bandwidth.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/pipe.rs crates/sim/src/platform.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bandwidth.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/pipe.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cc0bfb1957841b74.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cc0bfb1957841b74: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/record-6f7b0f9290a1629c.d: crates/bench/src/bin/record.rs
+
+/root/repo/target/debug/deps/record-6f7b0f9290a1629c: crates/bench/src/bin/record.rs
+
+crates/bench/src/bin/record.rs:

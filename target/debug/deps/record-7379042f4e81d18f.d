@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/record-7379042f4e81d18f.d: crates/bench/src/bin/record.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecord-7379042f4e81d18f.rmeta: crates/bench/src/bin/record.rs Cargo.toml
+
+crates/bench/src/bin/record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/record-acea1f428d77a76b.d: crates/bench/src/bin/record.rs
+
+/root/repo/target/debug/deps/record-acea1f428d77a76b: crates/bench/src/bin/record.rs
+
+crates/bench/src/bin/record.rs:

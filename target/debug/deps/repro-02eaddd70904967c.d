@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-02eaddd70904967c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-02eaddd70904967c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a1b32adf73e0f948.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a1b32adf73e0f948: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ridgewalker-8821def95b8e1a19.d: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/backend.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/report.rs crates/core/src/resource.rs crates/core/src/router.rs crates/core/src/scheduler/mod.rs crates/core/src/scheduler/balancer.rs crates/core/src/scheduler/centralized.rs crates/core/src/scheduler/dispatcher.rs crates/core/src/scheduler/merger.rs crates/core/src/task.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/ridgewalker-8821def95b8e1a19: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/backend.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/report.rs crates/core/src/resource.rs crates/core/src/router.rs crates/core/src/scheduler/mod.rs crates/core/src/scheduler/balancer.rs crates/core/src/scheduler/centralized.rs crates/core/src/scheduler/dispatcher.rs crates/core/src/scheduler/merger.rs crates/core/src/task.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accelerator.rs:
+crates/core/src/backend.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/report.rs:
+crates/core/src/resource.rs:
+crates/core/src/router.rs:
+crates/core/src/scheduler/mod.rs:
+crates/core/src/scheduler/balancer.rs:
+crates/core/src/scheduler/centralized.rs:
+crates/core/src/scheduler/dispatcher.rs:
+crates/core/src/scheduler/merger.rs:
+crates/core/src/task.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/ridgewalker-8e92be98b08c64f9.d: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/backend.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/report.rs crates/core/src/resource.rs crates/core/src/router.rs crates/core/src/scheduler/mod.rs crates/core/src/scheduler/balancer.rs crates/core/src/scheduler/centralized.rs crates/core/src/scheduler/dispatcher.rs crates/core/src/scheduler/merger.rs crates/core/src/task.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libridgewalker-8e92be98b08c64f9.rmeta: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/backend.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/report.rs crates/core/src/resource.rs crates/core/src/router.rs crates/core/src/scheduler/mod.rs crates/core/src/scheduler/balancer.rs crates/core/src/scheduler/centralized.rs crates/core/src/scheduler/dispatcher.rs crates/core/src/scheduler/merger.rs crates/core/src/task.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/accelerator.rs:
+crates/core/src/backend.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/report.rs:
+crates/core/src/resource.rs:
+crates/core/src/router.rs:
+crates/core/src/scheduler/mod.rs:
+crates/core/src/scheduler/balancer.rs:
+crates/core/src/scheduler/centralized.rs:
+crates/core/src/scheduler/dispatcher.rs:
+crates/core/src/scheduler/merger.rs:
+crates/core/src/task.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

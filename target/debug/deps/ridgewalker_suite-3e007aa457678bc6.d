@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ridgewalker_suite-3e007aa457678bc6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libridgewalker_suite-3e007aa457678bc6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

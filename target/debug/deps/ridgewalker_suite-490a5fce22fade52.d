@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ridgewalker_suite-490a5fce22fade52.d: src/lib.rs
+
+/root/repo/target/debug/deps/ridgewalker_suite-490a5fce22fade52: src/lib.rs
+
+src/lib.rs:

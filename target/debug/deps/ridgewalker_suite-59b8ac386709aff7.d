@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ridgewalker_suite-59b8ac386709aff7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libridgewalker_suite-59b8ac386709aff7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libridgewalker_suite-59b8ac386709aff7.rmeta: src/lib.rs
+
+src/lib.rs:

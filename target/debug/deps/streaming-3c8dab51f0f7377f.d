@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming-3c8dab51f0f7377f.d: tests/streaming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming-3c8dab51f0f7377f.rmeta: tests/streaming.rs Cargo.toml
+
+tests/streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

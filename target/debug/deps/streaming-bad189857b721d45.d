@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming-bad189857b721d45.d: tests/streaming.rs
+
+/root/repo/target/debug/deps/streaming-bad189857b721d45: tests/streaming.rs
+
+tests/streaming.rs:

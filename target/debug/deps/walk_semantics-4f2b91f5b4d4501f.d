@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/walk_semantics-4f2b91f5b4d4501f.d: tests/walk_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwalk_semantics-4f2b91f5b4d4501f.rmeta: tests/walk_semantics.rs Cargo.toml
+
+tests/walk_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/walk_semantics-d19887ea2596c3a5.d: tests/walk_semantics.rs
+
+/root/repo/target/debug/deps/walk_semantics-d19887ea2596c3a5: tests/walk_semantics.rs
+
+tests/walk_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_bubble-1d51127b4f31f981.d: tests/zero_bubble.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_bubble-1d51127b4f31f981.rmeta: tests/zero_bubble.rs Cargo.toml
+
+tests/zero_bubble.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

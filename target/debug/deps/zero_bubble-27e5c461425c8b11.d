@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_bubble-27e5c461425c8b11.d: tests/zero_bubble.rs
+
+/root/repo/target/debug/deps/zero_bubble-27e5c461425c8b11: tests/zero_bubble.rs
+
+tests/zero_bubble.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate-185e1a820afef4b6.d: crates/baselines/examples/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate-185e1a820afef4b6.rmeta: crates/baselines/examples/calibrate.rs Cargo.toml
+
+crates/baselines/examples/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

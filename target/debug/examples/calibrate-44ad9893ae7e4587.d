@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate-44ad9893ae7e4587.d: crates/baselines/examples/calibrate.rs
+
+/root/repo/target/debug/examples/calibrate-44ad9893ae7e4587: crates/baselines/examples/calibrate.rs
+
+crates/baselines/examples/calibrate.rs:

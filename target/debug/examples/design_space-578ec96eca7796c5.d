@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-578ec96eca7796c5.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-578ec96eca7796c5: examples/design_space.rs
+
+examples/design_space.rs:

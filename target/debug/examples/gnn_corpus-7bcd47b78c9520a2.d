@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gnn_corpus-7bcd47b78c9520a2.d: examples/gnn_corpus.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgnn_corpus-7bcd47b78c9520a2.rmeta: examples/gnn_corpus.rs Cargo.toml
+
+examples/gnn_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gnn_corpus-884b43f41931beef.d: examples/gnn_corpus.rs
+
+/root/repo/target/debug/examples/gnn_corpus-884b43f41931beef: examples/gnn_corpus.rs
+
+examples/gnn_corpus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mcmc_extension-b7279d960a99b047.d: examples/mcmc_extension.rs
+
+/root/repo/target/debug/examples/mcmc_extension-b7279d960a99b047: examples/mcmc_extension.rs
+
+examples/mcmc_extension.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mcmc_extension-cc61f9586126d0d3.d: examples/mcmc_extension.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmcmc_extension-cc61f9586126d0d3.rmeta: examples/mcmc_extension.rs Cargo.toml
+
+examples/mcmc_extension.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

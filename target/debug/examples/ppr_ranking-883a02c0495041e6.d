@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ppr_ranking-883a02c0495041e6.d: examples/ppr_ranking.rs
+
+/root/repo/target/debug/examples/ppr_ranking-883a02c0495041e6: examples/ppr_ranking.rs
+
+examples/ppr_ranking.rs:

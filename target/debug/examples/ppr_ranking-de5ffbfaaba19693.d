@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ppr_ranking-de5ffbfaaba19693.d: examples/ppr_ranking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libppr_ranking-de5ffbfaaba19693.rmeta: examples/ppr_ranking.rs Cargo.toml
+
+examples/ppr_ranking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

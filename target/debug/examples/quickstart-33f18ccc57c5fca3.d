@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-33f18ccc57c5fca3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-33f18ccc57c5fca3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serving-7b41f242abb9a65e.d: examples/serving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserving-7b41f242abb9a65e.rmeta: examples/serving.rs Cargo.toml
+
+examples/serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serving-abdef1de945fd7a0.d: examples/serving.rs
+
+/root/repo/target/debug/examples/serving-abdef1de945fd7a0: examples/serving.rs
+
+examples/serving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-08dd4b2c86c9b9ed.d: tests/ablation.rs
+
+/root/repo/target/release/deps/ablation-08dd4b2c86c9b9ed: tests/ablation.rs
+
+tests/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-5434c7e00068b051.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-5434c7e00068b051: tests/determinism.rs
+
+tests/determinism.rs:

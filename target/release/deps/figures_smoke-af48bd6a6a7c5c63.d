@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures_smoke-af48bd6a6a7c5c63.d: tests/figures_smoke.rs
+
+/root/repo/target/release/deps/figures_smoke-af48bd6a6a7c5c63: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/grw_baselines-4593bbf6342fbc79.d: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/fastrw.rs crates/baselines/src/lightrw.rs crates/baselines/src/su.rs
+
+/root/repo/target/release/deps/grw_baselines-4593bbf6342fbc79: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/fastrw.rs crates/baselines/src/lightrw.rs crates/baselines/src/su.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/fastrw.rs:
+crates/baselines/src/lightrw.rs:
+crates/baselines/src/su.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/grw_baselines-ca72ef4d1ec1d483.d: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/fastrw.rs crates/baselines/src/lightrw.rs crates/baselines/src/su.rs Cargo.toml
+
+/root/repo/target/release/deps/libgrw_baselines-ca72ef4d1ec1d483.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/fastrw.rs crates/baselines/src/lightrw.rs crates/baselines/src/su.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/fastrw.rs:
+crates/baselines/src/lightrw.rs:
+crates/baselines/src/su.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/grw_bench-a400ad03a174952c.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/table02.rs crates/bench/src/experiments/table03.rs crates/bench/src/experiments/table04.rs crates/bench/src/experiments/theorem.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libgrw_bench-a400ad03a174952c.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/table02.rs crates/bench/src/experiments/table03.rs crates/bench/src/experiments/table04.rs crates/bench/src/experiments/theorem.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libgrw_bench-a400ad03a174952c.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/table02.rs crates/bench/src/experiments/table03.rs crates/bench/src/experiments/table04.rs crates/bench/src/experiments/theorem.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/fig03.rs:
+crates/bench/src/experiments/fig08.rs:
+crates/bench/src/experiments/fig09.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/table02.rs:
+crates/bench/src/experiments/table03.rs:
+crates/bench/src/experiments/table04.rs:
+crates/bench/src/experiments/theorem.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/grw_bench-d6eecfd808a66a23.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/table02.rs crates/bench/src/experiments/table03.rs crates/bench/src/experiments/table04.rs crates/bench/src/experiments/theorem.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/grw_bench-d6eecfd808a66a23: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/table02.rs crates/bench/src/experiments/table03.rs crates/bench/src/experiments/table04.rs crates/bench/src/experiments/theorem.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/fig03.rs:
+crates/bench/src/experiments/fig08.rs:
+crates/bench/src/experiments/fig09.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/table02.rs:
+crates/bench/src/experiments/table03.rs:
+crates/bench/src/experiments/table04.rs:
+crates/bench/src/experiments/theorem.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/grw_graph-7140ab9f6ba9f04d.d: crates/graph/src/lib.rs crates/graph/src/alias.rs crates/graph/src/csr.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/catalog.rs crates/graph/src/generators/rmat.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs crates/graph/src/transform.rs crates/graph/src/weights.rs
+
+/root/repo/target/release/deps/libgrw_graph-7140ab9f6ba9f04d.rlib: crates/graph/src/lib.rs crates/graph/src/alias.rs crates/graph/src/csr.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/catalog.rs crates/graph/src/generators/rmat.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs crates/graph/src/transform.rs crates/graph/src/weights.rs
+
+/root/repo/target/release/deps/libgrw_graph-7140ab9f6ba9f04d.rmeta: crates/graph/src/lib.rs crates/graph/src/alias.rs crates/graph/src/csr.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/catalog.rs crates/graph/src/generators/rmat.rs crates/graph/src/io.rs crates/graph/src/partition.rs crates/graph/src/stats.rs crates/graph/src/transform.rs crates/graph/src/weights.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/alias.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/catalog.rs:
+crates/graph/src/generators/rmat.rs:
+crates/graph/src/io.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/transform.rs:
+crates/graph/src/weights.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/grw_queueing-9daa837b303d1534.d: crates/queueing/src/lib.rs crates/queueing/src/buffer_bound.rs crates/queueing/src/mm1n.rs crates/queueing/src/mmn.rs crates/queueing/src/processes.rs Cargo.toml
+
+/root/repo/target/release/deps/libgrw_queueing-9daa837b303d1534.rmeta: crates/queueing/src/lib.rs crates/queueing/src/buffer_bound.rs crates/queueing/src/mm1n.rs crates/queueing/src/mmn.rs crates/queueing/src/processes.rs Cargo.toml
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/buffer_bound.rs:
+crates/queueing/src/mm1n.rs:
+crates/queueing/src/mmn.rs:
+crates/queueing/src/processes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/grw_queueing-d184c76335825a8a.d: crates/queueing/src/lib.rs crates/queueing/src/buffer_bound.rs crates/queueing/src/mm1n.rs crates/queueing/src/mmn.rs crates/queueing/src/processes.rs
+
+/root/repo/target/release/deps/libgrw_queueing-d184c76335825a8a.rlib: crates/queueing/src/lib.rs crates/queueing/src/buffer_bound.rs crates/queueing/src/mm1n.rs crates/queueing/src/mmn.rs crates/queueing/src/processes.rs
+
+/root/repo/target/release/deps/libgrw_queueing-d184c76335825a8a.rmeta: crates/queueing/src/lib.rs crates/queueing/src/buffer_bound.rs crates/queueing/src/mm1n.rs crates/queueing/src/mmn.rs crates/queueing/src/processes.rs
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/buffer_bound.rs:
+crates/queueing/src/mm1n.rs:
+crates/queueing/src/mmn.rs:
+crates/queueing/src/processes.rs:

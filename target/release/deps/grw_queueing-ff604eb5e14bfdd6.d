@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/grw_queueing-ff604eb5e14bfdd6.d: crates/queueing/src/lib.rs crates/queueing/src/buffer_bound.rs crates/queueing/src/mm1n.rs crates/queueing/src/mmn.rs crates/queueing/src/processes.rs
+
+/root/repo/target/release/deps/grw_queueing-ff604eb5e14bfdd6: crates/queueing/src/lib.rs crates/queueing/src/buffer_bound.rs crates/queueing/src/mm1n.rs crates/queueing/src/mmn.rs crates/queueing/src/processes.rs
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/buffer_bound.rs:
+crates/queueing/src/mm1n.rs:
+crates/queueing/src/mmn.rs:
+crates/queueing/src/processes.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/grw_rng-9032e03bf35d85c3.d: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/lcg.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/thundering.rs crates/rng/src/xorshift.rs
+
+/root/repo/target/release/deps/libgrw_rng-9032e03bf35d85c3.rlib: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/lcg.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/thundering.rs crates/rng/src/xorshift.rs
+
+/root/repo/target/release/deps/libgrw_rng-9032e03bf35d85c3.rmeta: crates/rng/src/lib.rs crates/rng/src/dist.rs crates/rng/src/lcg.rs crates/rng/src/philox.rs crates/rng/src/splitmix.rs crates/rng/src/thundering.rs crates/rng/src/xorshift.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/dist.rs:
+crates/rng/src/lcg.rs:
+crates/rng/src/philox.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/thundering.rs:
+crates/rng/src/xorshift.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/grw_service-28f3881c99297b32.d: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs
+
+/root/repo/target/release/deps/grw_service-28f3881c99297b32: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs
+
+crates/service/src/lib.rs:
+crates/service/src/batch.rs:
+crates/service/src/stats.rs:
+crates/service/src/tenant.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/grw_service-c030efd1aa5cfda7.d: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs
+
+/root/repo/target/release/deps/libgrw_service-c030efd1aa5cfda7.rlib: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs
+
+/root/repo/target/release/deps/libgrw_service-c030efd1aa5cfda7.rmeta: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs
+
+crates/service/src/lib.rs:
+crates/service/src/batch.rs:
+crates/service/src/stats.rs:
+crates/service/src/tenant.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/grw_service-deb00bb4fb255c68.d: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs Cargo.toml
+
+/root/repo/target/release/deps/libgrw_service-deb00bb4fb255c68.rmeta: crates/service/src/lib.rs crates/service/src/batch.rs crates/service/src/stats.rs crates/service/src/tenant.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/batch.rs:
+crates/service/src/stats.rs:
+crates/service/src/tenant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/grw_sim-55d8be57bf03561a.d: crates/sim/src/lib.rs crates/sim/src/bandwidth.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/pipe.rs crates/sim/src/platform.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libgrw_sim-55d8be57bf03561a.rlib: crates/sim/src/lib.rs crates/sim/src/bandwidth.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/pipe.rs crates/sim/src/platform.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libgrw_sim-55d8be57bf03561a.rmeta: crates/sim/src/lib.rs crates/sim/src/bandwidth.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/pipe.rs crates/sim/src/platform.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bandwidth.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/pipe.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/grw_sim-73f270d7a6b6e80a.d: crates/sim/src/lib.rs crates/sim/src/bandwidth.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/pipe.rs crates/sim/src/platform.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/grw_sim-73f270d7a6b6e80a: crates/sim/src/lib.rs crates/sim/src/bandwidth.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/pipe.rs crates/sim/src/platform.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bandwidth.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/pipe.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/stats.rs:

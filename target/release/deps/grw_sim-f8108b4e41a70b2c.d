@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/grw_sim-f8108b4e41a70b2c.d: crates/sim/src/lib.rs crates/sim/src/bandwidth.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/pipe.rs crates/sim/src/platform.rs crates/sim/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libgrw_sim-f8108b4e41a70b2c.rmeta: crates/sim/src/lib.rs crates/sim/src/bandwidth.rs crates/sim/src/fifo.rs crates/sim/src/memory.rs crates/sim/src/pipe.rs crates/sim/src/platform.rs crates/sim/src/stats.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/bandwidth.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/pipe.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-f4eba6d4084f7002.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-f4eba6d4084f7002: tests/properties.rs
+
+tests/properties.rs:

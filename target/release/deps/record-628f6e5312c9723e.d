@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/record-628f6e5312c9723e.d: crates/bench/src/bin/record.rs
+
+/root/repo/target/release/deps/record-628f6e5312c9723e: crates/bench/src/bin/record.rs
+
+crates/bench/src/bin/record.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/record-95f65136d6547bc2.d: crates/bench/src/bin/record.rs
+
+/root/repo/target/release/deps/record-95f65136d6547bc2: crates/bench/src/bin/record.rs
+
+crates/bench/src/bin/record.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/record-e0ffb6ebd41bae69.d: crates/bench/src/bin/record.rs Cargo.toml
+
+/root/repo/target/release/deps/librecord-e0ffb6ebd41bae69.rmeta: crates/bench/src/bin/record.rs Cargo.toml
+
+crates/bench/src/bin/record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-1fed8875a89e5d71.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-1fed8875a89e5d71: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-3980f1ce52009ccd.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-3980f1ce52009ccd: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ridgewalker_suite-150c461569119600.d: src/lib.rs
+
+/root/repo/target/release/deps/ridgewalker_suite-150c461569119600: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ridgewalker_suite-4f1c83a08e8749f0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libridgewalker_suite-4f1c83a08e8749f0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

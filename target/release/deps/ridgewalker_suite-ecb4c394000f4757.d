@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ridgewalker_suite-ecb4c394000f4757.d: src/lib.rs
+
+/root/repo/target/release/deps/libridgewalker_suite-ecb4c394000f4757.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libridgewalker_suite-ecb4c394000f4757.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/streaming-f550a64d30b69824.d: tests/streaming.rs
+
+/root/repo/target/release/deps/streaming-f550a64d30b69824: tests/streaming.rs
+
+tests/streaming.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/walk_semantics-495b052f5d581d6e.d: tests/walk_semantics.rs
+
+/root/repo/target/release/deps/walk_semantics-495b052f5d581d6e: tests/walk_semantics.rs
+
+tests/walk_semantics.rs:

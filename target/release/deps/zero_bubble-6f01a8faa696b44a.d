@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zero_bubble-6f01a8faa696b44a.d: tests/zero_bubble.rs
+
+/root/repo/target/release/deps/zero_bubble-6f01a8faa696b44a: tests/zero_bubble.rs
+
+tests/zero_bubble.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/calibrate-b4f98bad68f158b3.d: crates/baselines/examples/calibrate.rs
+
+/root/repo/target/release/examples/calibrate-b4f98bad68f158b3: crates/baselines/examples/calibrate.rs
+
+crates/baselines/examples/calibrate.rs:

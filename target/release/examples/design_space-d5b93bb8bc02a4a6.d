@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_space-d5b93bb8bc02a4a6.d: examples/design_space.rs
+
+/root/repo/target/release/examples/design_space-d5b93bb8bc02a4a6: examples/design_space.rs
+
+examples/design_space.rs:

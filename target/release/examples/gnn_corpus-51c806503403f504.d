@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gnn_corpus-51c806503403f504.d: examples/gnn_corpus.rs
+
+/root/repo/target/release/examples/gnn_corpus-51c806503403f504: examples/gnn_corpus.rs
+
+examples/gnn_corpus.rs:

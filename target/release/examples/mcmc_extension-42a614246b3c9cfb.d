@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mcmc_extension-42a614246b3c9cfb.d: examples/mcmc_extension.rs
+
+/root/repo/target/release/examples/mcmc_extension-42a614246b3c9cfb: examples/mcmc_extension.rs
+
+examples/mcmc_extension.rs:

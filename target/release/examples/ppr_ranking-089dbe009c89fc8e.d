@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ppr_ranking-089dbe009c89fc8e.d: examples/ppr_ranking.rs
+
+/root/repo/target/release/examples/ppr_ranking-089dbe009c89fc8e: examples/ppr_ranking.rs
+
+examples/ppr_ranking.rs:

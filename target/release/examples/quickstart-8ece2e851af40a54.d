@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8ece2e851af40a54.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8ece2e851af40a54: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serving-6827053d688ec59d.d: examples/serving.rs
+
+/root/repo/target/release/examples/serving-6827053d688ec59d: examples/serving.rs
+
+examples/serving.rs:
