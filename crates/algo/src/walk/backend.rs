@@ -17,6 +17,7 @@
 
 use super::{execute_query, reference::ReferenceEngine};
 use crate::{PreparedGraph, WalkPath, WalkQuery, WalkSpec};
+use grw_sim::stats::UtilizationMeter;
 use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 
@@ -36,6 +37,9 @@ pub struct BackendTelemetry {
     pub cycles: Option<u64>,
     /// Clock of the simulated platform in MHz, when `cycles` is reported.
     pub clock_mhz: Option<f64>,
+    /// Pipeline-cycle occupancy breakdown (busy / bubble / drained) for
+    /// cycle-level backends; serving layers merge these by raw counts.
+    pub pipeline: Option<UtilizationMeter>,
 }
 
 /// An incremental walk executor: queries stream in, paths stream out.
@@ -74,6 +78,63 @@ pub trait WalkBackend {
     /// Cumulative counters (steps, simulated cycles where applicable).
     fn telemetry(&self) -> BackendTelemetry {
         BackendTelemetry::default()
+    }
+}
+
+/// Boxed backends are backends: lets a serving layer pick the shard
+/// implementation at runtime (`Box<dyn WalkBackend + Send>`) while the
+/// rest of the stack stays generic over `B: WalkBackend`.
+impl<B: WalkBackend + ?Sized> WalkBackend for Box<B> {
+    fn submit(&mut self, queries: &[WalkQuery]) -> usize {
+        (**self).submit(queries)
+    }
+
+    fn poll(&mut self) -> Vec<WalkPath> {
+        (**self).poll()
+    }
+
+    fn drain(&mut self) -> Vec<WalkPath> {
+        (**self).drain()
+    }
+
+    fn capacity_hint(&self) -> usize {
+        (**self).capacity_hint()
+    }
+
+    fn in_flight(&self) -> usize {
+        (**self).in_flight()
+    }
+
+    fn telemetry(&self) -> BackendTelemetry {
+        (**self).telemetry()
+    }
+}
+
+/// Mutable references delegate too, so helpers like [`run_streamed`] can
+/// drive a backend the caller keeps owning.
+impl<B: WalkBackend + ?Sized> WalkBackend for &mut B {
+    fn submit(&mut self, queries: &[WalkQuery]) -> usize {
+        (**self).submit(queries)
+    }
+
+    fn poll(&mut self) -> Vec<WalkPath> {
+        (**self).poll()
+    }
+
+    fn drain(&mut self) -> Vec<WalkPath> {
+        (**self).drain()
+    }
+
+    fn capacity_hint(&self) -> usize {
+        (**self).capacity_hint()
+    }
+
+    fn in_flight(&self) -> usize {
+        (**self).in_flight()
+    }
+
+    fn telemetry(&self) -> BackendTelemetry {
+        (**self).telemetry()
     }
 }
 
@@ -538,6 +599,24 @@ mod tests {
         let streamed = run_streamed(&mut b, qs.queries());
         let legacy = ReferenceEngine::new(5).run(&shared, &spec, qs.queries());
         assert_eq!(streamed, legacy);
+    }
+
+    #[test]
+    fn boxed_and_borrowed_backends_delegate() {
+        let (p, spec, qs) = setup();
+        let legacy = ReferenceEngine::new(5).run(&p, &spec, qs.queries());
+        // Runtime-selected shard kind: a trait object behind a Box.
+        let mut boxed: Box<dyn WalkBackend> =
+            Box::new(ReferenceBackend::new(&p, spec.clone(), 5).queue_capacity(64));
+        let streamed = run_streamed(&mut boxed, qs.queries());
+        assert_eq!(legacy, streamed);
+        assert_eq!(boxed.in_flight(), 0);
+        assert!(boxed.telemetry().steps > 0);
+        assert!(boxed.telemetry().pipeline.is_none(), "software backend");
+        // And a &mut to a concrete backend works the same way.
+        let mut owned = ReferenceBackend::new(&p, spec.clone(), 5);
+        let via_ref = run_streamed(&mut &mut owned, qs.queries());
+        assert_eq!(legacy, via_ref);
     }
 
     #[test]

@@ -30,7 +30,9 @@
 
 pub mod experiments;
 mod harness;
+pub mod serving;
 mod table;
 
 pub use harness::{run_accelerator_streamed, Experiment, HarnessConfig, Series};
+pub use serving::{run_serving_comparison, ServingComparison, ServingWorkload};
 pub use table::{fmt_msteps, fmt_percent, fmt_speedup, Table};

@@ -60,7 +60,7 @@ enum CaMeta {
 
 /// One asynchronous pipeline: Row Access + Sampling + Column Access over a
 /// private (RA, CA) channel pair.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Pipeline {
     ra_fifo: Fifo<Task>,
     ra_engine: AsyncAccessEngine<Task>,
@@ -150,16 +150,49 @@ impl Accelerator {
         spec: &WalkSpec,
         queries: &[WalkQuery],
     ) -> RunReport {
-        Simulation::new(&self.config, prepared, spec, queries).run()
+        let mut m = Machine::new(self.config, prepared, spec);
+        for q in queries {
+            m.enqueue(q);
+        }
+        m.run_to_quiescence(prepared);
+        // Completion order back to submission order: slot ids are assigned
+        // in submission order, exactly the legacy batch indices.
+        let mut done = m.take_completed();
+        done.sort_by_key(|&(slot, _)| slot);
+        m.report(done.into_iter().map(|(_, p)| p).collect())
     }
 }
 
-struct Simulation<'a> {
-    cfg: &'a AcceleratorConfig,
-    prepared: &'a PreparedGraph,
-    spec: &'a WalkSpec,
-    queries: &'a [WalkQuery],
+/// One query's residency in the machine: its external id and the path
+/// built so far (taken when the walk completes).
+#[derive(Debug, Clone)]
+struct Slot {
+    id: u64,
+    vertices: Vec<VertexId>,
+}
+
+/// The long-lived cycle-level machine behind both execution modes.
+///
+/// Unlike the one-shot simulation it replaced, the machine owns its
+/// configuration and pipeline state and keeps running across calls:
+/// [`enqueue`](Machine::enqueue) parks a query for the loader,
+/// [`advance`](Machine::advance) steps a bounded number of cycles, and
+/// completed walks stream out of [`take_completed`](Machine::take_completed)
+/// in completion order. `Accelerator::run` is now the degenerate use —
+/// enqueue everything, run to quiescence — and is bit-identical to the old
+/// batch simulation because slot ids (the RNG key) are assigned in
+/// submission order.
+///
+/// The prepared graph is passed into every advancing call rather than
+/// stored, so a backend can own the graph (`Arc`/borrow) and the machine
+/// simultaneously; callers must pass the same graph the machine was built
+/// from.
+#[derive(Debug, Clone)]
+pub(crate) struct Machine {
+    cfg: AcceleratorConfig,
+    spec: WalkSpec,
     layout: ChannelLayout,
+    vertex_count: usize,
     n: usize,
     dynamic: bool,
     rp_kind: RpEntryKind,
@@ -179,31 +212,25 @@ struct Simulation<'a> {
     recirc: VecDeque<Task>,
     pending_inject: VecDeque<Task>,
 
-    paths: Vec<Vec<VertexId>>,
-    next_query: usize,
+    /// One entry per query ever enqueued; the index is the slot id that
+    /// keys the query's counter-based randomness, so slots are never
+    /// recycled — recycling would make paths depend on completion timing.
+    slots: Vec<Slot>,
+    /// Slot ids enqueued but not yet injected by the loader.
+    pending: VecDeque<u32>,
+    /// Completed walks in completion order, tagged with their slot.
+    out: VecDeque<(u32, WalkPath)>,
+    cycle: Cycle,
     inflight: usize,
-    completed: usize,
+    completed: u64,
     batch_remaining: usize,
     steps: u64,
     terms: TerminationBreakdown,
 }
 
-impl<'a> Simulation<'a> {
-    fn new(
-        cfg: &'a AcceleratorConfig,
-        prepared: &'a PreparedGraph,
-        spec: &'a WalkSpec,
-        queries: &'a [WalkQuery],
-    ) -> Self {
+impl Machine {
+    pub(crate) fn new(cfg: AcceleratorConfig, prepared: &PreparedGraph, spec: &WalkSpec) -> Self {
         let graph = prepared.graph();
-        for q in queries {
-            assert!(
-                (q.start as usize) < graph.vertex_count(),
-                "query {} starts at out-of-range vertex {}",
-                q.id,
-                q.start
-            );
-        }
         let n = cfg.effective_pipelines() as usize;
         let platform = cfg.platform.spec();
         let mut ra_chan = platform.channel_spec();
@@ -237,11 +264,8 @@ impl<'a> Simulation<'a> {
         };
         let log_n = (usize::BITS - (n.max(2) - 1).leading_zeros()) as Cycle;
         Self {
-            cfg,
-            prepared,
-            spec,
-            queries,
             layout: ChannelLayout::new(graph, n as u32, n as u32),
+            vertex_count: graph.vertex_count(),
             n,
             dynamic: cfg.schedule == ScheduleMode::ZeroBubble,
             rp_kind,
@@ -259,14 +283,111 @@ impl<'a> Simulation<'a> {
             sched_pipe: VecDeque::new(),
             recirc: VecDeque::new(),
             pending_inject: VecDeque::new(),
-            paths: queries.iter().map(|q| vec![q.start]).collect(),
-            next_query: 0,
+            slots: Vec::new(),
+            pending: VecDeque::new(),
+            out: VecDeque::new(),
+            cycle: 0,
             inflight: 0,
             completed: 0,
             batch_remaining: 0,
             steps: 0,
             terms: TerminationBreakdown::default(),
+            cfg,
+            spec: spec.clone(),
         }
+    }
+
+    /// Parks a query for the loader; it joins the running machine at the
+    /// next issue slot with capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's start vertex is out of range.
+    pub(crate) fn enqueue(&mut self, q: &WalkQuery) {
+        assert!(
+            (q.start as usize) < self.vertex_count,
+            "query {} starts at out-of-range vertex {}",
+            q.id,
+            q.start
+        );
+        let slot = u32::try_from(self.slots.len()).expect("slot ids exhausted");
+        self.slots.push(Slot {
+            id: q.id,
+            vertices: vec![q.start],
+        });
+        self.pending.push_back(slot);
+    }
+
+    /// Whether the machine holds no work at all: nothing pending, nothing
+    /// in flight. Completed-but-uncollected paths do not count.
+    pub(crate) fn quiescent(&self) -> bool {
+        self.pending.is_empty() && self.inflight == 0
+    }
+
+    /// Queries inside the machine (pending injection or in flight).
+    pub(crate) fn resident(&self) -> usize {
+        self.pending.len() + self.inflight
+    }
+
+    /// Cycles simulated so far. The clock only runs while work exists —
+    /// an idle machine between submissions consumes no simulated time.
+    pub(crate) fn cycles(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Hops executed so far.
+    pub(crate) fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    pub(crate) fn config(&self) -> &AcceleratorConfig {
+        &self.cfg
+    }
+
+    /// The merged pipeline occupancy meter.
+    pub(crate) fn pipeline_meter(&self) -> UtilizationMeter {
+        let mut util = UtilizationMeter::new();
+        for p in &self.pipes {
+            util.merge(&p.util);
+        }
+        util
+    }
+
+    /// Advances the machine by at most `quantum` cycles, stopping early at
+    /// quiescence. Returns the cycles actually simulated.
+    pub(crate) fn advance(&mut self, prepared: &PreparedGraph, quantum: Cycle) -> Cycle {
+        let mut advanced = 0;
+        while advanced < quantum && !self.quiescent() {
+            self.step_cycle(prepared);
+            advanced += 1;
+        }
+        advanced
+    }
+
+    /// Runs until quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `config.max_cycles` additional cycles pass
+    /// without quiescence (a configuration error).
+    pub(crate) fn run_to_quiescence(&mut self, prepared: &PreparedGraph) {
+        let deadline = self.cycle + self.cfg.max_cycles;
+        while !self.quiescent() {
+            assert!(
+                self.cycle < deadline,
+                "simulation exceeded {} cycles ({} of {} queries done)",
+                self.cfg.max_cycles,
+                self.completed,
+                self.slots.len()
+            );
+            self.step_cycle(prepared);
+        }
+    }
+
+    /// Takes every completed walk, in completion order, tagged with its
+    /// slot id.
+    pub(crate) fn take_completed(&mut self) -> Vec<(u32, WalkPath)> {
+        self.out.drain(..).collect()
     }
 
     /// Admission: the max-length check and the PPR teleport coin, both
@@ -275,7 +396,7 @@ impl<'a> Simulation<'a> {
         if task.step >= self.spec.max_len() {
             return Admit::Complete(Termination::MaxLength);
         }
-        if let WalkSpec::Ppr { alpha, .. } = self.spec {
+        if let WalkSpec::Ppr { alpha, .. } = &self.spec {
             let mut rng = task.rng(self.seed ^ TELEPORT_SALT);
             if rng.next_bool(*alpha) {
                 return Admit::Complete(Termination::Teleport);
@@ -284,7 +405,7 @@ impl<'a> Simulation<'a> {
         Admit::Go(task)
     }
 
-    fn finish(&mut self, query: u32, reason: Termination) {
+    fn finish(&mut self, slot: u32, reason: Termination) {
         self.completed += 1;
         self.inflight -= 1;
         if self.batch_remaining > 0 {
@@ -296,7 +417,9 @@ impl<'a> Simulation<'a> {
             Termination::Teleport => self.terms.teleport += 1,
             Termination::NoTypedNeighbor => self.terms.no_typed_neighbor += 1,
         }
-        debug_assert!((query as usize) < self.paths.len());
+        let s = &mut self.slots[slot as usize];
+        let vertices = std::mem::take(&mut s.vertices);
+        self.out.push_back((slot, WalkPath::new(s.id, vertices)));
     }
 
     /// Routing ports: data-aware in dynamic mode, id-bound in static mode.
@@ -317,18 +440,17 @@ impl<'a> Simulation<'a> {
     }
 
     /// The sampling decision and its memory cost for one task.
-    fn sampling_job(&self, task: Task) -> SpJob {
+    fn sampling_job(&self, prepared: &PreparedGraph, task: Task) -> SpJob {
         let mut rng = task.rng(self.seed);
         let decision =
-            self.prepared
-                .sample_neighbor(self.spec, task.v_curr, task.prev(), task.step, &mut rng);
+            prepared.sample_neighbor(&self.spec, task.v_curr, task.prev(), task.step, &mut rng);
         match decision {
             None => SpJob {
                 task,
                 next: None,
                 // A fruitless MetaPath scan still reads the whole list.
                 seq_left: match self.spec {
-                    WalkSpec::MetaPath { .. } => div8(self.prepared.graph().degree(task.v_curr)),
+                    WalkSpec::MetaPath { .. } => div8(prepared.graph().degree(task.v_curr)),
                     _ => 0,
                 },
                 random_left: 0,
@@ -367,39 +489,25 @@ impl<'a> Simulation<'a> {
     /// (start-up fill, final drain) is not a bubble — the paper's
     /// zero-bubble guarantee is conditioned on backlog (§VI-B).
     fn work_exists(&self) -> bool {
-        self.next_query < self.queries.len()
-            || self.recirc.len() + self.pending_inject.len() >= self.n
+        !self.pending.is_empty() || self.recirc.len() + self.pending_inject.len() >= self.n
     }
 
-    fn run(mut self) -> RunReport {
-        let total = self.queries.len();
-        let mut cycle: Cycle = 0;
-        while self.completed < total {
-            assert!(
-                cycle < self.cfg.max_cycles,
-                "simulation exceeded {} cycles ({} of {} queries done)",
-                self.cfg.max_cycles,
-                self.completed,
-                total
-            );
-            self.step_cycle(cycle);
-            cycle += 1;
-        }
-
+    /// A report over everything this machine has executed so far, with
+    /// `paths` attached (callers that stream paths out pass an empty Vec).
+    pub(crate) fn report(&self, paths: Vec<WalkPath>) -> RunReport {
         let platform = self.cfg.platform.spec();
         let clock = platform.clock_mhz;
-        let mut util = UtilizationMeter::new();
+        let util = self.pipeline_meter();
         let mut txns = 0u64;
         let mut bytes = 0u64;
         for p in &self.pipes {
-            util.merge(&p.util);
             txns += p.ra_engine.issued() + p.ca_engine.issued();
             bytes += p.ra_engine.bytes_moved() + p.ca_engine.bytes_moved();
         }
-        let msteps = if cycle == 0 {
+        let msteps = if self.cycle == 0 {
             0.0
         } else {
-            self.steps as f64 / cycle as f64 * clock
+            self.steps as f64 / self.cycle as f64 * clock
         };
         // §III-B: effective bandwidth is the *footprint of traversed
         // edges* over time — one RP entry plus one column entry per step,
@@ -408,20 +516,15 @@ impl<'a> Simulation<'a> {
         let footprint = f64::from(self.rp_kind.bytes()) + 8.0;
         let eff_bw = msteps * footprint / 1000.0;
         let peak_bw = platform.peak_random_bandwidth_gbs();
-        let paths = self
-            .paths
-            .into_iter()
-            .zip(self.queries)
-            .map(|(vs, q)| WalkPath::new(q.id, vs))
-            .collect();
         RunReport {
             paths,
-            cycles: cycle,
+            cycles: self.cycle,
             steps: self.steps,
             clock_mhz: clock,
             msteps_per_sec: msteps,
             bubble_ratio: util.bubble_ratio(),
             pipeline_utilization: util.utilization(),
+            pipeline_cycles: util,
             random_txns: txns,
             bytes_moved: bytes,
             effective_bandwidth_gbs: eff_bw,
@@ -431,7 +534,8 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    fn step_cycle(&mut self, cycle: Cycle) {
+    fn step_cycle(&mut self, prepared: &PreparedGraph) {
+        let cycle = self.cycle;
         if cycle.is_multiple_of(65_536) && cycle > 0 && std::env::var_os("RIDGE_TRACE").is_some() {
             let ra_fifo: usize = self.pipes.iter().map(|p| p.ra_fifo.len()).sum();
             let ra_out: usize = self.pipes.iter().map(|p| p.ra_out.len()).sum();
@@ -482,7 +586,7 @@ impl<'a> Simulation<'a> {
                     }
                     CaMeta::Final(task, next) => {
                         self.steps += 1;
-                        self.paths[task.query as usize].push(next);
+                        self.slots[task.query as usize].vertices.push(next);
                         match self.admit(task.advance(next)) {
                             Admit::Go(t) => self.recirc.push_back(t),
                             Admit::Complete(r) => self.finish(task.query, r),
@@ -495,7 +599,7 @@ impl<'a> Simulation<'a> {
         // 3. Row-Access completions: dead-end check, hand to column router.
         for pi in 0..self.n {
             while let Some(task) = self.pipes[pi].ra_engine.pop_completed() {
-                if self.prepared.graph().degree(task.v_curr) == 0 {
+                if prepared.graph().degree(task.v_curr) == 0 {
                     self.finish(task.query, Termination::DeadEnd);
                 } else {
                     self.pipes[pi].ra_out.push_back(task);
@@ -576,7 +680,7 @@ impl<'a> Simulation<'a> {
                 continue;
             }
             let task = self.pipes[pi].sp_fifo.pop().expect("checked");
-            let job = self.sampling_job(task);
+            let job = self.sampling_job(prepared, task);
             let p = &mut self.pipes[pi];
             if job.random_left == 0 && job.seq_left == 0 {
                 p.ca_ready.push_back((job.task, job.next));
@@ -619,7 +723,7 @@ impl<'a> Simulation<'a> {
                 if hit {
                     let task = self.pipes[pi].ra_fifo.pop().expect("checked");
                     self.pipes[pi].util.record_busy();
-                    if self.prepared.graph().degree(task.v_curr) == 0 {
+                    if prepared.graph().degree(task.v_curr) == 0 {
                         self.finish(task.query, Termination::DeadEnd);
                     } else {
                         self.pipes[pi].ra_out.push_back(task);
@@ -689,13 +793,14 @@ impl<'a> Simulation<'a> {
             p.ra_fifo.commit();
             p.sp_fifo.commit();
         }
+        self.cycle += 1;
     }
 
     fn load_queries(&mut self) {
         match self.cfg.schedule {
             ScheduleMode::ZeroBubble => {
                 let cap = self.cfg.effective_max_inflight();
-                while self.next_query < self.queries.len()
+                while !self.pending.is_empty()
                     && self.inflight < cap
                     && self.pending_inject.len() < self.n
                 {
@@ -706,8 +811,7 @@ impl<'a> Simulation<'a> {
                 // A new batch loads only when the previous fully drained.
                 if self.batch_remaining == 0 && self.inflight == 0 {
                     let b = self.cfg.effective_batch_size();
-                    let end = (self.next_query + b).min(self.queries.len());
-                    let count = end - self.next_query;
+                    let count = b.min(self.pending.len());
                     self.batch_remaining = count;
                     for _ in 0..count {
                         self.inject_next();
@@ -718,11 +822,10 @@ impl<'a> Simulation<'a> {
     }
 
     fn inject_next(&mut self) {
-        let idx = self.next_query;
-        self.next_query += 1;
+        let slot = self.pending.pop_front().expect("loader checked pending");
         self.inflight += 1;
-        let q = &self.queries[idx];
-        let task = Task::initial(idx as u32, q.start);
+        let start = self.slots[slot as usize].vertices[0];
+        let task = Task::initial(slot, start);
         match self.admit(task) {
             Admit::Go(t) => self.pending_inject.push_back(t),
             Admit::Complete(r) => self.finish(task.query, r),

@@ -10,6 +10,7 @@
 use crate::accelerator::Accelerator;
 use crate::report::{RunReport, TerminationBreakdown};
 use grw_algo::{BackendTelemetry, PreparedGraph, WalkBackend, WalkPath, WalkQuery, WalkSpec};
+use grw_sim::stats::UtilizationMeter;
 use std::borrow::Borrow;
 use std::collections::VecDeque;
 
@@ -55,6 +56,12 @@ pub struct AcceleratorBackend<P> {
 }
 
 /// Merged counters across micro-batches.
+///
+/// Everything merges as raw sums — counts, simulated seconds, moved
+/// gigabytes, pipeline-cycle breakdowns — and every reported ratio is
+/// re-derived from the sums. Merging the ratios themselves (or weighting
+/// them by total machine cycles) skews cumulative reports whenever batch
+/// shape, drain-tail length, clock or footprint varies between batches.
 #[derive(Debug, Clone, Copy, Default)]
 struct CumulativeStats {
     batches: u64,
@@ -62,15 +69,27 @@ struct CumulativeStats {
     steps: u64,
     random_txns: u64,
     bytes_moved: u64,
-    /// Cycle-weighted sums for the ratio quantities.
-    bubble_weighted: f64,
-    util_weighted: f64,
+    /// Raw busy/bubble/drained pipeline-cycle counts, summed per batch.
+    pipeline: UtilizationMeter,
     terminations: TerminationBreakdown,
-    clock_mhz: f64,
-    peak_bandwidth_gbs: f64,
-    /// Bytes per step of traversed-edge footprint (spec-dependent),
-    /// recorded from the batch reports for bandwidth recomputation.
-    footprint_per_step: f64,
+    /// Simulated seconds across batches (each batch's cycles through its
+    /// own clock), the common denominator for merged rates.
+    seconds: f64,
+    /// Traversed-edge footprint in GB (effective bandwidth × seconds).
+    footprint_gb: f64,
+    /// Time-weighted peak-bandwidth integral (peak GB/s × seconds).
+    peak_gb: f64,
+}
+
+impl CumulativeStats {
+    /// Time-weighted merged clock in MHz (cycles per simulated second).
+    fn clock_mhz(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.cycles as f64 / (self.seconds * 1e6)
+        } else {
+            0.0
+        }
+    }
 }
 
 impl Accelerator {
@@ -115,40 +134,37 @@ impl<P: Borrow<PreparedGraph>> AcceleratorBackend<P> {
     }
 
     /// The cumulative run report across every micro-batch simulated so
-    /// far: cycles/steps/transactions summed, ratio quantities
-    /// cycle-weighted, throughput and bandwidth recomputed from the
-    /// totals. `paths` is empty — completed paths stream out of
+    /// far: cycles/steps/transactions summed, ratios re-derived from the
+    /// summed raw pipeline-cycle counts, throughput and bandwidth
+    /// recomputed from the totals over total simulated time. `paths` is
+    /// empty — completed paths stream out of
     /// [`poll`](WalkBackend::poll)/[`drain`](WalkBackend::drain).
     pub fn cumulative_report(&self) -> RunReport {
         let s = &self.stats;
-        let msteps = if s.cycles == 0 {
-            0.0
-        } else {
-            s.steps as f64 / s.cycles as f64 * s.clock_mhz
-        };
-        let eff_bw = msteps * s.footprint_per_step / 1000.0;
-        let (bubble, util) = if s.cycles == 0 {
-            (0.0, 0.0)
-        } else {
+        let (msteps, eff_bw, peak_bw) = if s.seconds > 0.0 {
             (
-                s.bubble_weighted / s.cycles as f64,
-                s.util_weighted / s.cycles as f64,
+                s.steps as f64 / (s.seconds * 1e6),
+                s.footprint_gb / s.seconds,
+                s.peak_gb / s.seconds,
             )
+        } else {
+            (0.0, 0.0, 0.0)
         };
         RunReport {
             paths: Vec::new(),
             cycles: s.cycles,
             steps: s.steps,
-            clock_mhz: s.clock_mhz,
+            clock_mhz: s.clock_mhz(),
             msteps_per_sec: msteps,
-            bubble_ratio: bubble,
-            pipeline_utilization: util,
+            bubble_ratio: s.pipeline.bubble_ratio(),
+            pipeline_utilization: s.pipeline.utilization(),
+            pipeline_cycles: s.pipeline,
             random_txns: s.random_txns,
             bytes_moved: s.bytes_moved,
             effective_bandwidth_gbs: eff_bw,
-            peak_bandwidth_gbs: s.peak_bandwidth_gbs,
-            bandwidth_utilization: if s.peak_bandwidth_gbs > 0.0 {
-                (eff_bw / s.peak_bandwidth_gbs).clamp(0.0, 1.0)
+            peak_bandwidth_gbs: peak_bw,
+            bandwidth_utilization: if peak_bw > 0.0 {
+                (eff_bw / peak_bw).clamp(0.0, 1.0)
             } else {
                 0.0
             },
@@ -171,18 +187,19 @@ impl<P: Borrow<PreparedGraph>> AcceleratorBackend<P> {
         s.steps += report.steps;
         s.random_txns += report.random_txns;
         s.bytes_moved += report.bytes_moved;
-        s.bubble_weighted += report.bubble_ratio * report.cycles as f64;
-        s.util_weighted += report.pipeline_utilization * report.cycles as f64;
+        s.pipeline.merge(&report.pipeline_cycles);
         s.terminations.max_length += report.terminations.max_length;
         s.terminations.dead_end += report.terminations.dead_end;
         s.terminations.teleport += report.terminations.teleport;
         s.terminations.no_typed_neighbor += report.terminations.no_typed_neighbor;
-        s.clock_mhz = report.clock_mhz;
-        s.peak_bandwidth_gbs = report.peak_bandwidth_gbs;
-        if report.msteps_per_sec > 0.0 {
-            // footprint = eff_bw * 1000 / msteps, constant per spec.
-            s.footprint_per_step = report.effective_bandwidth_gbs * 1000.0 / report.msteps_per_sec;
-        }
+        let secs = if report.clock_mhz > 0.0 {
+            report.cycles as f64 / (report.clock_mhz * 1e6)
+        } else {
+            0.0
+        };
+        s.seconds += secs;
+        s.footprint_gb += report.effective_bandwidth_gbs * secs;
+        s.peak_gb += report.peak_bandwidth_gbs * secs;
         self.ready.extend(report.paths);
     }
 }
@@ -217,10 +234,11 @@ impl<P: Borrow<PreparedGraph>> WalkBackend for AcceleratorBackend<P> {
             steps: self.stats.steps,
             cycles: Some(self.stats.cycles),
             clock_mhz: if self.stats.batches > 0 {
-                Some(self.stats.clock_mhz)
+                Some(self.stats.clock_mhz())
             } else {
                 None
             },
+            pipeline: Some(self.stats.pipeline),
         }
     }
 }
@@ -284,6 +302,59 @@ mod tests {
             "telemetry and report agree"
         );
         assert_eq!(backend.in_flight(), 0);
+    }
+
+    #[test]
+    fn two_batch_merge_is_cycle_and_step_weighted() {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = grw_algo::WalkSpec::urw(12);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::random(p.graph().vertex_count(), 160, 5);
+        // Unequal batch shapes → unequal fill/drain shares per batch.
+        let (first, second) = qs.queries().split_at(130);
+        let a = accel().run(&p, &spec, first);
+        let b = accel().run(&p, &spec, second);
+        let mut backend = accel().backend(&p, &spec);
+        assert_eq!(backend.submit(first), first.len());
+        backend.poll();
+        assert_eq!(backend.submit(second), second.len());
+        backend.poll();
+        assert_eq!(backend.batches_run(), 2);
+        let cum = backend.cumulative_report();
+
+        // Additive counters sum.
+        assert_eq!(cum.cycles, a.cycles + b.cycles);
+        assert_eq!(cum.steps, a.steps + b.steps);
+        assert_eq!(cum.random_txns, a.random_txns + b.random_txns);
+        assert_eq!(cum.bytes_moved, a.bytes_moved + b.bytes_moved);
+
+        // Same platform throughout: the merged clock is the platform clock
+        // (previously last-batch-wins, silently wrong for mixed merges).
+        assert!((cum.clock_mhz - a.clock_mhz).abs() < 1e-6);
+        let want_msteps = (a.steps + b.steps) as f64 / (a.cycles + b.cycles) as f64 * a.clock_mhz;
+        assert!((cum.msteps_per_sec - want_msteps).abs() < 1e-6);
+
+        // Ratio quantities re-derived from summed raw pipeline-cycles, not
+        // averaged ratios weighted by total machine cycles.
+        let busy = a.pipeline_cycles.busy() + b.pipeline_cycles.busy();
+        let bub = a.pipeline_cycles.bubbles() + b.pipeline_cycles.bubbles();
+        let drained = a.pipeline_cycles.drained() + b.pipeline_cycles.drained();
+        assert_eq!(cum.pipeline_cycles.busy(), busy);
+        assert_eq!(cum.pipeline_cycles.bubbles(), bub);
+        assert_eq!(cum.pipeline_cycles.drained(), drained);
+        assert!((cum.bubble_ratio - bub as f64 / (busy + bub) as f64).abs() < 1e-12);
+        assert!(
+            (cum.pipeline_utilization - busy as f64 / (busy + bub + drained) as f64).abs() < 1e-12
+        );
+
+        // Bandwidth re-derived from totals over total simulated time.
+        assert!((cum.peak_bandwidth_gbs - a.peak_bandwidth_gbs).abs() < 1e-9);
+        let secs = (a.cycles + b.cycles) as f64 / (a.clock_mhz * 1e6);
+        let want_eff = (a.effective_bandwidth_gbs * a.cycles as f64
+            + b.effective_bandwidth_gbs * b.cycles as f64)
+            / (a.clock_mhz * 1e6)
+            / secs;
+        assert!((cum.effective_bandwidth_gbs - want_eff).abs() < 1e-9);
     }
 
     #[test]

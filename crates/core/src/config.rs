@@ -80,6 +80,11 @@ pub struct AcceleratorConfig {
     pub ra_outstanding: Option<usize>,
     /// Override of the Column-Access channel outstanding window.
     pub ca_outstanding: Option<usize>,
+    /// Cycle quantum an incremental backend's `poll` simulates; `None`
+    /// uses `512 · pipelines` (a few hundred queries' worth of progress at
+    /// ~0.5 steps/cycle/pipeline, so a serving tick keeps pace with
+    /// micro-batch-sized arrival waves).
+    pub poll_quantum: Option<u64>,
 }
 
 impl AcceleratorConfig {
@@ -99,6 +104,7 @@ impl AcceleratorConfig {
             rng_seq_reads_per_step: 0,
             ra_outstanding: None,
             ca_outstanding: None,
+            poll_quantum: None,
         }
     }
 
@@ -236,6 +242,24 @@ impl AcceleratorConfig {
     pub fn effective_max_inflight(&self) -> usize {
         self.max_inflight
             .unwrap_or(256 * self.effective_pipelines() as usize)
+    }
+
+    /// Overrides the incremental-backend poll quantum (simulated cycles
+    /// per `poll`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`.
+    pub fn poll_quantum(mut self, cycles: u64) -> Self {
+        assert!(cycles > 0, "poll quantum must be positive");
+        self.poll_quantum = Some(cycles);
+        self
+    }
+
+    /// Resolved incremental poll quantum.
+    pub fn effective_poll_quantum(&self) -> u64 {
+        self.poll_quantum
+            .unwrap_or(512 * u64::from(self.effective_pipelines()))
     }
 
     /// Resolved static batch size.

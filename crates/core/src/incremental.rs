@@ -1,0 +1,297 @@
+//! Incremental cycle-level backend: queries join a *running* pipeline.
+//!
+//! The micro-batch [`AcceleratorBackend`](crate::AcceleratorBackend)
+//! simulates one detached run per poll, so every batch pays pipeline fill
+//! at its head and drain at its tail — exactly the bulk-synchronous
+//! bubble cost the paper's zero-bubble scheduler exists to eliminate
+//! (and the per-batch overhead LightRW-style designs actually pay). This
+//! backend instead persists one [`Machine`] across calls: `submit` parks
+//! queries at the loader of the *running* machine, where they are injected
+//! at the next issue slot with capacity; `poll` advances a bounded cycle
+//! quantum; `drain` runs to quiescence. Under sustained load the pipeline
+//! never drains between batches, so the cumulative bubble ratio stays at
+//! the in-flight scheduling floor instead of re-paying fill per batch.
+//!
+//! Determinism: a query's randomness is keyed by its *submission index*
+//! (the machine slot), so for a fixed submission order the returned paths
+//! are bit-identical regardless of how submissions interleave with polls —
+//! and identical to `Accelerator::run` on the concatenated query list.
+//! Only the simulated timing depends on the schedule.
+
+use crate::accelerator::{Accelerator, Machine};
+use crate::backend::DEFAULT_QUEUE_CAPACITY;
+use crate::report::RunReport;
+use grw_algo::{BackendTelemetry, PreparedGraph, WalkBackend, WalkPath, WalkQuery, WalkSpec};
+use std::borrow::Borrow;
+
+/// A persistent cycle-level accelerator machine behind the streaming
+/// [`WalkBackend`] interface.
+///
+/// The simulated clock is work-conserving: it only advances while the
+/// machine holds work, so idle gaps between submissions consume no
+/// simulated time (an idle machine is not charged bubbles for having no
+/// demand).
+///
+/// # Example
+///
+/// ```
+/// use grw_algo::{PreparedGraph, QuerySet, WalkBackend, WalkSpec};
+/// use grw_graph::CsrGraph;
+/// use ridgewalker::{Accelerator, AcceleratorConfig};
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], true);
+/// let spec = WalkSpec::urw(8);
+/// let prepared = PreparedGraph::new(g, &spec).unwrap();
+/// let queries = QuerySet::random(4, 16, 3);
+/// let accel = Accelerator::new(AcceleratorConfig::new().pipelines(2));
+/// let mut backend = accel.incremental_backend(&prepared, &spec);
+/// assert_eq!(backend.submit(queries.queries()), 16);
+/// let paths = backend.drain();
+/// assert_eq!(paths.len(), 16);
+/// assert!(backend.telemetry().cycles.unwrap() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalAcceleratorBackend<P> {
+    machine: Machine,
+    prepared: P,
+    queue_cap: usize,
+    poll_quantum: u64,
+}
+
+impl Accelerator {
+    /// Opens an incremental streaming backend: one persistent machine,
+    /// advanced a bounded cycle quantum per poll, with submissions joining
+    /// the running pipeline.
+    pub fn incremental_backend<P: Borrow<PreparedGraph>>(
+        &self,
+        prepared: P,
+        spec: &WalkSpec,
+    ) -> IncrementalAcceleratorBackend<P> {
+        let machine = Machine::new(*self.config(), prepared.borrow(), spec);
+        IncrementalAcceleratorBackend {
+            machine,
+            prepared,
+            queue_cap: DEFAULT_QUEUE_CAPACITY,
+            poll_quantum: self.config().effective_poll_quantum(),
+        }
+    }
+}
+
+impl<P: Borrow<PreparedGraph>> IncrementalAcceleratorBackend<P> {
+    /// Bounds the queries resident in the machine — pending injection plus
+    /// in flight (backpressure point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Overrides the cycle quantum one `poll` simulates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`.
+    pub fn poll_quantum(mut self, cycles: u64) -> Self {
+        assert!(cycles > 0, "poll quantum must be positive");
+        self.poll_quantum = cycles;
+        self
+    }
+
+    /// Simulated cycles consumed so far (the clock only runs while the
+    /// machine holds work).
+    pub fn cycles(&self) -> u64 {
+        self.machine.cycles()
+    }
+
+    /// The cumulative run report over everything executed so far. `paths`
+    /// is empty — completed paths stream out of
+    /// [`poll`](WalkBackend::poll)/[`drain`](WalkBackend::drain).
+    pub fn cumulative_report(&self) -> RunReport {
+        self.machine.report(Vec::new())
+    }
+
+    /// Takes every completed walk out of the machine, in completion order.
+    fn collect(&mut self) -> Vec<WalkPath> {
+        self.machine
+            .take_completed()
+            .into_iter()
+            .map(|(_slot, path)| path)
+            .collect()
+    }
+}
+
+impl<P: Borrow<PreparedGraph>> WalkBackend for IncrementalAcceleratorBackend<P> {
+    fn submit(&mut self, queries: &[WalkQuery]) -> usize {
+        let room = self.queue_cap.saturating_sub(self.machine.resident());
+        let n = room.min(queries.len());
+        for q in &queries[..n] {
+            self.machine.enqueue(q);
+        }
+        n
+    }
+
+    fn poll(&mut self) -> Vec<WalkPath> {
+        self.machine
+            .advance(self.prepared.borrow(), self.poll_quantum);
+        self.collect()
+    }
+
+    fn drain(&mut self) -> Vec<WalkPath> {
+        self.machine.run_to_quiescence(self.prepared.borrow());
+        self.collect()
+    }
+
+    fn capacity_hint(&self) -> usize {
+        self.queue_cap.saturating_sub(self.machine.resident())
+    }
+
+    fn in_flight(&self) -> usize {
+        self.machine.resident()
+    }
+
+    fn telemetry(&self) -> BackendTelemetry {
+        BackendTelemetry {
+            steps: self.machine.steps(),
+            cycles: Some(self.machine.cycles()),
+            clock_mhz: Some(self.machine.config().platform.spec().clock_mhz),
+            pipeline: Some(self.machine.pipeline_meter()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+    use grw_algo::{run_streamed, QuerySet};
+    use grw_graph::generators::{Dataset, ScaleFactor};
+    use grw_sim::FpgaPlatform;
+
+    fn accel() -> Accelerator {
+        Accelerator::new(
+            AcceleratorConfig::new()
+                .platform(FpgaPlatform::AlveoU55c)
+                .pipelines(4),
+        )
+    }
+
+    fn setup(len: u32, n: usize) -> (grw_algo::PreparedGraph, grw_algo::WalkSpec, QuerySet) {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = grw_algo::WalkSpec::urw(len);
+        let p = PreparedGraph::new(g, &spec).unwrap();
+        let qs = QuerySet::random(p.graph().vertex_count(), n, 3);
+        (p, spec, qs)
+    }
+
+    #[test]
+    fn paths_match_the_batch_run_bit_for_bit() {
+        let (p, spec, qs) = setup(16, 128);
+        let legacy = accel().run(&p, &spec, qs.queries());
+        let mut backend = accel().incremental_backend(&p, &spec);
+        let streamed = run_streamed(&mut backend, qs.queries());
+        assert_eq!(legacy.paths, streamed);
+        assert_eq!(backend.in_flight(), 0);
+        let cum = backend.cumulative_report();
+        assert_eq!(cum.steps, legacy.steps);
+        assert_eq!(cum.terminations, legacy.terminations);
+    }
+
+    #[test]
+    fn poll_advances_a_bounded_quantum() {
+        let (p, spec, qs) = setup(40, 512);
+        let mut backend = accel()
+            .incremental_backend(&p, &spec)
+            .poll_quantum(64)
+            .queue_capacity(4096);
+        assert_eq!(backend.submit(qs.queries()), 512);
+        let before = backend.cycles();
+        backend.poll();
+        assert_eq!(backend.cycles(), before + 64, "one quantum per poll");
+        // Drain finishes everything; polling the now-idle machine
+        // consumes no simulated time.
+        let done = backend.drain();
+        assert_eq!(done.len(), 512, "drain must finish every query");
+        let settled = backend.cycles();
+        assert!(backend.poll().is_empty());
+        assert_eq!(backend.cycles(), settled);
+    }
+
+    #[test]
+    fn queries_join_the_running_machine_without_a_restart() {
+        let (p, spec, qs) = setup(30, 300);
+        let mut backend = accel()
+            .incremental_backend(&p, &spec)
+            .poll_quantum(128)
+            .queue_capacity(4096);
+        let (first, second) = qs.queries().split_at(150);
+        assert_eq!(backend.submit(first), 150);
+        let mut got = backend.poll().len();
+        let mid = backend.cycles();
+        assert!(mid > 0);
+        // Second wave joins while the first is still in flight.
+        assert!(backend.in_flight() > 0, "first wave must still be running");
+        assert_eq!(backend.submit(second), 150);
+        got += backend.drain().len();
+        assert_eq!(got, 300);
+        // One continuous clock, no per-batch reset.
+        assert!(backend.cycles() > mid);
+        assert_eq!(backend.telemetry().steps, backend.cumulative_report().steps);
+        assert!(backend.telemetry().steps > 0);
+    }
+
+    #[test]
+    fn backpressure_bounds_residency() {
+        let (p, spec, qs) = setup(4, 64);
+        let mut backend = accel()
+            .incremental_backend(&p, &spec)
+            .queue_capacity(10)
+            .poll_quantum(1_000_000);
+        assert_eq!(backend.submit(qs.queries()), 10);
+        assert_eq!(backend.capacity_hint(), 0);
+        assert_eq!(backend.submit(qs.queries()), 0);
+        assert_eq!(backend.poll().len(), 10);
+        assert_eq!(backend.capacity_hint(), 10);
+    }
+
+    #[test]
+    fn sustained_load_has_lower_bubble_ratio_than_micro_batching() {
+        let (p, spec, qs) = setup(16, 960);
+        let mut batch = accel().backend(&p, &spec);
+        let mut inc = accel()
+            .incremental_backend(&p, &spec)
+            // A quantum smaller than one wave's work keeps the machine
+            // backlogged: the next wave arrives before this one drains.
+            .poll_quantum(128)
+            .queue_capacity(1 << 20);
+        let mut b_done = 0;
+        let mut i_done = 0;
+        for wave in qs.queries().chunks(64) {
+            assert_eq!(batch.submit(wave), wave.len());
+            b_done += batch.poll().len();
+            assert_eq!(inc.submit(wave), wave.len());
+            i_done += inc.poll().len();
+        }
+        b_done += batch.drain().len();
+        i_done += inc.drain().len();
+        assert_eq!(b_done, 960);
+        assert_eq!(i_done, 960);
+        let br = batch.cumulative_report();
+        let ir = inc.cumulative_report();
+        assert!(
+            ir.bubble_ratio < br.bubble_ratio,
+            "incremental {:.4} must beat batch {:.4}",
+            ir.bubble_ratio,
+            br.bubble_ratio
+        );
+        assert!(
+            ir.pipeline_utilization > br.pipeline_utilization,
+            "incremental util {:.4} vs batch {:.4}",
+            ir.pipeline_utilization,
+            br.pipeline_utilization
+        );
+    }
+}

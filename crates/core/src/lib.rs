@@ -24,10 +24,15 @@
 //!   (Row Access → Sampling → Column Access) over per-pipeline HBM/DDR
 //!   channel pairs, with dynamic per-hop reassignment — plus the static
 //!   bulk-synchronous mode used as the Fig. 11 ablation baseline.
-//! * **Streaming backend** ([`AcceleratorBackend`]): the accelerator
-//!   behind the incremental `grw_algo::WalkBackend` interface
-//!   (submit / poll / drain, micro-batch per poll, cumulative report) —
-//!   what the `grw_service` serving layer shards over.
+//! * **Streaming backends**: the accelerator behind the
+//!   `grw_algo::WalkBackend` interface two ways.
+//!   [`AcceleratorBackend`] simulates one detached micro-batch per poll
+//!   (with a cumulative report merged from raw counts);
+//!   [`IncrementalAcceleratorBackend`] persists one running machine
+//!   across polls, so submissions join the live pipeline at the next
+//!   issue slot instead of waiting for a batch boundary — no per-batch
+//!   fill/drain bubbles under sustained load. The `grw_service` serving
+//!   layer shards over either.
 //! * **Resource & frequency model** ([`resource`]): the analytic cost table
 //!   reproducing Table IV.
 //!
@@ -52,6 +57,7 @@ mod accelerator;
 mod backend;
 mod config;
 mod engine;
+mod incremental;
 pub mod report;
 pub mod resource;
 mod router;
@@ -63,6 +69,7 @@ pub use accelerator::Accelerator;
 pub use backend::AcceleratorBackend;
 pub use config::{AcceleratorConfig, MemoryMode, ScheduleMode};
 pub use engine::AsyncAccessEngine;
+pub use incremental::IncrementalAcceleratorBackend;
 pub use report::{RunReport, TerminationBreakdown};
 pub use router::TaskRouter;
 pub use task::Task;

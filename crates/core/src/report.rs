@@ -1,6 +1,7 @@
 //! Run reports: the measurement quantities of the paper's evaluation.
 
 use grw_algo::WalkPath;
+use grw_sim::stats::UtilizationMeter;
 
 /// Why walks ended, tallied over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +56,12 @@ pub struct RunReport {
     pub bubble_ratio: f64,
     /// Fraction of pipeline-cycles doing useful work.
     pub pipeline_utilization: f64,
+    /// Raw pipeline-cycle counts behind the two ratios above
+    /// (busy / bubble / drained, summed over pipelines). Reports merge by
+    /// summing these counts and re-deriving the ratios — weighting the
+    /// ratios by total machine cycles over-counts runs with long drain
+    /// tails.
+    pub pipeline_cycles: UtilizationMeter,
     /// Random 64-bit transactions issued across all channels.
     pub random_txns: u64,
     /// Bytes moved (traversed-edge footprint).
@@ -106,6 +113,7 @@ mod tests {
             msteps_per_sec: msteps,
             bubble_ratio: 0.0,
             pipeline_utilization: 1.0,
+            pipeline_cycles: UtilizationMeter::from_counts(100, 0, 0),
             random_txns: 100,
             bytes_moved: 800,
             effective_bandwidth_gbs: 1.0,

@@ -1,0 +1,128 @@
+//! Accelerator-backed shards, with the execution mode selected at runtime.
+//!
+//! The serving layer is generic over `B: WalkBackend`; this module picks
+//! the cycle-level shard implementation per deployment instead of per
+//! type: the detached micro-batch backend (one simulation per poll, pays
+//! pipeline fill/drain at every batch boundary) or the incremental
+//! backend (one persistent machine per shard, submissions join the
+//! running pipeline). Both ship as `Box<dyn WalkBackend + Send>` shards,
+//! so a fleet can even mix modes — or mix accelerator and CPU shards —
+//! behind one `WalkService`.
+
+use crate::{ServiceConfig, WalkService};
+use grw_algo::{PreparedGraph, WalkBackend, WalkSpec};
+use ridgewalker::Accelerator;
+use std::sync::Arc;
+
+/// How an accelerator shard executes its micro-batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccelShardMode {
+    /// One detached cycle-level simulation per poll. Every micro-batch
+    /// pays pipeline fill at its head and drain at its tail — the
+    /// LightRW-style per-batch bubble cost.
+    Batch,
+    /// One persistent machine per shard; queries join the running
+    /// pipeline at the next issue slot, so sustained load never re-pays
+    /// fill/drain. Prefer this under continuous traffic.
+    #[default]
+    Incremental,
+}
+
+/// A runtime-selected shard backend.
+pub type DynWalkBackend = Box<dyn WalkBackend + Send>;
+
+/// Builds a [`WalkService`] whose shards are accelerator instances in the
+/// chosen execution `mode`, sharing one prepared graph. Each shard's
+/// machine derives its randomness seed from the base configuration's seed
+/// and the shard index, so shards are decorrelated but the whole service
+/// stays deterministic for a fixed submission/tick sequence.
+pub fn accelerator_service(
+    cfg: ServiceConfig,
+    accel: &Accelerator,
+    prepared: Arc<PreparedGraph>,
+    spec: &WalkSpec,
+    mode: AccelShardMode,
+) -> WalkService<DynWalkBackend> {
+    let base = *accel.config();
+    let spec = spec.clone();
+    WalkService::new(cfg, move |shard| {
+        let shard_accel = Accelerator::new(
+            base.seed(base.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        match mode {
+            AccelShardMode::Batch => {
+                Box::new(shard_accel.backend(prepared.clone(), &spec)) as DynWalkBackend
+            }
+            AccelShardMode::Incremental => {
+                Box::new(shard_accel.incremental_backend(prepared.clone(), &spec))
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TenantId;
+    use grw_algo::QuerySet;
+    use grw_graph::generators::{Dataset, ScaleFactor};
+    use ridgewalker::AcceleratorConfig;
+
+    fn setup() -> (Arc<PreparedGraph>, WalkSpec) {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(10);
+        (Arc::new(PreparedGraph::new(g, &spec).unwrap()), spec)
+    }
+
+    #[test]
+    fn both_modes_answer_every_query_and_report_cycles() {
+        let (prepared, spec) = setup();
+        let accel = Accelerator::new(AcceleratorConfig::new().pipelines(2));
+        for mode in [AccelShardMode::Batch, AccelShardMode::Incremental] {
+            let mut svc = accelerator_service(
+                ServiceConfig::new(2).max_batch(64),
+                &accel,
+                prepared.clone(),
+                &spec,
+                mode,
+            );
+            let qs = QuerySet::random(prepared.graph().vertex_count(), 500, 9);
+            assert_eq!(svc.submit(TenantId(4), qs.queries()), 500, "{mode:?}");
+            let done = svc.drain();
+            assert_eq!(done.len(), 500, "{mode:?}");
+            let stats = svc.stats();
+            assert!(stats.simulated_cycles.unwrap() > 0, "{mode:?}");
+            assert!(stats.msteps_per_sec_simulated.unwrap() > 0.0, "{mode:?}");
+            assert!(stats.pipeline_bubble_ratio.is_some(), "{mode:?}");
+            assert!(stats.pipeline_utilization.unwrap() > 0.0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_service_is_deterministic_for_a_fixed_schedule() {
+        let (prepared, spec) = setup();
+        let accel = Accelerator::new(AcceleratorConfig::new().pipelines(2));
+        let run = || {
+            let mut svc = accelerator_service(
+                ServiceConfig::new(2).max_batch(32).max_delay_ticks(1),
+                &accel,
+                prepared.clone(),
+                &spec,
+                AccelShardMode::Incremental,
+            );
+            let qs = QuerySet::random(prepared.graph().vertex_count(), 300, 2);
+            let mut out = Vec::new();
+            for chunk in qs.queries().chunks(50) {
+                assert_eq!(svc.submit(TenantId(1), chunk), 50);
+                out.extend(svc.tick());
+            }
+            out.extend(svc.drain());
+            out.sort_by_key(|c| c.path.query);
+            out
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), 300);
+        assert_eq!(a, b);
+    }
+}

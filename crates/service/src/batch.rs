@@ -5,8 +5,13 @@
 //! `max_delay_ticks` service ticks — the classic size-or-deadline batching
 //! front-end. Size flushes favour throughput; deadline flushes bound the
 //! latency a trickle of traffic can suffer.
+//!
+//! Every parked query remembers its own arrival tick, so partial flushes
+//! and backend pushback never restart anyone's deadline clock: the oldest
+//! *remaining* query always drives [`MicroBatcher::due`].
 
 use grw_algo::WalkQuery;
+use std::collections::VecDeque;
 
 /// Why a micro-batch left the coalescing buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,12 +27,13 @@ pub enum FlushReason {
 /// Size/deadline-bounded coalescing buffer for one shard.
 #[derive(Debug, Clone)]
 pub(crate) struct MicroBatcher {
-    buf: Vec<WalkQuery>,
-    /// Tick at which the oldest parked query arrived.
-    opened_at: Option<u64>,
-    /// Age of the batch most recently removed by `take_batch`, restored by
-    /// `unshift` so backend pushback does not reset the deadline clock.
-    last_taken_opened_at: Option<u64>,
+    /// Parked queries with their arrival ticks, oldest first.
+    buf: VecDeque<(WalkQuery, u64)>,
+    /// The batch most recently removed by `take_batch`, kept so `unshift`
+    /// can restore pushback with its true ages — a query that already
+    /// passed its deadline must stay past-deadline, not wait out a fresh
+    /// `max_delay_ticks`.
+    last_taken: Vec<(WalkQuery, u64)>,
     max_batch: usize,
     max_delay_ticks: u64,
     capacity: usize,
@@ -38,9 +44,8 @@ impl MicroBatcher {
         assert!(max_batch > 0, "micro-batch size must be positive");
         assert!(capacity >= max_batch, "buffer must hold one full batch");
         Self {
-            buf: Vec::new(),
-            opened_at: None,
-            last_taken_opened_at: None,
+            buf: VecDeque::new(),
+            last_taken: Vec::new(),
             max_batch,
             max_delay_ticks,
             capacity,
@@ -52,57 +57,54 @@ impl MicroBatcher {
         if self.buf.len() >= self.capacity {
             return false;
         }
-        if self.buf.is_empty() {
-            self.opened_at = Some(now);
-        }
-        self.buf.push(q);
+        self.buf.push_back((q, now));
         true
     }
 
     /// Whether a batch should flush at tick `now`, and why.
     pub(crate) fn due(&self, now: u64) -> Option<FlushReason> {
-        if self.buf.is_empty() {
-            return None;
-        }
+        let &(_, oldest) = self.buf.front()?;
         if self.buf.len() >= self.max_batch {
             return Some(FlushReason::Size);
         }
-        let age = now.saturating_sub(self.opened_at.expect("non-empty buffer has an age"));
-        (age >= self.max_delay_ticks).then_some(FlushReason::Deadline)
+        (now.saturating_sub(oldest) >= self.max_delay_ticks).then_some(FlushReason::Deadline)
     }
 
     /// Takes up to one micro-batch out of the buffer. The remainder (if
-    /// the buffer held more than `max_batch`) stays parked with its age
-    /// preserved.
-    pub(crate) fn take_batch(&mut self, now: u64) -> Vec<WalkQuery> {
+    /// the buffer held more than `max_batch`) stays parked, each survivor
+    /// keeping its own arrival tick — the deadline clock never restarts on
+    /// a flush.
+    pub(crate) fn take_batch(&mut self) -> Vec<WalkQuery> {
         let n = self.buf.len().min(self.max_batch);
-        let batch: Vec<WalkQuery> = self.buf.drain(..n).collect();
-        self.last_taken_opened_at = self.opened_at;
-        self.opened_at = if self.buf.is_empty() {
-            None
-        } else {
-            // Conservative: the survivors are at most as old as the batch
-            // that just left.
-            Some(now)
-        };
-        batch
+        self.last_taken = self.buf.drain(..n).collect();
+        self.last_taken.iter().map(|&(q, _)| q).collect()
     }
 
-    /// Returns unaccepted queries to the *front* of the buffer (backend
-    /// pushback) so ordering is preserved. The restored queries keep the
-    /// age they had before `take_batch`: a query that already passed its
-    /// deadline must stay past-deadline and retry on the next tick, not
-    /// wait out a fresh `max_delay_ticks`.
-    pub(crate) fn unshift(&mut self, rejected: &[WalkQuery], now: u64) {
+    /// Returns the unaccepted suffix of the last taken batch to the
+    /// *front* of the buffer (backend pushback), restoring each query's
+    /// original arrival tick so ordering and ages are both preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rejected` is longer than the batch most recently
+    /// returned by [`take_batch`](Self::take_batch); debug builds
+    /// additionally verify it is that batch's suffix.
+    pub(crate) fn unshift(&mut self, rejected: &[WalkQuery]) {
         if rejected.is_empty() {
             return;
         }
-        let mut restored = Vec::with_capacity(rejected.len() + self.buf.len());
-        restored.extend_from_slice(rejected);
-        restored.append(&mut self.buf);
-        self.buf = restored;
-        let age = self.last_taken_opened_at.unwrap_or(now);
-        self.opened_at = Some(self.opened_at.map_or(age, |cur| cur.min(age)));
+        assert!(
+            rejected.len() <= self.last_taken.len(),
+            "unshift must restore a suffix of the last taken batch"
+        );
+        let suffix = &self.last_taken[self.last_taken.len() - rejected.len()..];
+        debug_assert!(
+            suffix.iter().zip(rejected).all(|(&(q, _), r)| q.id == r.id),
+            "unshift must restore the rejected queries themselves"
+        );
+        for &(q, tick) in suffix.iter().rev() {
+            self.buf.push_front((q, tick));
+        }
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -131,7 +133,7 @@ mod tests {
         assert!(b.due(0).is_none(), "under-size batch waits for deadline");
         b.push(q(2), 0);
         assert_eq!(b.due(0), Some(FlushReason::Size));
-        assert_eq!(b.take_batch(0).len(), 3);
+        assert_eq!(b.take_batch().len(), 3);
         assert!(b.is_empty());
     }
 
@@ -149,10 +151,10 @@ mod tests {
         for i in 0..5 {
             assert!(b.push(q(i), 0));
         }
-        assert_eq!(b.take_batch(0).len(), 2);
-        assert_eq!(b.take_batch(0).len(), 2);
-        assert_eq!(b.take_batch(0).len(), 1);
-        assert!(b.take_batch(0).is_empty());
+        assert_eq!(b.take_batch().len(), 2);
+        assert_eq!(b.take_batch().len(), 2);
+        assert_eq!(b.take_batch().len(), 1);
+        assert!(b.take_batch().is_empty());
     }
 
     #[test]
@@ -165,12 +167,35 @@ mod tests {
 
     #[test]
     fn unshift_preserves_order() {
-        let mut b = MicroBatcher::new(4, 0, 8);
-        b.push(q(2), 0);
-        b.unshift(&[q(0), q(1)], 0);
-        let batch = b.take_batch(0);
-        let ids: Vec<u64> = batch.iter().map(|x| x.id).collect();
-        assert_eq!(ids, vec![0, 1, 2]);
+        let mut b = MicroBatcher::new(2, 0, 8);
+        for i in 0..3 {
+            b.push(q(i), 0);
+        }
+        let batch = b.take_batch(); // [0, 1]
+                                    // The backend accepted one query; the rest bounce back.
+        b.unshift(&batch[1..]);
+        let ids: Vec<u64> = b.take_batch().iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![1, 2], "pushback rejoins ahead of later arrivals");
+    }
+
+    #[test]
+    fn take_batch_preserves_survivor_age() {
+        // Regression: a partial flush used to restart the survivors'
+        // deadline clock at the flush tick, so under a steady trickle a
+        // parked query's latency was unbounded.
+        let mut b = MicroBatcher::new(2, 10, 8);
+        b.push(q(0), 0);
+        b.push(q(1), 0);
+        b.push(q(2), 5);
+        assert_eq!(b.due(2), Some(FlushReason::Size));
+        assert_eq!(b.take_batch().len(), 2); // q0, q1 leave at tick 2
+                                             // Survivor q2 arrived at tick 5: its deadline is 15, not 2 + 10.
+        assert!(b.due(14).is_none(), "survivor is not due early either");
+        assert_eq!(
+            b.due(15),
+            Some(FlushReason::Deadline),
+            "survivor age preserved across the flush"
+        );
     }
 
     #[test]
@@ -179,8 +204,8 @@ mod tests {
         b.push(q(0), 10);
         // Deadline passes at tick 14; the flush attempt is pushed back.
         assert_eq!(b.due(14), Some(FlushReason::Deadline));
-        let batch = b.take_batch(14);
-        b.unshift(&batch, 14);
+        let batch = b.take_batch();
+        b.unshift(&batch);
         // The query is still past its deadline: retry immediately, don't
         // wait out another max_delay_ticks.
         assert_eq!(b.due(15), Some(FlushReason::Deadline));

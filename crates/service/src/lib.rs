@@ -51,10 +51,12 @@
 //! println!("{}", service.stats());
 //! ```
 
+pub mod accel;
 mod batch;
 mod stats;
 mod tenant;
 
+pub use accel::{accelerator_service, AccelShardMode, DynWalkBackend};
 pub use batch::FlushReason;
 pub use stats::ServiceStats;
 pub use tenant::{TenantId, LOCAL_ID_BITS, MAX_LOCAL_ID};
@@ -299,9 +301,20 @@ impl<B: WalkBackend> WalkService<B> {
         // shard's cycles *through its own clock* — cycle counts from
         // different platforms are not commensurable directly.
         let mut sim: Option<(u64, f64)> = Some((0, 0.0));
+        // Pipeline occupancy merges by raw counts across shards, available
+        // only when every backend reports a breakdown.
+        let mut pipeline: Option<grw_sim::stats::UtilizationMeter> =
+            Some(grw_sim::stats::UtilizationMeter::new());
         for s in &self.shards {
             let t = s.backend.telemetry();
             steps += t.steps;
+            pipeline = match (pipeline, t.pipeline) {
+                (Some(mut acc), Some(m)) => {
+                    acc.merge(&m);
+                    Some(acc)
+                }
+                _ => None,
+            };
             sim = match (sim, t.cycles) {
                 (Some((max_cycles, max_secs)), Some(c)) => match t.clock_mhz {
                     Some(clock) if clock > 0.0 => {
@@ -324,6 +337,7 @@ impl<B: WalkBackend> WalkService<B> {
             steps,
             self.started.elapsed().as_secs_f64(),
             simulated,
+            pipeline,
             self.shards.iter().map(|s| s.submitted).collect(),
         )
     }
@@ -344,13 +358,13 @@ impl<B: WalkBackend> WalkService<B> {
     fn flush_shard(&mut self, shard: usize, reason: FlushReason) -> bool {
         let tick = self.tick;
         let s = &mut self.shards[shard];
-        let batch = s.batcher.take_batch(tick);
+        let batch = s.batcher.take_batch();
         if batch.is_empty() {
             return false;
         }
         let taken = s.backend.submit(&batch);
         if taken < batch.len() {
-            s.batcher.unshift(&batch[taken..], tick);
+            s.batcher.unshift(&batch[taken..]);
         }
         if taken == 0 {
             return false;

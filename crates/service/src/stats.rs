@@ -75,6 +75,18 @@ pub struct ServiceStats {
     /// Hops per second of simulated time, in millions (shards in
     /// parallel), when available.
     pub msteps_per_sec_simulated: Option<f64>,
+    /// Pipeline bubble ratio merged across shards by raw pipeline-cycle
+    /// counts, when every backend reports a breakdown — the serving-level
+    /// view of the paper's zero-bubble claim.
+    pub pipeline_bubble_ratio: Option<f64>,
+    /// Fraction of pipeline-cycles doing useful work, merged across
+    /// shards (fill/drain idling counts against this, unlike the bubble
+    /// ratio).
+    pub pipeline_utilization: Option<f64>,
+    /// The merged raw pipeline-cycle counts behind the two ratios, for
+    /// callers that window or re-weight them (e.g. a serving bench
+    /// measuring waste only while the service held backlog).
+    pub pipeline_cycles: Option<grw_sim::stats::UtilizationMeter>,
     /// Median micro-batch completion latency (flush → last path), µs wall.
     pub p50_batch_latency_us: u64,
     /// 99th-percentile micro-batch completion latency, µs wall.
@@ -90,6 +102,7 @@ pub struct ServiceStats {
 impl ServiceStats {
     /// `simulated` is `(slowest shard's cycles, slowest shard's simulated
     /// seconds)` when every shard backend reports a cycle clock.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build(
         c: &StatsCollector,
         shards: usize,
@@ -97,6 +110,7 @@ impl ServiceStats {
         steps: u64,
         wall_seconds: f64,
         simulated: Option<(u64, f64)>,
+        pipeline: Option<grw_sim::stats::UtilizationMeter>,
         per_shard_submitted: Vec<u64>,
     ) -> Self {
         let msteps_wall = if wall_seconds > 0.0 {
@@ -126,6 +140,9 @@ impl ServiceStats {
             simulated_cycles,
             simulated_seconds,
             msteps_per_sec_simulated: msteps_sim,
+            pipeline_bubble_ratio: pipeline.map(|m| m.bubble_ratio()),
+            pipeline_utilization: pipeline.map(|m| m.utilization()),
+            pipeline_cycles: pipeline,
             p50_batch_latency_us: percentile(&c.batch_latencies_us, 50.0),
             p99_batch_latency_us: percentile(&c.batch_latencies_us, 99.0),
             p50_batch_latency_ticks: percentile(&c.batch_latencies_ticks, 50.0),
@@ -160,6 +177,15 @@ impl fmt::Display for ServiceStats {
             write!(f, " | {cycles} simulated cycles -> {msteps:.1} MStep/s")?;
         }
         writeln!(f)?;
+        if let (Some(bubble), Some(util)) = (self.pipeline_bubble_ratio, self.pipeline_utilization)
+        {
+            writeln!(
+                f,
+                "pipelines: {:.2}% bubbles, {:.2}% utilized",
+                bubble * 100.0,
+                util * 100.0
+            )?;
+        }
         writeln!(
             f,
             "batch latency: p50 {}us / p99 {}us (p50 {} / p99 {} ticks)",
@@ -197,12 +223,24 @@ mod tests {
             ..StatsCollector::default()
         };
         // 1000 cycles at 320 MHz = 3.125 µs of simulated time.
-        let s = ServiceStats::build(&c, 2, 0, 500, 0.5, Some((1000, 3.125e-6)), vec![5, 5]);
+        let s = ServiceStats::build(
+            &c,
+            2,
+            0,
+            500,
+            0.5,
+            Some((1000, 3.125e-6)),
+            Some(grw_sim::stats::UtilizationMeter::from_counts(90, 10, 20)),
+            vec![5, 5],
+        );
         let text = s.to_string();
         assert!(text.contains("2 shards"), "{text}");
         assert!(text.contains("MStep/s"), "{text}");
         assert!(text.contains("p99"), "{text}");
+        assert!(text.contains("bubbles"), "{text}");
         assert!((s.msteps_per_sec_wall - 0.001).abs() < 1e-9);
         assert!((s.msteps_per_sec_simulated.unwrap() - 160.0).abs() < 1e-6);
+        assert!((s.pipeline_bubble_ratio.unwrap() - 0.1).abs() < 1e-12);
+        assert!((s.pipeline_utilization.unwrap() - 0.75).abs() < 1e-12);
     }
 }

@@ -40,6 +40,17 @@ impl UtilizationMeter {
         Self::default()
     }
 
+    /// Reconstructs a meter from raw counts — the merge path for layers
+    /// that aggregate pipeline-cycle breakdowns across reports (ratios must
+    /// be re-derived from summed counts, never averaged).
+    pub fn from_counts(busy: u64, bubble: u64, drained: u64) -> Self {
+        Self {
+            busy,
+            bubble,
+            drained,
+        }
+    }
+
     /// Records a cycle in which the pipeline did useful work.
     pub fn record_busy(&mut self) {
         self.busy += 1;
@@ -68,6 +79,11 @@ impl UtilizationMeter {
     /// Idle-without-work cycles.
     pub fn drained(&self) -> u64 {
         self.drained
+    }
+
+    /// All recorded pipeline-cycles (busy + bubble + drained).
+    pub fn total(&self) -> u64 {
+        self.busy + self.bubble + self.drained
     }
 
     /// Bubbles / (busy + bubbles): the paper's bubble ratio. Zero when the
@@ -176,6 +192,17 @@ mod tests {
         assert_eq!(m.utilization(), 0.0);
         let t = ThroughputMeter::new();
         assert_eq!(t.msteps_per_sec(320.0), 0.0);
+    }
+
+    #[test]
+    fn from_counts_round_trips() {
+        let m = UtilizationMeter::from_counts(6, 4, 10);
+        assert_eq!(m.busy(), 6);
+        assert_eq!(m.bubbles(), 4);
+        assert_eq!(m.drained(), 10);
+        assert_eq!(m.total(), 20);
+        assert!((m.bubble_ratio() - 0.4).abs() < 1e-12);
+        assert!((m.utilization() - 0.3).abs() < 1e-12);
     }
 
     #[test]

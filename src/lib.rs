@@ -19,8 +19,10 @@
 //! * [`bench`] — the experiment harness regenerating every paper figure and
 //!   table ([`grw_bench`]).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and
-//! `examples/serving.rs` for the serving layer end to end.
+//! See `examples/quickstart.rs` for a five-minute tour,
+//! `examples/serving.rs` for the serving layer end to end, and
+//! `examples/serving_accel.rs` for batch vs incremental accelerator
+//! shards under open-loop load.
 
 pub use grw_algo as algo;
 pub use grw_baselines as baselines;

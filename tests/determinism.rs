@@ -51,6 +51,44 @@ fn engines_are_seed_deterministic() {
 }
 
 #[test]
+fn incremental_backend_is_schedule_invariant_but_seed_sensitive() {
+    use ridgewalker_suite::algo::WalkBackend;
+
+    let g = Dataset::CitPatents.generate(ScaleFactor::Tiny);
+    let spec = WalkSpec::urw(16);
+    let p = PreparedGraph::new(g.clone(), &spec).unwrap();
+    let qs = QuerySet::random(g.vertex_count(), 200, 3);
+
+    // One fixed seed, three very different submit/poll schedules: paths
+    // must be bit-identical (only simulated timing may differ).
+    let run_with_chunks = |seed: u64, submit_chunk: usize, quantum: u64| {
+        let accel = Accelerator::new(AcceleratorConfig::new().pipelines(4).seed(seed));
+        let mut backend = accel
+            .incremental_backend(&p, &spec)
+            .poll_quantum(quantum)
+            .queue_capacity(4096);
+        let mut got = Vec::new();
+        for chunk in qs.queries().chunks(submit_chunk) {
+            assert_eq!(backend.submit(chunk), chunk.len());
+            got.extend(backend.poll());
+        }
+        got.extend(backend.drain());
+        got.sort_by_key(|w| w.query);
+        got
+    };
+    let a = run_with_chunks(5, 200, 1_000_000); // everything at once
+    let b = run_with_chunks(5, 7, 32); // trickle, tiny quanta
+    let c = run_with_chunks(5, 64, 512); // waves
+    assert_eq!(a, b, "schedule must not change walks");
+    assert_eq!(a, c, "schedule must not change walks");
+
+    // And the seed still matters.
+    let other = run_with_chunks(6, 64, 512);
+    assert_ne!(a, other, "seeds must matter");
+    assert_eq!(a.len(), other.len());
+}
+
+#[test]
 fn different_seeds_change_walks_but_not_validity() {
     let g = Dataset::AsSkitter.generate(ScaleFactor::Tiny);
     let spec = WalkSpec::urw(16);

@@ -68,6 +68,90 @@ fn accelerator_backend_single_batch_matches_run() {
 }
 
 #[test]
+fn incremental_backend_survives_arbitrary_submit_poll_schedules() {
+    use ridgewalker_suite::rng::{RandomSource, SplitMix64};
+
+    let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+    let spec = WalkSpec::urw(14);
+    let p = PreparedGraph::new(g.clone(), &spec).unwrap();
+    let qs = QuerySet::random(g.vertex_count(), 400, 7);
+    let accel = Accelerator::new(AcceleratorConfig::new().pipelines(4).seed(11));
+    // Ground truth: the detached batch run over the whole stream. The
+    // incremental machine keys each query's randomness by its submission
+    // index, so *any* submit/poll interleaving that preserves submission
+    // order must reproduce these exact paths.
+    let baseline = accel.run(&p, &spec, qs.queries());
+
+    for sched_seed in [0x11u64, 0x22, 0x33, 0x44, 0x55] {
+        let mut rng = SplitMix64::new(sched_seed);
+        let mut backend = accel
+            .incremental_backend(&p, &spec)
+            .queue_capacity(48)
+            .poll_quantum(64);
+        let queries = qs.queries();
+        let mut offset = 0;
+        let mut got = Vec::new();
+        while offset < queries.len() {
+            if rng.next_u64().is_multiple_of(2) {
+                let k = 1 + (rng.next_u64() % 7) as usize;
+                let end = (offset + k).min(queries.len());
+                offset += backend.submit(&queries[offset..end]);
+            } else {
+                got.extend(backend.poll());
+            }
+        }
+        got.extend(backend.drain());
+        assert_eq!(backend.in_flight(), 0, "schedule {sched_seed:#x}");
+
+        // No query lost, none duplicated.
+        assert_eq!(got.len(), 400, "schedule {sched_seed:#x}");
+        let mut ids: Vec<u64> = got.iter().map(|w| w.query).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400, "duplicate ids under {sched_seed:#x}");
+
+        // Bit-identical paths, independent of the schedule.
+        got.sort_by_key(|w| w.query);
+        assert_eq!(
+            got, baseline.paths,
+            "schedule {sched_seed:#x} changed walk contents"
+        );
+    }
+}
+
+#[test]
+fn incremental_service_shards_beat_batch_shards_on_bubbles() {
+    use ridgewalker_suite::bench::{run_serving_comparison, ServingWorkload};
+
+    // The acceptance check at serving scale: the identical open-loop
+    // stream through batch-mode and incremental-mode accelerator shards.
+    let cmp = run_serving_comparison(ServingWorkload::smoke());
+    assert_eq!(cmp.batch.completed, cmp.incremental.completed);
+    assert!(cmp.batch.steps > 0 && cmp.incremental.steps > 0);
+    assert!(
+        cmp.incremental.bubble_ratio < cmp.batch.bubble_ratio,
+        "incremental bubbles {:.4} must undercut batch {:.4}",
+        cmp.incremental.bubble_ratio,
+        cmp.batch.bubble_ratio
+    );
+    assert!(
+        cmp.incremental.utilization > cmp.batch.utilization,
+        "incremental util {:.4} vs batch {:.4}",
+        cmp.incremental.utilization,
+        cmp.batch.utilization
+    );
+    assert!(
+        cmp.incremental.msteps_simulated > cmp.batch.msteps_simulated,
+        "a fuller pipeline must also be a faster one"
+    );
+    // The CI perf record built from this comparison must stay parseable.
+    let json = cmp.to_json();
+    assert!(json.contains("\"bench\": \"serving\""), "{json}");
+    assert!(json.contains("bubble_improvement"), "{json}");
+    assert!(!json.contains("inf"), "non-finite ratio leaked: {json}");
+}
+
+#[test]
 fn service_answers_every_query_exactly_once_and_routes_tenants() {
     let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
     let spec = WalkSpec::urw(12);
