@@ -6,7 +6,7 @@ use crate::{PreparedGraph, WalkPath, WalkQuery, WalkSpec};
 /// Runs queries across OS threads, chunking the query set.
 ///
 /// Because every query has its own RNG stream keyed by `(seed, id)`, the
-/// output is bit-identical to [`ReferenceEngine`] with the same seed — a
+/// output is bit-identical to [`crate::ReferenceEngine`] with the same seed — a
 /// property the tests rely on.
 ///
 /// # Example

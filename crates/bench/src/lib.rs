@@ -18,6 +18,12 @@
 //! | `table4` | resources & frequency | [`experiments::table04`] |
 //! | `theorem` | Theorem VI.1 buffer bound | [`experiments::theorem`] |
 //!
+//! Beyond the paper artifacts, [`serving`] benches batch vs incremental
+//! accelerator shards under one open-loop stream, [`load`] sweeps
+//! latency-vs-load curves per workload from real arrival processes
+//! (writing `BENCH_load_<workload>.json`), and [`json`] is the minimal
+//! parser the `perf_gate` CI regression checker reads those records with.
+//!
 //! # Example
 //!
 //! ```
@@ -30,9 +36,15 @@
 
 pub mod experiments;
 mod harness;
+pub mod json;
+pub mod load;
 pub mod serving;
 mod table;
 
 pub use harness::{run_accelerator_streamed, Experiment, HarnessConfig, Series};
+pub use json::Json;
+pub use load::{
+    run_latency_load, ArrivalShape, LoadConfig, LoadPoint, LoadWorkload, WorkloadLoadReport,
+};
 pub use serving::{run_serving_comparison, ServingComparison, ServingWorkload};
 pub use table::{fmt_msteps, fmt_percent, fmt_speedup, Table};

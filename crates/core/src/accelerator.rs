@@ -329,6 +329,13 @@ impl Machine {
         self.pending.len() + self.inflight
     }
 
+    /// Occupancy split: `(awaiting injection, in flight)`. The first term
+    /// is the machine-internal queue a load generator observes growing
+    /// under overload; the second is bounded by the issue-slot capacity.
+    pub(crate) fn occupancy(&self) -> (usize, usize) {
+        (self.pending.len(), self.inflight)
+    }
+
     /// Cycles simulated so far. The clock only runs while work exists —
     /// an idle machine between submissions consumes no simulated time.
     pub(crate) fn cycles(&self) -> Cycle {

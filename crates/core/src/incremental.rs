@@ -24,6 +24,28 @@ use crate::report::RunReport;
 use grw_algo::{BackendTelemetry, PreparedGraph, WalkBackend, WalkPath, WalkQuery, WalkSpec};
 use std::borrow::Borrow;
 
+/// Point-in-time occupancy of a persistent machine, split by where the
+/// queries sit — the queue-depth observation a load generator needs to
+/// tell admission backlog (awaiting injection) from pipeline residency
+/// (in flight).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MachineOccupancy {
+    /// Queries enqueued but not yet injected at an issue slot: the
+    /// machine-internal queue that grows when offered load exceeds the
+    /// pipelines' service rate.
+    pub awaiting_injection: usize,
+    /// Queries issued into the pipelines and still walking; bounded by
+    /// the issue-slot capacity regardless of load.
+    pub in_flight: usize,
+}
+
+impl MachineOccupancy {
+    /// Total queries resident in the machine.
+    pub fn total(&self) -> usize {
+        self.awaiting_injection + self.in_flight
+    }
+}
+
 /// A persistent cycle-level accelerator machine behind the streaming
 /// [`WalkBackend`] interface.
 ///
@@ -105,6 +127,16 @@ impl<P: Borrow<PreparedGraph>> IncrementalAcceleratorBackend<P> {
     /// machine holds work).
     pub fn cycles(&self) -> u64 {
         self.machine.cycles()
+    }
+
+    /// Where the resident queries currently sit: awaiting injection vs in
+    /// flight in the pipelines (queue-depth observation for load tests).
+    pub fn occupancy(&self) -> MachineOccupancy {
+        let (awaiting_injection, in_flight) = self.machine.occupancy();
+        MachineOccupancy {
+            awaiting_injection,
+            in_flight,
+        }
     }
 
     /// The cumulative run report over everything executed so far. `paths`
@@ -255,6 +287,27 @@ mod tests {
         assert_eq!(backend.submit(qs.queries()), 0);
         assert_eq!(backend.poll().len(), 10);
         assert_eq!(backend.capacity_hint(), 10);
+    }
+
+    #[test]
+    fn occupancy_tracks_residency_split() {
+        let (p, spec, qs) = setup(24, 200);
+        let mut backend = accel()
+            .incremental_backend(&p, &spec)
+            .poll_quantum(32)
+            .queue_capacity(4096);
+        assert_eq!(backend.occupancy(), MachineOccupancy::default());
+        assert_eq!(backend.submit(qs.queries()), 200);
+        let occ = backend.occupancy();
+        assert_eq!(occ.total(), backend.in_flight());
+        assert_eq!(occ.total(), 200);
+        assert_eq!(occ.in_flight, 0, "nothing issued before the first poll");
+        backend.poll();
+        let occ = backend.occupancy();
+        assert!(occ.in_flight > 0, "polling issues queries into pipelines");
+        assert_eq!(occ.total(), backend.in_flight());
+        backend.drain();
+        assert_eq!(backend.occupancy().total(), 0);
     }
 
     #[test]

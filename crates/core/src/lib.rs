@@ -69,7 +69,7 @@ pub use accelerator::Accelerator;
 pub use backend::AcceleratorBackend;
 pub use config::{AcceleratorConfig, MemoryMode, ScheduleMode};
 pub use engine::AsyncAccessEngine;
-pub use incremental::IncrementalAcceleratorBackend;
+pub use incremental::{IncrementalAcceleratorBackend, MachineOccupancy};
 pub use report::{RunReport, TerminationBreakdown};
 pub use router::TaskRouter;
-pub use task::Task;
+pub use task::{Task, NO_PREV};

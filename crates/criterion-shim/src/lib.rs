@@ -1,0 +1,236 @@
+//! A drop-in subset of the `criterion` benchmarking API.
+//!
+//! The workspace vendors no external crates (the build environment has no
+//! registry), but the Criterion benches under `crates/bench/benches/` are
+//! worth keeping compilable and runnable — a bench that cannot build is a
+//! bench that silently bit-rots. This shim implements exactly the API
+//! surface those benches use (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `Bencher::iter`, throughput annotations) with a
+//! plain `Instant`-based timing loop: warm-up, then timed batches, then a
+//! mean ns/iter line per benchmark. Rigorous statistics belong to real
+//! criterion; this keeps the benches honest offline.
+
+use std::fmt;
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Work performed per iteration, used to annotate rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Times one closure; handed to `bench_function` callbacks.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    ns_per_iter: f64,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` in a warm-up phase, then in timed batches, recording the
+    /// mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        let mut iters: u64 = 0;
+        while Instant::now() < warm_end {
+            hint_black_box(f());
+            iters += 1;
+        }
+        // Batch size aiming for ~20 batches in the measurement window.
+        let batch = (iters / 20).max(1);
+        let started = Instant::now();
+        let mut total_iters = 0u64;
+        while started.elapsed() < self.measurement {
+            for _ in 0..batch {
+                hint_black_box(f());
+            }
+            total_iters += batch;
+        }
+        self.ns_per_iter = started.elapsed().as_nanos() as f64 / total_iters.max(1) as f64;
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+///
+/// Timing settings are scoped to the group, as in real criterion: a
+/// `warm_up_time`/`measurement_time` override here never leaks into
+/// later groups.
+pub struct BenchmarkGroup<'a> {
+    // Held only so the group borrow mirrors criterion's API shape
+    // (exclusive access to the driver while a group is open).
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets this group's warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets this group's measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                format!(" ({:.1} Melem/s)", n as f64 * 1e3 / b.ns_per_iter)
+            }
+            Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+                format!(" ({:.1} MB/s)", n as f64 * 1e3 / b.ns_per_iter)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {:.1} ns/iter{rate}", self.name, b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+impl Criterion {
+    /// Opens a named benchmark group with the driver's default timing.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        let warm_up = self.warm_up;
+        let measurement = self.measurement;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            warm_up,
+            measurement,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_timing_overrides_do_not_leak_across_groups() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("a");
+            g.warm_up_time(Duration::from_secs(30))
+                .measurement_time(Duration::from_secs(30));
+        }
+        let g = c.benchmark_group("b");
+        assert_eq!(g.warm_up, Duration::from_millis(200));
+        assert_eq!(g.measurement, Duration::from_millis(500));
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(4))
+            .sample_size(10)
+            .bench_function("noop", |b| b.iter(|| 1u32));
+        g.finish();
+    }
+}

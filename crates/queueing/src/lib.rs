@@ -16,7 +16,9 @@
 //!
 //! * [`BulkQueueModel`] — the analytic `M/M/1[N]` stationary distribution
 //!   and derived metrics;
-//! * [`processes`] — Poisson arrival and exponential service generators;
+//! * [`processes`] — Poisson, deterministic and bursty (on/off MMPP)
+//!   arrival generators plus exponential service sampling, unified behind
+//!   [`ArrivalProcess`] for open-loop load generation;
 //! * [`buffer_bound`] — the Theorem VI.1 depth formulas **and** a
 //!   slotted-cycle simulator with delayed feedback that verifies them
 //!   empirically (used by the `repro theorem` experiment).
@@ -32,3 +34,4 @@ pub use buffer_bound::{
 };
 pub use mm1n::BulkQueueModel;
 pub use mmn::MmnQueue;
+pub use processes::{ArrivalProcess, DeterministicProcess, OnOffProcess, PoissonProcess};

@@ -64,24 +64,23 @@ impl MmnQueue {
 
     /// Erlang-C: probability an arriving task must wait (all servers busy).
     ///
+    /// Computed from Erlang-B via the normalized recurrence
+    /// `B(k) = a·B(k-1) / (k + a·B(k-1))`, which stays in `[0, 1]`
+    /// throughout — the naive `a^k/k!` sums overflow `f64` for the
+    /// hundreds of effective servers the serving-load models produce.
+    ///
     /// # Panics
     ///
     /// Panics if the queue is unstable.
     pub fn wait_probability(&self) -> f64 {
         assert!(self.is_stable(), "unstable queue");
         let a = self.offered_load();
-        let n = self.servers;
-        // Sum a^k/k! computed incrementally to avoid overflow.
-        let mut term = 1.0f64; // a^0/0!
-        let mut sum = 1.0f64;
-        for k in 1..n {
-            term *= a / k as f64;
-            sum += term;
+        let mut b = 1.0f64; // Erlang-B with 0 servers
+        for k in 1..=self.servers {
+            b = a * b / (k as f64 + a * b);
         }
-        let an_over_fact = term * a / n as f64; // a^n/n!
         let rho = self.server_utilization();
-        let c = an_over_fact / (1.0 - rho);
-        c / (sum + c)
+        b / (1.0 - rho * (1.0 - b))
     }
 
     /// Mean number of tasks in the system (Erlang-C mean).
@@ -109,6 +108,48 @@ mod tests {
         let w4 = MmnQueue::new(3.0, 1.0, 4).wait_probability();
         let w8 = MmnQueue::new(3.0, 1.0, 8).wait_probability();
         assert!(w8 < w4, "w8 {w8} vs w4 {w4}");
+    }
+
+    #[test]
+    fn erlang_recurrence_matches_direct_sum_for_small_n() {
+        // For modest offered loads the naive a^k/k! sum is safe; the
+        // normalized recurrence must agree with it.
+        for (lambda, mu, n) in [
+            (0.6, 1.0, 1),
+            (3.0, 1.0, 4),
+            (12.0, 1.0, 16),
+            (6.5, 0.5, 20),
+        ] {
+            let q = MmnQueue::new(lambda, mu, n);
+            let a = q.offered_load();
+            let mut term = 1.0f64;
+            let mut sum = 1.0f64;
+            for k in 1..n {
+                term *= a / k as f64;
+                sum += term;
+            }
+            let an_over_fact = term * a / n as f64; // a^n/n!
+            let rho = q.server_utilization();
+            let c = an_over_fact / (1.0 - rho);
+            let direct = c / (sum + c);
+            let stable = q.wait_probability();
+            assert!(
+                (stable - direct).abs() < 1e-10,
+                "n={n}: {stable} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn wait_probability_survives_hundreds_of_servers() {
+        // The serving-load models produce n in the hundreds, where the
+        // naive factorial sums overflow f64. The recurrence must not.
+        let q = MmnQueue::new(450.0, 1.0, 500);
+        let w = q.wait_probability();
+        assert!(w.is_finite() && (0.0..=1.0).contains(&w), "w = {w}");
+        // Low utilization with huge n: essentially nobody waits.
+        let idle = MmnQueue::new(50.0, 1.0, 800).wait_probability();
+        assert!(idle < 1e-6, "idle {idle}");
     }
 
     #[test]

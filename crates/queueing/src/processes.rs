@@ -3,6 +3,12 @@
 //! The `M/M/1[N]` model assumes Poisson task injection and exponential
 //! service; these generators realise both for the simulators and make the
 //! assumptions testable (exponential interarrivals, Poisson counts).
+//!
+//! For open-loop load generation the serving benches need more than plain
+//! Poisson traffic: [`ArrivalProcess`] unifies Poisson, deterministic-rate
+//! and bursty (two-state on/off, an MMPP-2) arrival streams behind one
+//! timestamp-producing interface, so a front-end can replay "queries arrive
+//! at their timestamps" against any traffic shape.
 
 use grw_rng::{dist, SplitMix64};
 
@@ -55,6 +61,190 @@ impl PoissonProcess {
     /// each call; used for slotted-time simulation).
     pub fn arrivals_in(&mut self, dt: f64) -> u64 {
         dist::poisson(&mut self.rng, self.rate * dt)
+    }
+}
+
+/// A deterministic (constant-rate) arrival process: one arrival every
+/// `1/rate` time units, the zero-variance end of the traffic spectrum.
+#[derive(Debug, Clone)]
+pub struct DeterministicProcess {
+    interval: f64,
+    clock: f64,
+}
+
+impl DeterministicProcess {
+    /// Creates a process with `rate > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Self {
+            interval: 1.0 / rate,
+            clock: 0.0,
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        1.0 / self.interval
+    }
+
+    /// Absolute time of the next arrival (monotonically increasing).
+    pub fn next_arrival(&mut self) -> f64 {
+        self.clock += self.interval;
+        self.clock
+    }
+}
+
+/// A bursty two-state on/off arrival process (an MMPP with two phases).
+///
+/// While ON, arrivals are Poisson at `on_rate`; while OFF, no arrivals
+/// occur. Phase durations are exponential with means `mean_on` and
+/// `mean_off`, so the long-run mean rate is
+/// `on_rate · mean_on / (mean_on + mean_off)`.
+#[derive(Debug, Clone)]
+pub struct OnOffProcess {
+    on_rate: f64,
+    mean_on: f64,
+    mean_off: f64,
+    clock: f64,
+    /// Absolute end time of the current phase.
+    phase_end: f64,
+    on: bool,
+    rng: SplitMix64,
+}
+
+impl OnOffProcess {
+    /// Creates a process that starts in the ON phase at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is not positive.
+    pub fn new(on_rate: f64, mean_on: f64, mean_off: f64, seed: u64) -> Self {
+        assert!(on_rate > 0.0, "on-rate must be positive");
+        assert!(
+            mean_on > 0.0 && mean_off > 0.0,
+            "phase durations must be positive"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let first_on = dist::exponential(&mut rng, 1.0 / mean_on);
+        Self {
+            on_rate,
+            mean_on,
+            mean_off,
+            clock: 0.0,
+            phase_end: first_on,
+            on: true,
+            rng,
+        }
+    }
+
+    /// Long-run mean arrival rate.
+    pub fn mean_rate(&self) -> f64 {
+        self.on_rate * self.mean_on / (self.mean_on + self.mean_off)
+    }
+
+    /// Absolute time of the next arrival (monotonically increasing).
+    pub fn next_arrival(&mut self) -> f64 {
+        loop {
+            if !self.on {
+                // Nothing arrives while OFF: skip straight to the next ON
+                // phase.
+                self.clock = self.phase_end;
+                self.on = true;
+                self.phase_end = self.clock + dist::exponential(&mut self.rng, 1.0 / self.mean_on);
+            }
+            let candidate = self.clock + dist::exponential(&mut self.rng, self.on_rate);
+            if candidate <= self.phase_end {
+                self.clock = candidate;
+                return candidate;
+            }
+            // The ON phase expired before the candidate arrival: enter OFF.
+            self.clock = self.phase_end;
+            self.on = false;
+            self.phase_end = self.clock + dist::exponential(&mut self.rng, 1.0 / self.mean_off);
+        }
+    }
+}
+
+/// A unified open-loop arrival stream: Poisson, deterministic-rate or
+/// bursty on/off, all producing monotonically increasing absolute
+/// timestamps.
+///
+/// # Example
+///
+/// ```
+/// use grw_queueing::processes::ArrivalProcess;
+///
+/// let mut p = ArrivalProcess::bursty(2.0, 8.0, 11);
+/// assert!((p.mean_rate() - 2.0).abs() < 1e-12);
+/// let t1 = p.next_arrival();
+/// let t2 = p.next_arrival();
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals (exponential interarrivals).
+    Poisson(PoissonProcess),
+    /// Constant-rate arrivals (zero variance).
+    Deterministic(DeterministicProcess),
+    /// Two-state on/off bursts (MMPP-2).
+    Bursty(OnOffProcess),
+}
+
+impl ArrivalProcess {
+    /// Mean number of arrivals per ON burst used by [`Self::bursty`].
+    pub const BURST_MEAN_ARRIVALS: f64 = 16.0;
+
+    /// Poisson arrivals at `rate`.
+    pub fn poisson(rate: f64, seed: u64) -> Self {
+        ArrivalProcess::Poisson(PoissonProcess::new(rate, seed))
+    }
+
+    /// Deterministic arrivals at `rate`.
+    pub fn deterministic(rate: f64) -> Self {
+        ArrivalProcess::Deterministic(DeterministicProcess::new(rate))
+    }
+
+    /// Bursty arrivals with long-run mean `rate`: ON phases run at
+    /// `burstiness × rate` (about [`Self::BURST_MEAN_ARRIVALS`] arrivals
+    /// per burst), separated by OFF phases sized so the mean holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive or `burstiness <= 1`.
+    pub fn bursty(rate: f64, burstiness: f64, seed: u64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        assert!(burstiness > 1.0, "burstiness must exceed 1");
+        let on_rate = rate * burstiness;
+        let mean_on = Self::BURST_MEAN_ARRIVALS / on_rate;
+        let mean_off = mean_on * (burstiness - 1.0);
+        ArrivalProcess::Bursty(OnOffProcess::new(on_rate, mean_on, mean_off, seed))
+    }
+
+    /// Long-run mean arrival rate.
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson(p) => p.rate(),
+            ArrivalProcess::Deterministic(d) => d.rate(),
+            ArrivalProcess::Bursty(b) => b.mean_rate(),
+        }
+    }
+
+    /// Absolute time of the next arrival (monotonically increasing).
+    pub fn next_arrival(&mut self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson(p) => p.next_arrival(),
+            ArrivalProcess::Deterministic(d) => d.next_arrival(),
+            ArrivalProcess::Bursty(b) => b.next_arrival(),
+        }
+    }
+
+    /// The next `n` arrival timestamps.
+    pub fn take(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_arrival()).collect()
     }
 }
 
@@ -139,5 +329,75 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_process_panics() {
         let _ = PoissonProcess::new(0.0, 0);
+    }
+
+    #[test]
+    fn deterministic_process_is_exactly_periodic() {
+        let mut d = DeterministicProcess::new(4.0);
+        assert_eq!(d.rate(), 4.0);
+        let times = [d.next_arrival(), d.next_arrival(), d.next_arrival()];
+        assert!((times[0] - 0.25).abs() < 1e-12);
+        assert!((times[1] - 0.50).abs() < 1e-12);
+        assert!((times[2] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_mean_rate_matches_target() {
+        let mut p = ArrivalProcess::bursty(3.0, 10.0, 5);
+        assert!((p.mean_rate() - 3.0).abs() < 1e-12);
+        let n = 60_000;
+        let last = p.take(n).pop().unwrap();
+        let empirical = n as f64 / last;
+        assert!(
+            (empirical - 3.0).abs() / 3.0 < 0.05,
+            "empirical bursty rate {empirical}"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster_more_than_poisson() {
+        // Squared coefficient of variation of interarrivals: 1 for Poisson,
+        // > 1 for an on/off burst process.
+        let cv2 = |mut p: ArrivalProcess| {
+            let times = p.take(40_000);
+            let mut prev = 0.0;
+            let gaps: Vec<f64> = times
+                .iter()
+                .map(|&t| {
+                    let g = t - prev;
+                    prev = t;
+                    g
+                })
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = cv2(ArrivalProcess::poisson(2.0, 9));
+        let bursty = cv2(ArrivalProcess::bursty(2.0, 10.0, 9));
+        assert!((poisson - 1.0).abs() < 0.1, "poisson cv2 {poisson}");
+        assert!(bursty > 2.0, "bursty cv2 {bursty} should exceed poisson");
+    }
+
+    #[test]
+    fn every_shape_produces_increasing_timestamps() {
+        for mut p in [
+            ArrivalProcess::poisson(5.0, 1),
+            ArrivalProcess::deterministic(5.0),
+            ArrivalProcess::bursty(5.0, 4.0, 1),
+        ] {
+            let mut prev = 0.0;
+            for _ in 0..1_000 {
+                let t = p.next_arrival();
+                assert!(t > prev, "timestamps must strictly increase");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "burstiness must exceed 1")]
+    fn bursty_requires_burstiness_above_one() {
+        let _ = ArrivalProcess::bursty(1.0, 1.0, 0);
     }
 }

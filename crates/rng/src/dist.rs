@@ -7,7 +7,7 @@
 
 use crate::RandomSource;
 
-/// Samples `Exp(rate)`: the service-time distribution of the M/M/1[N] model.
+/// Samples `Exp(rate)`: the service-time distribution of the `M/M/1[N]` model.
 ///
 /// # Panics
 ///

@@ -19,8 +19,11 @@
 //!   and routes every completed path back to its tenant on the way out.
 //! * **Observability** — [`ServiceStats`]: throughput in MStep/s (wall
 //!   time, plus simulated time when backends report cycles), queue depth,
-//!   micro-batch p50/p99 latency, flush-reason and shard-balance
-//!   breakdowns.
+//!   micro-batch p50/p99 latency, per-query end-to-end latency
+//!   (arrival → delivery, bounded-reservoir percentiles plus exact
+//!   mean/max), flush-reason and shard-balance breakdowns. Every
+//!   [`CompletedWalk`] also carries its own arrival/flush/delivery tick
+//!   stamps for exact per-query measurement.
 //!
 //! Time is a logical *tick*: every [`WalkService::tick`] call advances the
 //! deadline clock, flushes what is due, and polls every shard. Paths are
@@ -58,7 +61,7 @@ mod tenant;
 
 pub use accel::{accelerator_service, AccelShardMode, DynWalkBackend};
 pub use batch::FlushReason;
-pub use stats::ServiceStats;
+pub use stats::{percentile, ServiceStats};
 pub use tenant::{TenantId, LOCAL_ID_BITS, MAX_LOCAL_ID};
 
 use batch::MicroBatcher;
@@ -82,6 +85,10 @@ pub struct ServiceConfig {
     /// Per-shard coalescing-buffer capacity (the service-level
     /// backpressure point).
     pub buffer_capacity: usize,
+    /// Capacity of each latency reservoir (bounded uniform samples behind
+    /// the percentile statistics; memory stays O(capacity) for week-long
+    /// runs).
+    pub latency_reservoir: usize,
 }
 
 impl ServiceConfig {
@@ -97,6 +104,7 @@ impl ServiceConfig {
             max_batch: 256,
             max_delay_ticks: 4,
             buffer_capacity: 1024,
+            latency_reservoir: 4096,
         }
     }
 
@@ -127,18 +135,55 @@ impl ServiceConfig {
         self.buffer_capacity = n;
         self
     }
+
+    /// Sets the latency-reservoir capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn latency_reservoir(mut self, n: usize) -> Self {
+        assert!(n > 0, "reservoir capacity must be positive");
+        self.latency_reservoir = n;
+        self
+    }
 }
 
 /// A completed walk, routed back to the tenant that asked for it.
 ///
 /// `path.query` is the *tenant-local* query id again — the namespacing
 /// applied at submission is undone before delivery.
+///
+/// The three tick stamps trace the query through the serving tier:
+/// accepted at `arrival_tick`, flushed to a backend at `flushed_tick`,
+/// delivered at `completed_tick` — so end-to-end latency and its batching
+/// component are both observable per query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompletedWalk {
     /// The tenant that submitted the query.
     pub tenant: TenantId,
     /// The walk, keyed by the tenant's own query id.
     pub path: WalkPath,
+    /// Service tick at which the query was accepted.
+    pub arrival_tick: u64,
+    /// Service tick at which its micro-batch was flushed to a backend.
+    pub flushed_tick: u64,
+    /// Service tick at which the path was delivered. Queries delivered by
+    /// [`WalkService::drain`] carry the tick current when drain ran (drain
+    /// does not advance the clock).
+    pub completed_tick: u64,
+}
+
+impl CompletedWalk {
+    /// End-to-end latency in service ticks (arrival → delivery).
+    pub fn latency_ticks(&self) -> u64 {
+        self.completed_tick - self.arrival_tick
+    }
+
+    /// Ticks spent coalescing in the micro-batch buffer (arrival → flush);
+    /// always ≤ [`latency_ticks`](Self::latency_ticks).
+    pub fn batching_delay_ticks(&self) -> u64 {
+        self.flushed_tick - self.arrival_tick
+    }
 }
 
 /// A micro-batch in flight, for latency accounting.
@@ -173,6 +218,10 @@ pub struct WalkService<B: WalkBackend> {
     /// tenant reusing a local id on two shards must not cross-credit
     /// batches. The deque handles repeats within one shard.
     waiting: HashMap<(usize, u64), VecDeque<u64>>,
+    /// (shard, internal query id) -> arrival ticks, in submission order —
+    /// the per-query clock behind end-to-end latency. Keyed and ordered
+    /// exactly like `waiting`, so repeats resolve consistently.
+    arrivals: HashMap<(usize, u64), VecDeque<u64>>,
     batches: HashMap<u64, BatchInFlight>,
     next_batch_id: u64,
 }
@@ -193,8 +242,9 @@ impl<B: WalkBackend> WalkService<B> {
             shards,
             tick: 0,
             started: Instant::now(),
-            collector: StatsCollector::default(),
+            collector: StatsCollector::new(cfg.latency_reservoir),
             waiting: HashMap::new(),
+            arrivals: HashMap::new(),
             batches: HashMap::new(),
             next_batch_id: 0,
         }
@@ -225,6 +275,10 @@ impl<B: WalkBackend> WalkService<B> {
             }
             self.shards[shard].submitted += 1;
             self.collector.submitted += 1;
+            self.arrivals
+                .entry((shard, internal.id))
+                .or_default()
+                .push_back(self.tick);
             accepted += 1;
             if self.shards[shard].batcher.due(self.tick) == Some(FlushReason::Size) {
                 self.flush_shard(shard, FlushReason::Size);
@@ -403,7 +457,8 @@ impl<B: WalkBackend> WalkService<B> {
             .collect()
     }
 
-    /// Un-namespaces a completed path and settles its batch accounting.
+    /// Un-namespaces a completed path and settles its batch and per-query
+    /// latency accounting.
     fn deliver(&mut self, shard: usize, mut path: WalkPath) -> CompletedWalk {
         let internal = path.query;
         let (tenant, local) = TenantId::unpack(internal);
@@ -418,20 +473,35 @@ impl<B: WalkBackend> WalkService<B> {
         if self.waiting.get(&key).is_some_and(|q| q.is_empty()) {
             self.waiting.remove(&key);
         }
-        let done = {
+        let arrival_tick = self
+            .arrivals
+            .get_mut(&key)
+            .and_then(|q| q.pop_front())
+            .expect("completed path must have an arrival record");
+        if self.arrivals.get(&key).is_some_and(|q| q.is_empty()) {
+            self.arrivals.remove(&key);
+        }
+        let (flushed_tick, done) = {
             let b = self
                 .batches
                 .get_mut(&batch_id)
                 .expect("batch record exists until its last path returns");
             b.remaining -= 1;
-            (b.remaining == 0).then_some(*b)
+            (b.flushed_tick, (b.remaining == 0).then_some(*b))
         };
         if let Some(b) = done {
             self.batches.remove(&batch_id);
             self.collector
                 .record_batch_done(b.flushed_at.elapsed(), self.tick - b.flushed_tick);
         }
-        CompletedWalk { tenant, path }
+        self.collector.record_query_done(self.tick - arrival_tick);
+        CompletedWalk {
+            tenant,
+            path,
+            arrival_tick,
+            flushed_tick,
+            completed_tick: self.tick,
+        }
     }
 }
 
@@ -588,6 +658,51 @@ mod tests {
             stats.simulated_cycles.is_none(),
             "software backends report no cycle clock"
         );
+    }
+
+    #[test]
+    fn per_query_latency_spans_batching_delay() {
+        let (mut svc, p) = service(2, ServiceConfig::new(2).max_delay_ticks(2));
+        let nv = p.graph().vertex_count();
+        // Trickle queries over several ticks so arrival ticks differ.
+        let qs = QuerySet::random(nv, 120, 4);
+        let mut done = Vec::new();
+        for chunk in qs.queries().chunks(10) {
+            assert_eq!(svc.submit(TenantId(2), chunk), 10);
+            done.extend(svc.tick());
+        }
+        done.extend(svc.drain());
+        assert_eq!(done.len(), 120);
+        for c in &done {
+            assert!(
+                c.arrival_tick <= c.flushed_tick && c.flushed_tick <= c.completed_tick,
+                "tick stamps must be ordered: {c:?}"
+            );
+            assert!(c.latency_ticks() >= c.batching_delay_ticks());
+        }
+        let stats = svc.stats();
+        let exact_mean =
+            done.iter().map(|c| c.latency_ticks()).sum::<u64>() as f64 / done.len() as f64;
+        assert!((stats.mean_query_latency_ticks - exact_mean).abs() < 1e-9);
+        let exact_max = done.iter().map(|c| c.latency_ticks()).max().unwrap();
+        assert_eq!(stats.max_query_latency_ticks, exact_max);
+        assert!(stats.p99_query_latency_ticks >= stats.p50_query_latency_ticks);
+    }
+
+    #[test]
+    fn latency_reservoir_stays_bounded() {
+        let (mut svc, p) = service(2, ServiceConfig::new(2).latency_reservoir(32));
+        let nv = p.graph().vertex_count();
+        let qs = QuerySet::random(nv, 500, 6);
+        svc.submit(TenantId(1), qs.queries());
+        let done = svc.drain();
+        assert_eq!(done.len(), 500);
+        let stats = svc.stats();
+        // Percentiles still come out despite only 32 retained samples, and
+        // the exact aggregates cover all 500 deliveries.
+        assert_eq!(stats.completed, 500);
+        assert!(stats.p99_query_latency_ticks >= stats.p50_query_latency_ticks);
+        assert!(stats.mean_query_latency_ticks >= 0.0);
     }
 
     #[test]

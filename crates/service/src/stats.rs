@@ -1,10 +1,70 @@
-//! Service-level measurement: throughput, queue depth, batch latency.
+//! Service-level measurement: throughput, queue depth, batch and
+//! per-query latency.
+//!
+//! Latency samples are kept in bounded reservoirs ([`Reservoir`], Vitter's
+//! Algorithm R with a deterministic RNG), so a service that runs for weeks
+//! holds a fixed-size uniform sample instead of an unbounded `Vec` — the
+//! percentiles stay representative of the whole run while memory stays
+//! O(capacity).
 
+use grw_rng::{RandomSource, SplitMix64};
 use std::fmt;
 use std::time::Duration;
 
-/// Tracks per-micro-batch completion latency and aggregate counters.
-#[derive(Debug, Clone, Default)]
+/// Fixed seed for reservoir replacement decisions: sampling stays
+/// deterministic for a fixed submission/tick sequence.
+const RESERVOIR_SEED: u64 = 0x5EED_0F1A_7E0C_1E00;
+
+/// A bounded uniform sample of a `u64` stream (Algorithm R).
+///
+/// Until `capacity` values have been offered the sample is exact; after
+/// that each new value replaces a random slot with probability
+/// `capacity / seen`, keeping every offered value equally likely to be in
+/// the sample.
+#[derive(Debug, Clone)]
+pub(crate) struct Reservoir {
+    cap: usize,
+    seen: u64,
+    sample: Vec<u64>,
+    rng: SplitMix64,
+}
+
+impl Reservoir {
+    pub(crate) fn new(cap: usize) -> Self {
+        assert!(cap > 0, "reservoir capacity must be positive");
+        Self {
+            cap,
+            seen: 0,
+            sample: Vec::new(),
+            rng: SplitMix64::new(RESERVOIR_SEED),
+        }
+    }
+
+    pub(crate) fn push(&mut self, v: u64) {
+        self.seen += 1;
+        if self.sample.len() < self.cap {
+            self.sample.push(v);
+        } else {
+            let j = self.rng.next_u64() % self.seen;
+            if (j as usize) < self.cap {
+                self.sample[j as usize] = v;
+            }
+        }
+    }
+
+    /// Values currently held (≤ capacity).
+    pub(crate) fn sample(&self) -> &[u64] {
+        &self.sample
+    }
+
+    /// Values offered over the stream's lifetime.
+    pub(crate) fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Tracks latency reservoirs and aggregate counters.
+#[derive(Debug, Clone)]
 pub(crate) struct StatsCollector {
     pub submitted: u64,
     pub completed: u64,
@@ -13,20 +73,52 @@ pub(crate) struct StatsCollector {
     pub flushed_by_deadline: u64,
     pub flushed_by_drain: u64,
     /// Completed micro-batch latencies, in microseconds of wall time.
-    pub batch_latencies_us: Vec<u64>,
+    pub batch_latencies_us: Reservoir,
     /// Completed micro-batch latencies, in service ticks.
-    pub batch_latencies_ticks: Vec<u64>,
+    pub batch_latencies_ticks: Reservoir,
+    /// Per-query end-to-end latencies (arrival → delivery), in ticks.
+    pub query_latencies_ticks: Reservoir,
+    /// Exact sum of per-query latencies (for the mean; never sampled).
+    pub query_latency_sum: u64,
+    /// Exact maximum per-query latency.
+    pub query_latency_max: u64,
 }
 
 impl StatsCollector {
+    pub(crate) fn new(reservoir_cap: usize) -> Self {
+        Self {
+            submitted: 0,
+            completed: 0,
+            batches_flushed: 0,
+            flushed_by_size: 0,
+            flushed_by_deadline: 0,
+            flushed_by_drain: 0,
+            batch_latencies_us: Reservoir::new(reservoir_cap),
+            batch_latencies_ticks: Reservoir::new(reservoir_cap),
+            query_latencies_ticks: Reservoir::new(reservoir_cap),
+            query_latency_sum: 0,
+            query_latency_max: 0,
+        }
+    }
+
     pub(crate) fn record_batch_done(&mut self, wall: Duration, ticks: u64) {
         self.batch_latencies_us.push(wall.as_micros() as u64);
         self.batch_latencies_ticks.push(ticks);
     }
+
+    pub(crate) fn record_query_done(&mut self, latency_ticks: u64) {
+        self.query_latencies_ticks.push(latency_ticks);
+        self.query_latency_sum += latency_ticks;
+        self.query_latency_max = self.query_latency_max.max(latency_ticks);
+    }
 }
 
 /// Nearest-rank percentile of an unsorted sample; 0 for an empty one.
-fn percentile(sample: &[u64], p: f64) -> u64 {
+///
+/// Public because latency consumers (the load bench) compute percentiles
+/// over their own exact sample sets with the same convention the service
+/// statistics use.
+pub fn percentile(sample: &[u64], p: f64) -> u64 {
     if sample.is_empty() {
         return 0;
     }
@@ -95,6 +187,15 @@ pub struct ServiceStats {
     pub p50_batch_latency_ticks: u64,
     /// 99th-percentile micro-batch completion latency in service ticks.
     pub p99_batch_latency_ticks: u64,
+    /// Median per-query end-to-end latency (arrival → delivery) in ticks,
+    /// from a bounded uniform reservoir over every delivered query.
+    pub p50_query_latency_ticks: u64,
+    /// 99th-percentile per-query end-to-end latency in ticks (reservoir).
+    pub p99_query_latency_ticks: u64,
+    /// Exact mean per-query end-to-end latency in ticks.
+    pub mean_query_latency_ticks: f64,
+    /// Exact maximum per-query end-to-end latency in ticks.
+    pub max_query_latency_ticks: u64,
     /// Queries routed to each shard (hash balance check).
     pub per_shard_submitted: Vec<u64>,
 }
@@ -125,6 +226,7 @@ impl ServiceStats {
             Some((cycles, secs)) => (Some(cycles), Some(secs), None),
             None => (None, None, None),
         };
+        let delivered = c.query_latencies_ticks.seen();
         ServiceStats {
             shards,
             submitted: c.submitted,
@@ -143,10 +245,18 @@ impl ServiceStats {
             pipeline_bubble_ratio: pipeline.map(|m| m.bubble_ratio()),
             pipeline_utilization: pipeline.map(|m| m.utilization()),
             pipeline_cycles: pipeline,
-            p50_batch_latency_us: percentile(&c.batch_latencies_us, 50.0),
-            p99_batch_latency_us: percentile(&c.batch_latencies_us, 99.0),
-            p50_batch_latency_ticks: percentile(&c.batch_latencies_ticks, 50.0),
-            p99_batch_latency_ticks: percentile(&c.batch_latencies_ticks, 99.0),
+            p50_batch_latency_us: percentile(c.batch_latencies_us.sample(), 50.0),
+            p99_batch_latency_us: percentile(c.batch_latencies_us.sample(), 99.0),
+            p50_batch_latency_ticks: percentile(c.batch_latencies_ticks.sample(), 50.0),
+            p99_batch_latency_ticks: percentile(c.batch_latencies_ticks.sample(), 99.0),
+            p50_query_latency_ticks: percentile(c.query_latencies_ticks.sample(), 50.0),
+            p99_query_latency_ticks: percentile(c.query_latencies_ticks.sample(), 99.0),
+            mean_query_latency_ticks: if delivered > 0 {
+                c.query_latency_sum as f64 / delivered as f64
+            } else {
+                0.0
+            },
+            max_query_latency_ticks: c.query_latency_max,
             per_shard_submitted,
         }
     }
@@ -194,6 +304,14 @@ impl fmt::Display for ServiceStats {
             self.p50_batch_latency_ticks,
             self.p99_batch_latency_ticks
         )?;
+        writeln!(
+            f,
+            "query latency: p50 {} / p99 {} ticks (mean {:.2}, max {})",
+            self.p50_query_latency_ticks,
+            self.p99_query_latency_ticks,
+            self.mean_query_latency_ticks,
+            self.max_query_latency_ticks
+        )?;
         write!(f, "shard load: {:?}", self.per_shard_submitted)
     }
 }
@@ -213,15 +331,54 @@ mod tests {
     }
 
     #[test]
+    fn reservoir_is_exact_below_capacity() {
+        let mut r = Reservoir::new(8);
+        for v in 0..5u64 {
+            r.push(v);
+        }
+        assert_eq!(r.sample(), &[0, 1, 2, 3, 4]);
+        assert_eq!(r.seen(), 5);
+    }
+
+    #[test]
+    fn reservoir_stays_bounded_and_representative() {
+        let mut r = Reservoir::new(64);
+        for v in 0..100_000u64 {
+            r.push(v);
+        }
+        assert_eq!(r.sample().len(), 64, "memory stays O(capacity)");
+        assert_eq!(r.seen(), 100_000);
+        // A uniform sample of 0..100k has a mean near 50k; a broken
+        // reservoir that keeps the first or last values would be far off.
+        let mean = r.sample().iter().sum::<u64>() as f64 / 64.0;
+        assert!(
+            (mean - 50_000.0).abs() < 15_000.0,
+            "sample mean {mean} not representative"
+        );
+    }
+
+    #[test]
+    fn collector_tracks_exact_query_aggregates() {
+        let mut c = StatsCollector::new(4);
+        for l in [3u64, 9, 1, 7, 5, 11] {
+            c.record_query_done(l);
+        }
+        assert_eq!(c.query_latencies_ticks.seen(), 6);
+        assert_eq!(c.query_latencies_ticks.sample().len(), 4, "bounded");
+        assert_eq!(c.query_latency_sum, 36, "mean is exact, not sampled");
+        assert_eq!(c.query_latency_max, 11);
+    }
+
+    #[test]
     fn display_mentions_the_essentials() {
-        let c = StatsCollector {
-            submitted: 10,
-            completed: 10,
-            batches_flushed: 2,
-            flushed_by_size: 1,
-            flushed_by_deadline: 1,
-            ..StatsCollector::default()
-        };
+        let mut c = StatsCollector::new(16);
+        c.submitted = 10;
+        c.completed = 10;
+        c.batches_flushed = 2;
+        c.flushed_by_size = 1;
+        c.flushed_by_deadline = 1;
+        c.record_query_done(4);
+        c.record_query_done(8);
         // 1000 cycles at 320 MHz = 3.125 µs of simulated time.
         let s = ServiceStats::build(
             &c,
@@ -238,9 +395,13 @@ mod tests {
         assert!(text.contains("MStep/s"), "{text}");
         assert!(text.contains("p99"), "{text}");
         assert!(text.contains("bubbles"), "{text}");
+        assert!(text.contains("query latency"), "{text}");
         assert!((s.msteps_per_sec_wall - 0.001).abs() < 1e-9);
         assert!((s.msteps_per_sec_simulated.unwrap() - 160.0).abs() < 1e-6);
         assert!((s.pipeline_bubble_ratio.unwrap() - 0.1).abs() < 1e-12);
         assert!((s.pipeline_utilization.unwrap() - 0.75).abs() < 1e-12);
+        assert!((s.mean_query_latency_ticks - 6.0).abs() < 1e-12);
+        assert_eq!(s.max_query_latency_ticks, 8);
+        assert_eq!(s.p99_query_latency_ticks, 8);
     }
 }

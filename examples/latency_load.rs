@@ -1,0 +1,132 @@
+//! Open-loop latency-vs-load curves across the workload matrix.
+//!
+//! For each workload (URW, PPR, DeepWalk, Node2Vec) the harness calibrates
+//! the serving tier's saturation throughput μ̂, then replays open-loop
+//! arrival streams (Poisson by default) at offered loads ρ·μ̂ across a
+//! grid, against both accelerator shard modes, and writes one
+//! `BENCH_load_<workload>.json` per workload for the CI perf-regression
+//! gate. The incremental-mode curve is checked on the spot: mean latency
+//! must be monotone non-decreasing in offered load, and the lowest-load
+//! point must sit within 25% of the closed-form `M/M/n` prediction.
+//!
+//! ```text
+//! cargo run --release --example latency_load                    # full, all workloads
+//! LOAD_SMOKE=1 cargo run --release --example latency_load       # CI smoke, all workloads
+//! LOAD_SMOKE=1 cargo run --release --example latency_load -- --workload urw
+//! cargo run --release --example latency_load -- --arrival bursty
+//! ```
+
+use ridgewalker_suite::bench::load::{
+    run_latency_load, ArrivalShape, LoadConfig, LoadWorkload, WorkloadLoadReport,
+};
+
+fn print_report(r: &WorkloadLoadReport) {
+    println!(
+        "== {} ({} arrivals) ==\n   saturation {:.4} queries/tick | solo latency {:.1} ticks | ~{} effective servers",
+        r.workload, r.arrival, r.saturation_qpt, r.solo_latency_ticks, r.servers_estimate
+    );
+    println!(
+        "   {:>5} {:>9} | {:>10} {:>8} {:>8} | {:>10} {:>10} | {:>9} {:>11}",
+        "rho",
+        "lam/tick",
+        "mean(tick)",
+        "p50",
+        "p99",
+        "pred M/M/n",
+        "pred bulk",
+        "depth",
+        "cyc/query"
+    );
+    for p in &r.incremental {
+        println!(
+            "   {:>5.2} {:>9.4} | {:>10.1} {:>8} {:>8} | {:>10} {:>10} | {:>9.1} {:>11.1}",
+            p.rho,
+            p.lambda_per_tick,
+            p.mean_latency_ticks,
+            p.p50_latency_ticks,
+            p.p99_latency_ticks,
+            p.predicted_mmn_latency_ticks
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            p.predicted_bulk_latency_ticks
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            p.mean_queue_depth,
+            p.cycles_per_query,
+        );
+    }
+    let batch_low = &r.batch[0];
+    let inc_low = &r.incremental[0];
+    println!(
+        "   batch-mode shards at lowest load: {:.1} vs {:.1} cycles/query ({:.2}x per-batch fill/drain cost)",
+        batch_low.cycles_per_query,
+        inc_low.cycles_per_query,
+        batch_low.cycles_per_query / inc_low.cycles_per_query.max(1e-9),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = std::env::var_os("LOAD_SMOKE").is_some() || args.iter().any(|a| a == "--smoke");
+    let mut cfg = if smoke {
+        LoadConfig::smoke()
+    } else {
+        LoadConfig::full()
+    };
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(shape) = flag("--arrival") {
+        cfg.arrival = ArrivalShape::parse(&shape)
+            .unwrap_or_else(|| panic!("unknown arrival shape '{shape}'"));
+    }
+    let workloads: Vec<LoadWorkload> = match flag("--workload") {
+        Some(w) => {
+            vec![LoadWorkload::parse(&w).unwrap_or_else(|| panic!("unknown workload '{w}'"))]
+        }
+        None => LoadWorkload::all().to_vec(),
+    };
+
+    println!(
+        "latency-vs-load sweep ({} mode, {:?} grid, {} queries/point)\n",
+        if smoke { "smoke" } else { "full" },
+        cfg.load_grid,
+        cfg.queries_per_point
+    );
+
+    for workload in workloads {
+        let report = run_latency_load(workload, &cfg);
+        print_report(&report);
+
+        assert!(
+            report.incremental_monotone(0.03),
+            "{}: mean latency must be monotone non-decreasing in offered load: {:?}",
+            report.workload,
+            report
+                .incremental
+                .iter()
+                .map(|p| p.mean_latency_ticks)
+                .collect::<Vec<_>>()
+        );
+        let err = report
+            .low_load_model_error()
+            .expect("lowest grid point must be stable");
+        assert!(
+            err <= 0.25,
+            "{}: lowest-load point off the M/M/n prediction by {:.1}%",
+            report.workload,
+            err * 100.0
+        );
+        println!(
+            "   low-load check: measured within {:.1}% of M/M/n prediction; curve monotone\n",
+            err * 100.0
+        );
+
+        let path = report.file_name();
+        std::fs::write(&path, report.to_json()).expect("write bench json");
+        println!("   wrote {path}\n");
+    }
+}

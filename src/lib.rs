@@ -9,15 +9,16 @@
 //! * [`rng`] — ThundeRiNG-style multi-stream RNG ([`grw_rng`]).
 //! * [`algo`] — sampling + walk algorithms and reference engines ([`grw_algo`]).
 //! * [`sim`] — cycle-level hardware simulation substrate ([`grw_sim`]).
-//! * [`queueing`] — M/M/1[N] theory and the zero-bubble buffer bound
-//!   ([`grw_queueing`]).
+//! * [`queueing`] — `M/M/1[N]` theory, arrival processes and the
+//!   zero-bubble buffer bound ([`grw_queueing`]).
 //! * [`accel`] — the RidgeWalker accelerator model itself ([`ridgewalker`]).
 //! * [`baselines`] — FastRW / LightRW / Su et al. / gSampler models
 //!   ([`grw_baselines`]).
 //! * [`service`] — the sharded, multi-tenant walk-serving layer over the
 //!   streaming `WalkBackend` interface ([`grw_service`]).
-//! * [`bench`] — the experiment harness regenerating every paper figure and
-//!   table ([`grw_bench`]).
+//! * [`mod@bench`] — the experiment harness regenerating every paper
+//!   figure and table, plus the serving and latency-vs-load benches
+//!   ([`grw_bench`]).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour,
 //! `examples/serving.rs` for the serving layer end to end, and
