@@ -21,8 +21,10 @@
 //! Beyond the paper artifacts, [`serving`] benches batch vs incremental
 //! accelerator shards under one open-loop stream, [`load`] sweeps
 //! latency-vs-load curves per workload from real arrival processes
-//! (writing `BENCH_load_<workload>.json`), and [`json`] is the minimal
-//! parser the `perf_gate` CI regression checker reads those records with.
+//! (writing `BENCH_load_<workload>.json`), [`sinks`] measures bounded
+//! sink-delivery residency against the legacy drain-to-`Vec` pattern
+//! (writing `BENCH_sinks.json`), and [`json`] is the minimal parser the
+//! `perf_gate` CI regression checker reads those records with.
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@ mod harness;
 pub mod json;
 pub mod load;
 pub mod serving;
+pub mod sinks;
 mod table;
 
 pub use harness::{run_accelerator_streamed, Experiment, HarnessConfig, Series};
@@ -47,4 +50,5 @@ pub use load::{
     run_latency_load, ArrivalShape, LoadConfig, LoadPoint, LoadWorkload, WorkloadLoadReport,
 };
 pub use serving::{run_serving_comparison, ServingComparison, ServingWorkload};
+pub use sinks::{run_sink_bench, DeliveryFootprint, SinkBenchConfig, SinkBenchReport};
 pub use table::{fmt_msteps, fmt_percent, fmt_speedup, Table};

@@ -25,7 +25,7 @@ use crate::router::TaskRouter;
 use crate::task::Task;
 use grw_algo::{PreparedGraph, WalkPath, WalkQuery, WalkSpec};
 use grw_graph::{ChannelLayout, RpEntryKind, VertexId};
-use grw_rng::RandomSource;
+use grw_rng::{Philox4x32, RandomSource};
 use grw_sim::stats::UtilizationMeter;
 use grw_sim::{Cycle, Fifo, MemoryChannelSpec};
 use std::collections::VecDeque;
@@ -212,10 +212,22 @@ pub(crate) struct Machine {
     recirc: VecDeque<Task>,
     pending_inject: VecDeque<Task>,
 
-    /// One entry per query ever enqueued; the index is the slot id that
-    /// keys the query's counter-based randomness, so slots are never
-    /// recycled — recycling would make paths depend on completion timing.
+    /// One entry per query enqueued this *epoch*; index `i` holds global
+    /// submission index `slot_base + i`, which keys the query's
+    /// counter-based randomness. Ids are never reused *as RNG keys* —
+    /// but once every slot before the pending window has completed and
+    /// been taken, [`maybe_compact`](Machine::maybe_compact) drops the
+    /// dead prefix and folds its length into `slot_base`. Reclamation
+    /// happens at quiescence points (nothing in flight, completions
+    /// collected) — every drain and every idle gap between waves — so a
+    /// streaming run's table is O(resident + threshold) across such
+    /// points; a machine held saturated without ever quiescing defers
+    /// reclamation until its next quiescent instant.
     slots: Vec<Slot>,
+    /// Global submission index of `slots[0]` (the epoch base).
+    slot_base: u64,
+    /// Epoch rebases performed so far.
+    compactions: u64,
     /// Slot ids enqueued but not yet injected by the loader.
     pending: VecDeque<u32>,
     /// Completed walks in completion order, tagged with their slot.
@@ -284,6 +296,8 @@ impl Machine {
             recirc: VecDeque::new(),
             pending_inject: VecDeque::new(),
             slots: Vec::new(),
+            slot_base: 0,
+            compactions: 0,
             pending: VecDeque::new(),
             out: VecDeque::new(),
             cycle: 0,
@@ -310,12 +324,59 @@ impl Machine {
             q.id,
             q.start
         );
+        self.maybe_compact();
         let slot = u32::try_from(self.slots.len()).expect("slot ids exhausted");
         self.slots.push(Slot {
             id: q.id,
             vertices: vec![q.start],
         });
         self.pending.push_back(slot);
+    }
+
+    /// Epoch-based slot-table rebasing. When nothing is in flight and
+    /// every completed path has been taken, all slots below the pending
+    /// window are dead: drop the prefix, renumber the pending suffix, and
+    /// fold the dropped length into `slot_base`. Randomness is keyed by
+    /// the *global* submission index (`slot_base + local`), so walks are
+    /// bit-identical with or without compaction — only memory changes.
+    fn maybe_compact(&mut self) {
+        if self.inflight != 0 || !self.out.is_empty() {
+            return;
+        }
+        let done = self.slots.len() - self.pending.len();
+        if done < self.cfg.effective_slot_compact_threshold() {
+            return;
+        }
+        // Injection is FIFO, so the pending ids are exactly the
+        // contiguous suffix [done, slots.len()).
+        debug_assert!(self.pending.front().is_none_or(|&f| f as usize == done));
+        self.slots.drain(..done);
+        for slot in &mut self.pending {
+            *slot -= done as u32;
+        }
+        self.slot_base += done as u64;
+        self.compactions += 1;
+    }
+
+    /// Slots currently held (resident queries plus completed slots not
+    /// yet reclaimed by compaction).
+    pub(crate) fn slot_table_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Epoch rebases performed so far.
+    pub(crate) fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// The counter-based RNG of `task`, keyed by its global submission
+    /// index so slot-table compaction never changes a walk's randomness.
+    /// With `slot_base == 0` this is exactly [`Task::rng`].
+    fn task_rng(&self, task: &Task, salt: u64) -> Philox4x32 {
+        Philox4x32::keyed(
+            (self.seed ^ salt) ^ (self.slot_base + u64::from(task.query)),
+            u64::from(task.step),
+        )
     }
 
     /// Whether the machine holds no work at all: nothing pending, nothing
@@ -385,7 +446,9 @@ impl Machine {
                 "simulation exceeded {} cycles ({} of {} queries done)",
                 self.cfg.max_cycles,
                 self.completed,
-                self.slots.len()
+                // Cumulative submissions: the rebased table length alone
+                // would under-count after a compaction.
+                self.slot_base + self.slots.len() as u64
             );
             self.step_cycle(prepared);
         }
@@ -394,7 +457,11 @@ impl Machine {
     /// Takes every completed walk, in completion order, tagged with its
     /// slot id.
     pub(crate) fn take_completed(&mut self) -> Vec<(u32, WalkPath)> {
-        self.out.drain(..).collect()
+        let out = self.out.drain(..).collect();
+        // Taking the paths is what frees completed slots for reclamation;
+        // rebase now if the dead prefix has grown past the threshold.
+        self.maybe_compact();
+        out
     }
 
     /// Admission: the max-length check and the PPR teleport coin, both
@@ -404,7 +471,7 @@ impl Machine {
             return Admit::Complete(Termination::MaxLength);
         }
         if let WalkSpec::Ppr { alpha, .. } = &self.spec {
-            let mut rng = task.rng(self.seed ^ TELEPORT_SALT);
+            let mut rng = self.task_rng(&task, TELEPORT_SALT);
             if rng.next_bool(*alpha) {
                 return Admit::Complete(Termination::Teleport);
             }
@@ -429,12 +496,20 @@ impl Machine {
         self.out.push_back((slot, WalkPath::new(s.id, vertices)));
     }
 
-    /// Routing ports: data-aware in dynamic mode, id-bound in static mode.
+    /// Routing ports: data-aware in dynamic mode, id-bound in static
+    /// mode. Static binding uses the *global* submission index (epoch
+    /// base + local slot), like the RNG keys, so slot-table compaction
+    /// never re-routes a query to a different pipeline — timing and
+    /// channel telemetry stay compaction-invariant too.
+    fn static_port(&self, task: &Task) -> usize {
+        ((self.slot_base + u64::from(task.query)) % self.n as u64) as usize
+    }
+
     fn ra_port(&self, task: &Task) -> usize {
         if self.dynamic {
             self.layout.rp_channel(task.v_curr) as usize
         } else {
-            task.query as usize % self.n
+            self.static_port(task)
         }
     }
 
@@ -442,13 +517,13 @@ impl Machine {
         if self.dynamic {
             self.layout.cl_channel(task.v_curr) as usize
         } else {
-            task.query as usize % self.n
+            self.static_port(task)
         }
     }
 
     /// The sampling decision and its memory cost for one task.
     fn sampling_job(&self, prepared: &PreparedGraph, task: Task) -> SpJob {
-        let mut rng = task.rng(self.seed);
+        let mut rng = self.task_rng(&task, 0);
         let decision =
             prepared.sample_neighbor(&self.spec, task.v_curr, task.prev(), task.step, &mut rng);
         match decision {

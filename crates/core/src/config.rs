@@ -85,6 +85,15 @@ pub struct AcceleratorConfig {
     /// ~0.5 steps/cycle/pipeline, so a serving tick keeps pace with
     /// micro-batch-sized arrival waves).
     pub poll_quantum: Option<u64>,
+    /// Completed slots that trigger an epoch rebase of the machine's slot
+    /// table at the next quiescence point (nothing in flight, completed
+    /// paths collected — every drain or idle gap between waves); `None`
+    /// uses 4096. Compaction is invisible to walk contents (randomness
+    /// is keyed by the global submission index, epoch base + local slot)
+    /// — it only reclaims the table's memory. A machine held saturated
+    /// without ever quiescing defers reclamation until its next
+    /// quiescent instant.
+    pub slot_compact_threshold: Option<usize>,
 }
 
 impl AcceleratorConfig {
@@ -105,6 +114,7 @@ impl AcceleratorConfig {
             ra_outstanding: None,
             ca_outstanding: None,
             poll_quantum: None,
+            slot_compact_threshold: None,
         }
     }
 
@@ -260,6 +270,23 @@ impl AcceleratorConfig {
     pub fn effective_poll_quantum(&self) -> u64 {
         self.poll_quantum
             .unwrap_or(512 * u64::from(self.effective_pipelines()))
+    }
+
+    /// Overrides the slot-table compaction threshold (completed slots
+    /// held before the next quiescence point rebases the table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn slot_compact_threshold(mut self, n: usize) -> Self {
+        assert!(n > 0, "compaction threshold must be positive");
+        self.slot_compact_threshold = Some(n);
+        self
+    }
+
+    /// Resolved slot-table compaction threshold.
+    pub fn effective_slot_compact_threshold(&self) -> usize {
+        self.slot_compact_threshold.unwrap_or(4096)
     }
 
     /// Resolved static batch size.

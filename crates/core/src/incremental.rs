@@ -129,6 +129,26 @@ impl<P: Borrow<PreparedGraph>> IncrementalAcceleratorBackend<P> {
         self.machine.cycles()
     }
 
+    /// Slots the persistent machine currently holds: resident queries
+    /// plus completed slots not yet reclaimed. Epoch-based compaction
+    /// (see [`AcceleratorConfig::slot_compact_threshold`]) rebases the
+    /// table at quiescence points — every drain, and any poll-gap where
+    /// the machine ran dry — so across such points a week-long streaming
+    /// run holds O(resident + threshold) slots instead of one per query
+    /// ever served. (A machine kept saturated with no quiescent instant
+    /// defers reclamation until its next one.)
+    ///
+    /// [`AcceleratorConfig::slot_compact_threshold`]: crate::AcceleratorConfig::slot_compact_threshold
+    pub fn slot_table_len(&self) -> usize {
+        self.machine.slot_table_len()
+    }
+
+    /// Epoch rebases the machine has performed (each one reclaimed at
+    /// least a threshold's worth of completed slots).
+    pub fn compactions(&self) -> u64 {
+        self.machine.compactions()
+    }
+
     /// Where the resident queries currently sit: awaiting injection vs in
     /// flight in the pipelines (queue-depth observation for load tests).
     pub fn occupancy(&self) -> MachineOccupancy {
@@ -308,6 +328,104 @@ mod tests {
         assert_eq!(occ.total(), backend.in_flight());
         backend.drain();
         assert_eq!(backend.occupancy().total(), 0);
+    }
+
+    #[test]
+    fn slot_table_compaction_bounds_memory_and_preserves_paths() {
+        let (p, spec, qs) = setup(12, 2048);
+        // Ground truth without compaction in reach (threshold beyond the
+        // stream length).
+        let baseline = accel().run(&p, &spec, qs.queries());
+
+        let tight = Accelerator::new(
+            AcceleratorConfig::new()
+                .platform(FpgaPlatform::AlveoU55c)
+                .pipelines(4)
+                .slot_compact_threshold(64),
+        );
+        let mut backend = tight.incremental_backend(&p, &spec).queue_capacity(4096);
+        let mut got = Vec::new();
+        let mut peak_slots = 0;
+        // Wave-drain-wave: every drain leaves a quiescence point where the
+        // dead prefix can be reclaimed.
+        for wave in qs.queries().chunks(128) {
+            assert_eq!(backend.submit(wave), wave.len());
+            got.extend(backend.drain());
+            peak_slots = peak_slots.max(backend.slot_table_len());
+        }
+        assert_eq!(got.len(), 2048);
+        assert!(
+            backend.compactions() > 0,
+            "64-slot threshold over 2048 queries must compact"
+        );
+        assert!(
+            peak_slots <= 64 + 128,
+            "slot table must stay O(threshold + wave), saw {peak_slots}"
+        );
+        // Bit-identical to the uncompacted batch run: the RNG is keyed by
+        // the global submission index, so rebasing is invisible.
+        got.sort_by_key(|w| w.query);
+        assert_eq!(got, baseline.paths);
+    }
+
+    #[test]
+    fn static_mode_timing_is_compaction_invariant() {
+        use crate::config::ScheduleMode;
+        // Static scheduling binds queries to pipelines by id; keyed off
+        // the global submission index, a rebased run must reproduce not
+        // just the paths but the exact simulated timing.
+        let (p, spec, qs) = setup(12, 512);
+        let base_cfg = AcceleratorConfig::new()
+            .platform(FpgaPlatform::AlveoU55c)
+            .pipelines(4)
+            .schedule(ScheduleMode::StaticBatched);
+        let run = |threshold: usize| {
+            let mut backend = Accelerator::new(base_cfg.slot_compact_threshold(threshold))
+                .incremental_backend(&p, &spec)
+                .queue_capacity(4096);
+            let mut got = Vec::new();
+            for wave in qs.queries().chunks(64) {
+                assert_eq!(backend.submit(wave), wave.len());
+                got.extend(backend.drain());
+            }
+            got.sort_by_key(|w| w.query);
+            (got, backend.cycles(), backend.compactions())
+        };
+        let (paths_compacted, cycles_compacted, compactions) = run(16);
+        let (paths_plain, cycles_plain, none) = run(1 << 20);
+        assert!(compactions > 0, "tight threshold must rebase");
+        assert_eq!(none, 0, "huge threshold never rebases");
+        assert_eq!(paths_compacted, paths_plain);
+        assert_eq!(
+            cycles_compacted, cycles_plain,
+            "static routing keyed by the global index keeps timing identical"
+        );
+    }
+
+    #[test]
+    fn compaction_waits_for_quiescence() {
+        let (p, spec, qs) = setup(30, 256);
+        let mut backend = Accelerator::new(
+            AcceleratorConfig::new()
+                .platform(FpgaPlatform::AlveoU55c)
+                .pipelines(4)
+                .slot_compact_threshold(1),
+        )
+        .incremental_backend(&p, &spec)
+        .poll_quantum(32)
+        .queue_capacity(4096);
+        assert_eq!(backend.submit(qs.queries()), 256);
+        backend.poll();
+        assert!(backend.in_flight() > 0, "mid-run: work resident");
+        let before = backend.compactions();
+        // Enqueue while in flight: no compaction may happen.
+        assert_eq!(backend.submit(&qs.queries()[..1]), 1);
+        assert_eq!(backend.compactions(), before);
+        let done = backend.drain();
+        assert_eq!(done.len(), 257);
+        // The drain's final take_completed sees quiescence and reclaims.
+        assert!(backend.compactions() > before);
+        assert_eq!(backend.slot_table_len(), 0, "everything reclaimed");
     }
 
     #[test]

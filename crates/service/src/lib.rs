@@ -17,6 +17,14 @@
 //! * **Multi-tenancy** — tenants submit queries with their own id spaces;
 //!   the service namespaces ids ([`TenantId::namespace`]) on the way in
 //!   and routes every completed path back to its tenant on the way out.
+//! * **Result streaming** — completed walks can stream into bounded
+//!   [`WalkSink`] consumers ([`WalkService::tick_into`],
+//!   [`WalkService::attach_sink`]) instead of accumulating in returned
+//!   `Vec`s, with a conservation guarantee (every delivered walk reaches
+//!   exactly one sink route exactly once) and a bounded spill buffer
+//!   absorbing sink backpressure. Concrete sinks (skip-gram corpora, PPR
+//!   aggregation, histograms, per-tenant fan-out) live in the `grw_sink`
+//!   crate.
 //! * **Observability** — [`ServiceStats`]: throughput in MStep/s (wall
 //!   time, plus simulated time when backends report cycles), queue depth,
 //!   micro-batch p50/p99 latency, per-query end-to-end latency
@@ -56,11 +64,13 @@
 
 pub mod accel;
 mod batch;
+pub mod sink;
 mod stats;
 mod tenant;
 
 pub use accel::{accelerator_service, AccelShardMode, DynWalkBackend};
 pub use batch::FlushReason;
+pub use sink::{SinkAck, SinkReport, WalkSink};
 pub use stats::{percentile, ServiceStats};
 pub use tenant::{TenantId, LOCAL_ID_BITS, MAX_LOCAL_ID};
 
@@ -89,6 +99,10 @@ pub struct ServiceConfig {
     /// the percentile statistics; memory stays O(capacity) for week-long
     /// runs).
     pub latency_reservoir: usize,
+    /// Completed walks the service will hold for a backpressured sink
+    /// before forcing a flush — the delivery-side bound on resident
+    /// paths when streaming through [`WalkSink`]s.
+    pub sink_spill_capacity: usize,
 }
 
 impl ServiceConfig {
@@ -105,6 +119,7 @@ impl ServiceConfig {
             max_delay_ticks: 4,
             buffer_capacity: 1024,
             latency_reservoir: 4096,
+            sink_spill_capacity: 1024,
         }
     }
 
@@ -144,6 +159,18 @@ impl ServiceConfig {
     pub fn latency_reservoir(mut self, n: usize) -> Self {
         assert!(n > 0, "reservoir capacity must be positive");
         self.latency_reservoir = n;
+        self
+    }
+
+    /// Sets the sink spill-buffer capacity (resident completed walks the
+    /// service holds for a backpressured sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sink_spill_capacity(mut self, n: usize) -> Self {
+        assert!(n > 0, "spill capacity must be positive");
+        self.sink_spill_capacity = n;
         self
     }
 }
@@ -224,6 +251,12 @@ pub struct WalkService<B: WalkBackend> {
     arrivals: HashMap<(usize, u64), VecDeque<u64>>,
     batches: HashMap<u64, BatchInFlight>,
     next_batch_id: u64,
+    /// Completed walks a backpressured sink could not take yet, oldest
+    /// first; bounded by [`ServiceConfig::sink_spill_capacity`].
+    spill: VecDeque<CompletedWalk>,
+    /// The subscribed sink, when delivery is in streaming mode: `tick`
+    /// and `drain` route every completed walk here and return nothing.
+    attached: Option<Box<dyn WalkSink + Send>>,
 }
 
 impl<B: WalkBackend> WalkService<B> {
@@ -247,6 +280,8 @@ impl<B: WalkBackend> WalkService<B> {
             arrivals: HashMap::new(),
             batches: HashMap::new(),
             next_batch_id: 0,
+            spill: VecDeque::new(),
+            attached: None,
         }
     }
 
@@ -290,7 +325,151 @@ impl<B: WalkBackend> WalkService<B> {
     /// Advances the logical clock one tick: flushes every micro-batch that
     /// is due (size or deadline), polls every shard, and returns the walks
     /// that completed.
+    ///
+    /// With a sink [attached](Self::attach_sink), the completed walks are
+    /// streamed into it instead and the returned `Vec` is empty.
     pub fn tick(&mut self) -> Vec<CompletedWalk> {
+        let out = self.advance_tick();
+        self.route_or_return(out)
+    }
+
+    /// [`tick`](Self::tick), delivering into `sink` instead of returning a
+    /// `Vec`: every walk completing this tick is offered to the sink (or
+    /// parked in the bounded spill buffer if it pushes back). Returns the
+    /// number of walks that completed this tick.
+    ///
+    /// The spill buffer belongs to the *delivery stream*, not to any one
+    /// sink value: walks spilled by this call are re-offered to whatever
+    /// sink the next delivery call passes. Consecutive `tick_into`/
+    /// [`drain_into`](Self::drain_into) calls therefore form one logical
+    /// route — to hand the stream to a *different* consumer without
+    /// leaking spilled walks across, run the spill dry first (a
+    /// `drain_into` with the old sink, or keep ticking it until
+    /// [`ServiceStats::sink_spill_depth`] is zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sink is [attached](Self::attach_sink) (one route per
+    /// walk — mixing subscription and explicit delivery would make the
+    /// destination ambiguous), or if the sink refuses delivery after a
+    /// flush while the spill buffer is full (a sink-contract violation).
+    pub fn tick_into<S: WalkSink + ?Sized>(&mut self, sink: &mut S) -> usize {
+        assert!(
+            self.attached.is_none(),
+            "detach the subscribed sink before delivering into another"
+        );
+        let out = self.advance_tick();
+        self.deliver_into_sink(out, sink)
+    }
+
+    /// Flushes everything and runs every shard dry; returns the remaining
+    /// walks. Afterwards [`ServiceStats::queue_depth`] is zero.
+    ///
+    /// With a sink [attached](Self::attach_sink), the walks are streamed
+    /// into it (running the spill buffer dry and flushing the sink at the
+    /// end) and the returned `Vec` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a backend refuses its remaining work without making any
+    /// progress (a backend bug, not a reachable service state).
+    pub fn drain(&mut self) -> Vec<CompletedWalk> {
+        if let Some(mut sink) = self.attached.take() {
+            self.drain_into_sink(&mut sink);
+            self.attached = Some(sink);
+            return Vec::new();
+        }
+        let out = self.drain_collect();
+        self.route_or_return(out)
+    }
+
+    /// [`drain`](Self::drain), delivering into `sink`: every remaining
+    /// walk reaches the sink round by round as the shards run dry — the
+    /// resident completed-path count never exceeds one poll round plus
+    /// the spill buffer, even when the backlog is huge — then the spill
+    /// buffer is emptied (forcing sink flushes where needed) and the sink
+    /// is flushed so downstream consumers see the tail. Returns the
+    /// number of walks drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`tick_into`](Self::tick_into),
+    /// or if the sink keeps refusing spilled walks across flushes.
+    pub fn drain_into<S: WalkSink + ?Sized>(&mut self, sink: &mut S) -> usize {
+        assert!(
+            self.attached.is_none(),
+            "detach the subscribed sink before delivering into another"
+        );
+        self.drain_into_sink(sink)
+    }
+
+    /// The drain loop in streaming form: each round's completions go
+    /// straight into the sink instead of accumulating in a `Vec`.
+    fn drain_into_sink<S: WalkSink + ?Sized>(&mut self, sink: &mut S) -> usize {
+        let mut delivered = 0;
+        loop {
+            let (out, progressed) = self.drain_round();
+            delivered += self.deliver_into_sink(out, sink);
+            if self.queue_depth() == 0 {
+                break;
+            }
+            assert!(
+                progressed,
+                "service stalled: backends hold work but complete nothing"
+            );
+        }
+        self.run_spill_dry(sink);
+        sink.flush();
+        delivered
+    }
+
+    /// Subscribes `sink` to the delivery stream: from now on [`tick`] and
+    /// [`drain`] route every completed walk into it and return empty
+    /// `Vec`s. Returns the previously attached sink, if any — after
+    /// running any spilled walks into it, so replacing one subscription
+    /// with another never leaks the old subscription's walks into the new
+    /// sink. (Walks spilled by earlier *explicit* `tick_into` calls have
+    /// no owning sink value and go to the new subscription — see
+    /// [`tick_into`](Self::tick_into) on running the spill dry before
+    /// switching consumers.)
+    ///
+    /// [`tick`]: Self::tick
+    /// [`drain`]: Self::drain
+    pub fn attach_sink(
+        &mut self,
+        sink: Box<dyn WalkSink + Send>,
+    ) -> Option<Box<dyn WalkSink + Send>> {
+        let previous = self.detach_sink();
+        self.attached = Some(sink);
+        previous
+    }
+
+    /// Ends the subscription and returns the sink, first running any
+    /// spilled walks into it (conservation: they belong to its route) and
+    /// flushing it.
+    pub fn detach_sink(&mut self) -> Option<Box<dyn WalkSink + Send>> {
+        let mut sink = self.attached.take()?;
+        self.run_spill_dry(&mut sink);
+        sink.flush();
+        Some(sink)
+    }
+
+    /// The attached sink's own counters, when one is subscribed.
+    pub fn sink_report(&self) -> Option<SinkReport> {
+        self.attached.as_ref().map(|s| s.report())
+    }
+
+    /// Completed walks currently parked in the spill buffer, O(1) — the
+    /// per-tick residency observation (the same number as
+    /// [`ServiceStats::sink_spill_depth`], without building a full stats
+    /// snapshot).
+    pub fn spill_depth(&self) -> usize {
+        self.spill.len()
+    }
+
+    /// Shared clock/flush/poll step behind [`tick`](Self::tick) and
+    /// [`tick_into`](Self::tick_into).
+    fn advance_tick(&mut self) -> Vec<CompletedWalk> {
         self.tick += 1;
         for shard in 0..self.shards.len() {
             while let Some(reason) = self.shards[shard].batcher.due(self.tick) {
@@ -302,32 +481,36 @@ impl<B: WalkBackend> WalkService<B> {
         self.poll_shards()
     }
 
-    /// Flushes everything and runs every shard dry; returns the remaining
-    /// walks. Afterwards [`ServiceStats::queue_depth`] is zero.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a backend refuses its remaining work without making any
-    /// progress (a backend bug, not a reachable service state).
-    pub fn drain(&mut self) -> Vec<CompletedWalk> {
+    /// One round of the drain loop: flushes the coalescing buffers as far
+    /// as the backends accept, runs every shard dry once, and returns
+    /// `(completions of this round, whether any backend made progress)`.
+    fn drain_round(&mut self) -> (Vec<CompletedWalk>, bool) {
+        for shard in 0..self.shards.len() {
+            while !self.shards[shard].batcher.is_empty() {
+                if !self.flush_shard(shard, FlushReason::Drain) {
+                    break;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut progressed = false;
+        for shard in 0..self.shards.len() {
+            let paths = self.shards[shard].backend.drain();
+            progressed |= !paths.is_empty();
+            for p in paths {
+                out.push(self.deliver(shard, p));
+            }
+        }
+        (out, progressed)
+    }
+
+    /// The drain loop in collecting form, behind the `Vec`-returning
+    /// [`drain`](Self::drain).
+    fn drain_collect(&mut self) -> Vec<CompletedWalk> {
         let mut delivered = Vec::new();
         loop {
-            // Flush coalescing buffers as far as the backends accept.
-            for shard in 0..self.shards.len() {
-                while !self.shards[shard].batcher.is_empty() {
-                    if !self.flush_shard(shard, FlushReason::Drain) {
-                        break;
-                    }
-                }
-            }
-            let mut progressed = false;
-            for shard in 0..self.shards.len() {
-                let paths = self.shards[shard].backend.drain();
-                progressed |= !paths.is_empty();
-                for p in paths {
-                    delivered.push(self.deliver(shard, p));
-                }
-            }
+            let (out, progressed) = self.drain_round();
+            delivered.extend(out);
             if self.queue_depth() == 0 {
                 return delivered;
             }
@@ -336,6 +519,121 @@ impl<B: WalkBackend> WalkService<B> {
             assert!(
                 progressed,
                 "service stalled: backends hold work but complete nothing"
+            );
+        }
+    }
+
+    /// Streams `out` into the attached sink when one is subscribed
+    /// (returning an empty `Vec`), or hands it back to the caller.
+    fn route_or_return(&mut self, out: Vec<CompletedWalk>) -> Vec<CompletedWalk> {
+        let Some(mut sink) = self.attached.take() else {
+            if self.spill.is_empty() {
+                return out;
+            }
+            // Walks spilled by an earlier explicit `tick_into` were never
+            // consumed by any sink; a caller switching back to `Vec`
+            // delivery gets them here (oldest first) instead of having
+            // them stranded in the spill buffer forever.
+            let mut all: Vec<CompletedWalk> = self.spill.drain(..).collect();
+            all.extend(out);
+            return all;
+        };
+        self.deliver_into_sink(out, &mut sink);
+        self.attached = Some(sink);
+        Vec::new()
+    }
+
+    /// Offers every walk to the sink, spilled walks first (delivery stays
+    /// in completion order); pushback parks walks in the bounded spill
+    /// buffer. Returns how many walks entered the sink route.
+    fn deliver_into_sink<S: WalkSink + ?Sized>(
+        &mut self,
+        walks: Vec<CompletedWalk>,
+        sink: &mut S,
+    ) -> usize {
+        let n = walks.len();
+        self.retry_spill(sink);
+        for w in walks {
+            if self.spill.is_empty() {
+                match sink.accept(&w) {
+                    SinkAck::Accepted => {
+                        self.collector.sink_accepted += 1;
+                        continue;
+                    }
+                    SinkAck::Backpressured => self.collector.sink_backpressured += 1,
+                }
+            }
+            self.park(w, sink);
+        }
+        n
+    }
+
+    /// Re-offers spilled walks in order, stopping at the first refusal.
+    fn retry_spill<S: WalkSink + ?Sized>(&mut self, sink: &mut S) {
+        while let Some(w) = self.spill.front() {
+            match sink.accept(w) {
+                SinkAck::Accepted => {
+                    self.collector.sink_accepted += 1;
+                    self.spill.pop_front();
+                }
+                SinkAck::Backpressured => {
+                    self.collector.sink_backpressured += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parks one refused walk in the spill buffer, forcing a sink flush
+    /// first if the buffer is at capacity.
+    fn park<S: WalkSink + ?Sized>(&mut self, w: CompletedWalk, sink: &mut S) {
+        if self.spill.len() >= self.cfg.sink_spill_capacity {
+            // Last resort before breaching the delivery-side bound: make
+            // the sink move buffered state downstream and retry.
+            sink.flush();
+            self.collector.sink_forced_flushes += 1;
+            self.retry_spill(sink);
+            assert!(
+                self.spill.len() < self.cfg.sink_spill_capacity,
+                "sink refused delivery after a flush: spill capacity {} exhausted",
+                self.cfg.sink_spill_capacity
+            );
+            if self.spill.is_empty() {
+                // The flush unblocked the sink entirely; deliver this
+                // walk now instead of making it wait a tick in the spill.
+                match sink.accept(&w) {
+                    SinkAck::Accepted => {
+                        self.collector.sink_accepted += 1;
+                        return;
+                    }
+                    SinkAck::Backpressured => self.collector.sink_backpressured += 1,
+                }
+            }
+        }
+        self.spill.push_back(w);
+        self.collector.sink_spilled += 1;
+    }
+
+    /// Empties the spill buffer into the sink, flushing it as often as
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flush frees no room at all (the sink contract says it
+    /// must).
+    fn run_spill_dry<S: WalkSink + ?Sized>(&mut self, sink: &mut S) {
+        self.retry_spill(sink);
+        while !self.spill.is_empty() {
+            // retry_spill just stopped at a refusal: flushing is the only
+            // way forward, so don't re-offer to the unchanged sink first
+            // (that would inflate the backpressure counters).
+            let before = self.spill.len();
+            sink.flush();
+            self.collector.sink_forced_flushes += 1;
+            self.retry_spill(sink);
+            assert!(
+                self.spill.len() < before,
+                "sink accepts no spilled walks even after a flush"
             );
         }
     }
@@ -393,6 +691,7 @@ impl<B: WalkBackend> WalkService<B> {
             simulated,
             pipeline,
             self.shards.iter().map(|s| s.submitted).collect(),
+            self.spill.len(),
         )
     }
 
@@ -724,6 +1023,212 @@ mod tests {
         assert_eq!(starts, want);
         assert!(done.iter().all(|c| c.path.query == 5));
         assert_eq!(svc.stats().batches_flushed, 2);
+    }
+
+    /// Test sink: collects walks, optionally refusing while its window
+    /// buffer is full (flush moves the window into `taken`).
+    struct WindowSink {
+        window: Vec<CompletedWalk>,
+        taken: Vec<CompletedWalk>,
+        capacity: usize,
+        refused: u64,
+        flushes: u64,
+    }
+
+    impl WindowSink {
+        fn new(capacity: usize) -> Self {
+            Self {
+                window: Vec::new(),
+                taken: Vec::new(),
+                capacity,
+                refused: 0,
+                flushes: 0,
+            }
+        }
+
+        fn all(&self) -> Vec<&CompletedWalk> {
+            self.taken.iter().chain(self.window.iter()).collect()
+        }
+    }
+
+    impl WalkSink for WindowSink {
+        fn accept(&mut self, walk: &CompletedWalk) -> SinkAck {
+            if self.window.len() >= self.capacity {
+                self.refused += 1;
+                return SinkAck::Backpressured;
+            }
+            self.window.push(walk.clone());
+            SinkAck::Accepted
+        }
+
+        fn flush(&mut self) {
+            self.flushes += 1;
+            self.taken.append(&mut self.window);
+        }
+
+        fn report(&self) -> SinkReport {
+            SinkReport {
+                accepted: (self.taken.len() + self.window.len()) as u64,
+                refused: self.refused,
+                flushes: self.flushes,
+                emitted: self.taken.len() as u64,
+                buffered: self.window.len(),
+                peak_buffered: self.capacity.min(self.taken.len() + self.window.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn tick_into_delivers_the_same_multiset_as_tick() {
+        let run_legacy = || {
+            let (mut svc, _) = service(2, ServiceConfig::new(2).max_delay_ticks(1));
+            let qs = QuerySet::random(100, 200, 5);
+            svc.submit(TenantId(3), qs.queries());
+            let mut out = Vec::new();
+            for _ in 0..6 {
+                out.extend(svc.tick());
+            }
+            out.extend(svc.drain());
+            out
+        };
+        let (mut svc, _) = service(2, ServiceConfig::new(2).max_delay_ticks(1));
+        let qs = QuerySet::random(100, 200, 5);
+        svc.submit(TenantId(3), qs.queries());
+        let mut sink = WindowSink::new(usize::MAX);
+        let mut delivered = 0;
+        for _ in 0..6 {
+            delivered += svc.tick_into(&mut sink);
+        }
+        delivered += svc.drain_into(&mut sink);
+        assert_eq!(delivered, 200);
+        let mut legacy = run_legacy();
+        let mut sunk: Vec<CompletedWalk> = sink.all().into_iter().cloned().collect();
+        legacy.sort_by_key(|c| c.path.query);
+        sunk.sort_by_key(|c| c.path.query);
+        assert_eq!(legacy, sunk, "sink delivery must match the Vec path");
+        let stats = svc.stats();
+        assert_eq!(stats.sink_accepted, 200);
+        assert_eq!(stats.sink_spilled, 0);
+        assert_eq!(stats.sink_spill_depth, 0);
+    }
+
+    #[test]
+    fn backpressured_sink_spills_within_bound_and_loses_nothing() {
+        let (mut svc, _) = service(
+            2,
+            ServiceConfig::new(2)
+                .max_delay_ticks(1)
+                .sink_spill_capacity(8),
+        );
+        let qs = QuerySet::random(100, 300, 9);
+        svc.submit(TenantId(1), qs.queries());
+        // A sink that takes only 4 walks between flushes: most deliveries
+        // bounce at least once.
+        let mut sink = WindowSink::new(4);
+        let mut delivered = 0;
+        loop {
+            delivered += svc.tick_into(&mut sink);
+            let depth = svc.stats().sink_spill_depth;
+            assert!(depth <= 8, "spill must stay bounded, saw {depth}");
+            if svc.queue_depth() == 0 {
+                break;
+            }
+        }
+        delivered += svc.drain_into(&mut sink);
+        assert_eq!(delivered, 300);
+        assert_eq!(sink.all().len(), 300, "conservation through backpressure");
+        let stats = svc.stats();
+        assert_eq!(stats.sink_accepted, 300);
+        assert!(stats.sink_backpressured > 0, "tiny sink must push back");
+        assert!(stats.sink_spilled > 0);
+        assert!(stats.sink_forced_flushes > 0);
+        assert_eq!(stats.sink_spill_depth, 0, "drain_into runs the spill dry");
+        assert!(svc.stats().to_string().contains("sink delivery"));
+    }
+
+    #[test]
+    fn attached_sink_makes_tick_and_drain_stream() {
+        let (mut svc, _) = service(2, ServiceConfig::new(2));
+        let qs = QuerySet::random(100, 150, 8);
+        svc.submit(TenantId(2), qs.queries());
+        svc.attach_sink(Box::new(WindowSink::new(usize::MAX)));
+        assert!(svc.tick().is_empty(), "subscription swallows deliveries");
+        assert!(svc.drain().is_empty());
+        assert_eq!(svc.queue_depth(), 0);
+        let report = svc.sink_report().expect("sink attached");
+        assert_eq!(report.accepted, 150);
+        let sink = svc.detach_sink().expect("sink attached");
+        assert_eq!(sink.report().accepted, 150);
+        assert!(svc.sink_report().is_none());
+        // Detached: tick/drain return Vecs again.
+        svc.submit(TenantId(2), qs.queries());
+        assert_eq!(svc.drain().len(), 150);
+    }
+
+    #[test]
+    fn forced_flush_that_unblocks_the_sink_delivers_directly() {
+        // Spill capacity below the sink's window: a forced flush empties
+        // both, so the walk that triggered it goes straight into the sink
+        // instead of waiting a tick in the spill.
+        let (mut svc, _) = service(
+            1,
+            ServiceConfig::new(1)
+                .max_delay_ticks(1)
+                .sink_spill_capacity(1),
+        );
+        let qs = QuerySet::random(100, 60, 12);
+        svc.submit(TenantId(3), qs.queries());
+        let mut sink = WindowSink::new(8);
+        while svc.queue_depth() > 0 {
+            svc.tick_into(&mut sink);
+        }
+        svc.drain_into(&mut sink);
+        assert_eq!(sink.all().len(), 60, "conservation");
+        let stats = svc.stats();
+        assert_eq!(stats.sink_accepted, 60);
+        assert!(
+            stats.sink_forced_flushes > 0,
+            "the 1-deep spill forces flushes"
+        );
+        assert!(
+            stats.sink_spilled < 60,
+            "unblocking flushes must deliver directly, not re-spill everything"
+        );
+    }
+
+    #[test]
+    fn switching_back_to_vec_delivery_returns_spilled_walks() {
+        let (mut svc, _) = service(
+            2,
+            ServiceConfig::new(2)
+                .max_delay_ticks(1)
+                .sink_spill_capacity(64),
+        );
+        let qs = QuerySet::random(100, 120, 11);
+        svc.submit(TenantId(6), qs.queries());
+        // A sink that accepts nothing between flushes forces everything
+        // into the spill buffer.
+        let mut stubborn = WindowSink::new(1);
+        while svc.queue_depth() > 0 {
+            svc.tick_into(&mut stubborn);
+        }
+        let spilled = svc.spill_depth();
+        assert!(spilled > 0, "setup: some walks must be parked");
+        // Back to Vec delivery: the spilled walks come home instead of
+        // being stranded (conservation across consumption-mode switches).
+        let rest = svc.drain();
+        assert_eq!(rest.len() + stubborn.all().len(), 120);
+        assert_eq!(svc.spill_depth(), 0);
+        assert!(rest.len() >= spilled, "spilled walks lead the returned Vec");
+    }
+
+    #[test]
+    #[should_panic(expected = "detach the subscribed sink")]
+    fn tick_into_refuses_while_a_sink_is_attached() {
+        let (mut svc, _) = service(1, ServiceConfig::new(1));
+        svc.attach_sink(Box::new(WindowSink::new(4)));
+        let mut other = WindowSink::new(4);
+        let _ = svc.tick_into(&mut other);
     }
 
     #[test]

@@ -82,6 +82,14 @@ pub(crate) struct StatsCollector {
     pub query_latency_sum: u64,
     /// Exact maximum per-query latency.
     pub query_latency_max: u64,
+    /// Walks accepted by a sink (streaming delivery).
+    pub sink_accepted: u64,
+    /// Sink accept attempts refused with backpressure.
+    pub sink_backpressured: u64,
+    /// Walks parked in the service's bounded spill buffer.
+    pub sink_spilled: u64,
+    /// Sink flushes the service forced to keep delivery moving.
+    pub sink_forced_flushes: u64,
 }
 
 impl StatsCollector {
@@ -98,6 +106,10 @@ impl StatsCollector {
             query_latencies_ticks: Reservoir::new(reservoir_cap),
             query_latency_sum: 0,
             query_latency_max: 0,
+            sink_accepted: 0,
+            sink_backpressured: 0,
+            sink_spilled: 0,
+            sink_forced_flushes: 0,
         }
     }
 
@@ -198,6 +210,18 @@ pub struct ServiceStats {
     pub max_query_latency_ticks: u64,
     /// Queries routed to each shard (hash balance check).
     pub per_shard_submitted: Vec<u64>,
+    /// Walks accepted by a sink under streaming delivery
+    /// (`tick_into`/`drain_into` or an attached sink).
+    pub sink_accepted: u64,
+    /// Sink accept attempts refused with backpressure.
+    pub sink_backpressured: u64,
+    /// Walks that had to wait in the service's bounded spill buffer.
+    pub sink_spilled: u64,
+    /// Sink flushes the service forced to keep delivery moving.
+    pub sink_forced_flushes: u64,
+    /// Completed walks currently parked in the spill buffer (bounded by
+    /// `ServiceConfig::sink_spill_capacity`).
+    pub sink_spill_depth: usize,
 }
 
 impl ServiceStats {
@@ -213,6 +237,7 @@ impl ServiceStats {
         simulated: Option<(u64, f64)>,
         pipeline: Option<grw_sim::stats::UtilizationMeter>,
         per_shard_submitted: Vec<u64>,
+        sink_spill_depth: usize,
     ) -> Self {
         let msteps_wall = if wall_seconds > 0.0 {
             steps as f64 / wall_seconds / 1e6
@@ -258,6 +283,11 @@ impl ServiceStats {
             },
             max_query_latency_ticks: c.query_latency_max,
             per_shard_submitted,
+            sink_accepted: c.sink_accepted,
+            sink_backpressured: c.sink_backpressured,
+            sink_spilled: c.sink_spilled,
+            sink_forced_flushes: c.sink_forced_flushes,
+            sink_spill_depth,
         }
     }
 }
@@ -312,6 +342,17 @@ impl fmt::Display for ServiceStats {
             self.mean_query_latency_ticks,
             self.max_query_latency_ticks
         )?;
+        if self.sink_accepted + self.sink_spilled + self.sink_backpressured > 0 {
+            writeln!(
+                f,
+                "sink delivery: {} accepted, {} backpressured, {} spilled ({} forced flushes, {} in spill)",
+                self.sink_accepted,
+                self.sink_backpressured,
+                self.sink_spilled,
+                self.sink_forced_flushes,
+                self.sink_spill_depth
+            )?;
+        }
         write!(f, "shard load: {:?}", self.per_shard_submitted)
     }
 }
@@ -389,6 +430,7 @@ mod tests {
             Some((1000, 3.125e-6)),
             Some(grw_sim::stats::UtilizationMeter::from_counts(90, 10, 20)),
             vec![5, 5],
+            0,
         );
         let text = s.to_string();
         assert!(text.contains("2 shards"), "{text}");

@@ -1,0 +1,198 @@
+//! The degenerate sinks: full retention and zero retention.
+//!
+//! [`CollectingSink`] reproduces the legacy drain-to-`Vec` behaviour
+//! behind the sink interface — memory grows linearly with walks, which is
+//! exactly what the conservation property test needs (compare multisets)
+//! and what the memory bench measures the bounded sinks *against*.
+//! [`CountingSink`] is the opposite pole: O(1) memory, counters only.
+
+use grw_service::{CompletedWalk, SinkAck, SinkReport, WalkSink};
+
+/// Retains every accepted walk (optionally refusing while a bounded
+/// window is full, to exercise the service's backpressure path).
+///
+/// With a `capacity`, `accept` refuses once the *window* (walks since the
+/// last flush) reaches it, and `flush` seals the window into the retained
+/// tail — retention is still unbounded, only the inter-flush window is
+/// bounded. Without one, every walk is accepted immediately.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    window: Vec<CompletedWalk>,
+    sealed: Vec<CompletedWalk>,
+    capacity: Option<usize>,
+    refused: u64,
+    flushes: u64,
+    peak_window: usize,
+}
+
+impl CollectingSink {
+    /// A sink that accepts everything, immediately.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the inter-flush window at `n` walks (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn capacity(mut self, n: usize) -> Self {
+        assert!(n > 0, "window capacity must be positive");
+        self.capacity = Some(n);
+        self
+    }
+
+    /// Every walk accepted so far, in delivery order.
+    pub fn walks(&self) -> Vec<&CompletedWalk> {
+        self.sealed.iter().chain(self.window.iter()).collect()
+    }
+
+    /// Consumes the sink and returns every accepted walk, in delivery
+    /// order.
+    pub fn into_walks(mut self) -> Vec<CompletedWalk> {
+        self.sealed.append(&mut self.window);
+        self.sealed
+    }
+
+    /// Walks accepted so far.
+    pub fn len(&self) -> usize {
+        self.sealed.len() + self.window.len()
+    }
+
+    /// Whether no walk has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl WalkSink for CollectingSink {
+    fn accept(&mut self, walk: &CompletedWalk) -> SinkAck {
+        if let Some(cap) = self.capacity {
+            if self.window.len() >= cap {
+                self.refused += 1;
+                return SinkAck::Backpressured;
+            }
+        }
+        self.window.push(walk.clone());
+        self.peak_window = self.peak_window.max(self.window.len());
+        SinkAck::Accepted
+    }
+
+    fn flush(&mut self) {
+        self.flushes += 1;
+        self.sealed.append(&mut self.window);
+    }
+
+    fn report(&self) -> SinkReport {
+        SinkReport {
+            accepted: self.len() as u64,
+            refused: self.refused,
+            flushes: self.flushes,
+            emitted: self.sealed.len() as u64,
+            buffered: self.window.len(),
+            peak_buffered: self.peak_window,
+        }
+    }
+}
+
+/// Accepts everything and retains nothing — the O(1)-memory floor the
+/// bounded-residency bench reports sink-side footprints against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingSink {
+    walks: u64,
+    steps: u64,
+    flushes: u64,
+}
+
+impl CountingSink {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Walks accepted.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Total hops across accepted walks.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+impl WalkSink for CountingSink {
+    fn accept(&mut self, walk: &CompletedWalk) -> SinkAck {
+        self.walks += 1;
+        self.steps += walk.path.steps();
+        SinkAck::Accepted
+    }
+
+    fn flush(&mut self) {
+        self.flushes += 1;
+    }
+
+    fn report(&self) -> SinkReport {
+        SinkReport {
+            accepted: self.walks,
+            refused: 0,
+            flushes: self.flushes,
+            emitted: self.walks,
+            buffered: 0,
+            peak_buffered: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grw_algo::WalkPath;
+    use grw_service::TenantId;
+
+    fn walk(id: u64) -> CompletedWalk {
+        CompletedWalk {
+            tenant: TenantId(0),
+            path: WalkPath::new(id, vec![0, 1, 2]),
+            arrival_tick: 0,
+            flushed_tick: 0,
+            completed_tick: 1,
+        }
+    }
+
+    #[test]
+    fn unbounded_collecting_keeps_delivery_order() {
+        let mut s = CollectingSink::unbounded();
+        for id in [3u64, 1, 2] {
+            assert_eq!(s.accept(&walk(id)), SinkAck::Accepted);
+        }
+        let ids: Vec<u64> = s.walks().iter().map(|w| w.path.query).collect();
+        assert_eq!(ids, vec![3, 1, 2]);
+        assert_eq!(s.into_walks().len(), 3);
+    }
+
+    #[test]
+    fn bounded_window_refuses_until_flushed() {
+        let mut s = CollectingSink::unbounded().capacity(2);
+        assert_eq!(s.accept(&walk(0)), SinkAck::Accepted);
+        assert_eq!(s.accept(&walk(1)), SinkAck::Accepted);
+        assert_eq!(s.accept(&walk(2)), SinkAck::Backpressured);
+        s.flush();
+        assert_eq!(s.accept(&walk(2)), SinkAck::Accepted);
+        assert_eq!(s.len(), 3, "refused walk was not lost, only deferred");
+        assert_eq!(s.report().refused, 1);
+        assert_eq!(s.report().peak_buffered, 2);
+    }
+
+    #[test]
+    fn counting_sink_is_constant_memory() {
+        let mut s = CountingSink::new();
+        for id in 0..1000 {
+            s.accept(&walk(id));
+        }
+        assert_eq!(s.walks(), 1000);
+        assert_eq!(s.steps(), 2000);
+        assert_eq!(s.report().buffered, 0);
+        assert_eq!(s.report().peak_buffered, 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Skip-gram corpus generation from streaming walks.
+
+use grw_service::{CompletedWalk, SinkAck, SinkReport, WalkSink};
+
+/// One skip-gram training pair: `context` appears within the window of
+/// `center` on some walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SkipGramPair {
+    /// The center vertex of the window.
+    pub center: u32,
+    /// A vertex within `window` hops of the center on the same walk.
+    pub context: u32,
+}
+
+/// Windows streamed walks into skip-gram training pairs — the
+/// DeepWalk/Node2Vec corpus pipeline — inside a bounded pair buffer.
+///
+/// Each accepted walk contributes every `(center, context)` pair with
+/// `|i - j| ≤ window`, `i ≠ j`, exactly the pair set `word2vec` trains on
+/// when fed the walk as a sentence. Pairs buffer until
+/// [`flush`](WalkSink::flush), which hands the whole window to the
+/// `emit` consumer (a file writer, a trainer's feed queue, a counter) and
+/// clears it; a walk whose pairs would overflow the buffer is refused
+/// with [`SinkAck::Backpressured`] so the serving layer flushes first —
+/// the resident pair count never exceeds `capacity`.
+///
+/// One exception keeps delivery live: a walk whose pair count exceeds the
+/// *entire* capacity on its own is chunk-emitted directly (buffer flushed
+/// first, pairs streamed through in capacity-sized chunks), because
+/// refusing it could never succeed.
+pub struct CorpusSink<F: FnMut(&[SkipGramPair])> {
+    window: usize,
+    capacity: usize,
+    buf: Vec<SkipGramPair>,
+    emit: F,
+    walks: u64,
+    tokens: u64,
+    emitted: u64,
+    refused: u64,
+    flushes: u64,
+    peak_buffered: usize,
+}
+
+impl<F: FnMut(&[SkipGramPair])> CorpusSink<F> {
+    /// Creates a sink with the given skip-gram `window` and pair-buffer
+    /// `capacity`, emitting flushed windows through `emit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `capacity == 0`.
+    pub fn new(window: usize, capacity: usize, emit: F) -> Self {
+        assert!(window > 0, "skip-gram window must be positive");
+        assert!(capacity > 0, "pair-buffer capacity must be positive");
+        Self {
+            window,
+            capacity,
+            buf: Vec::new(),
+            emit,
+            walks: 0,
+            tokens: 0,
+            emitted: 0,
+            refused: 0,
+            flushes: 0,
+            peak_buffered: 0,
+        }
+    }
+
+    /// Number of pairs a path of `len` vertices produces under this
+    /// window: `sum_i |{j : 0 < |i-j| <= w}|`.
+    fn pairs_for(&self, len: usize) -> usize {
+        let w = self.window;
+        (0..len)
+            .map(|i| i.min(w) + (len - 1 - i).min(w))
+            .sum::<usize>()
+    }
+
+    /// Appends the walk's pairs to `out`.
+    fn window_pairs(&self, vertices: &[u32], out: &mut Vec<SkipGramPair>) {
+        for_each_pair(self.window, vertices, |p| out.push(p));
+    }
+
+    /// Walks accepted so far.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Corpus tokens (walk vertices) accepted so far.
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    /// Pairs currently buffered (≤ capacity).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pairs handed to the `emit` consumer so far.
+    pub fn pairs_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn do_flush(&mut self) {
+        self.flushes += 1;
+        if self.buf.is_empty() {
+            return;
+        }
+        (self.emit)(&self.buf);
+        self.emitted += self.buf.len() as u64;
+        self.buf.clear();
+    }
+}
+
+impl<F: FnMut(&[SkipGramPair])> WalkSink for CorpusSink<F> {
+    fn accept(&mut self, walk: &CompletedWalk) -> SinkAck {
+        let vertices = &walk.path.vertices;
+        let pairs = self.pairs_for(vertices.len());
+        if pairs > self.capacity {
+            // Bigger than the whole buffer: stream it through directly,
+            // generating into the (now empty) buffer and emitting a
+            // capacity-sized chunk whenever it fills — at no point is
+            // more than `capacity` pairs resident.
+            self.do_flush();
+            let mut scratch = std::mem::take(&mut self.buf);
+            for_each_pair(self.window, vertices, |p| {
+                scratch.push(p);
+                if scratch.len() == self.capacity {
+                    self.peak_buffered = self.peak_buffered.max(scratch.len());
+                    (self.emit)(&scratch);
+                    self.emitted += scratch.len() as u64;
+                    scratch.clear();
+                }
+            });
+            if !scratch.is_empty() {
+                self.peak_buffered = self.peak_buffered.max(scratch.len());
+                (self.emit)(&scratch);
+                self.emitted += scratch.len() as u64;
+                scratch.clear();
+            }
+            self.buf = scratch;
+        } else {
+            if self.buf.len() + pairs > self.capacity {
+                self.refused += 1;
+                return SinkAck::Backpressured;
+            }
+            let mut buf = std::mem::take(&mut self.buf);
+            buf.reserve(pairs);
+            self.window_pairs(vertices, &mut buf);
+            self.buf = buf;
+            self.peak_buffered = self.peak_buffered.max(self.buf.len());
+        }
+        self.walks += 1;
+        self.tokens += vertices.len() as u64;
+        SinkAck::Accepted
+    }
+
+    fn flush(&mut self) {
+        self.do_flush();
+    }
+
+    fn report(&self) -> SinkReport {
+        SinkReport {
+            accepted: self.walks,
+            refused: self.refused,
+            flushes: self.flushes,
+            emitted: self.emitted,
+            buffered: self.buf.len(),
+            peak_buffered: self.peak_buffered,
+        }
+    }
+}
+
+/// The one definition of the skip-gram window: calls `f` for every
+/// `(center, context)` pair with `0 < |i - j| <= window`, in position
+/// order — both the buffered and the chunk-emitting path enumerate pairs
+/// through here.
+fn for_each_pair(window: usize, vertices: &[u32], mut f: impl FnMut(SkipGramPair)) {
+    for (i, &center) in vertices.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window).min(vertices.len() - 1);
+        for (j, &context) in vertices.iter().enumerate().take(hi + 1).skip(lo) {
+            if i != j {
+                f(SkipGramPair { center, context });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grw_algo::WalkPath;
+    use grw_service::TenantId;
+
+    fn walk(id: u64, vertices: Vec<u32>) -> CompletedWalk {
+        CompletedWalk {
+            tenant: TenantId(0),
+            path: WalkPath::new(id, vertices),
+            arrival_tick: 0,
+            flushed_tick: 0,
+            completed_tick: 1,
+        }
+    }
+
+    #[test]
+    fn windows_match_word2vec_pair_counts() {
+        let mut pairs = Vec::new();
+        let mut sink = CorpusSink::new(2, 1024, |w: &[SkipGramPair]| pairs.extend_from_slice(w));
+        assert_eq!(
+            sink.accept(&walk(0, vec![10, 11, 12, 13, 14])),
+            SinkAck::Accepted
+        );
+        // len 5, window 2: positions contribute 2+3+4+3+2 = 14 pairs.
+        assert_eq!(sink.buffered(), 14);
+        sink.flush();
+        drop(sink);
+        assert_eq!(pairs.len(), 14);
+        assert!(pairs.contains(&SkipGramPair {
+            center: 12,
+            context: 10
+        }));
+        assert!(pairs.contains(&SkipGramPair {
+            center: 10,
+            context: 12
+        }));
+        assert!(
+            !pairs.contains(&SkipGramPair {
+                center: 10,
+                context: 13
+            }),
+            "outside window"
+        );
+        assert!(
+            !pairs.iter().any(|p| p.center == p.context),
+            "no self pairs"
+        );
+    }
+
+    #[test]
+    fn full_buffer_pushes_back_until_flushed() {
+        let mut emitted = 0usize;
+        let mut sink = CorpusSink::new(1, 8, |w: &[SkipGramPair]| emitted += w.len());
+        // len-4 walk, window 1: 1+2+2+1 = 6 pairs.
+        assert_eq!(sink.accept(&walk(0, vec![0, 1, 2, 3])), SinkAck::Accepted);
+        assert_eq!(
+            sink.accept(&walk(1, vec![0, 1, 2, 3])),
+            SinkAck::Backpressured
+        );
+        assert_eq!(sink.report().refused, 1);
+        sink.flush();
+        assert_eq!(sink.accept(&walk(1, vec![0, 1, 2, 3])), SinkAck::Accepted);
+        sink.flush();
+        let report = sink.report();
+        drop(sink);
+        assert_eq!(emitted, 12);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.emitted, 12);
+        assert!(report.peak_buffered <= 8, "buffer bound holds");
+    }
+
+    #[test]
+    fn oversized_walks_stream_through_in_chunks() {
+        let mut chunks = Vec::new();
+        let mut sink = CorpusSink::new(4, 10, |w: &[SkipGramPair]| chunks.push(w.len()));
+        // A 40-vertex walk at window 4 produces far more than 10 pairs.
+        let long: Vec<u32> = (0..40).collect();
+        assert_eq!(sink.accept(&walk(0, long.clone())), SinkAck::Accepted);
+        assert_eq!(
+            sink.buffered(),
+            0,
+            "oversized walks never park in the buffer"
+        );
+        let report = sink.report();
+        drop(sink);
+        assert!(
+            chunks.iter().all(|&c| c <= 10),
+            "chunks respect capacity: {chunks:?}"
+        );
+        assert_eq!(report.emitted, chunks.iter().sum::<usize>() as u64);
+        assert!(report.emitted > 10);
+        // Chunked emission produces exactly the pair stream a huge buffer
+        // would: same pairs, same order.
+        let mut whole = Vec::new();
+        let mut big = CorpusSink::new(4, 1 << 20, |w: &[SkipGramPair]| whole.extend_from_slice(w));
+        big.accept(&walk(0, long.clone()));
+        big.flush();
+        drop(big);
+        let mut rechunked = Vec::new();
+        let mut small = CorpusSink::new(4, 10, |w: &[SkipGramPair]| rechunked.extend_from_slice(w));
+        small.accept(&walk(1, long));
+        drop(small);
+        assert_eq!(whole, rechunked);
+    }
+
+    #[test]
+    fn token_and_walk_counters_accumulate() {
+        let mut sink = CorpusSink::new(2, 64, |_: &[SkipGramPair]| {});
+        sink.accept(&walk(0, vec![1, 2, 3]));
+        sink.accept(&walk(1, vec![4, 5]));
+        assert_eq!(sink.walks(), 2);
+        assert_eq!(sink.tokens(), 5);
+        assert!(sink.pairs_emitted() == 0);
+        sink.flush();
+        assert_eq!(sink.pairs_emitted(), 6 + 2);
+    }
+}

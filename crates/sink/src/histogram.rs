@@ -1,0 +1,186 @@
+//! Fixed-memory distributions of streaming walks.
+
+use grw_service::{CompletedWalk, SinkAck, SinkReport, WalkSink};
+use std::fmt;
+
+/// Number of log2 latency bins (covers every representable `u64` tick
+/// count: bin `i` holds latencies in `[2^(i-1), 2^i)`, bin 0 holds 0).
+const LATENCY_BINS: usize = 65;
+
+/// Step-count and end-to-end-latency distributions in fixed-size bins —
+/// the cheap per-consumer statistics a runtime-adaptive serving pipeline
+/// (FlexiWalker-style) reads off the stream without retaining any path.
+///
+/// Steps are binned linearly up to `max_steps` with one overflow bin;
+/// latency (arrival → delivery ticks) is binned logarithmically. Memory
+/// is O(bins) forever; the sink never backpressures.
+#[derive(Debug, Clone)]
+pub struct HistogramSink {
+    /// `steps[s]` = walks with exactly `s` hops, `s < max_steps`;
+    /// `steps[max_steps]` = walks with more.
+    steps: Vec<u64>,
+    /// Log2-binned end-to-end latency in ticks.
+    latency: [u64; LATENCY_BINS],
+    walks: u64,
+    total_steps: u64,
+    flushes: u64,
+}
+
+impl HistogramSink {
+    /// Creates a histogram with linear step bins `0..=max_steps`
+    /// (`max_steps` doubles as the overflow bin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_steps == 0`.
+    pub fn new(max_steps: usize) -> Self {
+        assert!(max_steps > 0, "need at least one step bin");
+        Self {
+            steps: vec![0; max_steps + 1],
+            latency: [0; LATENCY_BINS],
+            walks: 0,
+            total_steps: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Walks recorded.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Walks with exactly `s` hops (`s == max_steps` is the overflow bin).
+    pub fn step_count(&self, s: usize) -> u64 {
+        self.steps.get(s).copied().unwrap_or(0)
+    }
+
+    /// The full linear step histogram.
+    pub fn step_histogram(&self) -> &[u64] {
+        &self.steps
+    }
+
+    /// Mean hops per walk.
+    pub fn mean_steps(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.total_steps as f64 / self.walks as f64
+        }
+    }
+
+    /// Walks whose end-to-end latency fell in log2 bin `i`
+    /// (`[2^(i-1), 2^i)` ticks; bin 0 is exactly-zero latency).
+    pub fn latency_bin(&self, i: usize) -> u64 {
+        self.latency.get(i).copied().unwrap_or(0)
+    }
+
+    /// The log2 bin index for a latency.
+    fn bin_of(latency_ticks: u64) -> usize {
+        (u64::BITS - latency_ticks.leading_zeros()) as usize
+    }
+}
+
+impl WalkSink for HistogramSink {
+    fn accept(&mut self, walk: &CompletedWalk) -> SinkAck {
+        let s = walk.path.steps() as usize;
+        let bin = s.min(self.steps.len() - 1);
+        self.steps[bin] += 1;
+        self.latency[Self::bin_of(walk.latency_ticks())] += 1;
+        self.walks += 1;
+        self.total_steps += walk.path.steps();
+        SinkAck::Accepted
+    }
+
+    fn flush(&mut self) {
+        self.flushes += 1;
+    }
+
+    fn report(&self) -> SinkReport {
+        SinkReport {
+            accepted: self.walks,
+            refused: 0,
+            flushes: self.flushes,
+            emitted: self.walks,
+            buffered: self.steps.len() + LATENCY_BINS,
+            peak_buffered: self.steps.len() + LATENCY_BINS,
+        }
+    }
+}
+
+impl fmt::Display for HistogramSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "histogram: {} walks, mean {:.2} steps",
+            self.walks,
+            self.mean_steps()
+        )?;
+        let peak = self.steps.iter().copied().max().unwrap_or(0).max(1);
+        for (s, &n) in self.steps.iter().enumerate().filter(|&(_, &n)| n > 0) {
+            let bar = "#".repeat((n * 40 / peak) as usize);
+            writeln!(f, "  {s:>4} steps | {n:>8} {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grw_algo::WalkPath;
+    use grw_service::TenantId;
+
+    fn walk(id: u64, hops: usize, latency: u64) -> CompletedWalk {
+        CompletedWalk {
+            tenant: TenantId(0),
+            path: WalkPath::new(id, (0..=hops as u32).collect()),
+            arrival_tick: 10,
+            flushed_tick: 10,
+            completed_tick: 10 + latency,
+        }
+    }
+
+    #[test]
+    fn steps_bin_linearly_with_overflow() {
+        let mut h = HistogramSink::new(4);
+        h.accept(&walk(0, 1, 0));
+        h.accept(&walk(1, 1, 0));
+        h.accept(&walk(2, 4, 0));
+        h.accept(&walk(3, 9, 0));
+        assert_eq!(h.step_count(1), 2);
+        assert_eq!(
+            h.step_count(4),
+            2,
+            "4 hops and 9 hops share the overflow bin"
+        );
+        assert_eq!(h.walks(), 4);
+        assert!((h.mean_steps() - 15.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_bins_are_log2() {
+        let mut h = HistogramSink::new(4);
+        h.accept(&walk(0, 1, 0)); // bin 0
+        h.accept(&walk(1, 1, 1)); // bin 1
+        h.accept(&walk(2, 1, 2)); // bin 2
+        h.accept(&walk(3, 1, 3)); // bin 2
+        h.accept(&walk(4, 1, 1000)); // bin 10
+        assert_eq!(h.latency_bin(0), 1);
+        assert_eq!(h.latency_bin(1), 1);
+        assert_eq!(h.latency_bin(2), 2);
+        assert_eq!(h.latency_bin(10), 1);
+    }
+
+    #[test]
+    fn memory_is_fixed_and_display_renders() {
+        let mut h = HistogramSink::new(8);
+        for i in 0..10_000u64 {
+            h.accept(&walk(i, (i % 12) as usize, i % 50));
+        }
+        assert_eq!(h.report().accepted, 10_000);
+        assert_eq!(h.report().buffered, 9 + LATENCY_BINS, "O(bins) forever");
+        let text = h.to_string();
+        assert!(text.contains("10000 walks"), "{text}");
+        assert!(text.contains("steps"), "{text}");
+    }
+}

@@ -16,6 +16,9 @@
 //!   ([`grw_baselines`]).
 //! * [`service`] — the sharded, multi-tenant walk-serving layer over the
 //!   streaming `WalkBackend` interface ([`grw_service`]).
+//! * [`sink`] — bounded streaming result consumers (skip-gram corpora,
+//!   PPR aggregation, histograms, per-tenant fan-out) over the service's
+//!   `WalkSink` delivery API ([`grw_sink`]).
 //! * [`mod@bench`] — the experiment harness regenerating every paper
 //!   figure and table, plus the serving and latency-vs-load benches
 //!   ([`grw_bench`]).
@@ -33,4 +36,5 @@ pub use grw_queueing as queueing;
 pub use grw_rng as rng;
 pub use grw_service as service;
 pub use grw_sim as sim;
+pub use grw_sink as sink;
 pub use ridgewalker as accel;
