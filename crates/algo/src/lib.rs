@@ -49,6 +49,6 @@ pub use prepared::{PreparedGraph, StepDecision, TerminationReason};
 pub use query::{QuerySet, WalkPath, WalkQuery};
 pub use spec::{Node2VecMethod, WalkSpec};
 pub use walk::{
-    run_streamed, BackendTelemetry, BatchFnBackend, ParallelBackend, ParallelEngine,
+    run_streamed, BackendClass, BackendTelemetry, BatchFnBackend, ParallelBackend, ParallelEngine,
     ReferenceBackend, ReferenceEngine, WalkBackend, WalkEngine,
 };

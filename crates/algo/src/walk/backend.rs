@@ -24,6 +24,39 @@ use std::collections::{HashMap, VecDeque};
 /// Default bound on queries a software backend holds before pushing back.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 4_096;
 
+/// The execution substrate a backend runs on — the coarse placement
+/// signal a routing tier keys on when a fleet mixes accelerator and CPU
+/// shards behind one service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum BackendClass {
+    /// A software executor on host CPU threads.
+    #[default]
+    Cpu,
+    /// A (simulated) accelerator device with its own cycle clock.
+    Accelerator,
+}
+
+impl BackendClass {
+    /// Every class, in a stable order (report / iteration helper).
+    pub fn all() -> [BackendClass; 2] {
+        [BackendClass::Cpu, BackendClass::Accelerator]
+    }
+
+    /// Lowercase name as recorded in bench JSON and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendClass::Cpu => "cpu",
+            BackendClass::Accelerator => "accelerator",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Cumulative execution counters a backend may expose.
 ///
 /// `steps` is always maintained (it is what the paper's MStep/s metric
@@ -40,6 +73,11 @@ pub struct BackendTelemetry {
     /// Pipeline-cycle occupancy breakdown (busy / bubble / drained) for
     /// cycle-level backends; serving layers merge these by raw counts.
     pub pipeline: Option<UtilizationMeter>,
+    /// Residency split `(awaiting injection, executing)` for backends with
+    /// an internal admission queue (the accelerator machine's occupancy):
+    /// the two terms sum to [`WalkBackend::in_flight`]. Routing tiers use
+    /// the awaiting term as the admission-backlog signal.
+    pub occupancy_split: Option<(usize, usize)>,
 }
 
 /// An incremental walk executor: queries stream in, paths stream out.
@@ -79,6 +117,22 @@ pub trait WalkBackend {
     fn telemetry(&self) -> BackendTelemetry {
         BackendTelemetry::default()
     }
+
+    /// The execution substrate this backend runs on. Routing tiers use it
+    /// to place tenants across mixed accelerator/CPU fleets; the default
+    /// is [`BackendClass::Cpu`] (software executors).
+    fn backend_class(&self) -> BackendClass {
+        BackendClass::Cpu
+    }
+
+    /// Static relative cost hint: the approximate cost of serving one
+    /// query on this backend, lower is cheaper. The hint is a *prior* —
+    /// a placement policy should prefer live signals (occupancy, EWMA
+    /// latency, calibrated saturation) where available and fall back to
+    /// this when a shard has no history yet. Default `1.0`.
+    fn cost_hint(&self) -> f64 {
+        1.0
+    }
 }
 
 /// Boxed backends are backends: lets a serving layer pick the shard
@@ -108,6 +162,14 @@ impl<B: WalkBackend + ?Sized> WalkBackend for Box<B> {
     fn telemetry(&self) -> BackendTelemetry {
         (**self).telemetry()
     }
+
+    fn backend_class(&self) -> BackendClass {
+        (**self).backend_class()
+    }
+
+    fn cost_hint(&self) -> f64 {
+        (**self).cost_hint()
+    }
 }
 
 /// Mutable references delegate too, so helpers like [`run_streamed`] can
@@ -135,6 +197,14 @@ impl<B: WalkBackend + ?Sized> WalkBackend for &mut B {
 
     fn telemetry(&self) -> BackendTelemetry {
         (**self).telemetry()
+    }
+
+    fn backend_class(&self) -> BackendClass {
+        (**self).backend_class()
+    }
+
+    fn cost_hint(&self) -> f64 {
+        (**self).cost_hint()
     }
 }
 
@@ -418,6 +488,12 @@ impl<P: Borrow<PreparedGraph>> WalkBackend for ParallelBackend<P> {
             steps: self.steps,
             ..BackendTelemetry::default()
         }
+    }
+
+    fn cost_hint(&self) -> f64 {
+        // N worker threads serve a micro-batch ~N× faster than the
+        // sequential reference executor.
+        1.0 / self.threads as f64
     }
 }
 

@@ -10,7 +10,8 @@ mod parallel;
 mod reference;
 
 pub use backend::{
-    run_streamed, BackendTelemetry, BatchFnBackend, ParallelBackend, ReferenceBackend, WalkBackend,
+    run_streamed, BackendClass, BackendTelemetry, BatchFnBackend, ParallelBackend,
+    ReferenceBackend, WalkBackend,
 };
 pub use parallel::ParallelEngine;
 pub use reference::ReferenceEngine;

@@ -40,6 +40,7 @@ pub mod experiments;
 mod harness;
 pub mod json;
 pub mod load;
+pub mod routing;
 pub mod serving;
 pub mod sinks;
 mod table;
@@ -47,7 +48,11 @@ mod table;
 pub use harness::{run_accelerator_streamed, Experiment, HarnessConfig, Series};
 pub use json::Json;
 pub use load::{
-    run_latency_load, ArrivalShape, LoadConfig, LoadPoint, LoadWorkload, WorkloadLoadReport,
+    calibrate_saturation, run_latency_load, ArrivalShape, LoadConfig, LoadDelivery, LoadPoint,
+    LoadWorkload, WorkloadLoadReport,
+};
+pub use routing::{
+    run_routing_bench, PolicyOutcome, RoutingBenchConfig, RoutingBenchReport, WorkloadRouting,
 };
 pub use serving::{run_serving_comparison, ServingComparison, ServingWorkload};
 pub use sinks::{run_sink_bench, DeliveryFootprint, SinkBenchConfig, SinkBenchReport};

@@ -26,9 +26,13 @@ use grw_graph::generators::{Dataset, ScaleFactor};
 use grw_graph::CsrGraph;
 use grw_queueing::{ArrivalProcess, BulkQueueModel, MmnQueue};
 use grw_service::{
-    accelerator_service, percentile, AccelShardMode, ServiceConfig, TenantId, WalkService,
+    accelerator_service, percentile, AccelShardMode, CompletedWalk, ServiceConfig, SinkAck,
+    SinkReport, TenantId, WalkService, WalkSink,
 };
+use grw_sink::CountingSink;
 use ridgewalker::{Accelerator, AcceleratorConfig};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// A serving workload: which walk algorithm the query stream runs.
@@ -146,6 +150,35 @@ impl ArrivalShape {
     }
 }
 
+/// How completed walks leave the service during a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadDelivery {
+    /// `tick()` returns `Vec`s and latency is stamped at completion —
+    /// the delivery-blind measurement (PR 3 behaviour, the baselines'
+    /// mode).
+    Collect,
+    /// Deliveries stream through [`WalkService::tick_into`] into a
+    /// [`CountingSink`] gated to accept at most `window` walks between
+    /// flushes (`usize::MAX` = never push back). Latency is stamped when
+    /// the *sink accepts* the walk, so time spent parked in the spill
+    /// buffer behind a backpressuring consumer shows up as a latency
+    /// term — the delivery-side cost high-ρ sweeps were blind to.
+    Sink {
+        /// Walks the sink takes between flushes before refusing.
+        window: usize,
+    },
+}
+
+impl LoadDelivery {
+    /// Lowercase mode name as recorded in the bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoadDelivery::Collect => "collect",
+            LoadDelivery::Sink { .. } => "sink",
+        }
+    }
+}
+
 /// Configuration of one latency-vs-load sweep.
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
@@ -183,6 +216,9 @@ pub struct LoadConfig {
     pub load_grid: Vec<f64>,
     /// Traffic shape of the arrival stream.
     pub arrival: ArrivalShape,
+    /// How completed walks are consumed (and where latency stops being
+    /// counted): collected `Vec`s, or streamed through a sink.
+    pub delivery: LoadDelivery,
     /// Base seed for queries and arrivals.
     pub seed: u64,
 }
@@ -203,6 +239,7 @@ impl LoadConfig {
             queries_per_point: 768,
             load_grid: vec![0.15, 0.45, 0.9, 1.4],
             arrival: ArrivalShape::Poisson,
+            delivery: LoadDelivery::Collect,
             seed: 0x10AD,
         }
     }
@@ -222,6 +259,7 @@ impl LoadConfig {
             queries_per_point: 8_192,
             load_grid: vec![0.1, 0.3, 0.5, 0.7, 0.9, 1.4],
             arrival: ArrivalShape::Poisson,
+            delivery: LoadDelivery::Collect,
             seed: 0x0010_AD80,
         }
     }
@@ -241,6 +279,7 @@ impl LoadConfig {
             queries_per_point: 384,
             load_grid: vec![0.2, 0.6, 1.4],
             arrival: ArrivalShape::Poisson,
+            delivery: LoadDelivery::Collect,
             seed: 0x7E57,
         }
     }
@@ -286,6 +325,12 @@ pub struct LoadPoint {
     /// Closed-form `M/M/1[N]` bulk-service prediction (ticks) via
     /// Little's law on the stationary mean, for stable points.
     pub predicted_bulk_latency_ticks: Option<f64>,
+    /// Walks that waited in the delivery spill buffer (sink mode only;
+    /// 0 in collect mode).
+    pub sink_spilled: u64,
+    /// Sink flushes the service forced to keep delivery moving (sink
+    /// mode only).
+    pub sink_forced_flushes: u64,
 }
 
 /// The full sweep for one workload: calibration plus both mode curves.
@@ -355,7 +400,8 @@ impl WorkloadLoadReport {
                     "\"simulated_cycles\": {}, \"cycles_per_query\": {:.2}, ",
                     "\"bubble_ratio\": {}, ",
                     "\"predicted_mmn_latency_ticks\": {}, ",
-                    "\"predicted_bulk_latency_ticks\": {}}}"
+                    "\"predicted_bulk_latency_ticks\": {}, ",
+                    "\"sink_spilled\": {}, \"sink_forced_flushes\": {}}}"
                 ),
                 p.rho,
                 p.lambda_per_tick,
@@ -374,6 +420,8 @@ impl WorkloadLoadReport {
                 opt_json(p.bubble_ratio, 6),
                 opt_json(p.predicted_mmn_latency_ticks, 3),
                 opt_json(p.predicted_bulk_latency_ticks, 3),
+                p.sink_spilled,
+                p.sink_forced_flushes,
             )
         };
         let curve = |points: &[LoadPoint]| {
@@ -391,6 +439,7 @@ impl WorkloadLoadReport {
                 "  \"bench\": \"load\",\n",
                 "  \"workload\": \"{}\",\n",
                 "  \"arrival\": \"{}\",\n",
+                "  \"delivery\": \"{}\",\n",
                 "  \"config\": {{\"scale\": \"{:?}\", \"walk_len\": {}, ",
                 "\"shards\": {}, \"pipelines\": {}, \"max_batch\": {}, ",
                 "\"poll_quantum\": {}, \"queries_per_point\": {}}},\n",
@@ -401,12 +450,21 @@ impl WorkloadLoadReport {
                 "\"low_load_predicted_latency_ticks\": {}, ",
                 "\"low_load_model_error\": {}, ",
                 "\"high_load_mean_latency_ticks\": {}}},\n",
+                // Per-metric CI bands (perf_gate `gate` block): saturation
+                // throughput tight, loaded-regime latency loose — emitted
+                // by the generator so baseline refreshes keep the bands.
+                "  \"gate\": {{\"summary\": {{\"saturation_qpt\": 0.15, ",
+                "\"low_load_mean_latency_ticks\": 0.25, ",
+                "\"low_load_model_error\": 0.30, ",
+                "\"high_load_mean_latency_ticks\": 0.35}}, ",
+                "\"calibration\": {{\"solo_latency_ticks\": 0.20}}}},\n",
                 "  \"incremental\": [\n{}\n  ],\n",
                 "  \"batch\": [\n{}\n  ]\n",
                 "}}\n"
             ),
             self.workload,
             self.arrival,
+            self.config.delivery.name(),
             self.config.scale,
             self.config.walk_len,
             self.config.shards,
@@ -460,7 +518,15 @@ fn make_service(
 /// queries deep (completions are immediately replaced from the pool)
 /// until the pool runs out. Returns μ̂ in queries/tick — the sustained
 /// service rate at that depth, free of ramp-up/ramp-down bias.
-fn calibrate_saturation(service: &mut DynService, queries: &[WalkQuery], window: usize) -> f64 {
+///
+/// Public because the routing bench calibrates per-*class* rates the
+/// same way (one single-shard service per backend class) to anchor the
+/// adaptive policy's cost model.
+pub fn calibrate_saturation(
+    service: &mut WalkService<grw_service::DynWalkBackend>,
+    queries: &[WalkQuery],
+    window: usize,
+) -> f64 {
     let total = queries.len();
     let mut submitted = 0;
     let mut completed = 0;
@@ -511,24 +577,89 @@ struct PointRun {
     depth_sum: u128,
     simulated_cycles: u64,
     bubble_ratio: Option<f64>,
+    sink_spilled: u64,
+    sink_forced_flushes: u64,
+}
+
+/// The sink a [`LoadDelivery::Sink`] sweep delivers into: a gated
+/// [`CountingSink`] (at most `window` accepts between flushes) that
+/// stamps each walk's end-to-end latency *at acceptance* — so ticks a
+/// walk spent parked in the service's spill buffer behind the gate count
+/// as latency, which is the whole point of the mode.
+struct LatencyProbeSink {
+    inner: CountingSink,
+    window: usize,
+    accepted_since_flush: usize,
+    /// Tick the driver is delivering at (shared with the drive loop).
+    now: Rc<Cell<u64>>,
+    latencies: Rc<RefCell<Vec<u64>>>,
+    batching_delays: Rc<RefCell<Vec<u64>>>,
+    arrival_ticks: Rc<Vec<u64>>,
+}
+
+impl WalkSink for LatencyProbeSink {
+    fn accept(&mut self, walk: &CompletedWalk) -> SinkAck {
+        if self.accepted_since_flush >= self.window {
+            return SinkAck::Backpressured;
+        }
+        let id = walk.path.query as usize;
+        let now = self.now.get();
+        self.latencies.borrow_mut()[id] = now - self.arrival_ticks[id];
+        self.batching_delays.borrow_mut()[id] = walk.batching_delay_ticks();
+        self.accepted_since_flush += 1;
+        self.inner.accept(walk)
+    }
+
+    fn flush(&mut self) {
+        self.accepted_since_flush = 0;
+        self.inner.flush();
+    }
+
+    fn report(&self) -> SinkReport {
+        self.inner.report()
+    }
 }
 
 /// Plays `queries` (ids `0..n`) into the service at their `arrival_ticks`
 /// timestamps — open loop, tick by tick — and keeps ticking until every
 /// query is delivered. Latency is measured from the *intended* arrival
-/// tick, so admission backpressure counts against the system.
+/// tick, so admission backpressure counts against the system; in
+/// [`LoadDelivery::Sink`] mode it is measured *to sink acceptance*, so
+/// delivery backpressure counts too.
 fn drive_open_loop(
     service: &mut DynService,
     queries: &[WalkQuery],
     arrival_ticks: &[u64],
     max_ticks: u64,
+    delivery: LoadDelivery,
 ) -> PointRun {
     assert_eq!(queries.len(), arrival_ticks.len());
     let total = queries.len();
+    let latencies = Rc::new(RefCell::new(vec![0u64; total]));
+    let batching_delays = Rc::new(RefCell::new(vec![0u64; total]));
+    let mut sink = match delivery {
+        LoadDelivery::Collect => None,
+        LoadDelivery::Sink { window } => {
+            // A zero window would refuse every accept even right after a
+            // flush — the run could never deliver anything, and the
+            // eventual panic would blame the sink contract instead of
+            // the configuration.
+            assert!(window > 0, "sink delivery window must be positive");
+            // The arrival-tick copy and the shared clock cell exist only
+            // on this path; the collect path keeps plain locals.
+            Some(LatencyProbeSink {
+                inner: CountingSink::new(),
+                window,
+                accepted_since_flush: 0,
+                now: Rc::new(Cell::new(0u64)),
+                latencies: latencies.clone(),
+                batching_delays: batching_delays.clone(),
+                arrival_ticks: Rc::new(arrival_ticks.to_vec()),
+            })
+        }
+    };
     let mut due = 0;
     let mut submitted = 0;
-    let mut latencies = vec![0u64; total];
-    let mut batching_delays = vec![0u64; total];
     let mut completed = 0;
     let mut depth_sum: u128 = 0;
     let mut ticks = 0u64;
@@ -544,14 +675,26 @@ fn drive_open_loop(
             }
             submitted += taken;
         }
-        let out = service.tick();
-        let done_tick = service.now();
-        for c in &out {
-            let id = c.path.query as usize;
-            latencies[id] = done_tick - arrival_ticks[id];
-            batching_delays[id] = c.batching_delay_ticks();
+        match &mut sink {
+            None => {
+                let out = service.tick();
+                let done_tick = service.now();
+                let mut lat = latencies.borrow_mut();
+                let mut bat = batching_delays.borrow_mut();
+                for c in &out {
+                    let id = c.path.query as usize;
+                    lat[id] = done_tick - arrival_ticks[id];
+                    bat[id] = c.batching_delay_ticks();
+                }
+                completed += out.len();
+            }
+            Some(probe) => {
+                // `tick_into` advances the clock first, so acceptance
+                // happens at `now + 1`.
+                probe.now.set(service.now() + 1);
+                completed += service.tick_into(probe);
+            }
         }
-        completed += out.len();
         depth_sum += service.queue_depth() as u128;
         ticks += 1;
         assert!(
@@ -559,14 +702,30 @@ fn drive_open_loop(
             "open-loop run stalled: {completed}/{total} after {ticks} ticks"
         );
     }
+    if let Some(probe) = &mut sink {
+        // Everything has *completed*, but the gate may still be holding
+        // walks in the spill buffer: run it dry so every latency is
+        // stamped (drain does not advance the clock).
+        probe.now.set(service.now());
+        let leftover = service.drain_into(probe);
+        debug_assert_eq!(leftover, 0, "the loop above finished the stream");
+        assert_eq!(probe.inner.walks() as usize, total, "sink conservation");
+    }
+    drop(sink);
     let stats = service.stats();
     PointRun {
-        latencies,
-        batching_delays,
+        latencies: Rc::try_unwrap(latencies)
+            .expect("sink dropped")
+            .into_inner(),
+        batching_delays: Rc::try_unwrap(batching_delays)
+            .expect("sink dropped")
+            .into_inner(),
         ticks,
         depth_sum,
         simulated_cycles: stats.simulated_cycles.unwrap_or(0),
         bubble_ratio: stats.pipeline_bubble_ratio,
+        sink_spilled: stats.sink_spilled,
+        sink_forced_flushes: stats.sink_forced_flushes,
     }
 }
 
@@ -645,7 +804,13 @@ pub fn run_latency_load(workload: LoadWorkload, cfg: &LoadConfig) -> WorkloadLoa
 
         for mode in [AccelShardMode::Incremental, AccelShardMode::Batch] {
             let mut svc = make_service(cfg, &accel, &prepared, &spec, mode);
-            let run = drive_open_loop(&mut svc, queries.queries(), &arrival_ticks, max_ticks);
+            let run = drive_open_loop(
+                &mut svc,
+                queries.queries(),
+                &arrival_ticks,
+                max_ticks,
+                cfg.delivery,
+            );
             let completed = run.latencies.len();
             let mean = run.latencies.iter().sum::<u64>() as f64 / completed.max(1) as f64;
             let point = LoadPoint {
@@ -667,6 +832,8 @@ pub fn run_latency_load(workload: LoadWorkload, cfg: &LoadConfig) -> WorkloadLoa
                 bubble_ratio: run.bubble_ratio,
                 predicted_mmn_latency_ticks: predicted_mmn,
                 predicted_bulk_latency_ticks: predicted_bulk,
+                sink_spilled: run.sink_spilled,
+                sink_forced_flushes: run.sink_forced_flushes,
             };
             match mode {
                 AccelShardMode::Incremental => incremental.push(point),

@@ -166,6 +166,16 @@ impl ServingComparison {
                 "\"pipelines\": {}, \"max_batch\": {}, \"poll_quantum\": {}}},\n",
                 "  \"batch\": {},\n",
                 "  \"incremental\": {},\n",
+                // Per-metric CI bands (perf_gate `gate` block): throughput
+                // and cycle counts tight, bubble ratios and latency tails
+                // loose. Kept in the generator so baseline refreshes keep
+                // the bands.
+                "  \"gate\": {{",
+                "\"batch\": {{\"msteps_simulated\": 0.15, ",
+                "\"simulated_cycles\": 0.15, \"bubble_ratio\": 0.30}}, ",
+                "\"incremental\": {{\"msteps_simulated\": 0.15, ",
+                "\"simulated_cycles\": 0.15, \"bubble_ratio\": 0.30, ",
+                "\"p99_batch_latency_ticks\": 0.35}}}},\n",
                 "  \"bubble_improvement\": {}\n",
                 "}}\n"
             ),

@@ -210,7 +210,13 @@ impl SinkBenchReport {
                 "\"spilled\": {}, \"forced_flushes\": {}}},\n",
                 "  \"summary\": {{\"walks_delivered\": {}, \"pairs_emitted\": {}, ",
                 "\"legacy_peak_resident\": {}, \"sink_peak_resident\": {}, ",
-                "\"residency_ratio\": {:.2}, \"ticks\": {}}}\n",
+                "\"residency_ratio\": {:.2}, \"ticks\": {}}},\n",
+                // Per-metric CI bands (perf_gate `gate` block): exact
+                // conservation counts tight, residency/ticks loose —
+                // emitted by the generator so refreshes keep the bands.
+                "  \"gate\": {{\"summary\": {{\"walks_delivered\": 0.05, ",
+                "\"pairs_emitted\": 0.10, \"sink_peak_resident\": 0.30, ",
+                "\"ticks\": 0.25}}}}\n",
                 "}}\n"
             ),
             c.scale,

@@ -239,7 +239,16 @@ impl<P: Borrow<PreparedGraph>> WalkBackend for AcceleratorBackend<P> {
                 None
             },
             pipeline: Some(self.stats.pipeline),
+            ..BackendTelemetry::default()
         }
+    }
+
+    fn backend_class(&self) -> grw_algo::BackendClass {
+        grw_algo::BackendClass::Accelerator
+    }
+
+    fn cost_hint(&self) -> f64 {
+        1.0 / f64::from(self.accel.config().effective_pipelines().max(1))
     }
 }
 

@@ -206,12 +206,22 @@ impl<P: Borrow<PreparedGraph>> WalkBackend for IncrementalAcceleratorBackend<P> 
     }
 
     fn telemetry(&self) -> BackendTelemetry {
+        let (awaiting, executing) = self.machine.occupancy();
         BackendTelemetry {
             steps: self.machine.steps(),
             cycles: Some(self.machine.cycles()),
             clock_mhz: Some(self.machine.config().platform.spec().clock_mhz),
             pipeline: Some(self.machine.pipeline_meter()),
+            occupancy_split: Some((awaiting, executing)),
         }
+    }
+
+    fn backend_class(&self) -> grw_algo::BackendClass {
+        grw_algo::BackendClass::Accelerator
+    }
+
+    fn cost_hint(&self) -> f64 {
+        1.0 / f64::from(self.machine.config().effective_pipelines().max(1))
     }
 }
 

@@ -1,0 +1,502 @@
+//! # grw_route — load-aware tenant placement over mixed shard fleets
+//!
+//! `grw_service` serves a sharded fleet, and since the `DynWalkBackend`
+//! shard type landed, a fleet can *mix* accelerator shards (batch or
+//! incremental cycle-level machines) with CPU shards behind one
+//! `WalkService`. What was missing is the layer that decides **who runs
+//! where**: static vertex-hash placement spreads load uniformly, which is
+//! exactly wrong when the shards are heterogeneous — a slow CPU shard
+//! gets the same share as a deep accelerator pipeline, and its queue sets
+//! the fleet's tail latency.
+//!
+//! This crate is that layer. A [`Router`] wraps the service and consults
+//! a [`RoutePolicy`] at every micro-batch boundary, handing it the live
+//! fleet signals the serving tier already measures:
+//!
+//! * per-shard occupancy — coalescing-buffer depth, backend residency,
+//!   and the incremental machine's awaiting/executing split
+//!   ([`ShardSnapshot`]);
+//! * per-shard realized latency (EWMA over delivered queries) and
+//!   pipeline bubble ratios;
+//! * calibrated per-class saturation rates μ̂ from the load harness
+//!   ([`ClassRates`]).
+//!
+//! Three policies ship: [`StaticHashPolicy`] (today's behaviour, the
+//! baseline), [`LeastLoadedPolicy`] (weighted join-shortest-queue), and
+//! [`AdaptivePolicy`] (cost-based with hysteresis and a per-tenant dwell
+//! clock, so tenants don't flap under oscillating load).
+//!
+//! **Migration and conservation.** Tenants migrate only at micro-batch
+//! boundaries: a placement affects queries accepted *after* it, in-flight
+//! work always completes on the shard that accepted it, and the service's
+//! delivery path is untouched — so every walk still reaches exactly one
+//! sink route exactly once, routed or not (property-tested over mixed
+//! fleets in `tests/routing.rs`).
+//!
+//! **Draining.** [`Router::set_shard_eligible`] /
+//! [`Router::drain_class`] take shards out of rotation administratively:
+//! a drained shard finishes what it holds but never receives another
+//! query, under every policy (static hash re-hashes over the eligible
+//! subset).
+//!
+//! # Example
+//!
+//! ```
+//! use grw_algo::{ParallelBackend, PreparedGraph, QuerySet, WalkSpec};
+//! use grw_graph::CsrGraph;
+//! use grw_route::{AdaptivePolicy, Router};
+//! use grw_service::{DynWalkBackend, ServiceConfig, TenantId, WalkService};
+//! use std::sync::Arc;
+//!
+//! let g = CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)], true);
+//! let spec = WalkSpec::urw(6);
+//! let prepared = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+//! let service = WalkService::new(ServiceConfig::new(2), |_| -> DynWalkBackend {
+//!     Box::new(ParallelBackend::new(prepared.clone(), spec.clone(), 0xFEED, 2))
+//! });
+//! let mut router = Router::new(service, AdaptivePolicy::default());
+//! let queries = QuerySet::random(8, 100, 1);
+//! assert_eq!(router.submit(TenantId(7), queries.queries()), 100);
+//! assert_eq!(router.drain().len(), 100);
+//! println!("{}", router.report());
+//! ```
+
+mod policy;
+mod signals;
+
+pub use policy::{
+    AdaptiveConfig, AdaptivePolicy, LeastLoadedPolicy, Placement, RoutePolicy, StaticHashPolicy,
+};
+pub use signals::{ClassRates, FleetView};
+
+use grw_algo::{BackendClass, WalkQuery};
+use grw_rng::SplitMix64;
+use grw_service::{
+    CompletedWalk, DynWalkBackend, ServiceStats, ShardSnapshot, TenantId, WalkService, WalkSink,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What the routing tier did, as opposed to what the service underneath
+/// measured ([`ServiceStats`]): where queries went and how often tenants
+/// moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteReport {
+    /// Name of the policy that produced this routing.
+    pub policy: String,
+    /// Tenant rebindings to a *different* shard (micro-batch-boundary
+    /// migrations). Hash placement binds nothing and migrates nothing.
+    pub migrations: u64,
+    /// Queries accepted per shard, by shard index.
+    pub routed_per_shard: Vec<u64>,
+    /// Queries accepted per backend class, in [`BackendClass::all`] order
+    /// (classes with no shards are omitted).
+    pub routed_per_class: Vec<(BackendClass, u64)>,
+    /// Tenants currently bound to a shard.
+    pub bound_tenants: usize,
+}
+
+impl RouteReport {
+    /// Queries routed to class `c` so far.
+    pub fn routed_to(&self, c: BackendClass) -> u64 {
+        self.routed_per_class
+            .iter()
+            .find(|(class, _)| *class == c)
+            .map_or(0, |&(_, n)| n)
+    }
+}
+
+impl fmt::Display for RouteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "routing[{}]: {} migrations, {} bound tenants |",
+            self.policy, self.migrations, self.bound_tenants
+        )?;
+        for (class, n) in &self.routed_per_class {
+            write!(f, " {class}: {n}")?;
+        }
+        write!(f, " | per shard {:?}", self.routed_per_shard)
+    }
+}
+
+/// The routing tier: a [`WalkService`] over a (possibly heterogeneous)
+/// fleet, fronted by a [`RoutePolicy`] that places every tenant's
+/// micro-batches using live load signals.
+///
+/// The router owns the service; delivery (`tick`/`drain`, and their
+/// sink-streaming forms) passes straight through, so everything the
+/// service guarantees about conservation and determinism holds verbatim.
+pub struct Router<P: RoutePolicy> {
+    service: WalkService<DynWalkBackend>,
+    policy: P,
+    rates: ClassRates,
+    eligible: Vec<bool>,
+    /// Tenant -> shard binding from the last `Placement::Shard` decision.
+    bindings: HashMap<TenantId, usize>,
+    /// Backend class per shard, captured at construction (classes are a
+    /// static property of the fleet).
+    classes: Vec<BackendClass>,
+    migrations: u64,
+    routed_per_shard: Vec<u64>,
+}
+
+impl<P: RoutePolicy> Router<P> {
+    /// Wraps `service` with `policy`. All shards start eligible and no
+    /// calibration is loaded (policies fall back to cost-hint priors —
+    /// see [`with_rates`](Self::with_rates)).
+    pub fn new(service: WalkService<DynWalkBackend>, policy: P) -> Self {
+        let classes: Vec<BackendClass> =
+            service.shard_snapshots().iter().map(|s| s.class).collect();
+        let shards = classes.len();
+        Self {
+            service,
+            policy,
+            rates: ClassRates::none(),
+            eligible: vec![true; shards],
+            bindings: HashMap::new(),
+            classes,
+            migrations: 0,
+            routed_per_shard: vec![0; shards],
+        }
+    }
+
+    /// Loads calibrated per-class saturation rates (builder form).
+    pub fn with_rates(mut self, rates: ClassRates) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// Marks one shard eligible or drained. A drained shard finishes its
+    /// in-flight work but receives no further queries; tenants bound to
+    /// it are re-placed at their next submission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn set_shard_eligible(&mut self, shard: usize, eligible: bool) {
+        assert!(shard < self.eligible.len(), "shard {shard} out of range");
+        self.eligible[shard] = eligible;
+    }
+
+    /// Drains (or restores) every shard of a backend class; returns how
+    /// many shards changed state.
+    pub fn set_class_eligible(&mut self, class: BackendClass, eligible: bool) -> usize {
+        let mut changed = 0;
+        for (shard, &c) in self.classes.iter().enumerate() {
+            if c == class && self.eligible[shard] != eligible {
+                self.eligible[shard] = eligible;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Drains every shard of `class` — see
+    /// [`set_class_eligible`](Self::set_class_eligible).
+    pub fn drain_class(&mut self, class: BackendClass) -> usize {
+        self.set_class_eligible(class, false)
+    }
+
+    /// The tenant's current shard binding, if a placement recorded one.
+    pub fn binding(&self, tenant: TenantId) -> Option<usize> {
+        self.bindings.get(&tenant).copied()
+    }
+
+    /// Tenant migrations so far (rebindings to a different shard).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Offers queries on behalf of `tenant`, placing them via the policy;
+    /// accepts a prefix and returns its length, exactly like
+    /// [`WalkService::submit`]. With every shard drained nothing is
+    /// accepted (returns 0).
+    pub fn submit(&mut self, tenant: TenantId, queries: &[WalkQuery]) -> usize {
+        if queries.is_empty() || !self.eligible.iter().any(|&e| e) {
+            return 0;
+        }
+        // Signals are only gathered for policies that read them — the
+        // static-hash baseline skips the per-shard telemetry sweep.
+        let snaps = if self.policy.wants_signals() {
+            self.service.shard_snapshots()
+        } else {
+            Vec::new()
+        };
+        let view = FleetView {
+            now: self.service.now(),
+            shards: &snaps,
+            eligible: &self.eligible,
+            rates: &self.rates,
+        };
+        let current = self
+            .bindings
+            .get(&tenant)
+            .copied()
+            .filter(|&s| self.eligible[s]);
+        match self.policy.place(tenant, queries, current, &view) {
+            Placement::HashEach => self.submit_hashed(tenant, queries),
+            Placement::Shard(shard) => {
+                assert!(
+                    self.eligible.get(shard) == Some(&true),
+                    "policy '{}' placed {tenant} on drained/unknown shard {shard}",
+                    self.policy.name()
+                );
+                let taken = self.service.submit_routed(tenant, queries, shard);
+                if taken == 0 {
+                    // Nothing landed (shard buffer full): the tenant has
+                    // not moved, so neither the binding nor the migration
+                    // counter may say it did.
+                    return 0;
+                }
+                let prev = self.bindings.insert(tenant, shard);
+                if prev.is_some_and(|p| p != shard) {
+                    self.migrations += 1;
+                }
+                self.routed_per_shard[shard] += taken as u64;
+                taken
+            }
+        }
+    }
+
+    /// Vertex-hash placement over the eligible subset: with nothing
+    /// drained this reproduces [`WalkService::submit`]'s shard choice
+    /// query for query.
+    fn submit_hashed(&mut self, tenant: TenantId, queries: &[WalkQuery]) -> usize {
+        let targets: Vec<usize> = (0..self.eligible.len())
+            .filter(|&s| self.eligible[s])
+            .collect();
+        let all = targets.len() == self.eligible.len();
+        // Destinations decided up front (borrow-free loop below). With
+        // nothing drained this is exactly `WalkService::shard_of`.
+        let homes: Vec<usize> = queries
+            .iter()
+            .map(|q| {
+                if all {
+                    self.service.shard_of(q.start)
+                } else {
+                    targets[(SplitMix64::mix(u64::from(q.start)) % targets.len() as u64) as usize]
+                }
+            })
+            .collect();
+        let mut accepted = 0;
+        let mut start = 0;
+        while start < queries.len() {
+            // Contiguous run with one destination -> one routed submit.
+            let shard = homes[start];
+            let mut end = start + 1;
+            while end < queries.len() && homes[end] == shard {
+                end += 1;
+            }
+            let taken = self
+                .service
+                .submit_routed(tenant, &queries[start..end], shard);
+            accepted += taken;
+            self.routed_per_shard[shard] += taken as u64;
+            if taken < end - start {
+                break; // backpressure: preserve prefix-acceptance semantics
+            }
+            start = end;
+        }
+        accepted
+    }
+
+    /// Advances the service one tick — see [`WalkService::tick`].
+    pub fn tick(&mut self) -> Vec<CompletedWalk> {
+        self.service.tick()
+    }
+
+    /// [`WalkService::tick_into`]: one tick, delivered into `sink`.
+    pub fn tick_into<S: WalkSink + ?Sized>(&mut self, sink: &mut S) -> usize {
+        self.service.tick_into(sink)
+    }
+
+    /// Runs the fleet dry — see [`WalkService::drain`].
+    pub fn drain(&mut self) -> Vec<CompletedWalk> {
+        self.service.drain()
+    }
+
+    /// [`WalkService::drain_into`]: drains, delivered into `sink`.
+    pub fn drain_into<S: WalkSink + ?Sized>(&mut self, sink: &mut S) -> usize {
+        self.service.drain_into(sink)
+    }
+
+    /// Queries parked or in flight anywhere in the fleet.
+    pub fn queue_depth(&self) -> usize {
+        self.service.queue_depth()
+    }
+
+    /// The current logical tick.
+    pub fn now(&self) -> u64 {
+        self.service.now()
+    }
+
+    /// Service-level statistics (latency, throughput, per-tenant rows).
+    pub fn stats(&self) -> ServiceStats {
+        self.service.stats()
+    }
+
+    /// Live per-shard signals (what the policy last saw, re-read).
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.service.shard_snapshots()
+    }
+
+    /// What the routing tier did so far.
+    pub fn report(&self) -> RouteReport {
+        let mut routed_per_class = Vec::new();
+        for class in BackendClass::all() {
+            let n: u64 = self
+                .classes
+                .iter()
+                .zip(&self.routed_per_shard)
+                .filter(|(&c, _)| c == class)
+                .map(|(_, &n)| n)
+                .sum();
+            if self.classes.contains(&class) {
+                routed_per_class.push((class, n));
+            }
+        }
+        RouteReport {
+            policy: self.policy.name().to_string(),
+            migrations: self.migrations,
+            routed_per_shard: self.routed_per_shard.clone(),
+            routed_per_class,
+            bound_tenants: self.bindings.len(),
+        }
+    }
+
+    /// Immutable access to the wrapped service.
+    pub fn service(&self) -> &WalkService<DynWalkBackend> {
+        &self.service
+    }
+
+    /// Mutable access to the wrapped service (sink subscription etc.).
+    /// Submitting through this bypasses the policy — use
+    /// [`submit`](Self::submit) for routed traffic.
+    pub fn service_mut(&mut self) -> &mut WalkService<DynWalkBackend> {
+        &mut self.service
+    }
+
+    /// Unwraps the router, returning the service.
+    pub fn into_service(self) -> WalkService<DynWalkBackend> {
+        self.service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grw_algo::{ParallelBackend, PreparedGraph, QuerySet, WalkSpec};
+    use grw_graph::generators::{Dataset, ScaleFactor};
+    use grw_service::ServiceConfig;
+    use std::sync::Arc;
+
+    fn cpu_fleet(shards: usize, seed: u64) -> WalkService<DynWalkBackend> {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(8);
+        let prepared = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+        WalkService::new(ServiceConfig::new(shards).max_batch(32), move |_| {
+            Box::new(ParallelBackend::new(
+                prepared.clone(),
+                spec.clone(),
+                seed,
+                2,
+            )) as DynWalkBackend
+        })
+    }
+
+    #[test]
+    fn hash_placement_matches_the_service_exactly() {
+        let qs = QuerySet::random(2000, 600, 9);
+        let mut direct = cpu_fleet(3, 0xAB);
+        direct.submit(TenantId(1), qs.queries());
+        let mut routed = Router::new(cpu_fleet(3, 0xAB), StaticHashPolicy);
+        routed.submit(TenantId(1), qs.queries());
+        assert_eq!(
+            direct
+                .shard_snapshots()
+                .iter()
+                .map(|s| s.submitted)
+                .collect::<Vec<_>>(),
+            routed
+                .shard_snapshots()
+                .iter()
+                .map(|s| s.submitted)
+                .collect::<Vec<_>>(),
+            "hash routing reproduces WalkService::submit placement"
+        );
+        let mut a = direct.drain();
+        let mut b = routed.drain();
+        a.sort_by_key(|c| c.path.query);
+        b.sort_by_key(|c| c.path.query);
+        assert_eq!(a, b, "same shards, same seeds, same walks");
+        assert_eq!(routed.report().migrations, 0);
+        assert_eq!(routed.report().bound_tenants, 0);
+    }
+
+    #[test]
+    fn shard_placement_binds_and_counts_migrations() {
+        let mut r = Router::new(cpu_fleet(2, 1), LeastLoadedPolicy);
+        let qs = QuerySet::random(100, 40, 2);
+        // First batch binds; a second identical batch may stay or move
+        // depending on load, but bindings are always recorded.
+        assert_eq!(r.submit(TenantId(4), qs.queries()), 40);
+        assert!(r.binding(TenantId(4)).is_some());
+        let done = r.drain();
+        assert_eq!(done.len(), 40);
+        let report = r.report();
+        assert_eq!(report.bound_tenants, 1);
+        assert_eq!(report.routed_per_shard.iter().sum::<u64>(), 40);
+        assert_eq!(report.routed_to(BackendClass::Cpu), 40);
+        assert!(report.to_string().contains("least-loaded"));
+    }
+
+    #[test]
+    fn fully_drained_fleet_accepts_nothing() {
+        let mut r = Router::new(cpu_fleet(2, 1), LeastLoadedPolicy);
+        assert_eq!(r.drain_class(BackendClass::Cpu), 2);
+        let qs = QuerySet::random(100, 10, 3);
+        assert_eq!(r.submit(TenantId(0), qs.queries()), 0);
+        assert_eq!(r.queue_depth(), 0);
+        // Restoring brings acceptance back.
+        assert_eq!(r.set_class_eligible(BackendClass::Cpu, true), 2);
+        assert_eq!(r.submit(TenantId(0), qs.queries()), 10);
+        assert_eq!(r.drain().len(), 10);
+    }
+
+    #[test]
+    fn drained_shard_never_receives_under_hash_placement() {
+        let mut r = Router::new(cpu_fleet(3, 5), StaticHashPolicy);
+        r.set_shard_eligible(1, false);
+        let qs = QuerySet::random(2000, 500, 7);
+        assert_eq!(r.submit(TenantId(2), qs.queries()), 500);
+        let snaps = r.shard_snapshots();
+        assert_eq!(snaps[1].submitted, 0, "drained shard got queries");
+        assert!(snaps[0].submitted > 0 && snaps[2].submitted > 0);
+        assert_eq!(r.drain().len(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "drained/unknown shard")]
+    fn policies_may_not_place_on_drained_shards() {
+        struct Stubborn;
+        impl RoutePolicy for Stubborn {
+            fn name(&self) -> &'static str {
+                "stubborn"
+            }
+            fn place(
+                &mut self,
+                _: TenantId,
+                _: &[WalkQuery],
+                _: Option<usize>,
+                _: &FleetView<'_>,
+            ) -> Placement {
+                Placement::Shard(0)
+            }
+        }
+        let mut r = Router::new(cpu_fleet(2, 1), Stubborn);
+        r.set_shard_eligible(0, false);
+        let qs = QuerySet::random(100, 5, 1);
+        let _ = r.submit(TenantId(0), qs.queries());
+    }
+}

@@ -68,18 +68,25 @@ pub mod sink;
 mod stats;
 mod tenant;
 
-pub use accel::{accelerator_service, AccelShardMode, DynWalkBackend};
+pub use accel::{
+    accelerator_service, mixed_fleet_service, AccelShardMode, DynWalkBackend, ShardSpec,
+};
 pub use batch::FlushReason;
 pub use sink::{SinkAck, SinkReport, WalkSink};
-pub use stats::{percentile, ServiceStats};
+pub use stats::{percentile, ServiceStats, TenantStats};
 pub use tenant::{TenantId, LOCAL_ID_BITS, MAX_LOCAL_ID};
 
 use batch::MicroBatcher;
-use grw_algo::{WalkBackend, WalkPath, WalkQuery};
+use grw_algo::{BackendClass, WalkBackend, WalkPath, WalkQuery};
 use grw_rng::SplitMix64;
 use stats::StatsCollector;
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
+
+/// Smoothing factor for the per-shard latency EWMA: each delivery moves
+/// the estimate 1/8 of the way to its own latency — responsive enough for
+/// load-aware routing, smooth enough to ride out single-batch noise.
+const LATENCY_EWMA_ALPHA: f64 = 0.125;
 
 /// Configuration of a [`WalkService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -225,6 +232,53 @@ struct Shard<B> {
     backend: B,
     batcher: MicroBatcher,
     submitted: u64,
+    completed: u64,
+    /// EWMA of per-query end-to-end latency delivered by this shard, in
+    /// ticks; `None` until the shard has delivered anything.
+    ewma_latency_ticks: Option<f64>,
+}
+
+/// A point-in-time, per-shard view of the live signals a routing tier
+/// places tenants with: what the shard is (class, static cost prior),
+/// how loaded it is (coalescing-buffer depth, backend residency and its
+/// awaiting/executing split where reported), and how it has been
+/// performing (per-shard latency EWMA, pipeline bubble ratio).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// Shard index within the service.
+    pub shard: usize,
+    /// Execution substrate of the shard's backend.
+    pub class: BackendClass,
+    /// The backend's static relative cost prior (lower = cheaper).
+    pub cost_hint: f64,
+    /// Queries parked in the shard's coalescing buffer.
+    pub queued: usize,
+    /// Queries resident inside the backend (accepted, not yet returned).
+    pub in_flight: usize,
+    /// Backend-internal admission backlog (the accelerator machine's
+    /// awaiting-injection count), when the backend reports the split.
+    pub awaiting_injection: Option<usize>,
+    /// Queries actually executing in the backend's compute (the machine's
+    /// in-pipeline count), when reported.
+    pub executing: Option<usize>,
+    /// Queries routed to this shard since the service started.
+    pub submitted: u64,
+    /// Walks this shard has delivered.
+    pub completed: u64,
+    /// EWMA of per-query end-to-end latency delivered by this shard, in
+    /// ticks; `None` until the first delivery.
+    pub ewma_latency_ticks: Option<f64>,
+    /// The shard backend's cumulative pipeline bubble ratio, when it
+    /// reports a pipeline-cycle breakdown.
+    pub bubble_ratio: Option<f64>,
+}
+
+impl ShardSnapshot {
+    /// Total queries this shard is responsible for right now (parked in
+    /// its buffer plus resident in its backend).
+    pub fn backlog(&self) -> usize {
+        self.queued + self.in_flight
+    }
 }
 
 /// The sharded, multi-tenant serving front-end over N walk backends.
@@ -268,6 +322,8 @@ impl<B: WalkBackend> WalkService<B> {
                 backend: make_backend(i),
                 batcher: MicroBatcher::new(cfg.max_batch, cfg.max_delay_ticks, cfg.buffer_capacity),
                 submitted: 0,
+                completed: 0,
+                ewma_latency_ticks: None,
             })
             .collect();
         Self {
@@ -297,10 +353,42 @@ impl<B: WalkBackend> WalkService<B> {
     /// Query ids are tenant-local and must fit [`MAX_LOCAL_ID`]; the
     /// completed paths come back keyed by the same local ids.
     pub fn submit(&mut self, tenant: TenantId, queries: &[WalkQuery]) -> usize {
+        self.submit_inner(tenant, queries, None)
+    }
+
+    /// [`submit`](Self::submit) with the placement decided by the caller:
+    /// every accepted query parks in shard `shard`'s coalescing buffer
+    /// instead of its vertex-hash home. This is the routing hook a
+    /// placement tier (the `grw_route` crate) drives — the service itself
+    /// never migrates queries, so a query accepted here executes and
+    /// completes on `shard` exactly as if the hash had chosen it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn submit_routed(
+        &mut self,
+        tenant: TenantId,
+        queries: &[WalkQuery],
+        shard: usize,
+    ) -> usize {
+        assert!(shard < self.shards.len(), "shard {shard} out of range");
+        self.submit_inner(tenant, queries, Some(shard))
+    }
+
+    /// Shared acceptance loop behind [`submit`](Self::submit) (vertex-hash
+    /// placement) and [`submit_routed`](Self::submit_routed) (explicit
+    /// placement).
+    fn submit_inner(
+        &mut self,
+        tenant: TenantId,
+        queries: &[WalkQuery],
+        fixed_shard: Option<usize>,
+    ) -> usize {
         let mut accepted = 0;
         for q in queries {
             let internal = tenant.namespace_query(q);
-            let shard = self.shard_of(q.start);
+            let shard = fixed_shard.unwrap_or_else(|| self.shard_of(q.start));
             if !self.shards[shard].batcher.push(internal, self.tick) {
                 // Try to make room once by flushing a full batch.
                 self.flush_shard(shard, FlushReason::Size);
@@ -309,7 +397,7 @@ impl<B: WalkBackend> WalkService<B> {
                 }
             }
             self.shards[shard].submitted += 1;
-            self.collector.submitted += 1;
+            self.collector.record_submitted(tenant);
             self.arrivals
                 .entry((shard, internal.id))
                 .or_default()
@@ -700,9 +788,41 @@ impl<B: WalkBackend> WalkService<B> {
         self.tick
     }
 
+    /// Number of backend shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Immutable access to a shard's backend (telemetry, reports).
     pub fn backend(&self, shard: usize) -> &B {
         &self.shards[shard].backend
+    }
+
+    /// Live per-shard signals for load-aware placement: one
+    /// [`ShardSnapshot`] per shard, cheap enough to take before every
+    /// routing decision (no latency-sample copies, just counters and the
+    /// backend telemetry call).
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let t = s.backend.telemetry();
+                ShardSnapshot {
+                    shard: i,
+                    class: s.backend.backend_class(),
+                    cost_hint: s.backend.cost_hint(),
+                    queued: s.batcher.len(),
+                    in_flight: s.backend.in_flight(),
+                    awaiting_injection: t.occupancy_split.map(|(a, _)| a),
+                    executing: t.occupancy_split.map(|(_, e)| e),
+                    submitted: s.submitted,
+                    completed: s.completed,
+                    ewma_latency_ticks: s.ewma_latency_ticks,
+                    bubble_ratio: t.pipeline.map(|m| m.bubble_ratio()),
+                }
+            })
+            .collect()
     }
 
     /// Takes one micro-batch out of shard `shard`'s buffer and submits it
@@ -793,7 +913,15 @@ impl<B: WalkBackend> WalkService<B> {
             self.collector
                 .record_batch_done(b.flushed_at.elapsed(), self.tick - b.flushed_tick);
         }
-        self.collector.record_query_done(self.tick - arrival_tick);
+        let latency = self.tick - arrival_tick;
+        self.collector
+            .record_query_done(tenant, latency, path.steps());
+        let s = &mut self.shards[shard];
+        s.completed += 1;
+        s.ewma_latency_ticks = Some(match s.ewma_latency_ticks {
+            Some(prev) => prev + LATENCY_EWMA_ALPHA * (latency as f64 - prev),
+            None => latency as f64,
+        });
         CompletedWalk {
             tenant,
             path,

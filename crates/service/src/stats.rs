@@ -7,7 +7,9 @@
 //! percentiles stay representative of the whole run while memory stays
 //! O(capacity).
 
+use crate::TenantId;
 use grw_rng::{RandomSource, SplitMix64};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -63,6 +65,34 @@ impl Reservoir {
     }
 }
 
+/// Per-tenant counters and a bounded latency reservoir.
+///
+/// Each tenant's latency sample is its own [`Reservoir`] of the
+/// configured capacity, so the per-tenant breakdown stays O(tenants ×
+/// capacity) no matter how long the service runs.
+#[derive(Debug, Clone)]
+pub(crate) struct TenantCollector {
+    pub submitted: u64,
+    pub completed: u64,
+    pub steps: u64,
+    pub latencies_ticks: Reservoir,
+    pub latency_sum: u64,
+    pub latency_max: u64,
+}
+
+impl TenantCollector {
+    fn new(reservoir_cap: usize) -> Self {
+        Self {
+            submitted: 0,
+            completed: 0,
+            steps: 0,
+            latencies_ticks: Reservoir::new(reservoir_cap),
+            latency_sum: 0,
+            latency_max: 0,
+        }
+    }
+}
+
 /// Tracks latency reservoirs and aggregate counters.
 #[derive(Debug, Clone)]
 pub(crate) struct StatsCollector {
@@ -90,6 +120,13 @@ pub(crate) struct StatsCollector {
     pub sink_spilled: u64,
     /// Sink flushes the service forced to keep delivery moving.
     pub sink_forced_flushes: u64,
+    /// Per-tenant breakdown, keyed for a stable report order. Each entry
+    /// is reservoir-bounded; the map itself is bounded by the `u16`
+    /// tenant-id space (in practice: tenants actually seen).
+    pub tenants: BTreeMap<TenantId, TenantCollector>,
+    /// Capacity for per-tenant latency reservoirs (same bound as the
+    /// service-wide ones).
+    reservoir_cap: usize,
 }
 
 impl StatsCollector {
@@ -110,6 +147,8 @@ impl StatsCollector {
             sink_backpressured: 0,
             sink_spilled: 0,
             sink_forced_flushes: 0,
+            tenants: BTreeMap::new(),
+            reservoir_cap,
         }
     }
 
@@ -118,10 +157,28 @@ impl StatsCollector {
         self.batch_latencies_ticks.push(ticks);
     }
 
-    pub(crate) fn record_query_done(&mut self, latency_ticks: u64) {
+    fn tenant_mut(&mut self, tenant: TenantId) -> &mut TenantCollector {
+        let cap = self.reservoir_cap;
+        self.tenants
+            .entry(tenant)
+            .or_insert_with(|| TenantCollector::new(cap))
+    }
+
+    pub(crate) fn record_submitted(&mut self, tenant: TenantId) {
+        self.submitted += 1;
+        self.tenant_mut(tenant).submitted += 1;
+    }
+
+    pub(crate) fn record_query_done(&mut self, tenant: TenantId, latency_ticks: u64, steps: u64) {
         self.query_latencies_ticks.push(latency_ticks);
         self.query_latency_sum += latency_ticks;
         self.query_latency_max = self.query_latency_max.max(latency_ticks);
+        let t = self.tenant_mut(tenant);
+        t.completed += 1;
+        t.steps += steps;
+        t.latencies_ticks.push(latency_ticks);
+        t.latency_sum += latency_ticks;
+        t.latency_max = t.latency_max.max(latency_ticks);
     }
 }
 
@@ -138,6 +195,32 @@ pub fn percentile(sample: &[u64], p: f64) -> u64 {
     sorted.sort_unstable();
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Per-tenant slice of the service statistics — what one tenant
+/// submitted, got back, and waited, so routing decisions and capacity
+/// reports are attributable to the tenant that caused them.
+///
+/// Percentiles come from a per-tenant bounded reservoir (same capacity as
+/// the service-wide one); mean and max are exact over every delivery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// The tenant this row describes.
+    pub tenant: TenantId,
+    /// Queries the service accepted from this tenant.
+    pub submitted: u64,
+    /// Walks delivered back to this tenant.
+    pub completed: u64,
+    /// Total hops across this tenant's delivered walks.
+    pub steps: u64,
+    /// Median end-to-end latency in ticks (bounded reservoir).
+    pub p50_latency_ticks: u64,
+    /// 99th-percentile end-to-end latency in ticks (bounded reservoir).
+    pub p99_latency_ticks: u64,
+    /// Exact mean end-to-end latency in ticks.
+    pub mean_latency_ticks: f64,
+    /// Exact maximum end-to-end latency in ticks.
+    pub max_latency_ticks: u64,
 }
 
 /// A point-in-time report of service health and performance.
@@ -222,6 +305,10 @@ pub struct ServiceStats {
     /// Completed walks currently parked in the spill buffer (bounded by
     /// `ServiceConfig::sink_spill_capacity`).
     pub sink_spill_depth: usize,
+    /// Per-tenant breakdown (queries, walks, latency percentiles), in
+    /// ascending tenant order. Each row's percentile sample is
+    /// reservoir-bounded.
+    pub per_tenant: Vec<TenantStats>,
 }
 
 impl ServiceStats {
@@ -288,6 +375,24 @@ impl ServiceStats {
             sink_spilled: c.sink_spilled,
             sink_forced_flushes: c.sink_forced_flushes,
             sink_spill_depth,
+            per_tenant: c
+                .tenants
+                .iter()
+                .map(|(&tenant, t)| TenantStats {
+                    tenant,
+                    submitted: t.submitted,
+                    completed: t.completed,
+                    steps: t.steps,
+                    p50_latency_ticks: percentile(t.latencies_ticks.sample(), 50.0),
+                    p99_latency_ticks: percentile(t.latencies_ticks.sample(), 99.0),
+                    mean_latency_ticks: if t.completed > 0 {
+                        t.latency_sum as f64 / t.completed as f64
+                    } else {
+                        0.0
+                    },
+                    max_latency_ticks: t.latency_max,
+                })
+                .collect(),
         }
     }
 }
@@ -353,7 +458,30 @@ impl fmt::Display for ServiceStats {
                 self.sink_spill_depth
             )?;
         }
-        write!(f, "shard load: {:?}", self.per_shard_submitted)
+        if self.per_tenant.len() > 1 {
+            writeln!(f, "shard load: {:?}", self.per_shard_submitted)?;
+            const SHOWN: usize = 8;
+            for t in self.per_tenant.iter().take(SHOWN) {
+                writeln!(
+                    f,
+                    "  {}: {} submitted, {} completed | latency p50 {} / p99 {} ticks (mean {:.2}, max {})",
+                    t.tenant,
+                    t.submitted,
+                    t.completed,
+                    t.p50_latency_ticks,
+                    t.p99_latency_ticks,
+                    t.mean_latency_ticks,
+                    t.max_latency_ticks
+                )?;
+            }
+            write!(f, "tenants: {}", self.per_tenant.len())?;
+            if self.per_tenant.len() > SHOWN {
+                write!(f, " ({} shown)", SHOWN)?;
+            }
+            Ok(())
+        } else {
+            write!(f, "shard load: {:?}", self.per_shard_submitted)
+        }
     }
 }
 
@@ -402,12 +530,40 @@ mod tests {
     fn collector_tracks_exact_query_aggregates() {
         let mut c = StatsCollector::new(4);
         for l in [3u64, 9, 1, 7, 5, 11] {
-            c.record_query_done(l);
+            c.record_query_done(TenantId(2), l, 2);
         }
         assert_eq!(c.query_latencies_ticks.seen(), 6);
         assert_eq!(c.query_latencies_ticks.sample().len(), 4, "bounded");
         assert_eq!(c.query_latency_sum, 36, "mean is exact, not sampled");
         assert_eq!(c.query_latency_max, 11);
+        let t = &c.tenants[&TenantId(2)];
+        assert_eq!(t.completed, 6);
+        assert_eq!(t.steps, 12);
+        assert_eq!(t.latency_sum, 36);
+        assert_eq!(t.latencies_ticks.sample().len(), 4, "per-tenant bounded");
+    }
+
+    #[test]
+    fn per_tenant_breakdown_separates_tenants() {
+        let mut c = StatsCollector::new(16);
+        c.record_submitted(TenantId(1));
+        c.record_submitted(TenantId(1));
+        c.record_submitted(TenantId(7));
+        c.record_query_done(TenantId(1), 4, 3);
+        c.record_query_done(TenantId(1), 8, 3);
+        c.record_query_done(TenantId(7), 20, 5);
+        let s = ServiceStats::build(&c, 1, 0, 11, 0.1, None, None, vec![3], 0);
+        assert_eq!(s.per_tenant.len(), 2);
+        let t1 = &s.per_tenant[0];
+        assert_eq!((t1.tenant, t1.submitted, t1.completed), (TenantId(1), 2, 2));
+        assert!((t1.mean_latency_ticks - 6.0).abs() < 1e-12);
+        assert_eq!(t1.max_latency_ticks, 8);
+        let t7 = &s.per_tenant[1];
+        assert_eq!((t7.tenant, t7.completed, t7.steps), (TenantId(7), 1, 5));
+        assert_eq!(t7.p99_latency_ticks, 20);
+        let text = s.to_string();
+        assert!(text.contains("tenant7"), "{text}");
+        assert!(text.contains("tenants: 2"), "{text}");
     }
 
     #[test]
@@ -418,8 +574,8 @@ mod tests {
         c.batches_flushed = 2;
         c.flushed_by_size = 1;
         c.flushed_by_deadline = 1;
-        c.record_query_done(4);
-        c.record_query_done(8);
+        c.record_query_done(TenantId(0), 4, 1);
+        c.record_query_done(TenantId(0), 8, 1);
         // 1000 cycles at 320 MHz = 3.125 µs of simulated time.
         let s = ServiceStats::build(
             &c,

@@ -16,6 +16,8 @@
 //!   ([`grw_baselines`]).
 //! * [`service`] — the sharded, multi-tenant walk-serving layer over the
 //!   streaming `WalkBackend` interface ([`grw_service`]).
+//! * [`route`] — the adaptive routing tier: load-aware tenant placement
+//!   across mixed accelerator/CPU shard fleets ([`grw_route`]).
 //! * [`sink`] — bounded streaming result consumers (skip-gram corpora,
 //!   PPR aggregation, histograms, per-tenant fan-out) over the service's
 //!   `WalkSink` delivery API ([`grw_sink`]).
@@ -34,6 +36,7 @@ pub use grw_bench as bench;
 pub use grw_graph as graph;
 pub use grw_queueing as queueing;
 pub use grw_rng as rng;
+pub use grw_route as route;
 pub use grw_service as service;
 pub use grw_sim as sim;
 pub use grw_sink as sink;

@@ -3,7 +3,7 @@
 //! harness invariants the CI acceptance criteria rest on.
 
 use ridgewalker_suite::algo::{ParallelBackend, PreparedGraph, QuerySet, WalkSpec};
-use ridgewalker_suite::bench::load::{run_latency_load, LoadConfig, LoadWorkload};
+use ridgewalker_suite::bench::load::{run_latency_load, LoadConfig, LoadDelivery, LoadWorkload};
 use ridgewalker_suite::bench::Json;
 use ridgewalker_suite::graph::generators::{Dataset, ScaleFactor};
 use ridgewalker_suite::queueing::ArrivalProcess;
@@ -220,4 +220,74 @@ fn load_sweep_is_deterministic() {
     let a = run_latency_load(LoadWorkload::Ppr, &cfg);
     let b = run_latency_load(LoadWorkload::Ppr, &cfg);
     assert_eq!(a.to_json(), b.to_json());
+}
+
+/// Sink-aware load benching: driving the sweep through `tick_into` with
+/// an unbounded counting sink measures the same latencies as the
+/// collect path (acceptance happens the tick a walk completes), while a
+/// *bounded* sink turns delivery backpressure into a visible latency
+/// term — spilled walks wait for flush windows, and that wait now counts.
+#[test]
+fn sink_delivery_exposes_backpressure_as_latency() {
+    let base_cfg = {
+        let mut c = LoadConfig::test_tiny();
+        c.queries_per_point = 192;
+        c.calibration_queries = 256;
+        c.load_grid = vec![0.4, 1.2];
+        c
+    };
+    let collect = run_latency_load(LoadWorkload::Urw, &base_cfg);
+
+    let mut open_cfg = base_cfg.clone();
+    open_cfg.delivery = LoadDelivery::Sink { window: usize::MAX };
+    let open = run_latency_load(LoadWorkload::Urw, &open_cfg);
+
+    let mut gated_cfg = base_cfg.clone();
+    gated_cfg.delivery = LoadDelivery::Sink { window: 8 };
+    let gated = run_latency_load(LoadWorkload::Urw, &gated_cfg);
+
+    for (c, o, g) in collect
+        .incremental
+        .iter()
+        .zip(&open.incremental)
+        .zip(&gated.incremental)
+        .map(|((c, o), g)| (c, o, g))
+    {
+        assert_eq!(c.completed, o.completed);
+        assert_eq!(c.completed, g.completed, "conservation through the gate");
+        assert!(
+            (o.mean_latency_ticks - c.mean_latency_ticks).abs() < 1e-9,
+            "rho {}: an unbounded sink accepts at completion — same latency ({} vs {})",
+            c.rho,
+            o.mean_latency_ticks,
+            c.mean_latency_ticks
+        );
+        assert_eq!(o.sink_spilled, 0, "unbounded sink never spills");
+        assert!(
+            g.mean_latency_ticks >= c.mean_latency_ticks,
+            "rho {}: delivery backpressure can only add latency ({} vs {})",
+            c.rho,
+            g.mean_latency_ticks,
+            c.mean_latency_ticks
+        );
+    }
+    // At high load the 8-walk flush window must actually bite: walks
+    // spill, flushes are forced, and the latency term is visible.
+    let g_high = gated.incremental.last().unwrap();
+    let c_high = collect.incremental.last().unwrap();
+    assert!(g_high.sink_spilled > 0, "the gate must backpressure");
+    assert!(g_high.sink_forced_flushes > 0);
+    assert!(
+        g_high.mean_latency_ticks > c_high.mean_latency_ticks,
+        "high-rho delivery backpressure must show up as latency ({} vs {})",
+        g_high.mean_latency_ticks,
+        c_high.mean_latency_ticks
+    );
+    // The mode is recorded in the bench JSON.
+    let json = Json::parse(&gated.to_json()).unwrap();
+    assert_eq!(
+        json.get("delivery").and_then(Json::as_str),
+        Some("sink"),
+        "delivery mode recorded"
+    );
 }
