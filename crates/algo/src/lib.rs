@@ -11,6 +11,10 @@
 //!   reports its *memory cost* ([`sampler::SampleOutcome`]): uniform trials,
 //!   membership probes, sequential scans and alias reads — the quantities
 //!   the cycle-level models charge against memory channels.
+//! * [`strategy`] — runtime-adaptive kernel selection per vertex degree
+//!   bucket ([`SamplerConfig`], [`StrategyTable`]) and the bounded
+//!   second-order [`EdgeAliasCache`] threaded through every engine as a
+//!   per-worker [`SamplerRuntime`].
 //! * [`ReferenceEngine`] / [`ParallelEngine`] — software engines that
 //!   execute queries exactly per Algorithm II.1 of the paper; they define
 //!   correct output distributions for every accelerator model to match.
@@ -42,12 +46,17 @@ mod prepared;
 mod query;
 pub mod sampler;
 mod spec;
+pub mod strategy;
 pub mod walk;
 pub mod walkstats;
 
 pub use prepared::{PreparedGraph, StepDecision, TerminationReason};
 pub use query::{QuerySet, WalkPath, WalkQuery};
+pub use sampler::{EdgeAliasCache, SampleMethod, SampleOutcome};
 pub use spec::{Node2VecMethod, WalkSpec};
+pub use strategy::{
+    SamplerConfig, SamplerMode, SamplerRuntime, SamplerStrategy, SamplingCounters, StrategyTable,
+};
 pub use walk::{
     run_streamed, BackendClass, BackendTelemetry, BatchFnBackend, ParallelBackend, ParallelEngine,
     ReferenceBackend, ReferenceEngine, WalkBackend, WalkEngine,

@@ -1,7 +1,8 @@
 //! A graph prepared for a particular walk specification.
 
-use crate::sampler::{self, SampleOutcome};
+use crate::sampler::{self, EdgeAliasCache, SampleOutcome};
 use crate::spec::{Node2VecMethod, WalkSpec};
+use crate::strategy::{SamplerConfig, SamplerMode, SamplerRuntime, SamplerStrategy, StrategyTable};
 use grw_graph::{AliasTables, CsrGraph, VertexId};
 use grw_rng::RandomSource;
 use std::error::Error;
@@ -67,16 +68,42 @@ impl Error for PrepareGraphError {}
 pub struct PreparedGraph {
     graph: CsrGraph,
     alias: Option<AliasTables>,
+    sampler: SamplerConfig,
+    strategies: StrategyTable,
+    cost_factor: f64,
 }
 
 impl PreparedGraph {
-    /// Validates requirements and builds auxiliary structures.
+    /// Validates requirements and builds auxiliary structures, with the
+    /// default [`SamplerConfig::legacy`] kernels — bitwise-identical
+    /// behaviour and cost accounting to the pre-adaptive code.
     ///
     /// # Errors
     ///
     /// Returns an error when the spec needs weights or vertex types the
     /// graph does not carry.
     pub fn new(graph: CsrGraph, spec: &WalkSpec) -> Result<Self, PrepareGraphError> {
+        Self::with_sampler(graph, spec, SamplerConfig::legacy())
+    }
+
+    /// Validates requirements and builds auxiliary structures under an
+    /// explicit sampler configuration.
+    ///
+    /// Under [`SamplerConfig::auto`] the shared alias tables are only
+    /// built for the degree range actually routed to them
+    /// ([`AliasTables::build_min_degree`]), and skipped entirely when no
+    /// bucket reads them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec needs weights or vertex types the
+    /// graph does not carry, or when a forced strategy does not support
+    /// the spec.
+    pub fn with_sampler(
+        graph: CsrGraph,
+        spec: &WalkSpec,
+        config: SamplerConfig,
+    ) -> Result<Self, PrepareGraphError> {
         if spec.requires_weights() && !graph.is_weighted() {
             return Err(PrepareGraphError(format!(
                 "{} requires edge weights",
@@ -89,10 +116,37 @@ impl PreparedGraph {
                 spec.name()
             )));
         }
-        let alias = spec
-            .requires_alias_tables()
-            .then(|| AliasTables::build(&graph));
-        Ok(Self { graph, alias })
+        let strategies = StrategyTable::build(spec, &config).map_err(PrepareGraphError)?;
+        let alias = strategies.needs_alias_tables().then(|| {
+            let min = strategies.min_alias_degree();
+            if min == 0 {
+                AliasTables::build(&graph)
+            } else {
+                AliasTables::build_min_degree(&graph, min)
+            }
+        });
+        let cost_factor = match config.mode() {
+            // Identical tables cost identically by definition; skip the
+            // graph scan and keep the factor exactly 1.0.
+            SamplerMode::Legacy => 1.0,
+            _ => {
+                let legacy = StrategyTable::build(spec, &SamplerConfig::legacy())
+                    .expect("legacy table is valid for every spec");
+                let base = legacy.expected_unit_cost(&graph, spec);
+                if base == 0.0 {
+                    1.0
+                } else {
+                    strategies.expected_unit_cost(&graph, spec) / base
+                }
+            }
+        };
+        Ok(Self {
+            graph,
+            alias,
+            sampler: config,
+            strategies,
+            cost_factor,
+        })
     }
 
     /// The underlying graph.
@@ -100,9 +154,40 @@ impl PreparedGraph {
         &self.graph
     }
 
-    /// The alias tables, when the spec needed them.
+    /// The alias tables, when some degree bucket reads them.
     pub fn alias(&self) -> Option<&AliasTables> {
         self.alias.as_ref()
+    }
+
+    /// The sampler configuration this graph was prepared under.
+    pub fn sampler_config(&self) -> &SamplerConfig {
+        &self.sampler
+    }
+
+    /// The per-degree-bucket strategy decision.
+    pub fn strategies(&self) -> &StrategyTable {
+        &self.strategies
+    }
+
+    /// Expected sampling cost per step relative to the legacy kernels
+    /// (< 1.0 means the adaptive table is cheaper on this graph). Exactly
+    /// 1.0 under [`SamplerConfig::legacy`]. Backends expose this through
+    /// [`crate::WalkBackend::cost_hint`] so routing policies see sampler
+    /// heterogeneity across a mixed fleet.
+    pub fn sampler_cost_factor(&self) -> f64 {
+        self.cost_factor
+    }
+
+    /// A fresh per-worker sampler runtime: an [`EdgeAliasCache`] when the
+    /// strategy table has second-order buckets and the configured budget
+    /// is non-zero, plus zeroed counters. Each engine worker should own
+    /// one exclusively — they are deliberately not shared.
+    pub fn runtime(&self) -> SamplerRuntime {
+        let cache =
+            (self.strategies.uses_second_order() && self.sampler.cache_budget() > 0).then(|| {
+                EdgeAliasCache::new(self.sampler.cache_budget(), self.sampler.cache_segments())
+            });
+        SamplerRuntime::with_cache(cache)
     }
 
     /// PPR pre-hop termination: `true` with probability α for PPR specs,
@@ -115,7 +200,8 @@ impl PreparedGraph {
         }
     }
 
-    /// Samples the next neighbor of `cur` for hop number `hop` (0-based).
+    /// Samples the next neighbor of `cur` for hop number `hop` (0-based),
+    /// through an ephemeral disabled [`SamplerRuntime`].
     ///
     /// Returns `None` when the walk cannot continue (dead end / no typed
     /// neighbor). `prev` is required for second-order specs after hop 0.
@@ -127,37 +213,100 @@ impl PreparedGraph {
         hop: u32,
         rng: &mut G,
     ) -> Option<(VertexId, SampleOutcome)> {
-        let outcome = match spec {
-            WalkSpec::Urw { .. } | WalkSpec::Ppr { .. } => {
-                sampler::uniform_sample(self.graph.degree(cur), rng)?
-            }
-            WalkSpec::DeepWalk { .. } => sampler::alias_sample(
+        self.sample_neighbor_with(&mut SamplerRuntime::disabled(), spec, cur, prev, hop, rng)
+    }
+
+    /// Samples the next neighbor of `cur`, dispatching on the degree
+    /// bucket's [`SamplerStrategy`] and threading the worker's sampler
+    /// runtime (second-order edge cache + counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec`'s walk class does not match the spec the graph was
+    /// prepared for (e.g. a second-order strategy with a first-order spec).
+    pub fn sample_neighbor_with<G: RandomSource>(
+        &self,
+        rt: &mut SamplerRuntime,
+        spec: &WalkSpec,
+        cur: VertexId,
+        prev: Option<VertexId>,
+        hop: u32,
+        rng: &mut G,
+    ) -> Option<(VertexId, SampleOutcome)> {
+        let degree = self.graph.degree(cur);
+        let outcome = match self.strategies.for_degree(degree) {
+            SamplerStrategy::InverseTransform => match spec {
+                WalkSpec::DeepWalk { .. } => sampler::alias_onthefly(&self.graph, cur, rng)?,
+                _ => sampler::uniform_sample(degree, rng)?,
+            },
+            SamplerStrategy::Alias => sampler::alias_sample(
                 &self.graph,
-                self.alias.as_ref().expect("alias tables built in new()"),
+                self.alias
+                    .as_ref()
+                    .expect("alias tables built for the alias strategy"),
                 cur,
                 rng,
             )?,
-            WalkSpec::Node2Vec { p, q, method, .. } => match method {
-                Node2VecMethod::Rejection => {
-                    sampler::node2vec_rejection(&self.graph, cur, prev, *p, *q, rng)?
-                }
-                Node2VecMethod::Reservoir => {
-                    sampler::node2vec_reservoir(&self.graph, cur, prev, *p, *q, rng)?
-                }
-            },
-            WalkSpec::MetaPath { pattern, .. } => {
+            SamplerStrategy::Rejection => {
+                let (p, q) = node2vec_params(spec);
+                sampler::node2vec_rejection(&self.graph, cur, prev, p, q, rng)?
+            }
+            SamplerStrategy::Reservoir => {
+                let (p, q) = node2vec_params(spec);
+                sampler::node2vec_reservoir(&self.graph, cur, prev, p, q, rng)?
+            }
+            SamplerStrategy::SecondOrderAlias => {
+                let (p, q) = node2vec_params(spec);
+                let weighted = matches!(
+                    spec,
+                    WalkSpec::Node2Vec {
+                        method: Node2VecMethod::Reservoir,
+                        ..
+                    }
+                );
+                sampler::second_order_alias(
+                    &self.graph,
+                    cur,
+                    prev,
+                    p,
+                    q,
+                    weighted,
+                    rt.cache_mut(),
+                    rng,
+                )?
+            }
+            SamplerStrategy::TypedReservoir => {
+                let WalkSpec::MetaPath { pattern, .. } = spec else {
+                    panic!("typed reservoir strategy requires a MetaPath spec")
+                };
                 let target = pattern[(hop as usize + 1) % pattern.len()];
                 sampler::typed_reservoir(&self.graph, cur, target, rng)?
             }
         };
+        rt.record(&outcome);
         let next = self.graph.neighbors(cur)[outcome.local_index as usize];
         Some((next, outcome))
     }
 
-    /// The full per-step decision of Algorithm II.1: length check, PPR
-    /// teleport coin, then sampling.
+    /// The full per-step decision of Algorithm II.1 through an ephemeral
+    /// disabled [`SamplerRuntime`]: length check, PPR teleport coin, then
+    /// sampling.
     pub fn next_step<G: RandomSource>(
         &self,
+        spec: &WalkSpec,
+        cur: VertexId,
+        prev: Option<VertexId>,
+        hop: u32,
+        rng: &mut G,
+    ) -> StepDecision {
+        self.next_step_with(&mut SamplerRuntime::disabled(), spec, cur, prev, hop, rng)
+    }
+
+    /// The full per-step decision of Algorithm II.1, threading the
+    /// worker's sampler runtime.
+    pub fn next_step_with<G: RandomSource>(
+        &self,
+        rt: &mut SamplerRuntime,
         spec: &WalkSpec,
         cur: VertexId,
         prev: Option<VertexId>,
@@ -170,7 +319,7 @@ impl PreparedGraph {
         if self.teleport_terminates(spec, rng) {
             return StepDecision::Terminate(TerminationReason::Teleport);
         }
-        match self.sample_neighbor(spec, cur, prev, hop, rng) {
+        match self.sample_neighbor_with(rt, spec, cur, prev, hop, rng) {
             Some((next, outcome)) => StepDecision::Advance { next, outcome },
             None => {
                 if self.graph.degree(cur) == 0 {
@@ -180,6 +329,17 @@ impl PreparedGraph {
                 }
             }
         }
+    }
+}
+
+/// Extracts the Node2Vec bias parameters a second-order strategy needs.
+fn node2vec_params(spec: &WalkSpec) -> (f64, f64) {
+    match spec {
+        WalkSpec::Node2Vec { p, q, .. } => (*p, *q),
+        other => panic!(
+            "second-order strategy requires a Node2Vec spec, got {}",
+            other.name()
+        ),
     }
 }
 

@@ -100,6 +100,25 @@ impl QuerySet {
         Self { queries }
     }
 
+    /// `count` queries whose start vertices are drawn uniformly from
+    /// `seeds` — a serving-style request mix where a small hot set of
+    /// popular vertices receives all the traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn hot_set(seeds: &[VertexId], count: usize, seed: u64) -> Self {
+        assert!(!seeds.is_empty(), "need at least one hot seed");
+        let mut rng = SplitMix64::new(seed);
+        let queries = (0..count as u64)
+            .map(|id| WalkQuery {
+                id,
+                start: seeds[rng.next_below(seeds.len() as u64) as usize],
+            })
+            .collect();
+        Self { queries }
+    }
+
     /// `count` queries all starting at `source` (the PPR estimator setup).
     pub fn repeated(source: VertexId, count: usize) -> Self {
         let queries = (0..count as u64)

@@ -5,7 +5,7 @@
 //! the walk terminates early — the irregularity that makes MetaPath the
 //! best showcase for the zero-bubble scheduler (Fig. 8d).
 
-use super::SampleOutcome;
+use super::{SampleMethod, SampleOutcome};
 use grw_graph::{CsrGraph, VertexId};
 use grw_rng::RandomSource;
 
@@ -51,6 +51,9 @@ pub fn typed_reservoir<G: RandomSource>(
         alias_reads: 0,
         scanned: neighbors.len() as u32,
         membership_probes: 0,
+        method: SampleMethod::TypedReservoir,
+        cache_hits: 0,
+        alias_builds: 0,
     })
 }
 

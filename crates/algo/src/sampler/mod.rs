@@ -6,16 +6,68 @@
 //! binary-search membership probes were needed. The cycle-level hardware
 //! models charge these quantities against their memory channels, so the
 //! functional layer and the performance layer can never drift apart.
+//!
+//! Each outcome additionally carries the [`SampleMethod`] that produced it.
+//! With the runtime-adaptive strategy layer ([`crate::SamplerConfig`]) the
+//! kernel is no longer a function of the walk spec alone — it varies per
+//! vertex degree bucket — so the cost models key on the outcome's method
+//! instead of the spec.
 
+mod edge_cache;
 mod metapath;
 mod rejection;
 mod reservoir;
+mod second_order;
 mod uniform;
 
+pub use edge_cache::{AliasSlot, EdgeAliasCache};
 pub use metapath::typed_reservoir;
 pub use rejection::node2vec_rejection;
 pub use reservoir::{node2vec_reservoir, weighted_reservoir};
-pub use uniform::{alias_sample, uniform_sample};
+pub use second_order::second_order_alias;
+pub use uniform::{alias_onthefly, alias_sample, uniform_sample};
+
+/// The sampling kernel that produced a [`SampleOutcome`].
+///
+/// This is what the cycle-level cost models dispatch on: the same walk
+/// spec can mix kernels per degree bucket under the adaptive strategy
+/// layer, and each kernel has a distinct memory signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SampleMethod {
+    /// Direct uniform index draw (URW/PPR, and any first hop of a
+    /// second-order walk).
+    Uniform,
+    /// Table-free weighted pick: the vertex's alias row is recomputed on
+    /// the fly from its weights (a sequential scan) instead of read from
+    /// the shared table. Same draw→index mapping as [`SampleMethod::Alias`].
+    InverseTransform,
+    /// Prebuilt per-vertex alias table read (DeepWalk, Table I).
+    Alias,
+    /// KnightKing-style second-order rejection trials.
+    Rejection,
+    /// Single-pass weighted reservoir scan.
+    Reservoir,
+    /// Reservoir scan restricted to a vertex type (MetaPath).
+    TypedReservoir,
+    /// Per-edge second-order alias table, built on demand and optionally
+    /// served from the bounded [`EdgeAliasCache`].
+    SecondOrderAlias,
+}
+
+impl SampleMethod {
+    /// Lowercase name as recorded in bench JSON and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SampleMethod::Uniform => "uniform",
+            SampleMethod::InverseTransform => "inverse_transform",
+            SampleMethod::Alias => "alias",
+            SampleMethod::Rejection => "rejection",
+            SampleMethod::Reservoir => "reservoir",
+            SampleMethod::TypedReservoir => "typed_reservoir",
+            SampleMethod::SecondOrderAlias => "second_order_alias",
+        }
+    }
+}
 
 /// The result of sampling one neighbor, with its memory cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,10 +78,17 @@ pub struct SampleOutcome {
     pub uniform_trials: u32,
     /// Alias-table entry reads (DeepWalk: 1 per trial).
     pub alias_reads: u32,
-    /// Sequential words scanned from the neighbor list (reservoir methods).
+    /// Sequential words scanned from the neighbor list (reservoir methods,
+    /// on-the-fly alias rows, second-order table builds).
     pub scanned: u32,
     /// Random membership-probe reads (binary search in N(prev)).
     pub membership_probes: u32,
+    /// Which kernel produced this sample.
+    pub method: SampleMethod,
+    /// 1 when a second-order alias table was served from the edge cache.
+    pub cache_hits: u32,
+    /// 1 when an alias row was (re)built at sample time.
+    pub alias_builds: u32,
 }
 
 impl SampleOutcome {
@@ -41,6 +100,9 @@ impl SampleOutcome {
             alias_reads: 0,
             scanned: 0,
             membership_probes: 0,
+            method: SampleMethod::Uniform,
+            cache_hits: 0,
+            alias_builds: 0,
         }
     }
 
@@ -64,6 +126,8 @@ mod tests {
         assert_eq!(o.uniform_trials, 1);
         assert_eq!(o.random_reads(), 0);
         assert_eq!(o.scanned, 0);
+        assert_eq!(o.method, SampleMethod::Uniform);
+        assert_eq!(o.cache_hits + o.alias_builds, 0);
     }
 
     #[test]
@@ -74,7 +138,16 @@ mod tests {
             alias_reads: 2,
             scanned: 8,
             membership_probes: 5,
+            method: SampleMethod::Rejection,
+            cache_hits: 0,
+            alias_builds: 0,
         };
         assert_eq!(o.random_reads(), 7);
+    }
+
+    #[test]
+    fn method_names_are_stable() {
+        assert_eq!(SampleMethod::Uniform.name(), "uniform");
+        assert_eq!(SampleMethod::SecondOrderAlias.name(), "second_order_alias");
     }
 }

@@ -14,7 +14,7 @@
 //! asymmetry is why GPU Node2Vec keeps relatively more of its performance
 //! (Fig. 9d): the probes enjoy locality that URW's pointer chases lack.
 
-use super::SampleOutcome;
+use super::{SampleMethod, SampleOutcome};
 use grw_graph::{CsrGraph, VertexId};
 use grw_rng::RandomSource;
 
@@ -78,6 +78,9 @@ pub fn node2vec_rejection<G: RandomSource>(
                 alias_reads: 0,
                 scanned: 0,
                 membership_probes: probes,
+                method: SampleMethod::Rejection,
+                cache_hits: 0,
+                alias_builds: 0,
             });
         }
     }
@@ -88,6 +91,9 @@ pub fn node2vec_rejection<G: RandomSource>(
         alias_reads: 0,
         scanned: 0,
         membership_probes: probes,
+        method: SampleMethod::Rejection,
+        cache_hits: 0,
+        alias_builds: 0,
     })
 }
 

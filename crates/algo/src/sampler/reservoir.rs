@@ -8,7 +8,7 @@
 //! words, which the hardware models charge at the sequential (open-row)
 //! rate.
 
-use super::SampleOutcome;
+use super::{SampleMethod, SampleOutcome};
 use grw_graph::{CsrGraph, VertexId};
 use grw_rng::RandomSource;
 
@@ -45,6 +45,9 @@ pub fn weighted_reservoir<G: RandomSource>(weights: &[f32], rng: &mut G) -> Opti
         alias_reads: 0,
         scanned: weights.len() as u32,
         membership_probes: 0,
+        method: SampleMethod::Reservoir,
+        cache_hits: 0,
+        alias_builds: 0,
     })
 }
 
@@ -107,6 +110,9 @@ pub fn node2vec_reservoir<G: RandomSource>(
         alias_reads: 0,
         scanned: neighbors.len() as u32,
         membership_probes: probes,
+        method: SampleMethod::Reservoir,
+        cache_hits: 0,
+        alias_builds: 0,
     })
 }
 

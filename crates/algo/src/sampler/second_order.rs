@@ -1,0 +1,254 @@
+//! Second-order (per-edge) alias sampling for Node2Vec.
+//!
+//! The biased Node2Vec transition out of `cur` given `prev` is a fixed
+//! categorical distribution over `N(cur)` — it only *looks* dynamic
+//! because it is keyed by the edge `(prev, cur)`. Building its alias row
+//! once (O(deg(cur) + deg(prev)) with a sorted-merge membership pass) and
+//! caching it in an [`EdgeAliasCache`] turns every repeat traversal of
+//! that edge into two array reads, where rejection pays an expected
+//! `M / E[w]` candidate trials each with a binary-search membership probe.
+//!
+//! Distribution equivalence: the row weights are exactly the rejection
+//! kernel's acceptance weights (`1/p` return, `1` shared neighbor, `1/q`
+//! otherwise, times the edge weight when the spec is weighted), so this
+//! kernel samples the *same distribution* as
+//! [`super::node2vec_rejection`] / [`super::node2vec_reservoir`] — the
+//! property tests check it by chi-square. The *paths* differ (different
+//! draw→index mapping), which is why the adaptive layer only selects this
+//! kernel when explicitly enabled, never silently under a legacy config.
+
+use super::{SampleMethod, SampleOutcome};
+use crate::sampler::{AliasSlot, EdgeAliasCache};
+use grw_graph::{AliasTables, CsrGraph, VertexId};
+use grw_rng::RandomSource;
+
+/// Builds the biased weight row for the transition `prev -> cur -> x`.
+///
+/// Membership of `x` in `N(prev)` is decided by one sorted merge over the
+/// two (CSR-sorted) neighbor lists — O(deg(cur) + deg(prev)) total, not
+/// O(deg(cur) · log deg(prev)).
+fn biased_row(
+    graph: &CsrGraph,
+    cur: VertexId,
+    prev: VertexId,
+    p: f64,
+    q: f64,
+    use_weights: bool,
+) -> Box<[AliasSlot]> {
+    let neighbors = graph.neighbors(cur);
+    let weights = if use_weights {
+        graph.neighbor_weights(cur)
+    } else {
+        None
+    };
+    let prev_neighbors = graph.neighbors(prev);
+    let mut j = 0usize;
+    let mut row: Vec<f32> = Vec::with_capacity(neighbors.len());
+    for (i, &x) in neighbors.iter().enumerate() {
+        while j < prev_neighbors.len() && prev_neighbors[j] < x {
+            j += 1;
+        }
+        let bias = if x == prev {
+            1.0 / p
+        } else if j < prev_neighbors.len() && prev_neighbors[j] == x {
+            1.0
+        } else {
+            1.0 / q
+        };
+        let base = weights.map_or(1.0, |ws| f64::from(ws[i]));
+        row.push((base * bias) as f32);
+    }
+    let mut prob = vec![1.0f32; row.len()];
+    let mut alt: Vec<u32> = (0..row.len() as u32).collect();
+    AliasTables::fill_row(&row, &mut prob, &mut alt);
+    prob.iter()
+        .zip(&alt)
+        .map(|(&prob, &alt)| AliasSlot { prob, alt })
+        .collect()
+}
+
+/// Samples the next Node2Vec neighbor of `cur` through a per-edge alias
+/// table, optionally served from / filled into `cache`.
+///
+/// `use_weights` selects whether edge weights multiply the second-order
+/// bias — `true` mirrors the reservoir (weighted) realisation, `false`
+/// the rejection (unweighted) one. Pass `prev = None` on the first hop,
+/// which degenerates to uniform sampling exactly like the rejection
+/// kernel. Returns `None` for dead ends.
+///
+/// The sample consumes exactly two draws (slot, coin) regardless of cache
+/// state: a hit and a rebuild produce bitwise-identical rows, so whether
+/// and how the cache evicts can never change a walk path.
+///
+/// # Panics
+///
+/// Panics if `p` or `q` is not strictly positive.
+// The argument list is the sampling kernel ABI shared by every kernel in
+// this module plus the cache handle; bundling them would ripple through
+// the per-bucket dispatch for no clarity gain.
+#[allow(clippy::too_many_arguments)]
+pub fn second_order_alias<G: RandomSource>(
+    graph: &CsrGraph,
+    cur: VertexId,
+    prev: Option<VertexId>,
+    p: f64,
+    q: f64,
+    use_weights: bool,
+    cache: Option<&mut EdgeAliasCache>,
+    rng: &mut G,
+) -> Option<SampleOutcome> {
+    assert!(p > 0.0 && q > 0.0, "Node2Vec parameters must be positive");
+    let degree = graph.degree(cur);
+    if degree == 0 {
+        return None;
+    }
+    let prev = match prev {
+        Some(v) => v,
+        None => return super::uniform_sample(degree, rng),
+    };
+    let slot = rng.next_below(u64::from(degree)) as usize;
+    let coin = rng.next_f64() as f32;
+    let pick = |row: &[AliasSlot]| {
+        let s = row[slot];
+        if coin < s.prob {
+            slot as u32
+        } else {
+            s.alt
+        }
+    };
+    let mut cache = cache;
+    if let Some(c) = cache.as_deref_mut() {
+        if let Some(row) = c.lookup(prev, cur) {
+            return Some(SampleOutcome {
+                local_index: pick(row),
+                uniform_trials: 1,
+                alias_reads: 1,
+                scanned: 0,
+                membership_probes: 0,
+                method: SampleMethod::SecondOrderAlias,
+                cache_hits: 1,
+                alias_builds: 0,
+            });
+        }
+    }
+    let row = biased_row(graph, cur, prev, p, q, use_weights);
+    let local_index = pick(&row);
+    if let Some(c) = cache {
+        c.insert(prev, cur, row);
+    }
+    Some(SampleOutcome {
+        local_index,
+        uniform_trials: 1,
+        alias_reads: 1,
+        scanned: degree + graph.degree(prev),
+        membership_probes: 0,
+        method: SampleMethod::SecondOrderAlias,
+        cache_hits: 0,
+        alias_builds: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grw_rng::SplitMix64;
+
+    /// cur = 0 with neighbors {1 (the previous vertex), 2 (neighbor of 1),
+    /// 3 (stranger)}; prev = 1 with neighbors {0, 2}.
+    fn fixture() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 0)], true)
+    }
+
+    #[test]
+    fn distribution_matches_rejection_biases() {
+        let g = fixture();
+        // p = 2, q = 0.5: w(return to 1) = 0.5, w(2 ∈ N(1)) = 1, w(3) = 2.
+        // Normalised: 1/7, 2/7, 4/7 — the rejection kernel's target.
+        let mut rng = SplitMix64::new(42);
+        let mut counts = [0u32; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            let o = second_order_alias(&g, 0, Some(1), 2.0, 0.5, false, None, &mut rng).unwrap();
+            assert_eq!(o.alias_builds, 1, "uncached: every sample rebuilds");
+            counts[o.local_index as usize] += 1;
+        }
+        let expect = [1.0 / 7.0, 2.0 / 7.0, 4.0 / 7.0];
+        for (i, (&c, &e)) in counts.iter().zip(&expect).enumerate() {
+            let f = f64::from(c) / n as f64;
+            assert!((f - e).abs() < 0.01, "index {i}: {f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn cache_state_never_changes_the_sampled_index() {
+        let g = fixture();
+        let mut cached = EdgeAliasCache::new(1 << 16, 2);
+        let mut rng_a = SplitMix64::new(7);
+        let mut rng_b = SplitMix64::new(7);
+        let mut hits = 0;
+        for _ in 0..2_000 {
+            let a = second_order_alias(
+                &g,
+                0,
+                Some(1),
+                2.0,
+                0.5,
+                false,
+                Some(&mut cached),
+                &mut rng_a,
+            )
+            .unwrap();
+            let b = second_order_alias(&g, 0, Some(1), 2.0, 0.5, false, None, &mut rng_b).unwrap();
+            assert_eq!(a.local_index, b.local_index);
+            hits += u64::from(a.cache_hits);
+        }
+        assert_eq!(hits, 1_999, "all but the first sample hit the cache");
+        assert_eq!(cached.len(), 1);
+    }
+
+    #[test]
+    fn weighted_rows_fold_edge_weights_into_the_bias() {
+        // Heavier weight on the stranger edge (0,3) shifts mass to it.
+        let g = fixture().with_weights(|src, dst, _| if (src, dst) == (0, 3) { 3.0 } else { 1.0 });
+        // Weights {1, 1, 3} × biases {0.5, 1, 2} → {0.5, 1, 6} → 1/15, 2/15, 12/15.
+        let mut rng = SplitMix64::new(13);
+        let mut counts = [0u32; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            let o = second_order_alias(&g, 0, Some(1), 2.0, 0.5, true, None, &mut rng).unwrap();
+            counts[o.local_index as usize] += 1;
+        }
+        let expect = [1.0 / 15.0, 2.0 / 15.0, 12.0 / 15.0];
+        for (i, (&c, &e)) in counts.iter().zip(&expect).enumerate() {
+            let f = f64::from(c) / n as f64;
+            assert!((f - e).abs() < 0.01, "index {i}: {f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn first_hop_is_uniform_and_dead_ends_are_none() {
+        let g = fixture();
+        let mut rng = SplitMix64::new(1);
+        let o = second_order_alias(&g, 0, None, 2.0, 0.5, false, None, &mut rng).unwrap();
+        assert_eq!(o.method, SampleMethod::Uniform);
+        assert!(second_order_alias(&g, 3, Some(0), 2.0, 0.5, false, None, &mut rng).is_none());
+    }
+
+    #[test]
+    fn build_cost_is_the_merge_scan() {
+        let g = fixture();
+        let mut rng = SplitMix64::new(3);
+        let o = second_order_alias(&g, 0, Some(1), 2.0, 0.5, false, None, &mut rng).unwrap();
+        // deg(0) = 3, deg(1) = 2.
+        assert_eq!(o.scanned, 5);
+        assert_eq!(o.alias_reads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_q_panics() {
+        let g = fixture();
+        let mut rng = SplitMix64::new(0);
+        let _ = second_order_alias(&g, 0, Some(1), 2.0, 0.0, false, None, &mut rng);
+    }
+}

@@ -1,6 +1,6 @@
 //! Uniform and alias sampling (URW, PPR, DeepWalk).
 
-use super::SampleOutcome;
+use super::{SampleMethod, SampleOutcome};
 use grw_graph::{AliasTables, CsrGraph, VertexId};
 use grw_rng::RandomSource;
 
@@ -32,6 +32,9 @@ pub fn uniform_sample<G: RandomSource>(degree: u32, rng: &mut G) -> Option<Sampl
         alias_reads: 0,
         scanned: 0,
         membership_probes: 0,
+        method: SampleMethod::Uniform,
+        cache_hits: 0,
+        alias_builds: 0,
     })
 }
 
@@ -53,6 +56,81 @@ pub fn alias_sample<G: RandomSource>(
         alias_reads: 1,
         scanned: 0,
         membership_probes: 0,
+        method: SampleMethod::Alias,
+        cache_hits: 0,
+        alias_builds: 0,
+    })
+}
+
+/// Table-free weighted sampling of a neighbor of `v`: recomputes the
+/// vertex's alias row on the fly from its weights and applies the exact
+/// same slot/coin draw mapping as [`alias_sample`].
+///
+/// This is the adaptive layer's low-degree DeepWalk kernel (the choice
+/// ThunderRW calls inverse transform): for short neighbor lists the O(deg)
+/// sequential weight scan is cheaper than a random read into a shared
+/// table that may miss every cache, and the shared table can skip those
+/// rows entirely ([`AliasTables::build_min_degree`]). Because the row
+/// construction is the same [`AliasTables::fill_row`] code, the chosen
+/// index is bitwise-identical to the prebuilt table's for the same draws —
+/// switching kernels never changes a walk path.
+///
+/// Unweighted graphs reduce to the uniform slot draw (the coin is still
+/// consumed, exactly as [`AliasTables::sample`] consumes it).
+///
+/// Returns `None` for dead ends.
+pub fn alias_onthefly<G: RandomSource>(
+    graph: &CsrGraph,
+    v: VertexId,
+    rng: &mut G,
+) -> Option<SampleOutcome> {
+    let deg = graph.degree(v);
+    if deg == 0 {
+        return None;
+    }
+    let slot = rng.next_below(u64::from(deg)) as usize;
+    let coin = rng.next_f64() as f32;
+    let local = match graph.neighbor_weights(v) {
+        None => slot as u32,
+        Some(ws) => {
+            // Low-degree rows fit stack buffers, keeping the per-step
+            // fill allocation-free; `fill_row` is the same constructor
+            // the prebuilt table used, so the row is bitwise identical.
+            const STACK_ROW: usize = 64;
+            let d = deg as usize;
+            if d == 1 {
+                // A single-entry row is always {prob: 1.0, alt: 0}; the
+                // slot and coin draws above were still consumed, exactly
+                // as the table path consumes them.
+                0
+            } else {
+                let mut prob_stack = [0.0f32; STACK_ROW];
+                let mut alt_stack = [0u32; STACK_ROW];
+                let mut heap: (Vec<f32>, Vec<u32>);
+                let (prob, alt) = if d <= STACK_ROW {
+                    (&mut prob_stack[..d], &mut alt_stack[..d])
+                } else {
+                    heap = (vec![0.0f32; d], vec![0u32; d]);
+                    (&mut heap.0[..], &mut heap.1[..])
+                };
+                AliasTables::fill_row(ws, prob, alt);
+                if coin < prob[slot] {
+                    slot as u32
+                } else {
+                    alt[slot]
+                }
+            }
+        }
+    };
+    Some(SampleOutcome {
+        local_index: local,
+        uniform_trials: 1,
+        alias_reads: 0,
+        scanned: deg,
+        membership_probes: 0,
+        method: SampleMethod::InverseTransform,
+        cache_hits: 0,
+        alias_builds: 1,
     })
 }
 
@@ -95,6 +173,32 @@ mod tests {
         assert_eq!(o.alias_reads, 1);
         assert!(o.local_index < 2);
         assert!(alias_sample(&g, &t, 1, &mut rng).is_none());
+    }
+
+    #[test]
+    fn onthefly_matches_table_sampling_bitwise() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)], true)
+            .with_weights(|_, dst, _| dst as f32);
+        let t = AliasTables::build(&g);
+        let mut rng_a = SplitMix64::new(21);
+        let mut rng_b = SplitMix64::new(21);
+        for _ in 0..5_000 {
+            let a = alias_sample(&g, &t, 0, &mut rng_a).unwrap();
+            let b = alias_onthefly(&g, 0, &mut rng_b).unwrap();
+            assert_eq!(a.local_index, b.local_index);
+        }
+        // Unweighted graphs degrade to the uniform slot draw, still
+        // consuming the same two draws per sample as the table path.
+        let u = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)], true);
+        let ut = AliasTables::build(&u);
+        let mut rng_a = SplitMix64::new(9);
+        let mut rng_b = SplitMix64::new(9);
+        for _ in 0..1_000 {
+            let a = alias_sample(&u, &ut, 0, &mut rng_a).unwrap();
+            let b = alias_onthefly(&u, 0, &mut rng_b).unwrap();
+            assert_eq!(a.local_index, b.local_index);
+        }
+        assert!(alias_onthefly(&u, 3, &mut rng_b).is_none());
     }
 
     #[test]

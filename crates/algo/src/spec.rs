@@ -87,9 +87,23 @@ impl WalkSpec {
 
     /// Node2Vec with the paper's evaluation parameters `p = 2, q = 0.5`.
     pub fn node2vec(max_len: u32, method: Node2VecMethod) -> Self {
+        Self::node2vec_pq(max_len, 2.0, 0.5, method)
+    }
+
+    /// Node2Vec with explicit return parameter `p` and in-out parameter
+    /// `q` (the grid node2vec tunes over, typically `{0.25..4}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are finite and positive.
+    pub fn node2vec_pq(max_len: u32, p: f64, q: f64, method: Node2VecMethod) -> Self {
+        assert!(
+            p.is_finite() && p > 0.0 && q.is_finite() && q > 0.0,
+            "node2vec parameters must be finite and positive, got p={p} q={q}"
+        );
         WalkSpec::Node2Vec {
-            p: 2.0,
-            q: 0.5,
+            p,
+            q,
             max_len,
             method,
         }

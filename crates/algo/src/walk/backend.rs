@@ -16,8 +16,9 @@
 //! `Arc<PreparedGraph>`.
 
 use super::{execute_query, reference::ReferenceEngine};
+use crate::strategy::SamplerRuntime;
 use crate::{PreparedGraph, WalkPath, WalkQuery, WalkSpec};
-use grw_sim::stats::UtilizationMeter;
+use grw_sim::stats::{SamplingCounters, UtilizationMeter};
 use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 
@@ -78,6 +79,9 @@ pub struct BackendTelemetry {
     /// the two terms sum to [`WalkBackend::in_flight`]. Routing tiers use
     /// the awaiting term as the admission-backlog signal.
     pub occupancy_split: Option<(usize, usize)>,
+    /// Sampling-kernel counters (rejection trials, alias builds, edge-cache
+    /// hits/evictions) accumulated by the backend's sampler runtimes.
+    pub sampling: SamplingCounters,
 }
 
 /// An incremental walk executor: queries stream in, paths stream out.
@@ -279,11 +283,13 @@ pub struct ReferenceBackend<P> {
     queue_cap: usize,
     poll_chunk: usize,
     steps: u64,
+    runtime: SamplerRuntime,
 }
 
 impl<P: Borrow<PreparedGraph>> ReferenceBackend<P> {
     /// Creates a backend bound to a prepared graph and spec.
     pub fn new(prepared: P, spec: WalkSpec, seed: u64) -> Self {
+        let runtime = prepared.borrow().runtime();
         Self {
             prepared,
             spec,
@@ -292,6 +298,7 @@ impl<P: Borrow<PreparedGraph>> ReferenceBackend<P> {
             queue_cap: DEFAULT_QUEUE_CAPACITY,
             poll_chunk: 256,
             steps: 0,
+            runtime,
         }
     }
 
@@ -323,7 +330,13 @@ impl<P: Borrow<PreparedGraph>> ReferenceBackend<P> {
         for _ in 0..n {
             let q = self.pending.pop_front().expect("counted");
             let mut rng = ReferenceEngine::query_rng(self.seed, q.id);
-            let path = execute_query(self.prepared.borrow(), &self.spec, &q, &mut rng);
+            let path = execute_query(
+                self.prepared.borrow(),
+                &mut self.runtime,
+                &self.spec,
+                &q,
+                &mut rng,
+            );
             self.steps += path.steps();
             out.push(path);
         }
@@ -358,8 +371,15 @@ impl<P: Borrow<PreparedGraph>> WalkBackend for ReferenceBackend<P> {
     fn telemetry(&self) -> BackendTelemetry {
         BackendTelemetry {
             steps: self.steps,
+            sampling: self.runtime.counters(),
             ..BackendTelemetry::default()
         }
+    }
+
+    fn cost_hint(&self) -> f64 {
+        // The prepared graph's strategy table determines the per-step
+        // sampling cost; exactly 1.0 under the legacy kernels.
+        self.prepared.borrow().sampler_cost_factor()
     }
 }
 
@@ -379,6 +399,9 @@ pub struct ParallelBackend<P> {
     /// Queries handed to each worker per poll.
     chunk_per_thread: usize,
     steps: u64,
+    /// One sampler runtime per worker thread — caches are per-worker by
+    /// design, so threads never contend on sampler state.
+    runtimes: Vec<SamplerRuntime>,
 }
 
 impl<P: Borrow<PreparedGraph>> ParallelBackend<P> {
@@ -389,6 +412,7 @@ impl<P: Borrow<PreparedGraph>> ParallelBackend<P> {
     /// Panics if `threads == 0`.
     pub fn new(prepared: P, spec: WalkSpec, seed: u64, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
+        let runtimes = (0..threads).map(|_| prepared.borrow().runtime()).collect();
         Self {
             prepared,
             spec,
@@ -398,6 +422,7 @@ impl<P: Borrow<PreparedGraph>> ParallelBackend<P> {
             queue_cap: DEFAULT_QUEUE_CAPACITY,
             chunk_per_thread: 64,
             steps: 0,
+            runtimes,
         }
     }
 
@@ -433,17 +458,19 @@ impl<P: Borrow<PreparedGraph>> ParallelBackend<P> {
         let prepared = self.prepared.borrow();
         let spec = &self.spec;
         let seed = self.seed;
+        let runtimes = &mut self.runtimes;
         let chunk = batch.len().div_ceil(self.threads);
         let mut results: Vec<Vec<WalkPath>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = batch
                 .chunks(chunk)
-                .map(|part| {
+                .zip(runtimes.iter_mut())
+                .map(|(part, rt)| {
                     scope.spawn(move || {
                         part.iter()
                             .map(|q| {
                                 let mut rng = ReferenceEngine::query_rng(seed, q.id);
-                                execute_query(prepared, spec, q, &mut rng)
+                                execute_query(prepared, rt, spec, q, &mut rng)
                             })
                             .collect::<Vec<_>>()
                     })
@@ -484,16 +511,22 @@ impl<P: Borrow<PreparedGraph>> WalkBackend for ParallelBackend<P> {
     }
 
     fn telemetry(&self) -> BackendTelemetry {
+        let mut sampling = SamplingCounters::default();
+        for rt in &self.runtimes {
+            sampling.merge(&rt.counters());
+        }
         BackendTelemetry {
             steps: self.steps,
+            sampling,
             ..BackendTelemetry::default()
         }
     }
 
     fn cost_hint(&self) -> f64 {
         // N worker threads serve a micro-batch ~N× faster than the
-        // sequential reference executor.
-        1.0 / self.threads as f64
+        // sequential reference executor, each paying the prepared graph's
+        // per-step sampling cost.
+        self.prepared.borrow().sampler_cost_factor() / self.threads as f64
     }
 }
 

@@ -42,9 +42,13 @@ pub trait WalkEngine {
 }
 
 /// Executes a single query to completion with the given RNG — the shared
-/// inner loop of both software engines.
+/// inner loop of both software engines. `rt` is the executing worker's
+/// sampler runtime (edge cache + counters); it never influences the
+/// sampled path, only where second-order rows come from and what gets
+/// counted.
 pub(crate) fn execute_query<G: grw_rng::RandomSource>(
     prepared: &PreparedGraph,
+    rt: &mut crate::strategy::SamplerRuntime,
     spec: &WalkSpec,
     query: &WalkQuery,
     rng: &mut G,
@@ -55,7 +59,7 @@ pub(crate) fn execute_query<G: grw_rng::RandomSource>(
     let mut prev = None;
     let mut hop = 0u32;
     while let crate::prepared::StepDecision::Advance { next, .. } =
-        prepared.next_step(spec, cur, prev, hop, rng)
+        prepared.next_step_with(rt, spec, cur, prev, hop, rng)
     {
         vertices.push(next);
         prev = Some(cur);

@@ -23,7 +23,9 @@
 //! latency-vs-load curves per workload from real arrival processes
 //! (writing `BENCH_load_<workload>.json`), [`sinks`] measures bounded
 //! sink-delivery residency against the legacy drain-to-`Vec` pattern
-//! (writing `BENCH_sinks.json`), and [`json`] is the minimal parser the
+//! (writing `BENCH_sinks.json`), [`sampling`] compares the legacy and
+//! runtime-adaptive sampler kernels across degree-skew settings (writing
+//! `BENCH_sampling.json`), and [`json`] is the minimal parser the
 //! `perf_gate` CI regression checker reads those records with.
 //!
 //! # Example
@@ -41,6 +43,7 @@ mod harness;
 pub mod json;
 pub mod load;
 pub mod routing;
+pub mod sampling;
 pub mod serving;
 pub mod sinks;
 mod table;
@@ -53,6 +56,10 @@ pub use load::{
 };
 pub use routing::{
     run_routing_bench, PolicyOutcome, RoutingBenchConfig, RoutingBenchReport, WorkloadRouting,
+};
+pub use sampling::{
+    run_sampling_bench, SamplerArm, SamplingBenchConfig, SamplingBenchReport, SamplingCell,
+    SamplingWorkload, SkewSetting,
 };
 pub use serving::{run_serving_comparison, ServingComparison, ServingWorkload};
 pub use sinks::{run_sink_bench, DeliveryFootprint, SinkBenchConfig, SinkBenchReport};

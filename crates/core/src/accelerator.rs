@@ -23,7 +23,7 @@ use crate::engine::AsyncAccessEngine;
 use crate::report::{RunReport, TerminationBreakdown};
 use crate::router::TaskRouter;
 use crate::task::Task;
-use grw_algo::{PreparedGraph, WalkPath, WalkQuery, WalkSpec};
+use grw_algo::{PreparedGraph, SampleMethod, SamplerRuntime, WalkPath, WalkQuery, WalkSpec};
 use grw_graph::{ChannelLayout, RpEntryKind, VertexId};
 use grw_rng::{Philox4x32, RandomSource};
 use grw_sim::stats::UtilizationMeter;
@@ -238,6 +238,10 @@ pub(crate) struct Machine {
     batch_remaining: usize,
     steps: u64,
     terms: TerminationBreakdown,
+    /// Sampler state of the modelled on-chip sampling unit: the
+    /// second-order edge-alias cache (when the prepared graph's strategy
+    /// table uses one) and cumulative kernel counters.
+    sampler_rt: SamplerRuntime,
 }
 
 impl Machine {
@@ -306,6 +310,7 @@ impl Machine {
             batch_remaining: 0,
             steps: 0,
             terms: TerminationBreakdown::default(),
+            sampler_rt: prepared.runtime(),
             cfg,
             spec: spec.clone(),
         }
@@ -521,11 +526,20 @@ impl Machine {
         }
     }
 
-    /// The sampling decision and its memory cost for one task.
-    fn sampling_job(&self, prepared: &PreparedGraph, task: Task) -> SpJob {
+    /// The sampling decision and its memory cost for one task. The cost
+    /// is keyed on the *kernel that actually ran* ([`SampleMethod`]) —
+    /// under the adaptive strategy layer the same spec mixes kernels per
+    /// degree bucket, and each has a distinct memory signature.
+    fn sampling_job(&mut self, prepared: &PreparedGraph, task: Task) -> SpJob {
         let mut rng = self.task_rng(&task, 0);
-        let decision =
-            prepared.sample_neighbor(&self.spec, task.v_curr, task.prev(), task.step, &mut rng);
+        let decision = prepared.sample_neighbor_with(
+            &mut self.sampler_rt,
+            &self.spec,
+            task.v_curr,
+            task.prev(),
+            task.step,
+            &mut rng,
+        );
         match decision {
             None => SpJob {
                 task,
@@ -539,20 +553,29 @@ impl Machine {
                 pending: 0,
             },
             Some((next, outcome)) => {
-                let (random_left, seq_left) = match self.spec {
-                    // Alias entry folded into the final read.
-                    WalkSpec::DeepWalk { .. } => (0, 0),
+                let (random_left, seq_left) = match outcome.method {
+                    // Direct index pick, or an alias entry folded into the
+                    // final read (DeepWalk's 16-byte column transaction).
+                    SampleMethod::Uniform | SampleMethod::Alias => (0, 0),
+                    // On-the-fly alias row: a sequential weight scan, no
+                    // random reads.
+                    SampleMethod::InverseTransform => (0, div8(outcome.scanned)),
                     // Rejected candidates are real random reads; the
                     // accepted candidate is the final read. Membership
                     // tests against N(prev) are on-chip: the previous hop
                     // already fetched that list (the LightRW/KnightKing
                     // trick), so probes cost no memory transactions.
-                    WalkSpec::Node2Vec { .. } => (
+                    SampleMethod::Rejection => (
                         outcome.uniform_trials.saturating_sub(1),
                         div8(outcome.scanned),
                     ),
-                    WalkSpec::MetaPath { .. } => (0, div8(outcome.scanned)),
-                    WalkSpec::Urw { .. } | WalkSpec::Ppr { .. } => (0, 0),
+                    SampleMethod::Reservoir | SampleMethod::TypedReservoir => {
+                        (0, div8(outcome.scanned))
+                    }
+                    // One random read for the per-edge alias entry; a miss
+                    // additionally streams both neighbor lists to rebuild
+                    // the row (`scanned` is 0 on a cache hit).
+                    SampleMethod::SecondOrderAlias => (1, div8(outcome.scanned)),
                 };
                 SpJob {
                     task,
@@ -613,7 +636,14 @@ impl Machine {
             peak_bandwidth_gbs: peak_bw,
             bandwidth_utilization: (eff_bw / peak_bw).clamp(0.0, 1.0),
             terminations: self.terms,
+            sampling: self.sampler_rt.counters(),
         }
+    }
+
+    /// Cumulative sampling-kernel counters of the machine's sampler
+    /// runtime.
+    pub(crate) fn sampling_counters(&self) -> grw_sim::stats::SamplingCounters {
+        self.sampler_rt.counters()
     }
 
     fn step_cycle(&mut self, prepared: &PreparedGraph) {

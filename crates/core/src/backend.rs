@@ -10,7 +10,7 @@
 use crate::accelerator::Accelerator;
 use crate::report::{RunReport, TerminationBreakdown};
 use grw_algo::{BackendTelemetry, PreparedGraph, WalkBackend, WalkPath, WalkQuery, WalkSpec};
-use grw_sim::stats::UtilizationMeter;
+use grw_sim::stats::{SamplingCounters, UtilizationMeter};
 use std::borrow::Borrow;
 use std::collections::VecDeque;
 
@@ -79,6 +79,8 @@ struct CumulativeStats {
     footprint_gb: f64,
     /// Time-weighted peak-bandwidth integral (peak GB/s × seconds).
     peak_gb: f64,
+    /// Sampling-kernel counters summed across micro-batches.
+    sampling: SamplingCounters,
 }
 
 impl CumulativeStats {
@@ -169,6 +171,7 @@ impl<P: Borrow<PreparedGraph>> AcceleratorBackend<P> {
                 0.0
             },
             terminations: s.terminations,
+            sampling: s.sampling,
         }
     }
 
@@ -200,6 +203,7 @@ impl<P: Borrow<PreparedGraph>> AcceleratorBackend<P> {
         s.seconds += secs;
         s.footprint_gb += report.effective_bandwidth_gbs * secs;
         s.peak_gb += report.peak_bandwidth_gbs * secs;
+        s.sampling.merge(&report.sampling);
         self.ready.extend(report.paths);
     }
 }
@@ -239,6 +243,7 @@ impl<P: Borrow<PreparedGraph>> WalkBackend for AcceleratorBackend<P> {
                 None
             },
             pipeline: Some(self.stats.pipeline),
+            sampling: self.stats.sampling,
             ..BackendTelemetry::default()
         }
     }
@@ -248,7 +253,8 @@ impl<P: Borrow<PreparedGraph>> WalkBackend for AcceleratorBackend<P> {
     }
 
     fn cost_hint(&self) -> f64 {
-        1.0 / f64::from(self.accel.config().effective_pipelines().max(1))
+        self.prepared.borrow().sampler_cost_factor()
+            / f64::from(self.accel.config().effective_pipelines().max(1))
     }
 }
 

@@ -213,6 +213,7 @@ impl<P: Borrow<PreparedGraph>> WalkBackend for IncrementalAcceleratorBackend<P> 
             clock_mhz: Some(self.machine.config().platform.spec().clock_mhz),
             pipeline: Some(self.machine.pipeline_meter()),
             occupancy_split: Some((awaiting, executing)),
+            sampling: self.machine.sampling_counters(),
         }
     }
 
@@ -221,7 +222,8 @@ impl<P: Borrow<PreparedGraph>> WalkBackend for IncrementalAcceleratorBackend<P> 
     }
 
     fn cost_hint(&self) -> f64 {
-        1.0 / f64::from(self.machine.config().effective_pipelines().max(1))
+        self.prepared.borrow().sampler_cost_factor()
+            / f64::from(self.machine.config().effective_pipelines().max(1))
     }
 }
 

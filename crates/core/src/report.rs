@@ -1,7 +1,7 @@
 //! Run reports: the measurement quantities of the paper's evaluation.
 
 use grw_algo::WalkPath;
-use grw_sim::stats::UtilizationMeter;
+use grw_sim::stats::{SamplingCounters, UtilizationMeter};
 
 /// Why walks ended, tallied over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -74,6 +74,10 @@ pub struct RunReport {
     pub bandwidth_utilization: f64,
     /// Why walks ended.
     pub terminations: TerminationBreakdown,
+    /// Sampling-kernel counters (rejection trials, alias builds,
+    /// second-order edge-cache hits/evictions) from the machine's sampler
+    /// runtime.
+    pub sampling: SamplingCounters,
 }
 
 impl RunReport {
@@ -120,6 +124,7 @@ mod tests {
             peak_bandwidth_gbs: 38.4,
             bandwidth_utilization: 1.0 / 38.4,
             terminations: TerminationBreakdown::default(),
+            sampling: SamplingCounters::default(),
         }
     }
 

@@ -66,8 +66,95 @@ impl AliasTables {
         Self { prob, alt }
     }
 
-    /// Walker's two-stack construction over one neighbor list.
+    /// Builds alias rows only for vertices with `degree >= min_degree`.
+    ///
+    /// The runtime-adaptive sampler evaluates low-degree rows on the fly
+    /// (same Vose construction, per step) and never consults the shared
+    /// table for them, so skipping those rows saves build time and table
+    /// footprint without changing any sampled index. Skipped rows keep the
+    /// uniform default (`prob = 1.0`, `alt = i`).
+    pub fn build_min_degree(graph: &CsrGraph, min_degree: u32) -> Self {
+        let e = graph.edge_count();
+        let mut prob = vec![1.0f32; e];
+        let mut alt = vec![0u32; e];
+        for v in 0..graph.vertex_count() as VertexId {
+            let deg = graph.degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let base = graph.row_offset(v) as usize;
+            let deg = deg as usize;
+            for (i, a) in alt[base..base + deg].iter_mut().enumerate() {
+                *a = i as u32;
+            }
+            if (deg as u32) < min_degree {
+                continue;
+            }
+            if let Some(ws) = graph.neighbor_weights(v) {
+                Self::fill_row(ws, &mut prob[base..base + deg], &mut alt[base..base + deg]);
+            }
+        }
+        Self { prob, alt }
+    }
+
+    /// Walker's two-stack (Vose) construction over one weight list,
+    /// writing the row into caller-provided buffers.
+    ///
+    /// This is the *only* alias-row constructor in the suite: the shared
+    /// per-vertex tables, the sampler's on-the-fly low-degree rows and the
+    /// second-order per-edge tables all call it, so for identical weights
+    /// they produce bitwise-identical `(prob, alt)` rows — the property
+    /// the adaptive sampler's path-identity guarantees rest on.
+    ///
+    /// Degenerate inputs (all weights non-positive) fall back to a uniform
+    /// row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices differ in length.
+    pub fn fill_row(weights: &[f32], prob: &mut [f32], alt: &mut [u32]) {
+        assert_eq!(weights.len(), prob.len(), "row buffers must match");
+        assert_eq!(weights.len(), alt.len(), "row buffers must match");
+        Self::build_one(weights, prob, alt);
+    }
+
+    /// Walker's two-stack construction over one neighbor list. Short rows
+    /// (the sampler's on-the-fly fills) run entirely on stack scratch;
+    /// longer rows borrow heap scratch. Both funnel through the same
+    /// arithmetic, so the split can never change a row.
     fn build_one(weights: &[f32], prob: &mut [f32], alt: &mut [u32]) {
+        const STACK_ROW: usize = 64;
+        let n = weights.len();
+        if n <= STACK_ROW {
+            let mut scaled = [0.0f64; STACK_ROW];
+            let mut small = [0usize; STACK_ROW];
+            let mut large = [0usize; STACK_ROW];
+            Self::build_one_into(
+                weights,
+                prob,
+                alt,
+                &mut scaled[..n],
+                &mut small[..n],
+                &mut large[..n],
+            );
+        } else {
+            let mut scaled = vec![0.0f64; n];
+            let mut small = vec![0usize; n];
+            let mut large = vec![0usize; n];
+            Self::build_one_into(weights, prob, alt, &mut scaled, &mut small, &mut large);
+        }
+    }
+
+    /// The construction proper, over caller-provided scratch (`scaled`,
+    /// plus the two Vose worklists as array-backed stacks).
+    fn build_one_into(
+        weights: &[f32],
+        prob: &mut [f32],
+        alt: &mut [u32],
+        scaled: &mut [f64],
+        small: &mut [usize],
+        large: &mut [usize],
+    ) {
         let n = weights.len();
         let total: f64 = weights.iter().map(|&w| f64::from(w.max(0.0))).sum();
         if total <= 0.0 {
@@ -79,34 +166,35 @@ impl AliasTables {
             return;
         }
         let scale = n as f64 / total;
-        let mut scaled: Vec<f64> = weights
-            .iter()
-            .map(|&w| f64::from(w.max(0.0)) * scale)
-            .collect();
-        let mut small: Vec<usize> = Vec::new();
-        let mut large: Vec<usize> = Vec::new();
-        for (i, &s) in scaled.iter().enumerate() {
-            if s < 1.0 {
-                small.push(i);
+        let (mut n_small, mut n_large) = (0usize, 0usize);
+        for (i, (&w, s)) in weights.iter().zip(scaled.iter_mut()).enumerate() {
+            *s = f64::from(w.max(0.0)) * scale;
+            if *s < 1.0 {
+                small[n_small] = i;
+                n_small += 1;
             } else {
-                large.push(i);
+                large[n_large] = i;
+                n_large += 1;
             }
         }
         // Default each slot to itself so leftovers are well-formed.
         for (i, a) in alt.iter_mut().enumerate() {
             *a = i as u32;
         }
-        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
-            small.pop();
+        while n_small > 0 && n_large > 0 {
+            let s = small[n_small - 1];
+            let l = large[n_large - 1];
+            n_small -= 1;
             prob[s] = scaled[s] as f32;
             alt[s] = l as u32;
             scaled[l] -= 1.0 - scaled[s];
             if scaled[l] < 1.0 {
-                large.pop();
-                small.push(l);
+                n_large -= 1;
+                small[n_small] = l;
+                n_small += 1;
             }
         }
-        for &i in small.iter().chain(large.iter()) {
+        for &i in small[..n_small].iter().chain(large[..n_large].iter()) {
             prob[i] = 1.0;
         }
     }
@@ -248,6 +336,33 @@ mod tests {
         let t = AliasTables::build(&g);
         assert_eq!(t.len(), g.edge_count());
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn filtered_build_matches_full_build_above_threshold() {
+        // Star centre has degree 4 (kept), leaves have degree 0.
+        let g = weighted_star(&[1.0, 2.0, 3.0, 4.0]);
+        let full = AliasTables::build(&g);
+        let filtered = AliasTables::build_min_degree(&g, 4);
+        assert_eq!(full, filtered);
+        // With the threshold above the centre's degree the row stays
+        // uniform-default (never consulted by the adaptive sampler).
+        let skipped = AliasTables::build_min_degree(&g, 5);
+        for i in 0..4u32 {
+            assert!((skipped.probability_of(&g, 0, i) - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fill_row_matches_built_table_rows() {
+        let g = weighted_star(&[1.0, 5.0, 2.0]);
+        let t = AliasTables::build(&g);
+        let mut prob = vec![0.0f32; 3];
+        let mut alt = vec![0u32; 3];
+        AliasTables::fill_row(g.neighbor_weights(0).unwrap(), &mut prob, &mut alt);
+        let base = g.row_offset(0) as usize;
+        assert_eq!(&t.prob[base..base + 3], prob.as_slice());
+        assert_eq!(&t.alt[base..base + 3], alt.as_slice());
     }
 
     #[test]

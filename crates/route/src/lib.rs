@@ -67,7 +67,7 @@ mod signals;
 pub use policy::{
     AdaptiveConfig, AdaptivePolicy, LeastLoadedPolicy, Placement, RoutePolicy, StaticHashPolicy,
 };
-pub use signals::{ClassRates, FleetView};
+pub use signals::{cost_hint_rate, ClassRates, FleetView};
 
 use grw_algo::{BackendClass, WalkQuery};
 use grw_rng::SplitMix64;

@@ -81,6 +81,18 @@ pub struct FleetView<'a> {
     pub rates: &'a ClassRates,
 }
 
+/// The static prior on a shard's service rate implied by its backend's
+/// [`cost_hint`](grw_algo::WalkBackend::cost_hint): queries/tick is the
+/// reciprocal of the per-query cost. Cost hints fold in both parallelism
+/// (pipelines, worker threads) and the prepared graph's sampler cost
+/// factor, so a shard whose adaptive strategy table makes sampling
+/// cheaper (e.g. a cached second-order Node2Vec kernel on a hub-heavy
+/// graph) gets a proportionally higher prior rate before any calibration
+/// or latency history exists.
+pub fn cost_hint_rate(cost_hint: f64) -> f64 {
+    1.0 / cost_hint.max(1e-9)
+}
+
 impl<'a> FleetView<'a> {
     /// Whether `shard` may receive new queries.
     pub fn is_eligible(&self, shard: usize) -> bool {
@@ -100,7 +112,7 @@ impl<'a> FleetView<'a> {
     pub fn service_rate(&self, s: &ShardSnapshot) -> f64 {
         self.rates
             .get(s.class)
-            .unwrap_or_else(|| 1.0 / s.cost_hint.max(1e-9))
+            .unwrap_or_else(|| cost_hint_rate(s.cost_hint))
             .max(1e-9)
     }
 
@@ -133,7 +145,20 @@ pub(crate) mod tests {
             completed: 0,
             ewma_latency_ticks: None,
             bubble_ratio: None,
+            sampling: Default::default(),
         }
+    }
+
+    #[test]
+    fn cheaper_sampling_raises_the_prior_rate() {
+        // A 0.8 sampler cost factor (adaptive kernels on a skewed graph)
+        // scales the shard's cost hint down and its prior rate up.
+        let legacy = cost_hint_rate(1.0);
+        let adaptive = cost_hint_rate(0.8);
+        assert!(adaptive > legacy);
+        assert!((adaptive - 1.25).abs() < 1e-12);
+        // Degenerate hints never divide by zero.
+        assert!(cost_hint_rate(0.0).is_finite());
     }
 
     #[test]

@@ -271,6 +271,9 @@ pub struct ShardSnapshot {
     /// The shard backend's cumulative pipeline bubble ratio, when it
     /// reports a pipeline-cycle breakdown.
     pub bubble_ratio: Option<f64>,
+    /// The shard backend's cumulative sampling-kernel counters (rejection
+    /// trials, alias builds, second-order edge-cache hits/evictions).
+    pub sampling: grw_sim::stats::SamplingCounters,
 }
 
 impl ShardSnapshot {
@@ -745,9 +748,11 @@ impl<B: WalkBackend> WalkService<B> {
         // only when every backend reports a breakdown.
         let mut pipeline: Option<grw_sim::stats::UtilizationMeter> =
             Some(grw_sim::stats::UtilizationMeter::new());
+        let mut sampling = grw_sim::stats::SamplingCounters::default();
         for s in &self.shards {
             let t = s.backend.telemetry();
             steps += t.steps;
+            sampling.merge(&t.sampling);
             pipeline = match (pipeline, t.pipeline) {
                 (Some(mut acc), Some(m)) => {
                     acc.merge(&m);
@@ -780,6 +785,7 @@ impl<B: WalkBackend> WalkService<B> {
             pipeline,
             self.shards.iter().map(|s| s.submitted).collect(),
             self.spill.len(),
+            sampling,
         )
     }
 
@@ -820,6 +826,7 @@ impl<B: WalkBackend> WalkService<B> {
                     completed: s.completed,
                     ewma_latency_ticks: s.ewma_latency_ticks,
                     bubble_ratio: t.pipeline.map(|m| m.bubble_ratio()),
+                    sampling: t.sampling,
                 }
             })
             .collect()

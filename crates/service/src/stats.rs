@@ -305,6 +305,10 @@ pub struct ServiceStats {
     /// Completed walks currently parked in the spill buffer (bounded by
     /// `ServiceConfig::sink_spill_capacity`).
     pub sink_spill_depth: usize,
+    /// Sampling-kernel counters (rejection trials, alias builds,
+    /// second-order edge-cache hits/evictions) summed across shard
+    /// backends.
+    pub sampling: grw_sim::stats::SamplingCounters,
     /// Per-tenant breakdown (queries, walks, latency percentiles), in
     /// ascending tenant order. Each row's percentile sample is
     /// reservoir-bounded.
@@ -325,6 +329,7 @@ impl ServiceStats {
         pipeline: Option<grw_sim::stats::UtilizationMeter>,
         per_shard_submitted: Vec<u64>,
         sink_spill_depth: usize,
+        sampling: grw_sim::stats::SamplingCounters,
     ) -> Self {
         let msteps_wall = if wall_seconds > 0.0 {
             steps as f64 / wall_seconds / 1e6
@@ -375,6 +380,7 @@ impl ServiceStats {
             sink_spilled: c.sink_spilled,
             sink_forced_flushes: c.sink_forced_flushes,
             sink_spill_depth,
+            sampling,
             per_tenant: c
                 .tenants
                 .iter()
@@ -552,7 +558,18 @@ mod tests {
         c.record_query_done(TenantId(1), 4, 3);
         c.record_query_done(TenantId(1), 8, 3);
         c.record_query_done(TenantId(7), 20, 5);
-        let s = ServiceStats::build(&c, 1, 0, 11, 0.1, None, None, vec![3], 0);
+        let s = ServiceStats::build(
+            &c,
+            1,
+            0,
+            11,
+            0.1,
+            None,
+            None,
+            vec![3],
+            0,
+            grw_sim::stats::SamplingCounters::default(),
+        );
         assert_eq!(s.per_tenant.len(), 2);
         let t1 = &s.per_tenant[0];
         assert_eq!((t1.tenant, t1.submitted, t1.completed), (TenantId(1), 2, 2));
@@ -587,6 +604,7 @@ mod tests {
             Some(grw_sim::stats::UtilizationMeter::from_counts(90, 10, 20)),
             vec![5, 5],
             0,
+            grw_sim::stats::SamplingCounters::default(),
         );
         let text = s.to_string();
         assert!(text.contains("2 shards"), "{text}");

@@ -165,9 +165,102 @@ impl ThroughputMeter {
     }
 }
 
+/// Cumulative sampler-kernel counters: what the sampling stage actually
+/// did, independent of which engine ran it.
+///
+/// The runtime-adaptive sampling layer tags every sample with the kernel
+/// that produced it; engines accumulate these counters and surface them
+/// through their telemetry so serving/routing tiers can see sampler
+/// heterogeneity (e.g. a hot second-order alias cache) the same way they
+/// see pipeline occupancy. All fields merge as raw sums.
+///
+/// # Example
+///
+/// ```
+/// use grw_sim::stats::SamplingCounters;
+///
+/// let mut a = SamplingCounters {
+///     samples: 10,
+///     cache_hits: 6,
+///     alias_builds: 2,
+///     ..SamplingCounters::default()
+/// };
+/// a.merge(&SamplingCounters {
+///     samples: 2,
+///     alias_builds: 2,
+///     ..SamplingCounters::default()
+/// });
+/// assert_eq!(a.samples, 12);
+/// assert!((a.cache_hit_ratio() - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplingCounters {
+    /// Neighbor samples drawn (one per advancing hop).
+    pub samples: u64,
+    /// Extra uniform candidate draws beyond the first (rejection retries).
+    pub rejection_trials: u64,
+    /// Alias rows constructed at sample time (second-order builds and
+    /// table-free on-the-fly first-order rows).
+    pub alias_builds: u64,
+    /// Second-order alias tables served from the edge cache.
+    pub cache_hits: u64,
+    /// Cache entries evicted to stay under the byte budget.
+    pub cache_evictions: u64,
+    /// Sequential words scanned by list-walking kernels.
+    pub scanned_words: u64,
+}
+
+impl SamplingCounters {
+    /// Accumulates `other` into `self` (plain sums).
+    pub fn merge(&mut self, other: &SamplingCounters) {
+        self.samples += other.samples;
+        self.rejection_trials += other.rejection_trials;
+        self.alias_builds += other.alias_builds;
+        self.cache_hits += other.cache_hits;
+        self.cache_evictions += other.cache_evictions;
+        self.scanned_words += other.scanned_words;
+    }
+
+    /// Fraction of second-order table lookups served from the cache:
+    /// `hits / (hits + builds)`. `0.0` when no second-order sampling ran.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.alias_builds;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sampling_counters_merge_and_ratio() {
+        let mut a = SamplingCounters::default();
+        assert_eq!(a.cache_hit_ratio(), 0.0);
+        a.merge(&SamplingCounters {
+            samples: 4,
+            rejection_trials: 3,
+            alias_builds: 1,
+            cache_hits: 3,
+            cache_evictions: 2,
+            scanned_words: 40,
+        });
+        a.merge(&SamplingCounters {
+            samples: 1,
+            alias_builds: 1,
+            ..SamplingCounters::default()
+        });
+        assert_eq!(a.samples, 5);
+        assert_eq!(a.rejection_trials, 3);
+        assert_eq!(a.alias_builds, 2);
+        assert_eq!(a.cache_evictions, 2);
+        assert_eq!(a.scanned_words, 40);
+        assert!((a.cache_hit_ratio() - 0.6).abs() < 1e-12);
+    }
 
     #[test]
     fn bubble_ratio_ignores_drained_cycles() {

@@ -1,0 +1,112 @@
+//! Runtime-adaptive sampling kernels vs the legacy fixed kernels.
+//!
+//! Sweeps the (degree-skew × workload) grid of `grw_bench::sampling`:
+//! two RMAT initiators (balanced vs the heavy-tailed Graph500 setting)
+//! across URW, PPR, DeepWalk, rejection Node2Vec and weighted reservoir
+//! Node2Vec, executing the identical query stream through a legacy and
+//! an adaptive `PreparedGraph` and reporting steady-state wall-clock
+//! MStep/s per arm plus the deterministic sampler counters (rejection
+//! trials, reservoir scan words, alias builds, second-order cache
+//! hits). Writes `BENCH_sampling.json` for the CI perf-regression gate.
+//!
+//! The run asserts the tentpole claim on the spot: on the skewed graph
+//! the cached second-order alias kernel must execute weighted Node2Vec
+//! at least 1.5x faster than the legacy reservoir sampler (full mode;
+//! the smoke grid is too small for a stable wall-clock ratio and only
+//! requires it not to lose).
+//!
+//! ```text
+//! cargo run --release --example sampling                     # figure scale
+//! SAMPLING_SMOKE=1 cargo run --release --example sampling    # CI smoke
+//! ```
+
+use ridgewalker_suite::bench::sampling::{run_sampling_bench, SamplingBenchConfig};
+
+fn main() {
+    let smoke =
+        std::env::var_os("SAMPLING_SMOKE").is_some() || std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        SamplingBenchConfig::smoke()
+    } else {
+        SamplingBenchConfig::full()
+    };
+
+    println!(
+        "sampling bench ({} mode): SC{}-{} RMAT, {} queries x {} max hops, {} repeats, {} MiB cache\n",
+        if smoke { "smoke" } else { "full" },
+        cfg.scale,
+        cfg.edge_factor,
+        cfg.queries,
+        cfg.walk_len,
+        cfg.repeats,
+        cfg.cache_budget >> 20,
+    );
+
+    let report = run_sampling_bench(&cfg);
+
+    let mut skew = "";
+    for c in &report.cells {
+        if c.skew != skew {
+            println!(
+                "== {} ==  {} vertices, {} edges, max degree {}",
+                c.skew, c.vertices, c.edges, c.max_degree
+            );
+            println!(
+                "   {:<9} {:>12} {:>12} {:>8} {:>12} {:>12} {:>12} {:>10} {:>9}",
+                "workload",
+                "legacy MS/s",
+                "adapt MS/s",
+                "speedup",
+                "rej trials",
+                "scan words",
+                "alias builds",
+                "hits",
+                "hit%"
+            );
+            skew = &c.skew;
+        }
+        let s = &c.adaptive.sampling;
+        println!(
+            "   {:<9} {:>12.2} {:>12.2} {:>7.2}x {:>12} {:>12} {:>12} {:>10} {:>8.1}%",
+            c.workload,
+            c.legacy.msteps_wall,
+            c.adaptive.msteps_wall,
+            c.speedup,
+            c.legacy.sampling.rejection_trials,
+            c.legacy.sampling.scanned_words,
+            s.alias_builds,
+            s.cache_hits,
+            s.cache_hit_ratio() * 100.0,
+        );
+    }
+
+    let n2v = report
+        .node2vec_skewed()
+        .expect("the grid includes skewed weighted Node2Vec");
+    println!(
+        "\nskewed weighted Node2Vec: {:.2} -> {:.2} MStep/s ({:.2}x), cache hit ratio {:.1}%, min grid speedup {:.2}x",
+        n2v.legacy.msteps_wall,
+        n2v.adaptive.msteps_wall,
+        n2v.speedup,
+        n2v.adaptive.sampling.cache_hit_ratio() * 100.0,
+        report.min_speedup(),
+    );
+
+    // The acceptance claim, checked on the spot at figure scale.
+    if !smoke {
+        assert!(
+            n2v.speedup >= 1.5,
+            "skewed weighted Node2Vec must run >=1.5x faster with the \
+             second-order alias cache, measured {:.2}x",
+            n2v.speedup
+        );
+    }
+    assert!(
+        n2v.adaptive.sampling.cache_hits > n2v.adaptive.sampling.alias_builds,
+        "hot hub edges must be served from the cache"
+    );
+
+    let json = report.to_json();
+    std::fs::write("BENCH_sampling.json", &json).expect("write BENCH_sampling.json");
+    println!("wrote BENCH_sampling.json");
+}
