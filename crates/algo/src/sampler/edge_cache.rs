@@ -294,6 +294,11 @@ impl EdgeAliasCache {
     /// used.
     pub fn lookup(&mut self, prev: u32, cur: u32) -> Option<&[AliasSlot]> {
         let key = Self::key(prev, cur);
+        if key == EMPTY_KEY {
+            // insert() refuses the sentinel edge, so it can never be
+            // resident — and probing for it would false-hit a free way.
+            return None;
+        }
         let (seg, hashed) = self.route(key);
         self.segments[seg].lookup(key, hashed)
     }
@@ -397,6 +402,18 @@ mod tests {
         }
         assert!(c.len() <= WAYS);
         assert!(c.evictions() >= 4, "evictions: {}", c.evictions());
+    }
+
+    #[test]
+    fn sentinel_edge_is_a_clean_miss() {
+        // (u32::MAX, u32::MAX) packs to the free-way sentinel: both
+        // insert and lookup must treat it as uncacheable, not match an
+        // empty way.
+        let mut c = EdgeAliasCache::new(1 << 12, 1);
+        assert!(c.lookup(u32::MAX, u32::MAX).is_none());
+        c.insert(u32::MAX, u32::MAX, row(2, 1.0));
+        assert!(c.lookup(u32::MAX, u32::MAX).is_none());
+        assert_eq!(c.resident_bytes(), 0);
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub use uniform::{alias_onthefly, alias_sample, uniform_sample};
 /// layer, and each kernel has a distinct memory signature.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SampleMethod {
-    /// Direct uniform index draw (URW/PPR, and any first hop of a
-    /// second-order walk).
+    /// Direct uniform index draw (URW/PPR, and the first hop of an
+    /// unweighted second-order walk).
     Uniform,
     /// Table-free weighted pick: the vertex's alias row is recomputed on
     /// the fly from its weights (a sequential scan) instead of read from

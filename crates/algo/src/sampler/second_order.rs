@@ -27,6 +27,10 @@ use grw_rng::RandomSource;
 /// Membership of `x` in `N(prev)` is decided by one sorted merge over the
 /// two (CSR-sorted) neighbor lists — O(deg(cur) + deg(prev)) total, not
 /// O(deg(cur) · log deg(prev)).
+/// Returns `None` when every biased weight is non-positive — the
+/// reservoir kernel treats that row as a dead end, so the alias
+/// realisation must too (never hand it to `fill_row`, whose degenerate
+/// fallback is a *uniform* row).
 fn biased_row(
     graph: &CsrGraph,
     cur: VertexId,
@@ -34,7 +38,7 @@ fn biased_row(
     p: f64,
     q: f64,
     use_weights: bool,
-) -> Box<[AliasSlot]> {
+) -> Option<Box<[AliasSlot]>> {
     let neighbors = graph.neighbors(cur);
     let weights = if use_weights {
         graph.neighbor_weights(cur)
@@ -58,13 +62,18 @@ fn biased_row(
         let base = weights.map_or(1.0, |ws| f64::from(ws[i]));
         row.push((base * bias) as f32);
     }
+    if !row.iter().any(|&w| w > 0.0) {
+        return None;
+    }
     let mut prob = vec![1.0f32; row.len()];
     let mut alt: Vec<u32> = (0..row.len() as u32).collect();
     AliasTables::fill_row(&row, &mut prob, &mut alt);
-    prob.iter()
-        .zip(&alt)
-        .map(|(&prob, &alt)| AliasSlot { prob, alt })
-        .collect()
+    Some(
+        prob.iter()
+            .zip(&alt)
+            .map(|(&prob, &alt)| AliasSlot { prob, alt })
+            .collect(),
+    )
 }
 
 /// Samples the next Node2Vec neighbor of `cur` through a per-edge alias
@@ -73,8 +82,11 @@ fn biased_row(
 /// `use_weights` selects whether edge weights multiply the second-order
 /// bias — `true` mirrors the reservoir (weighted) realisation, `false`
 /// the rejection (unweighted) one. Pass `prev = None` on the first hop,
-/// which degenerates to uniform sampling exactly like the rejection
-/// kernel. Returns `None` for dead ends.
+/// which has no second-order bias and degenerates to the legacy kernel's
+/// first hop: a plain weighted pick when `use_weights` (like
+/// [`super::node2vec_reservoir`]), a uniform draw otherwise (like
+/// [`super::node2vec_rejection`]). Returns `None` for dead ends,
+/// including rows whose biased weights are all non-positive.
 ///
 /// The sample consumes exactly two draws (slot, coin) regardless of cache
 /// state: a hit and a rebuild produce bitwise-identical rows, so whether
@@ -104,7 +116,14 @@ pub fn second_order_alias<G: RandomSource>(
     }
     let prev = match prev {
         Some(v) => v,
-        None => return super::uniform_sample(degree, rng),
+        None => {
+            if use_weights {
+                if let Some(ws) = graph.neighbor_weights(cur) {
+                    return super::weighted_reservoir(ws, rng);
+                }
+            }
+            return super::uniform_sample(degree, rng);
+        }
     };
     let slot = rng.next_below(u64::from(degree)) as usize;
     let coin = rng.next_f64() as f32;
@@ -131,7 +150,7 @@ pub fn second_order_alias<G: RandomSource>(
             });
         }
     }
-    let row = biased_row(graph, cur, prev, p, q, use_weights);
+    let row = biased_row(graph, cur, prev, p, q, use_weights)?;
     let local_index = pick(&row);
     if let Some(c) = cache {
         c.insert(prev, cur, row);
@@ -151,6 +170,7 @@ pub fn second_order_alias<G: RandomSource>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sampler::node2vec_reservoir;
     use grw_rng::SplitMix64;
 
     /// cur = 0 with neighbors {1 (the previous vertex), 2 (neighbor of 1),
@@ -232,6 +252,40 @@ mod tests {
         let o = second_order_alias(&g, 0, None, 2.0, 0.5, false, None, &mut rng).unwrap();
         assert_eq!(o.method, SampleMethod::Uniform);
         assert!(second_order_alias(&g, 3, Some(0), 2.0, 0.5, false, None, &mut rng).is_none());
+    }
+
+    #[test]
+    fn weighted_first_hop_is_weight_proportional() {
+        // The legacy weighted kernel's prev=None hop samples proportionally
+        // to edge weights; the alias realisation must match, not fall back
+        // to uniform. Weights {1, 1, 3} → 1/5, 1/5, 3/5.
+        let g = fixture().with_weights(|src, dst, _| if (src, dst) == (0, 3) { 3.0 } else { 1.0 });
+        let mut rng = SplitMix64::new(29);
+        let mut counts = [0u32; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            let o = second_order_alias(&g, 0, None, 2.0, 0.5, true, None, &mut rng).unwrap();
+            assert_eq!(o.method, SampleMethod::Reservoir);
+            counts[o.local_index as usize] += 1;
+        }
+        let expect = [1.0 / 5.0, 1.0 / 5.0, 3.0 / 5.0];
+        for (i, (&c, &e)) in counts.iter().zip(&expect).enumerate() {
+            let f = f64::from(c) / n as f64;
+            assert!((f - e).abs() < 0.01, "index {i}: {f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn all_non_positive_weights_are_a_dead_end() {
+        // The reservoir kernel terminates the walk when every weighted
+        // transition is non-positive; the alias row must not silently
+        // substitute fill_row's uniform fallback.
+        let g = fixture().with_weights(|_, _, _| 0.0);
+        let mut rng = SplitMix64::new(2);
+        assert!(node2vec_reservoir(&g, 0, Some(1), 2.0, 0.5, &mut rng).is_none());
+        assert!(second_order_alias(&g, 0, Some(1), 2.0, 0.5, true, None, &mut rng).is_none());
+        // And the first hop agrees too.
+        assert!(second_order_alias(&g, 0, None, 2.0, 0.5, true, None, &mut rng).is_none());
     }
 
     #[test]

@@ -146,8 +146,16 @@ fn every_forced_strategy_fits_its_transition_distribution() {
             PreparedGraph::with_sampler(g.clone(), &spec, SamplerConfig::forced(strategy))
                 .expect("forced kernel supports its spec");
         let second_order = matches!(spec, WalkSpec::Node2Vec { .. });
-        for (probe, prev) in [(HUB, 1), (LOW, 11)] {
-            let prev = second_order.then_some(prev);
+        // Second-order specs get first-hop (prev = None) probes too: the
+        // cached-alias kernel must reproduce the legacy kernel's
+        // weight-proportional (reservoir) or uniform (rejection) first
+        // hop, not degenerate to uniform everywhere.
+        let probes: Vec<(VertexId, Option<VertexId>)> = if second_order {
+            vec![(HUB, Some(1)), (LOW, Some(11)), (HUB, None), (LOW, None)]
+        } else {
+            vec![(HUB, None), (LOW, None)]
+        };
+        for (probe, prev) in probes {
             let bins = empirical_counts(&prepared, &spec, probe, prev, N, 0xD15 ^ u64::from(probe));
             let probs = expected_probs(&g, probe, prev, p, q, weighted);
             assert!(
