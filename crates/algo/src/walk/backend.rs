@@ -101,6 +101,18 @@ pub struct BackendTelemetry {
 ///   the path returned for a query depends only on the backend seed and the
 ///   query (software engines) or the submitted batch composition
 ///   (cycle-level engines) — never on wall-clock timing.
+///
+/// # Thread placement
+///
+/// The trait deliberately has no `Send` supertrait: a backend is
+/// single-owner mutable state (`&mut self` everywhere), and a purely
+/// local engine — one holding `Rc` graph views, say — is a legitimate
+/// implementation. Serving layers that *move* backends onto worker
+/// threads (the threaded driver in `grw_service`) demand `B: Send` at
+/// their own boundary instead, which every engine in this workspace
+/// satisfies: the shared graph travels as `Arc<PreparedGraph>` and all
+/// RNG/sampler state is owned per backend (asserted in this module's
+/// tests).
 pub trait WalkBackend {
     /// Offers queries; accepts a prefix and returns how many were taken.
     fn submit(&mut self, queries: &[WalkQuery]) -> usize;
@@ -617,6 +629,18 @@ mod tests {
         let spec = WalkSpec::urw(12);
         let qs = QuerySet::random(g.vertex_count(), 300, 11);
         (PreparedGraph::new(g, &spec).unwrap(), spec, qs)
+    }
+
+    /// The workspace engines must stay movable onto worker threads (the
+    /// threaded serving driver's `B: Send` bound) — a compile-time
+    /// assertion, so a future `Rc` or raw-pointer field fails here, not
+    /// in a downstream crate.
+    #[test]
+    fn workspace_backends_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ReferenceBackend<std::sync::Arc<PreparedGraph>>>();
+        assert_send::<ParallelBackend<std::sync::Arc<PreparedGraph>>>();
+        assert_send::<Box<dyn WalkBackend + Send>>();
     }
 
     #[test]

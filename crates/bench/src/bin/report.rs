@@ -1,0 +1,345 @@
+//! Table III-style markdown comparison report over `BENCH_*.json`.
+//!
+//! Reads the bench records in a directory (normally the committed
+//! baselines in `benchmarks/baselines/`) and renders one markdown
+//! document of comparison tables — the serving-tier analogue of the
+//! paper's cross-platform summary table:
+//!
+//! ```text
+//! report <bench_dir> [output.md]
+//! ```
+//!
+//! With no output path the document goes to stdout. The committed copy
+//! lives at `benchmarks/TABLE.md`:
+//!
+//! ```text
+//! cargo run --release -p grw_bench --bin report -- benchmarks/baselines benchmarks/TABLE.md
+//! ```
+//!
+//! Wall-clock columns (QPS, speedups measured in seconds) are the
+//! numbers of whatever machine produced the records — context, not
+//! CI-gated claims; the deterministic counters next to them are the
+//! gated ones.
+
+use grw_bench::{Json, Table};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn load(dir: &Path, name: &str) -> Option<Json> {
+    let text = std::fs::read_to_string(dir.join(name)).ok()?;
+    match Json::parse(&text) {
+        Ok(doc) => Some(doc),
+        Err(e) => {
+            eprintln!("warning: cannot parse {name}: {e} (section skipped)");
+            None
+        }
+    }
+}
+
+fn num(doc: &Json, path: &str) -> Option<f64> {
+    doc.get(path).and_then(Json::as_f64)
+}
+
+/// Formats a looked-up number with `decimals` places, `-` when absent.
+fn cell(doc: &Json, path: &str, decimals: usize) -> String {
+    match num(doc, path) {
+        Some(v) => format!("{v:.decimals$}"),
+        None => "-".to_string(),
+    }
+}
+
+fn section(out: &mut String, title: &str, body: &str) {
+    out.push_str("## ");
+    out.push_str(title);
+    out.push_str("\n\n");
+    out.push_str(body);
+    out.push('\n');
+}
+
+/// Batch vs incremental accelerator shard modes (`BENCH_serving.json`).
+fn serving(doc: &Json) -> String {
+    let mut t = Table::new(vec![
+        "shard mode",
+        "walks",
+        "steps",
+        "MStep/s (simulated)",
+        "simulated cycles",
+        "bubble ratio",
+        "p99 batch latency (ticks)",
+    ]);
+    for (label, path) in [("batch", "batch"), ("incremental", "incremental")] {
+        t.row(vec![
+            label.to_string(),
+            cell(doc, &format!("{path}.completed"), 0),
+            cell(doc, &format!("{path}.steps"), 0),
+            cell(doc, &format!("{path}.msteps_simulated"), 1),
+            cell(doc, &format!("{path}.simulated_cycles"), 0),
+            cell(doc, &format!("{path}.bubble_ratio"), 3),
+            cell(doc, &format!("{path}.p99_batch_latency_ticks"), 0),
+        ]);
+    }
+    let mut body = t.markdown();
+    if let Some(imp) = num(doc, "bubble_improvement") {
+        body.push_str(&format!(
+            "\nIncremental shards cut the serving-level bubble ratio {imp:.1}x.\n"
+        ));
+    }
+    body
+}
+
+/// One row per workload from the `BENCH_load_<slug>.json` sweeps.
+fn loads(dir: &Path) -> Option<String> {
+    let mut t = Table::new(vec![
+        "workload",
+        "saturation (q/tick)",
+        "low-rho mean latency (ticks)",
+        "predicted M/M/n (ticks)",
+        "model error",
+        "high-rho mean latency (ticks)",
+    ]);
+    for slug in ["urw", "ppr", "deepwalk", "node2vec"] {
+        let Some(doc) = load(dir, &format!("BENCH_load_{slug}.json")) else {
+            continue;
+        };
+        let name = doc
+            .get("workload")
+            .and_then(Json::as_str)
+            .unwrap_or(slug)
+            .to_string();
+        t.row(vec![
+            name,
+            cell(&doc, "summary.saturation_qpt", 3),
+            cell(&doc, "summary.low_load_mean_latency_ticks", 1),
+            cell(&doc, "summary.low_load_predicted_latency_ticks", 1),
+            cell(&doc, "summary.low_load_model_error", 4),
+            cell(&doc, "summary.high_load_mean_latency_ticks", 1),
+        ]);
+    }
+    (!t.is_empty()).then(|| t.markdown())
+}
+
+/// Placement policies on the mixed fleet (`BENCH_routing.json`).
+fn routing(doc: &Json) -> String {
+    let mut t = Table::new(vec!["policy", "worst-case p99 (ticks)", "migrations"]);
+    for (label, p99, migrations) in [
+        ("static-hash", "summary.p99_static", None),
+        (
+            "least-loaded",
+            "summary.p99_least_loaded",
+            Some("summary.migrations_least_loaded"),
+        ),
+        (
+            "adaptive",
+            "summary.p99_adaptive",
+            Some("summary.migrations_adaptive"),
+        ),
+    ] {
+        t.row(vec![
+            label.to_string(),
+            cell(doc, p99, 0),
+            migrations.map_or("-".to_string(), |m| cell(doc, m, 0)),
+        ]);
+    }
+    let mut body = t.markdown();
+    if let Some(imp) = num(doc, "summary.p99_improvement") {
+        body.push_str(&format!(
+            "\nAdaptive placement improves worst-case p99 latency {imp:.1}x over static hashing.\n"
+        ));
+    }
+    body
+}
+
+/// Legacy vs runtime-adaptive sampler kernels (`BENCH_sampling.json`).
+fn sampling(doc: &Json) -> String {
+    let mut t = Table::new(vec!["metric", "value"]);
+    for (label, path, decimals) in [
+        (
+            "Node2Vec speedup on skewed graphs",
+            "summary.node2vec_speedup_skewed",
+            2,
+        ),
+        ("worst-cell speedup", "summary.min_speedup", 2),
+        ("second-order cache hit ratio", "summary.cache_hit_ratio", 3),
+        ("cache hits", "summary.cache_hits", 0),
+        ("alias tables built", "summary.alias_builds", 0),
+        ("legacy words scanned", "summary.legacy_scanned_words", 0),
+        ("total steps (both arms)", "summary.total_steps", 0),
+    ] {
+        t.row(vec![label.to_string(), cell(doc, path, decimals)]);
+    }
+    t.markdown()
+}
+
+/// Bounded sink delivery vs drain-to-`Vec` (`BENCH_sinks.json`).
+fn sinks(doc: &Json) -> String {
+    let mut t = Table::new(vec![
+        "consumption path",
+        "walks",
+        "ticks",
+        "peak resident paths",
+        "final resident paths",
+    ]);
+    for (label, path) in [("drain-to-Vec", "legacy"), ("CorpusSink", "sink")] {
+        t.row(vec![
+            label.to_string(),
+            cell(doc, &format!("{path}.completed"), 0),
+            cell(doc, &format!("{path}.ticks"), 0),
+            cell(doc, &format!("{path}.peak_resident_paths"), 0),
+            cell(doc, &format!("{path}.final_resident_paths"), 0),
+        ]);
+    }
+    let mut body = t.markdown();
+    if let Some(pairs) = num(doc, "corpus.pairs_emitted") {
+        body.push_str(&format!(
+            "\nThe sink run streamed {pairs:.0} skip-gram pairs while staying within its spill bound.\n"
+        ));
+    }
+    body
+}
+
+/// Deterministic vs threaded serving driver (`BENCH_qps.json`).
+fn qps(doc: &Json) -> String {
+    let mut t = Table::new(vec![
+        "driver",
+        "walks",
+        "steps",
+        "wall QPS",
+        "p50 latency (us)",
+        "p99 latency (us)",
+    ]);
+    for (label, path) in [("deterministic", "deterministic"), ("threaded", "threaded")] {
+        t.row(vec![
+            label.to_string(),
+            cell(doc, &format!("{path}.completed"), 0),
+            cell(doc, &format!("{path}.steps"), 0),
+            cell(doc, &format!("{path}.qps_wall"), 0),
+            cell(doc, &format!("{path}.p50_latency_us"), 0),
+            cell(doc, &format!("{path}.p99_latency_us"), 0),
+        ]);
+    }
+    let mut body = t.markdown();
+    let digests_match = num(doc, "summary.checksum_match") == Some(1.0);
+    body.push_str(&format!(
+        "\nWalk multisets {} across drivers (digest {}).",
+        if digests_match { "match" } else { "DIVERGE" },
+        cell(doc, "summary.walk_digest", 0),
+    ));
+    if let (Some(speedup), Some(cores)) =
+        (num(doc, "summary.speedup_wall"), num(doc, "parallelism"))
+    {
+        body.push_str(&format!(
+            " Threaded speedup {speedup:.2}x wall on {cores:.0} core(s) \
+             (machine-dependent; not CI-gated).",
+        ));
+    }
+    body.push('\n');
+    body
+}
+
+fn render(dir: &Path) -> Option<String> {
+    let mut out = String::from(
+        "# Benchmark comparison tables\n\n\
+         Generated from the committed `BENCH_*.json` baselines by:\n\n\
+         ```text\n\
+         cargo run --release -p grw_bench --bin report -- benchmarks/baselines benchmarks/TABLE.md\n\
+         ```\n\n\
+         Regenerate after refreshing any baseline. Deterministic counters\n\
+         (walks, steps, ticks, digests) are CI-gated by `perf_gate`;\n\
+         wall-clock columns are whatever machine produced the records and\n\
+         are never gated.\n\n",
+    );
+    let mut sections = 0;
+    if let Some(doc) = load(dir, "BENCH_serving.json") {
+        section(
+            &mut out,
+            "Serving: batch vs incremental accelerator shards",
+            &serving(&doc),
+        );
+        sections += 1;
+    }
+    if let Some(body) = loads(dir) {
+        section(&mut out, "Latency vs offered load", &body);
+        sections += 1;
+    }
+    if let Some(doc) = load(dir, "BENCH_routing.json") {
+        section(&mut out, "Tenant placement policies", &routing(&doc));
+        sections += 1;
+    }
+    if let Some(doc) = load(dir, "BENCH_sampling.json") {
+        section(
+            &mut out,
+            "Runtime-adaptive sampling kernels",
+            &sampling(&doc),
+        );
+        sections += 1;
+    }
+    if let Some(doc) = load(dir, "BENCH_sinks.json") {
+        section(&mut out, "Bounded sink delivery", &sinks(&doc));
+        sections += 1;
+    }
+    if let Some(doc) = load(dir, "BENCH_qps.json") {
+        section(
+            &mut out,
+            "Serving drivers: deterministic vs threaded",
+            &qps(&doc),
+        );
+        sections += 1;
+    }
+    (sections > 0).then_some(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 2 || args.len() > 3 {
+        eprintln!("usage: report <bench_dir> [output.md]");
+        return ExitCode::from(2);
+    }
+    let dir = Path::new(&args[1]);
+    let Some(doc) = render(dir) else {
+        eprintln!("no readable BENCH_*.json records in {}", dir.display());
+        return ExitCode::FAILURE;
+    };
+    match args.get(2) {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qps_section_renders_both_drivers() {
+        let doc = Json::parse(
+            r#"{"summary": {"checksum_match": 1, "walk_digest": 123, "speedup_wall": 2.5},
+                "parallelism": 8,
+                "deterministic": {"completed": 100, "steps": 600, "qps_wall": 1000.0,
+                                  "p50_latency_us": 10, "p99_latency_us": 50},
+                "threaded": {"completed": 100, "steps": 600, "qps_wall": 2500.0,
+                             "p50_latency_us": 5, "p99_latency_us": 30}}"#,
+        )
+        .unwrap();
+        let body = qps(&doc);
+        assert!(body.contains("| deterministic | 100 | 600 | 1000 | 10 | 50 |"));
+        assert!(body.contains("| threaded | 100 | 600 | 2500 | 5 | 30 |"));
+        assert!(body.contains("multisets match"));
+        assert!(body.contains("2.50x wall on 8 core(s)"));
+    }
+
+    #[test]
+    fn missing_fields_render_as_dashes_not_panics() {
+        let doc = Json::parse(r#"{"summary": {}}"#).unwrap();
+        let body = serving(&doc);
+        assert!(body.contains("| batch | - | - | - | - | - | - |"));
+        let body = routing(&doc);
+        assert!(body.contains("| static-hash | - | - |"));
+    }
+}

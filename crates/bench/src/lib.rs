@@ -25,8 +25,12 @@
 //! sink-delivery residency against the legacy drain-to-`Vec` pattern
 //! (writing `BENCH_sinks.json`), [`sampling`] compares the legacy and
 //! runtime-adaptive sampler kernels across degree-skew settings (writing
-//! `BENCH_sampling.json`), and [`json`] is the minimal parser the
-//! `perf_gate` CI regression checker reads those records with.
+//! `BENCH_sampling.json`), [`qps`] races the deterministic and threaded
+//! serving drivers over one wall-clock stream (writing `BENCH_qps.json`),
+//! and [`json`] is the minimal parser the `perf_gate` CI regression
+//! checker reads those records with. The `report` binary renders every
+//! committed `BENCH_*.json` baseline into one Table III-style markdown
+//! comparison (`benchmarks/TABLE.md`).
 //!
 //! # Example
 //!
@@ -42,6 +46,7 @@ pub mod experiments;
 mod harness;
 pub mod json;
 pub mod load;
+pub mod qps;
 pub mod routing;
 pub mod sampling;
 pub mod serving;
@@ -54,6 +59,7 @@ pub use load::{
     calibrate_saturation, run_latency_load, ArrivalShape, LoadConfig, LoadDelivery, LoadPoint,
     LoadWorkload, WorkloadLoadReport,
 };
+pub use qps::{run_qps_bench, DriverQps, QpsConfig, QpsReport};
 pub use routing::{
     run_routing_bench, PolicyOutcome, RoutingBenchConfig, RoutingBenchReport, WorkloadRouting,
 };

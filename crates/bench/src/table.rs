@@ -58,6 +58,35 @@ impl Table {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// Renders the table as GitHub-flavoured markdown: first column
+    /// left-aligned, the rest right-aligned — the layout of the paper's
+    /// comparison tables. Pipes in cell text are escaped so a cell can
+    /// never break the row structure.
+    pub fn markdown(&self) -> String {
+        let esc = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
+        out.push_str(" |\n|");
+        for (i, _) in self.headers.iter().enumerate() {
+            out.push_str(if i == 0 { ":---|" } else { "---:|" });
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
 }
 
 impl fmt::Display for Table {
@@ -138,6 +167,17 @@ mod tests {
     fn wide_row_panics() {
         let mut t = Table::new(vec!["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn markdown_escapes_and_aligns() {
+        let mut t = Table::new(vec!["name", "QPS"]);
+        t.row(vec!["a|b".into(), "12".into()]);
+        let md = t.markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| name | QPS |");
+        assert_eq!(lines[1], "|:---|---:|");
+        assert_eq!(lines[2], "| a\\|b | 12 |");
     }
 
     #[test]

@@ -72,7 +72,8 @@ pub use signals::{cost_hint_rate, ClassRates, FleetView};
 use grw_algo::{BackendClass, WalkQuery};
 use grw_rng::SplitMix64;
 use grw_service::{
-    CompletedWalk, DynWalkBackend, ServiceStats, ShardSnapshot, TenantId, WalkService, WalkSink,
+    CompletedWalk, Driver, DynWalkBackend, ServiceStats, ShardSnapshot, TenantId, WalkService,
+    WalkSink,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -120,15 +121,21 @@ impl fmt::Display for RouteReport {
     }
 }
 
-/// The routing tier: a [`WalkService`] over a (possibly heterogeneous)
-/// fleet, fronted by a [`RoutePolicy`] that places every tenant's
-/// micro-batches using live load signals.
+/// The routing tier: a serving [`Driver`] over a (possibly
+/// heterogeneous) fleet, fronted by a [`RoutePolicy`] that places every
+/// tenant's micro-batches using live load signals.
 ///
-/// The router owns the service; delivery (`tick`/`drain`, and their
-/// sink-streaming forms) passes straight through, so everything the
-/// service guarantees about conservation and determinism holds verbatim.
+/// The router is driver-generic: it wraps either execution regime — the
+/// deterministic tick loop ([`WalkService`]) or the thread-per-shard
+/// `ThreadedDriver` — behind the same placement logic, because
+/// `submit_routed`, `shard_snapshots`, and the tick/drain lifecycle have
+/// identical semantics in both ([`ShardSnapshot::pending_commands`]
+/// additionally exposes the threaded regime's cross-thread backlog to
+/// the policies' `backlog()` signal). Delivery passes straight through,
+/// so everything the driver guarantees about conservation and
+/// (multiset-)determinism holds verbatim.
 pub struct Router<P: RoutePolicy> {
-    service: WalkService<DynWalkBackend>,
+    driver: Driver<DynWalkBackend>,
     policy: P,
     rates: ClassRates,
     eligible: Vec<bool>,
@@ -142,15 +149,16 @@ pub struct Router<P: RoutePolicy> {
 }
 
 impl<P: RoutePolicy> Router<P> {
-    /// Wraps `service` with `policy`. All shards start eligible and no
-    /// calibration is loaded (policies fall back to cost-hint priors —
-    /// see [`with_rates`](Self::with_rates)).
-    pub fn new(service: WalkService<DynWalkBackend>, policy: P) -> Self {
-        let classes: Vec<BackendClass> =
-            service.shard_snapshots().iter().map(|s| s.class).collect();
+    /// Wraps a serving driver with `policy` — pass a [`WalkService`], a
+    /// `ThreadedDriver`, or a [`Driver`] (anything `Into<Driver>`). All
+    /// shards start eligible and no calibration is loaded (policies fall
+    /// back to cost-hint priors — see [`with_rates`](Self::with_rates)).
+    pub fn new(driver: impl Into<Driver<DynWalkBackend>>, policy: P) -> Self {
+        let driver = driver.into();
+        let classes: Vec<BackendClass> = driver.shard_snapshots().iter().map(|s| s.class).collect();
         let shards = classes.len();
         Self {
-            service,
+            driver,
             policy,
             rates: ClassRates::none(),
             eligible: vec![true; shards],
@@ -219,12 +227,12 @@ impl<P: RoutePolicy> Router<P> {
         // Signals are only gathered for policies that read them — the
         // static-hash baseline skips the per-shard telemetry sweep.
         let snaps = if self.policy.wants_signals() {
-            self.service.shard_snapshots()
+            self.driver.shard_snapshots()
         } else {
             Vec::new()
         };
         let view = FleetView {
-            now: self.service.now(),
+            now: self.driver.now(),
             shards: &snaps,
             eligible: &self.eligible,
             rates: &self.rates,
@@ -242,7 +250,7 @@ impl<P: RoutePolicy> Router<P> {
                     "policy '{}' placed {tenant} on drained/unknown shard {shard}",
                     self.policy.name()
                 );
-                let taken = self.service.submit_routed(tenant, queries, shard);
+                let taken = self.driver.submit_routed(tenant, queries, shard);
                 if taken == 0 {
                     // Nothing landed (shard buffer full): the tenant has
                     // not moved, so neither the binding nor the migration
@@ -273,7 +281,7 @@ impl<P: RoutePolicy> Router<P> {
             .iter()
             .map(|q| {
                 if all {
-                    self.service.shard_of(q.start)
+                    self.driver.shard_of(q.start)
                 } else {
                     targets[(SplitMix64::mix(u64::from(q.start)) % targets.len() as u64) as usize]
                 }
@@ -289,7 +297,7 @@ impl<P: RoutePolicy> Router<P> {
                 end += 1;
             }
             let taken = self
-                .service
+                .driver
                 .submit_routed(tenant, &queries[start..end], shard);
             accepted += taken;
             self.routed_per_shard[shard] += taken as u64;
@@ -301,44 +309,70 @@ impl<P: RoutePolicy> Router<P> {
         accepted
     }
 
-    /// Advances the service one tick — see [`WalkService::tick`].
+    /// Advances the fleet one tick — see [`Driver::tick`].
     pub fn tick(&mut self) -> Vec<CompletedWalk> {
-        self.service.tick()
+        self.driver.tick()
     }
 
     /// [`WalkService::tick_into`]: one tick, delivered into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the threaded driver — explicit borrowed-sink
+    /// delivery is a deterministic-regime API (the sink would have to
+    /// cross threads every call); attach owned per-shard sinks with
+    /// [`attach_sinks`](Self::attach_sinks) instead.
     pub fn tick_into<S: WalkSink + ?Sized>(&mut self, sink: &mut S) -> usize {
-        self.service.tick_into(sink)
+        self.deterministic_mut("tick_into").tick_into(sink)
     }
 
-    /// Runs the fleet dry — see [`WalkService::drain`].
+    /// Runs the fleet dry — see [`Driver::drain`].
     pub fn drain(&mut self) -> Vec<CompletedWalk> {
-        self.service.drain()
+        self.driver.drain()
     }
 
     /// [`WalkService::drain_into`]: drains, delivered into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the threaded driver — see
+    /// [`tick_into`](Self::tick_into).
     pub fn drain_into<S: WalkSink + ?Sized>(&mut self, sink: &mut S) -> usize {
-        self.service.drain_into(sink)
+        self.deterministic_mut("drain_into").drain_into(sink)
+    }
+
+    /// Routes completions into sinks from now on — see
+    /// [`Driver::attach_sinks`] (one global sink under the deterministic
+    /// regime, one owned sink per worker thread under the threaded one).
+    pub fn attach_sinks(&mut self, make_sink: impl FnMut(usize) -> Box<dyn WalkSink + Send>) {
+        self.driver.attach_sinks(make_sink);
     }
 
     /// Queries parked or in flight anywhere in the fleet.
     pub fn queue_depth(&self) -> usize {
-        self.service.queue_depth()
+        self.driver.queue_depth()
     }
 
     /// The current logical tick.
     pub fn now(&self) -> u64 {
-        self.service.now()
+        self.driver.now()
     }
 
     /// Service-level statistics (latency, throughput, per-tenant rows).
     pub fn stats(&self) -> ServiceStats {
-        self.service.stats()
+        self.driver.stats()
     }
 
     /// Live per-shard signals (what the policy last saw, re-read).
     pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
-        self.service.shard_snapshots()
+        self.driver.shard_snapshots()
+    }
+
+    /// Clean shutdown: drains the fleet (joining worker threads under
+    /// the threaded driver) and returns the remaining walks plus final
+    /// statistics — see [`Driver::finish`].
+    pub fn finish(self) -> (Vec<CompletedWalk>, ServiceStats) {
+        self.driver.finish()
     }
 
     /// What the routing tier did so far.
@@ -365,21 +399,66 @@ impl<P: RoutePolicy> Router<P> {
         }
     }
 
-    /// Immutable access to the wrapped service.
+    /// Immutable access to the wrapped driver.
+    pub fn driver(&self) -> &Driver<DynWalkBackend> {
+        &self.driver
+    }
+
+    /// Mutable access to the wrapped driver. Submitting through this
+    /// bypasses the policy — use [`submit`](Self::submit) for routed
+    /// traffic.
+    pub fn driver_mut(&mut self) -> &mut Driver<DynWalkBackend> {
+        &mut self.driver
+    }
+
+    /// Unwraps the router, returning the driver.
+    pub fn into_driver(self) -> Driver<DynWalkBackend> {
+        self.driver
+    }
+
+    /// Immutable access to the wrapped deterministic service.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the threaded driver — use [`driver`](Self::driver)
+    /// for regime-generic access.
     pub fn service(&self) -> &WalkService<DynWalkBackend> {
-        &self.service
+        self.driver
+            .as_deterministic()
+            .expect("service() requires the deterministic driver; use driver()")
     }
 
-    /// Mutable access to the wrapped service (sink subscription etc.).
-    /// Submitting through this bypasses the policy — use
-    /// [`submit`](Self::submit) for routed traffic.
+    /// Mutable access to the wrapped deterministic service (sink
+    /// subscription etc.). Submitting through this bypasses the policy —
+    /// use [`submit`](Self::submit) for routed traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the threaded driver — use
+    /// [`driver_mut`](Self::driver_mut).
     pub fn service_mut(&mut self) -> &mut WalkService<DynWalkBackend> {
-        &mut self.service
+        self.deterministic_mut("service_mut")
     }
 
-    /// Unwraps the router, returning the service.
+    /// Unwraps the router, returning the deterministic service.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the threaded driver — use
+    /// [`into_driver`](Self::into_driver).
     pub fn into_service(self) -> WalkService<DynWalkBackend> {
-        self.service
+        match self.driver {
+            Driver::Deterministic(svc) => svc,
+            Driver::Threaded(_) => {
+                panic!("into_service() requires the deterministic driver; use into_driver()")
+            }
+        }
+    }
+
+    fn deterministic_mut(&mut self, what: &str) -> &mut WalkService<DynWalkBackend> {
+        self.driver
+            .as_deterministic_mut()
+            .unwrap_or_else(|| panic!("{what}() requires the deterministic driver"))
     }
 }
 

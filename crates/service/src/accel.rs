@@ -9,7 +9,24 @@
 //! so a fleet can even mix modes — or mix accelerator and CPU shards —
 //! behind one `WalkService`.
 
-use crate::{ServiceConfig, WalkService};
+//!
+//! # Thread-safety audit (threaded driver)
+//!
+//! Every shard backend built here is **owned outright by its shard** and
+//! moves onto a worker thread under
+//! [`DriverMode::Threaded`](crate::DriverMode::Threaded), so the
+//! `Send` story is exactly the `DynWalkBackend` bound (`Box<dyn
+//! WalkBackend + Send>`): accelerator shards each own their whole
+//! cycle-level machine (per-shard `Accelerator::new`, nothing shared),
+//! CPU shards own their `ParallelBackend` worker pool, and the one piece
+//! of genuinely shared state — the prepared graph — travels as
+//! `Arc<PreparedGraph>` (immutable after build, `Sync`). CPU shards
+//! deliberately share the *seed value* `cpu_seed` (plain `u64` copies,
+//! no RNG state aliasing): software backends key randomness by
+//! `(seed, query id)`, which is what makes a query's path independent of
+//! which CPU shard — and therefore which thread — serves it.
+
+use crate::{Driver, ServiceConfig, WalkService};
 use grw_algo::{ParallelBackend, PreparedGraph, WalkBackend, WalkSpec};
 use ridgewalker::Accelerator;
 use std::sync::Arc;
@@ -80,6 +97,49 @@ pub fn mixed_fleet_service(
     plan: &[ShardSpec],
     cpu_seed: u64,
 ) -> WalkService<DynWalkBackend> {
+    WalkService::new(
+        cfg,
+        fleet_factory(cfg, accel, prepared, spec, plan, cpu_seed),
+    )
+}
+
+/// [`mixed_fleet_service`] in driver-generic form: builds the fleet under
+/// whichever regime [`ServiceConfig::driver`] selects — the deterministic
+/// tick loop or the thread-per-shard [`ThreadedDriver`]
+/// (see the [thread-safety audit](self#thread-safety-audit-threaded-driver)
+/// in the module docs). Shard composition, seeds, and walk output
+/// (as a multiset) are identical in both regimes.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`mixed_fleet_service`].
+///
+/// [`ThreadedDriver`]: crate::ThreadedDriver
+pub fn mixed_fleet_driver(
+    cfg: ServiceConfig,
+    accel: &Accelerator,
+    prepared: Arc<PreparedGraph>,
+    spec: &WalkSpec,
+    plan: &[ShardSpec],
+    cpu_seed: u64,
+) -> Driver<DynWalkBackend> {
+    Driver::new(
+        cfg,
+        fleet_factory(cfg, accel, prepared, spec, plan, cpu_seed),
+    )
+}
+
+/// The shared shard factory behind every fleet constructor: shard `i`
+/// becomes whatever `plan[i]` says, regardless of which driver will run
+/// it.
+fn fleet_factory(
+    cfg: ServiceConfig,
+    accel: &Accelerator,
+    prepared: Arc<PreparedGraph>,
+    spec: &WalkSpec,
+    plan: &[ShardSpec],
+    cpu_seed: u64,
+) -> impl FnMut(usize) -> DynWalkBackend {
     assert_eq!(
         plan.len(),
         cfg.shards,
@@ -88,7 +148,7 @@ pub fn mixed_fleet_service(
     let base = *accel.config();
     let spec = spec.clone();
     let plan: Vec<ShardSpec> = plan.to_vec();
-    WalkService::new(cfg, move |shard| match plan[shard] {
+    move |shard| match plan[shard] {
         ShardSpec::Accel(mode) => {
             let shard_accel = Accelerator::new(
                 base.seed(base.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
@@ -109,7 +169,7 @@ pub fn mixed_fleet_service(
             ParallelBackend::new(prepared.clone(), spec.clone(), cpu_seed, threads)
                 .chunk_per_thread(poll_chunk),
         ) as DynWalkBackend,
-    })
+    }
 }
 
 /// Builds a [`WalkService`] whose shards are accelerator instances in the
@@ -128,6 +188,20 @@ pub fn accelerator_service(
     // mixed constructor (the CPU seed is irrelevant — no CPU shards).
     let plan = vec![ShardSpec::Accel(mode); cfg.shards];
     mixed_fleet_service(cfg, accel, prepared, spec, &plan, 0)
+}
+
+/// [`accelerator_service`] in driver-generic form: a homogeneous
+/// accelerator fleet under whichever regime [`ServiceConfig::driver`]
+/// selects.
+pub fn accelerator_driver(
+    cfg: ServiceConfig,
+    accel: &Accelerator,
+    prepared: Arc<PreparedGraph>,
+    spec: &WalkSpec,
+    mode: AccelShardMode,
+) -> Driver<DynWalkBackend> {
+    let plan = vec![ShardSpec::Accel(mode); cfg.shards];
+    mixed_fleet_driver(cfg, accel, prepared, spec, &plan, 0)
 }
 
 #[cfg(test)]

@@ -25,13 +25,23 @@
 //!   absorbing sink backpressure. Concrete sinks (skip-gram corpora, PPR
 //!   aggregation, histograms, per-tenant fan-out) live in the `grw_sink`
 //!   crate.
+//! * **Two drivers** — the per-shard step logic lives in one
+//!   `ShardRunner` unit that executes under either the deterministic
+//!   tick loop below (this type — also exported as
+//!   [`DeterministicDriver`]) or the [`ThreadedDriver`], which gives
+//!   every shard its own OS thread behind bounded submission queues for
+//!   wall-clock throughput. For a fixed seed and submission sequence
+//!   both produce the same multiset of completed walks; see the
+//!   [`runner`](crate::ThreadedDriver) docs and pick with
+//!   [`DriverMode`].
 //! * **Observability** — [`ServiceStats`]: throughput in MStep/s (wall
-//!   time, plus simulated time when backends report cycles), queue depth,
-//!   micro-batch p50/p99 latency, per-query end-to-end latency
-//!   (arrival → delivery, bounded-reservoir percentiles plus exact
-//!   mean/max), flush-reason and shard-balance breakdowns. Every
-//!   [`CompletedWalk`] also carries its own arrival/flush/delivery tick
-//!   stamps for exact per-query measurement.
+//!   time, plus simulated time when backends report cycles), wall-clock
+//!   walks/s, queue depth (total and per shard), micro-batch p50/p99
+//!   latency, per-query end-to-end latency (arrival → delivery,
+//!   bounded-reservoir percentiles plus exact mean/max), flush-reason
+//!   and shard-balance breakdowns. Every [`CompletedWalk`] also carries
+//!   its own arrival/flush/delivery tick stamps for exact per-query
+//!   measurement.
 //!
 //! Time is a logical *tick*: every [`WalkService::tick`] call advances the
 //! deadline clock, flushes what is due, and polls every shard. Paths are
@@ -64,29 +74,58 @@
 
 pub mod accel;
 mod batch;
+pub mod driver;
+mod mpsc;
+mod runner;
 pub mod sink;
 mod stats;
 mod tenant;
+mod threaded;
 
 pub use accel::{
-    accelerator_service, mixed_fleet_service, AccelShardMode, DynWalkBackend, ShardSpec,
+    accelerator_driver, accelerator_service, mixed_fleet_driver, mixed_fleet_service,
+    AccelShardMode, DynWalkBackend, ShardSpec,
 };
 pub use batch::FlushReason;
+pub use driver::Driver;
 pub use sink::{SinkAck, SinkReport, WalkSink};
 pub use stats::{percentile, ServiceStats, TenantStats};
 pub use tenant::{TenantId, LOCAL_ID_BITS, MAX_LOCAL_ID};
+pub use threaded::ThreadedDriver;
 
-use batch::MicroBatcher;
 use grw_algo::{BackendClass, WalkBackend, WalkPath, WalkQuery};
 use grw_rng::SplitMix64;
+use runner::ShardRunner;
+use sink::SpillDelivery;
 use stats::StatsCollector;
-use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
+
+/// The deterministic driver *is* the tick-driven [`WalkService`]: one
+/// thread, shards stepped inline in index order, paths a pure function of
+/// the submission/tick sequence. The alias exists so driver-generic code
+/// can name both execution regimes symmetrically.
+pub type DeterministicDriver<B> = WalkService<B>;
 
 /// Smoothing factor for the per-shard latency EWMA: each delivery moves
 /// the estimate 1/8 of the way to its own latency — responsive enough for
 /// load-aware routing, smooth enough to ride out single-batch noise.
 const LATENCY_EWMA_ALPHA: f64 = 0.125;
+
+/// Which execution regime hosts the per-shard runners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriverMode {
+    /// The single-threaded logical-tick loop ([`WalkService`]): shards
+    /// step inline in index order, completions are bit-deterministic,
+    /// and wall-clock parallelism is zero. The right choice for tests,
+    /// baselines, and simulation studies.
+    #[default]
+    Deterministic,
+    /// One OS thread per shard behind bounded submission queues
+    /// ([`ThreadedDriver`]): same walks (multiset equality per tenant,
+    /// paths included), real wall-clock overlap across shards. The right
+    /// choice for serving actual traffic.
+    Threaded,
+}
 
 /// Configuration of a [`WalkService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +149,11 @@ pub struct ServiceConfig {
     /// before forcing a flush — the delivery-side bound on resident
     /// paths when streaming through [`WalkSink`]s.
     pub sink_spill_capacity: usize,
+    /// Which driver the fleet constructors ([`mixed_fleet_driver`],
+    /// [`accelerator_driver`], [`Driver::new`]) build. The plain
+    /// [`WalkService::new`] constructor ignores this — it *is* the
+    /// deterministic driver.
+    pub driver: DriverMode,
 }
 
 impl ServiceConfig {
@@ -127,6 +171,7 @@ impl ServiceConfig {
             buffer_capacity: 1024,
             latency_reservoir: 4096,
             sink_spill_capacity: 1024,
+            driver: DriverMode::Deterministic,
         }
     }
 
@@ -180,6 +225,12 @@ impl ServiceConfig {
         self.sink_spill_capacity = n;
         self
     }
+
+    /// Selects the execution regime for the fleet constructors.
+    pub fn driver_mode(mut self, mode: DriverMode) -> Self {
+        self.driver = mode;
+        self
+    }
 }
 
 /// A completed walk, routed back to the tenant that asked for it.
@@ -220,29 +271,12 @@ impl CompletedWalk {
     }
 }
 
-/// A micro-batch in flight, for latency accounting.
-#[derive(Debug, Clone, Copy)]
-struct BatchInFlight {
-    remaining: usize,
-    flushed_at: Instant,
-    flushed_tick: u64,
-}
-
-struct Shard<B> {
-    backend: B,
-    batcher: MicroBatcher,
-    submitted: u64,
-    completed: u64,
-    /// EWMA of per-query end-to-end latency delivered by this shard, in
-    /// ticks; `None` until the shard has delivered anything.
-    ewma_latency_ticks: Option<f64>,
-}
-
 /// A point-in-time, per-shard view of the live signals a routing tier
 /// places tenants with: what the shard is (class, static cost prior),
-/// how loaded it is (coalescing-buffer depth, backend residency and its
-/// awaiting/executing split where reported), and how it has been
-/// performing (per-shard latency EWMA, pipeline bubble ratio).
+/// how loaded it is (coalescing-buffer depth, submission-queue backlog,
+/// backend residency and its awaiting/executing split where reported),
+/// and how it has been performing (per-shard latency EWMA, pipeline
+/// bubble ratio).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardSnapshot {
     /// Shard index within the service.
@@ -255,6 +289,11 @@ pub struct ShardSnapshot {
     pub queued: usize,
     /// Queries resident inside the backend (accepted, not yet returned).
     pub in_flight: usize,
+    /// Commands parked in the shard's submission queue, still awaiting
+    /// its worker thread. Always zero under the deterministic driver
+    /// (commands execute inline); under [`ThreadedDriver`] this is the
+    /// cross-thread backlog a placement tier should count as load.
+    pub pending_commands: usize,
     /// Backend-internal admission backlog (the accelerator machine's
     /// awaiting-injection count), when the backend reports the split.
     pub awaiting_injection: Option<usize>,
@@ -278,9 +317,9 @@ pub struct ShardSnapshot {
 
 impl ShardSnapshot {
     /// Total queries this shard is responsible for right now (parked in
-    /// its buffer plus resident in its backend).
+    /// its buffer or submission queue plus resident in its backend).
     pub fn backlog(&self) -> usize {
-        self.queued + self.in_flight
+        self.queued + self.in_flight + self.pending_commands
     }
 }
 
@@ -292,25 +331,13 @@ impl ShardSnapshot {
 /// point.
 pub struct WalkService<B: WalkBackend> {
     cfg: ServiceConfig,
-    shards: Vec<Shard<B>>,
+    runners: Vec<ShardRunner<B>>,
     tick: u64,
     started: Instant,
     collector: StatsCollector,
-    /// (shard, internal query id) -> batches awaiting it, in flush order.
-    /// Keyed per shard because each shard's backend completes its batches
-    /// FIFO, but completions *across* shards interleave arbitrarily — a
-    /// tenant reusing a local id on two shards must not cross-credit
-    /// batches. The deque handles repeats within one shard.
-    waiting: HashMap<(usize, u64), VecDeque<u64>>,
-    /// (shard, internal query id) -> arrival ticks, in submission order —
-    /// the per-query clock behind end-to-end latency. Keyed and ordered
-    /// exactly like `waiting`, so repeats resolve consistently.
-    arrivals: HashMap<(usize, u64), VecDeque<u64>>,
-    batches: HashMap<u64, BatchInFlight>,
-    next_batch_id: u64,
     /// Completed walks a backpressured sink could not take yet, oldest
     /// first; bounded by [`ServiceConfig::sink_spill_capacity`].
-    spill: VecDeque<CompletedWalk>,
+    spill: SpillDelivery,
     /// The subscribed sink, when delivery is in streaming mode: `tick`
     /// and `drain` route every completed walk here and return nothing.
     attached: Option<Box<dyn WalkSink + Send>>,
@@ -320,33 +347,23 @@ impl<B: WalkBackend> WalkService<B> {
     /// Builds a service whose `shard`-th backend comes from
     /// `make_backend(shard)`.
     pub fn new(cfg: ServiceConfig, mut make_backend: impl FnMut(usize) -> B) -> Self {
-        let shards = (0..cfg.shards)
-            .map(|i| Shard {
-                backend: make_backend(i),
-                batcher: MicroBatcher::new(cfg.max_batch, cfg.max_delay_ticks, cfg.buffer_capacity),
-                submitted: 0,
-                completed: 0,
-                ewma_latency_ticks: None,
-            })
+        let runners = (0..cfg.shards)
+            .map(|i| ShardRunner::new(&cfg, make_backend(i)))
             .collect();
         Self {
             cfg,
-            shards,
+            runners,
             tick: 0,
             started: Instant::now(),
             collector: StatsCollector::new(cfg.latency_reservoir),
-            waiting: HashMap::new(),
-            arrivals: HashMap::new(),
-            batches: HashMap::new(),
-            next_batch_id: 0,
-            spill: VecDeque::new(),
+            spill: SpillDelivery::new(cfg.sink_spill_capacity),
             attached: None,
         }
     }
 
     /// The shard a start vertex routes to (stable vertex-hash partition).
     pub fn shard_of(&self, start: u32) -> usize {
-        (SplitMix64::mix(u64::from(start)) % self.cfg.shards as u64) as usize
+        shard_of(start, self.cfg.shards)
     }
 
     /// Offers queries on behalf of `tenant`; accepts a prefix and returns
@@ -375,7 +392,7 @@ impl<B: WalkBackend> WalkService<B> {
         queries: &[WalkQuery],
         shard: usize,
     ) -> usize {
-        assert!(shard < self.shards.len(), "shard {shard} out of range");
+        assert!(shard < self.runners.len(), "shard {shard} out of range");
         self.submit_inner(tenant, queries, Some(shard))
     }
 
@@ -392,23 +409,11 @@ impl<B: WalkBackend> WalkService<B> {
         for q in queries {
             let internal = tenant.namespace_query(q);
             let shard = fixed_shard.unwrap_or_else(|| self.shard_of(q.start));
-            if !self.shards[shard].batcher.push(internal, self.tick) {
-                // Try to make room once by flushing a full batch.
-                self.flush_shard(shard, FlushReason::Size);
-                if !self.shards[shard].batcher.push(internal, self.tick) {
-                    break;
-                }
+            if !self.runners[shard].accept(internal, self.tick, &mut self.collector) {
+                break;
             }
-            self.shards[shard].submitted += 1;
             self.collector.record_submitted(tenant);
-            self.arrivals
-                .entry((shard, internal.id))
-                .or_default()
-                .push_back(self.tick);
             accepted += 1;
-            if self.shards[shard].batcher.due(self.tick) == Some(FlushReason::Size) {
-                self.flush_shard(shard, FlushReason::Size);
-            }
         }
         accepted
     }
@@ -450,7 +455,7 @@ impl<B: WalkBackend> WalkService<B> {
             "detach the subscribed sink before delivering into another"
         );
         let out = self.advance_tick();
-        self.deliver_into_sink(out, sink)
+        self.spill.deliver(out, sink, &mut self.collector)
     }
 
     /// Flushes everything and runs every shard dry; returns the remaining
@@ -500,7 +505,7 @@ impl<B: WalkBackend> WalkService<B> {
         let mut delivered = 0;
         loop {
             let (out, progressed) = self.drain_round();
-            delivered += self.deliver_into_sink(out, sink);
+            delivered += self.spill.deliver(out, sink, &mut self.collector);
             if self.queue_depth() == 0 {
                 break;
             }
@@ -509,7 +514,7 @@ impl<B: WalkBackend> WalkService<B> {
                 "service stalled: backends hold work but complete nothing"
             );
         }
-        self.run_spill_dry(sink);
+        self.spill.run_dry(sink, &mut self.collector);
         sink.flush();
         delivered
     }
@@ -540,7 +545,7 @@ impl<B: WalkBackend> WalkService<B> {
     /// flushing it.
     pub fn detach_sink(&mut self) -> Option<Box<dyn WalkSink + Send>> {
         let mut sink = self.attached.take()?;
-        self.run_spill_dry(&mut sink);
+        self.spill.run_dry(&mut sink, &mut self.collector);
         sink.flush();
         Some(sink)
     }
@@ -555,42 +560,34 @@ impl<B: WalkBackend> WalkService<B> {
     /// [`ServiceStats::sink_spill_depth`], without building a full stats
     /// snapshot).
     pub fn spill_depth(&self) -> usize {
-        self.spill.len()
+        self.spill.depth()
     }
 
     /// Shared clock/flush/poll step behind [`tick`](Self::tick) and
-    /// [`tick_into`](Self::tick_into).
+    /// [`tick_into`](Self::tick_into): every runner steps inline, in
+    /// shard order, against the one global collector.
     fn advance_tick(&mut self) -> Vec<CompletedWalk> {
         self.tick += 1;
-        for shard in 0..self.shards.len() {
-            while let Some(reason) = self.shards[shard].batcher.due(self.tick) {
-                if !self.flush_shard(shard, reason) {
-                    break;
-                }
-            }
+        let mut out = Vec::new();
+        for r in &mut self.runners {
+            out.extend(r.run_tick(self.tick, &mut self.collector));
         }
-        self.poll_shards()
+        out
     }
 
     /// One round of the drain loop: flushes the coalescing buffers as far
     /// as the backends accept, runs every shard dry once, and returns
     /// `(completions of this round, whether any backend made progress)`.
     fn drain_round(&mut self) -> (Vec<CompletedWalk>, bool) {
-        for shard in 0..self.shards.len() {
-            while !self.shards[shard].batcher.is_empty() {
-                if !self.flush_shard(shard, FlushReason::Drain) {
-                    break;
-                }
-            }
+        for r in &mut self.runners {
+            r.drain_buffers(&mut self.collector);
         }
         let mut out = Vec::new();
         let mut progressed = false;
-        for shard in 0..self.shards.len() {
-            let paths = self.shards[shard].backend.drain();
-            progressed |= !paths.is_empty();
-            for p in paths {
-                out.push(self.deliver(shard, p));
-            }
+        for r in &mut self.runners {
+            let (walks, p) = r.drain_backend(&mut self.collector);
+            progressed |= p;
+            out.extend(walks);
         }
         (out, progressed)
     }
@@ -625,167 +622,35 @@ impl<B: WalkBackend> WalkService<B> {
             // consumed by any sink; a caller switching back to `Vec`
             // delivery gets them here (oldest first) instead of having
             // them stranded in the spill buffer forever.
-            let mut all: Vec<CompletedWalk> = self.spill.drain(..).collect();
+            let mut all = self.spill.take_all();
             all.extend(out);
             return all;
         };
-        self.deliver_into_sink(out, &mut sink);
+        self.spill.deliver(out, &mut sink, &mut self.collector);
         self.attached = Some(sink);
         Vec::new()
     }
 
-    /// Offers every walk to the sink, spilled walks first (delivery stays
-    /// in completion order); pushback parks walks in the bounded spill
-    /// buffer. Returns how many walks entered the sink route.
-    fn deliver_into_sink<S: WalkSink + ?Sized>(
-        &mut self,
-        walks: Vec<CompletedWalk>,
-        sink: &mut S,
-    ) -> usize {
-        let n = walks.len();
-        self.retry_spill(sink);
-        for w in walks {
-            if self.spill.is_empty() {
-                match sink.accept(&w) {
-                    SinkAck::Accepted => {
-                        self.collector.sink_accepted += 1;
-                        continue;
-                    }
-                    SinkAck::Backpressured => self.collector.sink_backpressured += 1,
-                }
-            }
-            self.park(w, sink);
-        }
-        n
-    }
-
-    /// Re-offers spilled walks in order, stopping at the first refusal.
-    fn retry_spill<S: WalkSink + ?Sized>(&mut self, sink: &mut S) {
-        while let Some(w) = self.spill.front() {
-            match sink.accept(w) {
-                SinkAck::Accepted => {
-                    self.collector.sink_accepted += 1;
-                    self.spill.pop_front();
-                }
-                SinkAck::Backpressured => {
-                    self.collector.sink_backpressured += 1;
-                    return;
-                }
-            }
-        }
-    }
-
-    /// Parks one refused walk in the spill buffer, forcing a sink flush
-    /// first if the buffer is at capacity.
-    fn park<S: WalkSink + ?Sized>(&mut self, w: CompletedWalk, sink: &mut S) {
-        if self.spill.len() >= self.cfg.sink_spill_capacity {
-            // Last resort before breaching the delivery-side bound: make
-            // the sink move buffered state downstream and retry.
-            sink.flush();
-            self.collector.sink_forced_flushes += 1;
-            self.retry_spill(sink);
-            assert!(
-                self.spill.len() < self.cfg.sink_spill_capacity,
-                "sink refused delivery after a flush: spill capacity {} exhausted",
-                self.cfg.sink_spill_capacity
-            );
-            if self.spill.is_empty() {
-                // The flush unblocked the sink entirely; deliver this
-                // walk now instead of making it wait a tick in the spill.
-                match sink.accept(&w) {
-                    SinkAck::Accepted => {
-                        self.collector.sink_accepted += 1;
-                        return;
-                    }
-                    SinkAck::Backpressured => self.collector.sink_backpressured += 1,
-                }
-            }
-        }
-        self.spill.push_back(w);
-        self.collector.sink_spilled += 1;
-    }
-
-    /// Empties the spill buffer into the sink, flushing it as often as
-    /// needed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a flush frees no room at all (the sink contract says it
-    /// must).
-    fn run_spill_dry<S: WalkSink + ?Sized>(&mut self, sink: &mut S) {
-        self.retry_spill(sink);
-        while !self.spill.is_empty() {
-            // retry_spill just stopped at a refusal: flushing is the only
-            // way forward, so don't re-offer to the unchanged sink first
-            // (that would inflate the backpressure counters).
-            let before = self.spill.len();
-            sink.flush();
-            self.collector.sink_forced_flushes += 1;
-            self.retry_spill(sink);
-            assert!(
-                self.spill.len() < before,
-                "sink accepts no spilled walks even after a flush"
-            );
-        }
-    }
-
     /// Queries parked in buffers plus queries in flight inside backends.
     pub fn queue_depth(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.batcher.len() + s.backend.in_flight())
-            .sum()
+        self.runners.iter().map(|r| r.queue_depth()).sum()
     }
 
     /// Point-in-time service statistics.
     pub fn stats(&self) -> ServiceStats {
-        let mut steps = 0;
-        // Shards are parallel devices: simulated wall time is the slowest
-        // shard's cycles *through its own clock* — cycle counts from
-        // different platforms are not commensurable directly.
-        let mut sim: Option<(u64, f64)> = Some((0, 0.0));
-        // Pipeline occupancy merges by raw counts across shards, available
-        // only when every backend reports a breakdown.
-        let mut pipeline: Option<grw_sim::stats::UtilizationMeter> =
-            Some(grw_sim::stats::UtilizationMeter::new());
-        let mut sampling = grw_sim::stats::SamplingCounters::default();
-        for s in &self.shards {
-            let t = s.backend.telemetry();
-            steps += t.steps;
-            sampling.merge(&t.sampling);
-            pipeline = match (pipeline, t.pipeline) {
-                (Some(mut acc), Some(m)) => {
-                    acc.merge(&m);
-                    Some(acc)
-                }
-                _ => None,
-            };
-            sim = match (sim, t.cycles) {
-                (Some((max_cycles, max_secs)), Some(c)) => match t.clock_mhz {
-                    Some(clock) if clock > 0.0 => {
-                        Some((max_cycles.max(c), max_secs.max(c as f64 / (clock * 1e6))))
-                    }
-                    // No clock reported yet (no work run): zero time.
-                    _ if c == 0 => Some((max_cycles, max_secs)),
-                    // Cycles without a clock cannot become time.
-                    _ => None,
-                },
-                // One shard without a cycle counter disables simulated time.
-                _ => None,
-            };
-        }
-        let simulated = sim;
+        let rollup = stats::rollup_telemetry(self.runners.iter().map(|r| r.backend.telemetry()));
         ServiceStats::build(
             &self.collector,
             self.cfg.shards,
             self.queue_depth(),
-            steps,
+            rollup.steps,
             self.started.elapsed().as_secs_f64(),
-            simulated,
-            pipeline,
-            self.shards.iter().map(|s| s.submitted).collect(),
-            self.spill.len(),
-            sampling,
+            rollup.simulated,
+            rollup.pipeline,
+            self.runners.iter().map(|r| r.submitted).collect(),
+            self.runners.iter().map(|r| r.queue_depth()).collect(),
+            self.spill.depth(),
+            rollup.sampling,
         )
     }
 
@@ -796,12 +661,12 @@ impl<B: WalkBackend> WalkService<B> {
 
     /// Number of backend shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.runners.len()
     }
 
     /// Immutable access to a shard's backend (telemetry, reports).
     pub fn backend(&self, shard: usize) -> &B {
-        &self.shards[shard].backend
+        &self.runners[shard].backend
     }
 
     /// Live per-shard signals for load-aware placement: one
@@ -809,134 +674,35 @@ impl<B: WalkBackend> WalkService<B> {
     /// routing decision (no latency-sample copies, just counters and the
     /// backend telemetry call).
     pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
-        self.shards
+        self.runners
             .iter()
             .enumerate()
-            .map(|(i, s)| {
-                let t = s.backend.telemetry();
+            .map(|(i, r)| {
+                let t = r.backend.telemetry();
                 ShardSnapshot {
                     shard: i,
-                    class: s.backend.backend_class(),
-                    cost_hint: s.backend.cost_hint(),
-                    queued: s.batcher.len(),
-                    in_flight: s.backend.in_flight(),
+                    class: r.backend.backend_class(),
+                    cost_hint: r.backend.cost_hint(),
+                    queued: r.queued(),
+                    in_flight: r.backend.in_flight(),
+                    pending_commands: 0,
                     awaiting_injection: t.occupancy_split.map(|(a, _)| a),
                     executing: t.occupancy_split.map(|(_, e)| e),
-                    submitted: s.submitted,
-                    completed: s.completed,
-                    ewma_latency_ticks: s.ewma_latency_ticks,
+                    submitted: r.submitted,
+                    completed: r.completed,
+                    ewma_latency_ticks: r.ewma_latency_ticks,
                     bubble_ratio: t.pipeline.map(|m| m.bubble_ratio()),
                     sampling: t.sampling,
                 }
             })
             .collect()
     }
+}
 
-    /// Takes one micro-batch out of shard `shard`'s buffer and submits it
-    /// to the backend. Returns `false` when the backend accepted nothing
-    /// (pushback) — the batch goes back to the buffer.
-    fn flush_shard(&mut self, shard: usize, reason: FlushReason) -> bool {
-        let tick = self.tick;
-        let s = &mut self.shards[shard];
-        let batch = s.batcher.take_batch();
-        if batch.is_empty() {
-            return false;
-        }
-        let taken = s.backend.submit(&batch);
-        if taken < batch.len() {
-            s.batcher.unshift(&batch[taken..]);
-        }
-        if taken == 0 {
-            return false;
-        }
-        let id = self.next_batch_id;
-        self.next_batch_id += 1;
-        self.batches.insert(
-            id,
-            BatchInFlight {
-                remaining: taken,
-                flushed_at: Instant::now(),
-                flushed_tick: tick,
-            },
-        );
-        for q in &batch[..taken] {
-            self.waiting.entry((shard, q.id)).or_default().push_back(id);
-        }
-        self.collector.batches_flushed += 1;
-        match reason {
-            FlushReason::Size => self.collector.flushed_by_size += 1,
-            FlushReason::Deadline => self.collector.flushed_by_deadline += 1,
-            FlushReason::Drain => self.collector.flushed_by_drain += 1,
-        }
-        true
-    }
-
-    fn poll_shards(&mut self) -> Vec<CompletedWalk> {
-        let mut raw = Vec::new();
-        for shard in 0..self.shards.len() {
-            for p in self.shards[shard].backend.poll() {
-                raw.push((shard, p));
-            }
-        }
-        raw.into_iter()
-            .map(|(shard, p)| self.deliver(shard, p))
-            .collect()
-    }
-
-    /// Un-namespaces a completed path and settles its batch and per-query
-    /// latency accounting.
-    fn deliver(&mut self, shard: usize, mut path: WalkPath) -> CompletedWalk {
-        let internal = path.query;
-        let (tenant, local) = TenantId::unpack(internal);
-        path.query = local;
-        self.collector.completed += 1;
-        let key = (shard, internal);
-        let batch_id = self
-            .waiting
-            .get_mut(&key)
-            .and_then(|q| q.pop_front())
-            .expect("completed path must belong to a flushed batch");
-        if self.waiting.get(&key).is_some_and(|q| q.is_empty()) {
-            self.waiting.remove(&key);
-        }
-        let arrival_tick = self
-            .arrivals
-            .get_mut(&key)
-            .and_then(|q| q.pop_front())
-            .expect("completed path must have an arrival record");
-        if self.arrivals.get(&key).is_some_and(|q| q.is_empty()) {
-            self.arrivals.remove(&key);
-        }
-        let (flushed_tick, done) = {
-            let b = self
-                .batches
-                .get_mut(&batch_id)
-                .expect("batch record exists until its last path returns");
-            b.remaining -= 1;
-            (b.flushed_tick, (b.remaining == 0).then_some(*b))
-        };
-        if let Some(b) = done {
-            self.batches.remove(&batch_id);
-            self.collector
-                .record_batch_done(b.flushed_at.elapsed(), self.tick - b.flushed_tick);
-        }
-        let latency = self.tick - arrival_tick;
-        self.collector
-            .record_query_done(tenant, latency, path.steps());
-        let s = &mut self.shards[shard];
-        s.completed += 1;
-        s.ewma_latency_ticks = Some(match s.ewma_latency_ticks {
-            Some(prev) => prev + LATENCY_EWMA_ALPHA * (latency as f64 - prev),
-            None => latency as f64,
-        });
-        CompletedWalk {
-            tenant,
-            path,
-            arrival_tick,
-            flushed_tick,
-            completed_tick: self.tick,
-        }
-    }
+/// The stable vertex-hash shard partition both drivers share: which shard
+/// a start vertex routes to in an `n`-shard fleet.
+pub(crate) fn shard_of(start: u32, shards: usize) -> usize {
+    (SplitMix64::mix(u64::from(start)) % shards as u64) as usize
 }
 
 #[cfg(test)]

@@ -1,0 +1,246 @@
+//! Hand-rolled blocking queues for the threaded driver — zero external
+//! deps, mirroring the repo's criterion-shim philosophy.
+//!
+//! Two primitives, both `Mutex` + `Condvar` (std only):
+//!
+//! * [`SyncQueue`] — a close-able FIFO. Bounded instances carry the
+//!   driver→worker command streams (the coordinator blocks when a worker
+//!   falls behind: backpressure, not unbounded queueing). The unbounded
+//!   instance carries worker→driver completions — workers must *never*
+//!   block on emit, or a coordinator blocked pushing commands into a
+//!   full queue could deadlock against a worker blocked pushing
+//!   completions.
+//! * [`Reply`] — a one-shot rendezvous slot for synchronous round-trips
+//!   (submit acceptance counts, drain barriers, stats snapshots).
+//!
+//! These are coordination-path structures: commands move whole `Vec`s of
+//! queries, so queue traffic is per-batch, not per-walk, and a plain
+//! mutex is nowhere near the bottleneck the walk kernels are.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a blocking [`Reply::recv`] waits between liveness checks
+/// before concluding the responding thread died. Generous — a loaded CI
+/// worker polling a big accelerator batch can be slow — but finite, so a
+/// worker panic surfaces as a clear panic here instead of a hung test.
+const REPLY_PATIENCE: Duration = Duration::from_secs(300);
+
+struct QueueState<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking multi-producer FIFO with optional capacity and close
+/// semantics: `push` blocks while full (erring if closed), `pop` blocks
+/// while empty (returning `None` once closed *and* empty — remaining
+/// items are always delivered).
+pub(crate) struct SyncQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> SyncQueue<T> {
+    /// A queue that holds at most `capacity` items; pushes beyond that
+    /// block until a consumer makes room.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub(crate) fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(QueueState {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// A queue whose pushes never block (the completion-return channel).
+    pub(crate) fn unbounded() -> Self {
+        Self::bounded(usize::MAX)
+    }
+
+    /// Enqueues `v`, blocking while the queue is at capacity. Returns
+    /// `Err(v)` if the queue was closed (the item is handed back).
+    pub(crate) fn push(&self, v: T) -> Result<(), T> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        while s.buf.len() >= self.capacity && !s.closed {
+            s = self.not_full.wait(s).expect("queue lock poisoned");
+        }
+        if s.closed {
+            return Err(v);
+        }
+        s.buf.push_back(v);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed and drained.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(v) = s.buf.pop_front() {
+                drop(s);
+                self.not_full.notify_one();
+                return Some(v);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).expect("queue lock poisoned");
+        }
+    }
+
+    /// Non-blocking dequeue: `None` when currently empty (closed or not).
+    pub(crate) fn try_pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        let v = s.buf.pop_front();
+        drop(s);
+        if v.is_some() {
+            self.not_full.notify_one();
+        }
+        v
+    }
+
+    /// Closes the queue: subsequent pushes fail, poppers drain what is
+    /// left and then see `None`. Idempotent.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently enqueued.
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").buf.len()
+    }
+}
+
+/// A one-shot rendezvous: one side [`send`](Reply::send)s exactly once,
+/// the other [`recv`](Reply::recv)s, blocking until the value arrives.
+pub(crate) struct Reply<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> Reply<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Fulfills the reply. Double-sends are a protocol bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply was already sent.
+    pub(crate) fn send(&self, v: T) {
+        let mut slot = self.slot.lock().expect("reply lock poisoned");
+        assert!(slot.is_none(), "reply sent twice");
+        *slot = Some(v);
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the reply arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no reply arrives within the liveness window — which
+    /// means the responding worker thread died (e.g. panicked); a loud
+    /// failure here beats a silently hung caller.
+    pub(crate) fn recv(&self) -> T {
+        let mut slot = self.slot.lock().expect("reply lock poisoned");
+        loop {
+            if let Some(v) = slot.take() {
+                return v;
+            }
+            let (s, timed_out) = self
+                .ready
+                .wait_timeout(slot, REPLY_PATIENCE)
+                .expect("reply lock poisoned");
+            slot = s;
+            assert!(
+                !timed_out.timed_out() || slot.is_some(),
+                "no reply within {REPLY_PATIENCE:?}: worker thread died"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn queue_delivers_fifo_across_threads() {
+        let q = Arc::new(SyncQueue::bounded(4));
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    q.push(i).unwrap();
+                }
+                q.close();
+            })
+        };
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_queue_blocks_producers_at_capacity() {
+        let q = Arc::new(SyncQueue::bounded(2));
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        // The third push must wait until the consumer pops.
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push(3).unwrap())
+        };
+        assert_eq!(q.pop(), Some(1));
+        producer.join().unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn closed_queue_drains_then_ends() {
+        let q: SyncQueue<u32> = SyncQueue::unbounded();
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(8), "push after close hands the item back");
+        assert_eq!(q.pop(), Some(7), "remaining items still delivered");
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn reply_rendezvous_crosses_threads() {
+        let r = Arc::new(Reply::new());
+        let sender = {
+            let r = r.clone();
+            std::thread::spawn(move || r.send(42u64))
+        };
+        assert_eq!(r.recv(), 42);
+        sender.join().unwrap();
+    }
+}

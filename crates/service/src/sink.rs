@@ -35,7 +35,9 @@
 //!   counters in [`ServiceStats`](crate::ServiceStats)
 //!   (`sink_accepted` / `sink_backpressured` / `sink_spilled`).
 
+use crate::stats::StatsCollector;
 use crate::CompletedWalk;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// A sink's verdict on one offered walk.
@@ -143,6 +145,143 @@ impl<S: WalkSink + ?Sized> WalkSink for &mut S {
 
     fn report(&self) -> SinkReport {
         (**self).report()
+    }
+}
+
+/// The bounded spill buffer between a delivery stream and one sink: the
+/// conservation machinery (offer → spill on pushback → forced flush
+/// before the bound breaches) shared by the deterministic service and
+/// every threaded worker. Each holder owns its own instance — the spill
+/// belongs to the delivery *stream*, so a worker thread's spill never
+/// mixes with another shard's.
+pub(crate) struct SpillDelivery {
+    /// Completed walks a backpressured sink could not take yet, oldest
+    /// first; bounded by the configured capacity.
+    spill: VecDeque<CompletedWalk>,
+    capacity: usize,
+}
+
+impl SpillDelivery {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            spill: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        self.spill.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.spill.is_empty()
+    }
+
+    /// Hands every parked walk back to the caller (oldest first) — the
+    /// escape hatch when delivery switches from sink to `Vec` mode.
+    pub(crate) fn take_all(&mut self) -> Vec<CompletedWalk> {
+        self.spill.drain(..).collect()
+    }
+
+    /// Offers every walk to the sink, spilled walks first (delivery stays
+    /// in completion order); pushback parks walks in the bounded spill
+    /// buffer. Returns how many walks entered the sink route.
+    pub(crate) fn deliver<S: WalkSink + ?Sized>(
+        &mut self,
+        walks: Vec<CompletedWalk>,
+        sink: &mut S,
+        c: &mut StatsCollector,
+    ) -> usize {
+        let n = walks.len();
+        self.retry(sink, c);
+        for w in walks {
+            if self.spill.is_empty() {
+                match sink.accept(&w) {
+                    SinkAck::Accepted => {
+                        c.sink_accepted += 1;
+                        continue;
+                    }
+                    SinkAck::Backpressured => c.sink_backpressured += 1,
+                }
+            }
+            self.park(w, sink, c);
+        }
+        n
+    }
+
+    /// Re-offers spilled walks in order, stopping at the first refusal.
+    fn retry<S: WalkSink + ?Sized>(&mut self, sink: &mut S, c: &mut StatsCollector) {
+        while let Some(w) = self.spill.front() {
+            match sink.accept(w) {
+                SinkAck::Accepted => {
+                    c.sink_accepted += 1;
+                    self.spill.pop_front();
+                }
+                SinkAck::Backpressured => {
+                    c.sink_backpressured += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parks one refused walk in the spill buffer, forcing a sink flush
+    /// first if the buffer is at capacity.
+    fn park<S: WalkSink + ?Sized>(
+        &mut self,
+        w: CompletedWalk,
+        sink: &mut S,
+        c: &mut StatsCollector,
+    ) {
+        if self.spill.len() >= self.capacity {
+            // Last resort before breaching the delivery-side bound: make
+            // the sink move buffered state downstream and retry.
+            sink.flush();
+            c.sink_forced_flushes += 1;
+            self.retry(sink, c);
+            assert!(
+                self.spill.len() < self.capacity,
+                "sink refused delivery after a flush: spill capacity {} exhausted",
+                self.capacity
+            );
+            if self.spill.is_empty() {
+                // The flush unblocked the sink entirely; deliver this
+                // walk now instead of making it wait a tick in the spill.
+                match sink.accept(&w) {
+                    SinkAck::Accepted => {
+                        c.sink_accepted += 1;
+                        return;
+                    }
+                    SinkAck::Backpressured => c.sink_backpressured += 1,
+                }
+            }
+        }
+        self.spill.push_back(w);
+        c.sink_spilled += 1;
+    }
+
+    /// Empties the spill buffer into the sink, flushing it as often as
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flush frees no room at all (the sink contract says it
+    /// must).
+    pub(crate) fn run_dry<S: WalkSink + ?Sized>(&mut self, sink: &mut S, c: &mut StatsCollector) {
+        self.retry(sink, c);
+        while !self.spill.is_empty() {
+            // retry just stopped at a refusal: flushing is the only way
+            // forward, so don't re-offer to the unchanged sink first
+            // (that would inflate the backpressure counters).
+            let before = self.spill.len();
+            sink.flush();
+            c.sink_forced_flushes += 1;
+            self.retry(sink, c);
+            assert!(
+                self.spill.len() < before,
+                "sink accepts no spilled walks even after a flush"
+            );
+        }
     }
 }
 

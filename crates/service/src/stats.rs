@@ -63,6 +63,22 @@ impl Reservoir {
     pub(crate) fn seen(&self) -> u64 {
         self.seen
     }
+
+    /// Folds another reservoir's retained sample into this one, keeping
+    /// `seen()` equal to the union stream's length (exact counts are what
+    /// the mean/conservation statistics divide by). The merged *sample*
+    /// is approximate — `other`'s stream is represented by its retained
+    /// sample — which is the right trade for merging per-worker
+    /// collectors at report time: each worker's reservoir was exact or
+    /// uniform over its own stream, and ownership (one reservoir per
+    /// thread, merged after join) is what makes the whole scheme
+    /// thread-safe without locks.
+    pub(crate) fn merge(&mut self, other: &Reservoir) {
+        for &v in other.sample() {
+            self.push(v);
+        }
+        self.seen += other.seen - other.sample.len() as u64;
+    }
 }
 
 /// Per-tenant counters and a bounded latency reservoir.
@@ -180,6 +196,98 @@ impl StatsCollector {
         t.latency_sum += latency_ticks;
         t.latency_max = t.latency_max.max(latency_ticks);
     }
+
+    /// Folds another collector into this one — how the threaded driver
+    /// combines its submission-side collector with each worker's
+    /// delivery-side collector at report time. Counters add exactly;
+    /// reservoir samples merge approximately (see [`Reservoir::merge`]),
+    /// worker order fixed by the caller so reports are as reproducible
+    /// as the underlying wall-clock values allow.
+    pub(crate) fn merge(&mut self, other: &StatsCollector) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.batches_flushed += other.batches_flushed;
+        self.flushed_by_size += other.flushed_by_size;
+        self.flushed_by_deadline += other.flushed_by_deadline;
+        self.flushed_by_drain += other.flushed_by_drain;
+        self.batch_latencies_us.merge(&other.batch_latencies_us);
+        self.batch_latencies_ticks
+            .merge(&other.batch_latencies_ticks);
+        self.query_latencies_ticks
+            .merge(&other.query_latencies_ticks);
+        self.query_latency_sum += other.query_latency_sum;
+        self.query_latency_max = self.query_latency_max.max(other.query_latency_max);
+        self.sink_accepted += other.sink_accepted;
+        self.sink_backpressured += other.sink_backpressured;
+        self.sink_spilled += other.sink_spilled;
+        self.sink_forced_flushes += other.sink_forced_flushes;
+        for (&tenant, t) in &other.tenants {
+            let mine = self.tenant_mut(tenant);
+            mine.submitted += t.submitted;
+            mine.completed += t.completed;
+            mine.steps += t.steps;
+            mine.latencies_ticks.merge(&t.latencies_ticks);
+            mine.latency_sum += t.latency_sum;
+            mine.latency_max = mine.latency_max.max(t.latency_max);
+        }
+    }
+}
+
+/// Backend telemetry summed/merged across a fleet's shards — the
+/// aggregation both drivers feed into [`ServiceStats::build`].
+pub(crate) struct TelemetryRollup {
+    pub steps: u64,
+    /// `(slowest shard's cycles, slowest shard's simulated seconds)` when
+    /// every backend reports a cycle clock.
+    pub simulated: Option<(u64, f64)>,
+    pub pipeline: Option<grw_sim::stats::UtilizationMeter>,
+    pub sampling: grw_sim::stats::SamplingCounters,
+}
+
+/// Merges per-shard [`BackendTelemetry`](grw_algo::BackendTelemetry):
+/// steps and sampling counters sum; pipeline occupancy merges by raw
+/// counts (available only when every backend reports a breakdown);
+/// simulated wall time is the slowest shard's cycles *through its own
+/// clock*, because shards are parallel devices and cycle counts from
+/// different platforms are not commensurable directly.
+pub(crate) fn rollup_telemetry(
+    telemetries: impl Iterator<Item = grw_algo::BackendTelemetry>,
+) -> TelemetryRollup {
+    let mut steps = 0;
+    let mut sim: Option<(u64, f64)> = Some((0, 0.0));
+    let mut pipeline: Option<grw_sim::stats::UtilizationMeter> =
+        Some(grw_sim::stats::UtilizationMeter::new());
+    let mut sampling = grw_sim::stats::SamplingCounters::default();
+    for t in telemetries {
+        steps += t.steps;
+        sampling.merge(&t.sampling);
+        pipeline = match (pipeline, t.pipeline) {
+            (Some(mut acc), Some(m)) => {
+                acc.merge(&m);
+                Some(acc)
+            }
+            _ => None,
+        };
+        sim = match (sim, t.cycles) {
+            (Some((max_cycles, max_secs)), Some(c)) => match t.clock_mhz {
+                Some(clock) if clock > 0.0 => {
+                    Some((max_cycles.max(c), max_secs.max(c as f64 / (clock * 1e6))))
+                }
+                // No clock reported yet (no work run): zero time.
+                _ if c == 0 => Some((max_cycles, max_secs)),
+                // Cycles without a clock cannot become time.
+                _ => None,
+            },
+            // One shard without a cycle counter disables simulated time.
+            _ => None,
+        };
+    }
+    TelemetryRollup {
+        steps,
+        simulated: sim,
+        pipeline,
+        sampling,
+    }
 }
 
 /// Nearest-rank percentile of an unsorted sample; 0 for an empty one.
@@ -254,6 +362,11 @@ pub struct ServiceStats {
     pub wall_seconds: f64,
     /// Hops per second of wall time, in millions.
     pub msteps_per_sec_wall: f64,
+    /// Completed walks per second of wall time — the serving tier's QPS.
+    /// Wall-clock like `msteps_per_sec_wall`: real on a live service,
+    /// not meaningful across machines (the QPS bench gates only the
+    /// deterministic counters).
+    pub walks_per_sec_wall: f64,
     /// Slowest shard's simulated cycles, when all backends report cycles.
     pub simulated_cycles: Option<u64>,
     /// Slowest shard's simulated seconds (each shard's cycles through its
@@ -293,6 +406,10 @@ pub struct ServiceStats {
     pub max_query_latency_ticks: u64,
     /// Queries routed to each shard (hash balance check).
     pub per_shard_submitted: Vec<u64>,
+    /// Per-shard queue depth right now (coalescing buffer + backend
+    /// in-flight; under the threaded driver also the submission-queue
+    /// backlog) — the load-imbalance view `queue_depth` sums away.
+    pub per_shard_queue_depth: Vec<usize>,
     /// Walks accepted by a sink under streaming delivery
     /// (`tick_into`/`drain_into` or an attached sink).
     pub sink_accepted: u64,
@@ -328,11 +445,17 @@ impl ServiceStats {
         simulated: Option<(u64, f64)>,
         pipeline: Option<grw_sim::stats::UtilizationMeter>,
         per_shard_submitted: Vec<u64>,
+        per_shard_queue_depth: Vec<usize>,
         sink_spill_depth: usize,
         sampling: grw_sim::stats::SamplingCounters,
     ) -> Self {
         let msteps_wall = if wall_seconds > 0.0 {
             steps as f64 / wall_seconds / 1e6
+        } else {
+            0.0
+        };
+        let walks_wall = if wall_seconds > 0.0 {
+            c.completed as f64 / wall_seconds
         } else {
             0.0
         };
@@ -356,6 +479,7 @@ impl ServiceStats {
             steps,
             wall_seconds,
             msteps_per_sec_wall: msteps_wall,
+            walks_per_sec_wall: walks_wall,
             simulated_cycles,
             simulated_seconds,
             msteps_per_sec_simulated: msteps_sim,
@@ -375,6 +499,7 @@ impl ServiceStats {
             },
             max_query_latency_ticks: c.query_latency_max,
             per_shard_submitted,
+            per_shard_queue_depth,
             sink_accepted: c.sink_accepted,
             sink_backpressured: c.sink_backpressured,
             sink_spilled: c.sink_spilled,
@@ -420,8 +545,8 @@ impl fmt::Display for ServiceStats {
         )?;
         write!(
             f,
-            "throughput: {} steps in {:.3}s wall -> {:.2} MStep/s",
-            self.steps, self.wall_seconds, self.msteps_per_sec_wall
+            "throughput: {} steps in {:.3}s wall -> {:.2} MStep/s, {:.0} walks/s",
+            self.steps, self.wall_seconds, self.msteps_per_sec_wall, self.walks_per_sec_wall
         )?;
         if let (Some(cycles), Some(msteps)) = (self.simulated_cycles, self.msteps_per_sec_simulated)
         {
@@ -567,6 +692,7 @@ mod tests {
             None,
             None,
             vec![3],
+            vec![0],
             0,
             grw_sim::stats::SamplingCounters::default(),
         );
@@ -603,6 +729,7 @@ mod tests {
             Some((1000, 3.125e-6)),
             Some(grw_sim::stats::UtilizationMeter::from_counts(90, 10, 20)),
             vec![5, 5],
+            vec![0, 0],
             0,
             grw_sim::stats::SamplingCounters::default(),
         );

@@ -1,0 +1,630 @@
+//! The multi-threaded serving runtime: one OS thread per shard.
+//!
+//! ```text
+//!            submit/tick/drain (caller thread)
+//!                       │
+//!               ThreadedDriver ──────────────┐ stats()/snapshots:
+//!                │ namespacing, clock,       │ Report round-trip,
+//!                │ submission-side stats     │ collectors merged
+//!        ┌───────┼────────┐                  │ by ownership
+//!  bounded    bounded   bounded              │
+//!  SyncQueue  SyncQueue SyncQueue   (Command: Submit/Tick/Drain/…)
+//!        │       │        │
+//!   worker 0  worker 1  worker 2    (ShardRunner + own StatsCollector
+//!        │       │        │          + own sink/spill, per thread)
+//!        └───────┴────────┘
+//!            unbounded completion queue → harvested by tick()/drain()
+//! ```
+//!
+//! Each worker owns its [`ShardRunner`] outright — backend, micro-batch
+//! buffer, per-query bookkeeping, stats collector, and (optionally) a
+//! [`WalkSink`] with its spill buffer all live on the worker thread, so
+//! the hot path takes no locks and shares no state. The driver talks to
+//! workers only through bounded command queues (a slow shard
+//! backpressures the submitter instead of queueing unboundedly) and
+//! hears back through one unbounded completion queue (workers never
+//! block emitting, which is what makes the command pushes deadlock-free)
+//! plus one-shot [`Reply`] slots for synchronous round-trips.
+//!
+//! # Determinism contract
+//!
+//! A shard's walks are a function of its own command stream: the driver
+//! sends each worker exactly the per-shard subsequence of submits (with
+//! their arrival ticks) and tick advances that the deterministic
+//! [`WalkService`](crate::WalkService) would have applied inline, in the
+//! same order — submits synchronously (the acceptance count comes back
+//! through a `Reply`, so cross-shard prefix semantics match), ticks
+//! asynchronously. Per-shard state therefore evolves identically under
+//! both drivers, micro-batch compositions included, and the multiset of
+//! completed walks — per tenant, paths and tick stamps included — is
+//! equal. Only the *interleaving* of completions across shards differs,
+//! along with wall-clock timings and reservoir sampling order
+//! (`tests/threaded.rs` pins the multiset property down).
+//!
+//! # Shutdown
+//!
+//! [`finish`](ThreadedDriver::finish) drains every shard (barrier), then
+//! closes the command queues; workers run their remaining commands, run
+//! their shard dry, flush their sink, and return their final report
+//! through `join` — zero accepted walks are ever lost. Dropping the
+//! driver without `finish` closes the queues and joins (clean exit, but
+//! undelivered completions are discarded with the queue).
+
+use crate::mpsc::{Reply, SyncQueue};
+use crate::runner::ShardRunner;
+use crate::sink::SpillDelivery;
+use crate::stats::{rollup_telemetry, StatsCollector};
+use crate::{
+    shard_of, CompletedWalk, ServiceConfig, ServiceStats, ShardSnapshot, SinkReport, TenantId,
+    WalkSink,
+};
+use grw_algo::{BackendClass, BackendTelemetry, WalkBackend, WalkQuery};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Commands one shard's submission queue can hold before the driver
+/// blocks pushing — the cross-thread backpressure bound. Commands are
+/// batch-granular (a submit chunk or a tick), so this is plenty of
+/// runway without letting a slow shard hide unbounded queued work.
+const COMMAND_QUEUE_DEPTH: usize = 256;
+
+/// One instruction to a shard worker. The per-shard command stream is
+/// the worker's whole world — see the module docs.
+enum Command {
+    /// Accept a prefix of `queries` (already tenant-namespaced) at tick
+    /// `now`; reply with how many were taken.
+    Submit {
+        queries: Vec<WalkQuery>,
+        now: u64,
+        reply: Arc<Reply<usize>>,
+    },
+    /// Advance the shard to tick `now`: flush due micro-batches, poll
+    /// the backend, emit completions.
+    Tick { now: u64 },
+    /// Run the shard completely dry and emit everything; reply when the
+    /// shard holds no work (the drain barrier).
+    Drain { reply: Arc<Reply<()>> },
+    /// Reply with a point-in-time report (stats round-trip).
+    Report { reply: Arc<Reply<WorkerReport>> },
+    /// Route this shard's completions into `sink` from now on (the sink
+    /// lives on the worker thread, spill/conservation invariants
+    /// included).
+    AttachSink { sink: Box<dyn WalkSink + Send> },
+}
+
+/// A worker's point-in-time (or final) state, shipped to the driver for
+/// stats merging and snapshots.
+struct WorkerReport {
+    collector: StatsCollector,
+    telemetry: BackendTelemetry,
+    class: BackendClass,
+    cost_hint: f64,
+    queued: usize,
+    in_flight: usize,
+    submitted: u64,
+    completed: u64,
+    ewma_latency_ticks: Option<f64>,
+    spill_depth: usize,
+    sink: Option<SinkReport>,
+}
+
+/// The per-thread half: a [`ShardRunner`] plus everything delivery-side
+/// the deterministic service keeps globally (collector, sink, spill).
+struct Worker<B: WalkBackend> {
+    runner: ShardRunner<B>,
+    collector: StatsCollector,
+    spill: SpillDelivery,
+    sink: Option<Box<dyn WalkSink + Send>>,
+    completions: Arc<SyncQueue<Vec<CompletedWalk>>>,
+}
+
+impl<B: WalkBackend> Worker<B> {
+    /// Sends completed walks on: into the worker-owned sink when one is
+    /// attached (spill semantics identical to the deterministic
+    /// service), onto the completion queue otherwise. Never blocks —
+    /// the completion queue is unbounded by design.
+    fn emit(&mut self, walks: Vec<CompletedWalk>) {
+        if let Some(sink) = self.sink.as_mut() {
+            self.spill.deliver(walks, sink, &mut self.collector);
+        } else if !walks.is_empty() {
+            // The driver only closes this queue after joining us.
+            let _ = self.completions.push(walks);
+        }
+    }
+
+    fn report(&self) -> WorkerReport {
+        WorkerReport {
+            collector: self.collector.clone(),
+            telemetry: self.runner.backend.telemetry(),
+            class: self.runner.backend.backend_class(),
+            cost_hint: self.runner.backend.cost_hint(),
+            queued: self.runner.queued(),
+            in_flight: self.runner.backend.in_flight(),
+            submitted: self.runner.submitted,
+            completed: self.runner.completed,
+            ewma_latency_ticks: self.runner.ewma_latency_ticks,
+            spill_depth: self.spill.depth(),
+            sink: self.sink.as_ref().map(|s| s.report()),
+        }
+    }
+
+    /// Runs the shard to quiescence and settles the sink — the shared
+    /// tail of an explicit drain and of shutdown.
+    fn drain(&mut self) {
+        let walks = self.runner.drain_all(&mut self.collector);
+        self.emit(walks);
+        if let Some(mut sink) = self.sink.take() {
+            self.spill.run_dry(&mut sink, &mut self.collector);
+            sink.flush();
+            self.sink = Some(sink);
+        }
+    }
+
+    /// The worker loop: applies commands in FIFO order until the queue
+    /// closes, then drains so no accepted walk is lost and returns the
+    /// final report.
+    fn run(mut self, commands: Arc<SyncQueue<Command>>) -> WorkerReport {
+        while let Some(cmd) = commands.pop() {
+            match cmd {
+                Command::Submit {
+                    queries,
+                    now,
+                    reply,
+                } => {
+                    let taken = self.runner.accept_batch(&queries, now, &mut self.collector);
+                    reply.send(taken);
+                }
+                Command::Tick { now } => {
+                    let walks = self.runner.run_tick(now, &mut self.collector);
+                    self.emit(walks);
+                }
+                Command::Drain { reply } => {
+                    self.drain();
+                    reply.send(());
+                }
+                Command::Report { reply } => reply.send(self.report()),
+                Command::AttachSink { sink } => self.sink = Some(sink),
+            }
+        }
+        self.drain();
+        self.report()
+    }
+}
+
+/// The thread-per-shard driver. Construct with [`new`](Self::new) (or
+/// the fleet helpers [`mixed_fleet_driver`](crate::mixed_fleet_driver) /
+/// [`accelerator_driver`](crate::accelerator_driver)); the API mirrors
+/// [`WalkService`](crate::WalkService) where semantics allow, with two
+/// deliberate differences: completions arrive asynchronously (a `tick`
+/// returns whatever has been harvested so far, not specifically this
+/// tick's walks), and sinks attach per shard on the worker threads
+/// ([`attach_sinks`](Self::attach_sinks)) instead of as one global
+/// subscription.
+pub struct ThreadedDriver {
+    cfg: ServiceConfig,
+    tick: u64,
+    started: Instant,
+    /// Submission-side counters (accepted queries per tenant); workers
+    /// keep the delivery-side counters and everything merges in
+    /// [`stats`](Self::stats).
+    collector: StatsCollector,
+    commands: Vec<Arc<SyncQueue<Command>>>,
+    completions: Arc<SyncQueue<Vec<CompletedWalk>>>,
+    handles: Vec<JoinHandle<WorkerReport>>,
+}
+
+impl ThreadedDriver {
+    /// Builds the fleet and spawns one worker thread per shard; the
+    /// `shard`-th backend comes from `make_backend(shard)` (called on
+    /// the current thread — the finished backend moves to its worker,
+    /// which is why `B: Send`).
+    pub fn new<B: WalkBackend + Send + 'static>(
+        cfg: ServiceConfig,
+        mut make_backend: impl FnMut(usize) -> B,
+    ) -> Self {
+        let completions = Arc::new(SyncQueue::unbounded());
+        let mut commands = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let queue = Arc::new(SyncQueue::bounded(COMMAND_QUEUE_DEPTH));
+            let worker = Worker {
+                runner: ShardRunner::new(&cfg, make_backend(shard)),
+                collector: StatsCollector::new(cfg.latency_reservoir),
+                spill: SpillDelivery::new(cfg.sink_spill_capacity),
+                sink: None,
+                completions: completions.clone(),
+            };
+            let q = queue.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("grw-shard-{shard}"))
+                    .spawn(move || worker.run(q))
+                    .expect("spawn shard worker"),
+            );
+            commands.push(queue);
+        }
+        Self {
+            cfg,
+            tick: 0,
+            started: Instant::now(),
+            collector: StatsCollector::new(cfg.latency_reservoir),
+            commands,
+            completions,
+            handles,
+        }
+    }
+
+    fn send(&self, shard: usize, cmd: Command) {
+        if self.commands[shard].push(cmd).is_err() {
+            panic!("shard {shard} command queue closed");
+        }
+    }
+
+    /// The shard a start vertex routes to — the same pure hash partition
+    /// as [`WalkService::shard_of`](crate::WalkService::shard_of).
+    pub fn shard_of(&self, start: u32) -> usize {
+        shard_of(start, self.cfg.shards)
+    }
+
+    /// Offers queries on behalf of `tenant`; accepts a prefix and
+    /// returns its length, with backpressure semantics identical to the
+    /// deterministic driver: the slice is cut into contiguous
+    /// same-shard runs, each run round-trips synchronously to its
+    /// worker, and the first partially-accepted run stops the whole
+    /// submission.
+    pub fn submit(&mut self, tenant: TenantId, queries: &[WalkQuery]) -> usize {
+        self.submit_inner(tenant, queries, None)
+    }
+
+    /// [`submit`](Self::submit) with the placement decided by the caller
+    /// (the routing hook `grw_route` drives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn submit_routed(
+        &mut self,
+        tenant: TenantId,
+        queries: &[WalkQuery],
+        shard: usize,
+    ) -> usize {
+        assert!(shard < self.commands.len(), "shard {shard} out of range");
+        self.submit_inner(tenant, queries, Some(shard))
+    }
+
+    fn submit_inner(
+        &mut self,
+        tenant: TenantId,
+        queries: &[WalkQuery],
+        fixed_shard: Option<usize>,
+    ) -> usize {
+        let mut accepted = 0;
+        let mut i = 0;
+        while i < queries.len() {
+            // Longest contiguous run landing on one shard: one command,
+            // one synchronous acceptance reply.
+            let shard = fixed_shard.unwrap_or_else(|| self.shard_of(queries[i].start));
+            let mut j = i + 1;
+            if fixed_shard.is_some() {
+                j = queries.len();
+            } else {
+                while j < queries.len() && self.shard_of(queries[j].start) == shard {
+                    j += 1;
+                }
+            }
+            let chunk: Vec<WalkQuery> = queries[i..j]
+                .iter()
+                .map(|q| tenant.namespace_query(q))
+                .collect();
+            let offered = chunk.len();
+            let reply = Arc::new(Reply::new());
+            self.send(
+                shard,
+                Command::Submit {
+                    queries: chunk,
+                    now: self.tick,
+                    reply: reply.clone(),
+                },
+            );
+            let taken = reply.recv();
+            for _ in 0..taken {
+                self.collector.record_submitted(tenant);
+            }
+            accepted += taken;
+            if taken < offered {
+                break;
+            }
+            i = j;
+        }
+        accepted
+    }
+
+    /// Advances the logical clock one tick on every shard and returns
+    /// the completions harvested so far. Ticks are asynchronous: walks
+    /// completing on a worker that has not been harvested yet arrive on
+    /// a later call (or at [`drain`](Self::drain)/[`finish`](Self::finish),
+    /// which are barriers) — the multiset over a whole run is what
+    /// matches the deterministic driver, not any single tick's slice.
+    pub fn tick(&mut self) -> Vec<CompletedWalk> {
+        self.tick += 1;
+        for shard in 0..self.commands.len() {
+            self.send(shard, Command::Tick { now: self.tick });
+        }
+        self.harvest()
+    }
+
+    /// Runs every shard dry (a full barrier: all workers report
+    /// quiescence before this returns) and returns everything completed
+    /// and not yet harvested. Shards with an attached sink deliver there
+    /// instead, spill run dry and sink flushed, exactly like the
+    /// deterministic drain.
+    pub fn drain(&mut self) -> Vec<CompletedWalk> {
+        let replies: Vec<Arc<Reply<()>>> = (0..self.commands.len())
+            .map(|shard| {
+                let reply = Arc::new(Reply::new());
+                self.send(
+                    shard,
+                    Command::Drain {
+                        reply: reply.clone(),
+                    },
+                );
+                reply
+            })
+            .collect();
+        for r in &replies {
+            r.recv();
+        }
+        // Every worker has passed its barrier, so everything it will
+        // ever emit for work accepted so far is already on the queue.
+        self.harvest()
+    }
+
+    /// Pulls whatever completions the workers have emitted, without
+    /// blocking.
+    fn harvest(&mut self) -> Vec<CompletedWalk> {
+        let mut out = Vec::new();
+        while let Some(batch) = self.completions.try_pop() {
+            out.extend(batch);
+        }
+        out
+    }
+
+    /// Routes each shard's completions into its own sink from now on;
+    /// the sinks move onto the worker threads (hence `Send`) and all
+    /// spill/conservation invariants apply per shard. Attach before
+    /// submitting traffic to keep every walk on the sink route; walks
+    /// already harvested stay with the caller.
+    pub fn attach_sinks(&mut self, mut make_sink: impl FnMut(usize) -> Box<dyn WalkSink + Send>) {
+        for shard in 0..self.commands.len() {
+            let sink = make_sink(shard);
+            self.send(shard, Command::AttachSink { sink });
+        }
+    }
+
+    /// Each shard sink's own counters (`None` for shards without one) —
+    /// a stats round-trip to every worker.
+    pub fn sink_reports(&self) -> Vec<Option<SinkReport>> {
+        self.reports().into_iter().map(|r| r.sink).collect()
+    }
+
+    fn reports(&self) -> Vec<WorkerReport> {
+        let replies: Vec<Arc<Reply<WorkerReport>>> = (0..self.commands.len())
+            .map(|shard| {
+                let reply = Arc::new(Reply::new());
+                self.send(
+                    shard,
+                    Command::Report {
+                        reply: reply.clone(),
+                    },
+                );
+                reply
+            })
+            .collect();
+        replies.iter().map(|r| r.recv()).collect()
+    }
+
+    fn build_stats(&self, reports: &[WorkerReport]) -> ServiceStats {
+        let mut collector = self.collector.clone();
+        for r in reports {
+            collector.merge(&r.collector);
+        }
+        let rollup = rollup_telemetry(reports.iter().map(|r| r.telemetry));
+        let per_shard_queue_depth: Vec<usize> = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.queued + r.in_flight + self.commands[i].len())
+            .collect();
+        ServiceStats::build(
+            &collector,
+            self.cfg.shards,
+            per_shard_queue_depth.iter().sum(),
+            rollup.steps,
+            self.started.elapsed().as_secs_f64(),
+            rollup.simulated,
+            rollup.pipeline,
+            reports.iter().map(|r| r.submitted).collect(),
+            per_shard_queue_depth,
+            reports.iter().map(|r| r.spill_depth).sum(),
+            rollup.sampling,
+        )
+    }
+
+    /// Point-in-time service statistics: a report round-trip to every
+    /// worker, merged with the driver's submission-side counters.
+    /// Deterministic counters (submitted/completed/steps/flushes) match
+    /// the deterministic driver at quiescence; wall-clock figures and
+    /// reservoir percentiles reflect this run's actual schedule.
+    pub fn stats(&self) -> ServiceStats {
+        self.build_stats(&self.reports())
+    }
+
+    /// Queries parked in buffers or submission queues plus queries in
+    /// flight inside backends, fleet-wide.
+    pub fn queue_depth(&self) -> usize {
+        self.reports()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.queued + r.in_flight + self.commands[i].len())
+            .sum()
+    }
+
+    /// Live per-shard signals, shaped exactly like
+    /// [`WalkService::shard_snapshots`](crate::WalkService::shard_snapshots) —
+    /// `pending_commands` carries the cross-thread backlog.
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.reports()
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| ShardSnapshot {
+                shard: i,
+                class: r.class,
+                cost_hint: r.cost_hint,
+                queued: r.queued,
+                in_flight: r.in_flight,
+                pending_commands: self.commands[i].len(),
+                awaiting_injection: r.telemetry.occupancy_split.map(|(a, _)| a),
+                executing: r.telemetry.occupancy_split.map(|(_, e)| e),
+                submitted: r.submitted,
+                completed: r.completed,
+                ewma_latency_ticks: r.ewma_latency_ticks,
+                bubble_ratio: r.telemetry.pipeline.map(|m| m.bubble_ratio()),
+                sampling: r.telemetry.sampling,
+            })
+            .collect()
+    }
+
+    /// The current logical tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Number of backend shards (= worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Clean shutdown: drains every shard, closes the command queues,
+    /// joins every worker, and returns all remaining completed walks
+    /// together with the final merged statistics. Zero accepted walks
+    /// are lost — conservation holds through shutdown under load.
+    pub fn finish(mut self) -> (Vec<CompletedWalk>, ServiceStats) {
+        let mut walks = self.drain();
+        for q in &self.commands {
+            q.close();
+        }
+        let finals: Vec<WorkerReport> = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+        walks.extend(self.harvest());
+        let stats = self.build_stats(&finals);
+        (walks, stats)
+    }
+}
+
+impl Drop for ThreadedDriver {
+    fn drop(&mut self) {
+        for q in &self.commands {
+            q.close();
+        }
+        for h in self.handles.drain(..) {
+            // Workers drain on close; a panic on the worker thread
+            // surfaces at finish()/join in tests, never from Drop.
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WalkService;
+    use grw_algo::{PreparedGraph, QuerySet, ReferenceBackend, WalkSpec};
+    use grw_graph::generators::{Dataset, ScaleFactor};
+
+    fn shared() -> (Arc<PreparedGraph>, WalkSpec) {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(8);
+        (Arc::new(PreparedGraph::new(g, &spec).unwrap()), spec)
+    }
+
+    fn key(c: &CompletedWalk) -> (TenantId, u64, u64, u64, u64, Vec<u32>) {
+        (
+            c.tenant,
+            c.path.query,
+            c.arrival_tick,
+            c.flushed_tick,
+            c.completed_tick,
+            c.path.vertices.clone(),
+        )
+    }
+
+    #[test]
+    fn threaded_walks_match_deterministic_multiset() {
+        let (p, spec) = shared();
+        let cfg = ServiceConfig::new(3).max_batch(16).max_delay_ticks(2);
+        let qs = QuerySet::random(p.graph().vertex_count(), 240, 11);
+
+        let mk = |p: Arc<PreparedGraph>, spec: WalkSpec| {
+            move |shard: usize| {
+                ReferenceBackend::new(p.clone(), spec.clone(), 0xABBA ^ shard as u64)
+            }
+        };
+        let mut det = WalkService::new(cfg, mk(p.clone(), spec.clone()));
+        let mut thr = ThreadedDriver::new(cfg, mk(p.clone(), spec.clone()));
+
+        let mut det_out = Vec::new();
+        let mut thr_out = Vec::new();
+        for chunk in qs.queries().chunks(40) {
+            assert_eq!(
+                det.submit(TenantId(4), chunk),
+                thr.submit(TenantId(4), chunk),
+                "acceptance parity"
+            );
+            det_out.extend(det.tick());
+            thr_out.extend(thr.tick());
+        }
+        det_out.extend(det.drain());
+        thr_out.extend(thr.drain());
+        let (rest, stats) = thr.finish();
+        thr_out.extend(rest);
+
+        let mut a: Vec<_> = det_out.iter().map(key).collect();
+        let mut b: Vec<_> = thr_out.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "same walks, tick stamps included");
+        assert_eq!(stats.completed, det.stats().completed);
+        assert_eq!(stats.steps, det.stats().steps);
+    }
+
+    #[test]
+    fn finish_under_load_loses_nothing() {
+        let (p, spec) = shared();
+        let cfg = ServiceConfig::new(4).max_batch(8);
+        let mut thr = ThreadedDriver::new(cfg, move |shard| {
+            ReferenceBackend::new(p.clone(), spec.clone(), shard as u64)
+        });
+        let qs = QuerySet::random(500, 300, 3);
+        let accepted = thr.submit(TenantId(1), qs.queries());
+        // No ticks at all: everything is still parked when we shut down.
+        let (walks, stats) = thr.finish();
+        assert_eq!(walks.len(), accepted, "shutdown conserves accepted walks");
+        assert_eq!(stats.completed as usize, accepted);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn drop_without_finish_joins_cleanly() {
+        let (p, spec) = shared();
+        let mut thr = ThreadedDriver::new(ServiceConfig::new(2), move |shard| {
+            ReferenceBackend::new(p.clone(), spec.clone(), shard as u64)
+        });
+        let qs = QuerySet::random(100, 50, 9);
+        thr.submit(TenantId(0), qs.queries());
+        thr.tick();
+        drop(thr); // must not hang or panic
+    }
+}

@@ -1,0 +1,322 @@
+//! The threaded serving driver's load-bearing property: for a fixed seed
+//! and submission sequence, the multiset of completed walks — per tenant,
+//! paths *and* tick stamps included — equals the deterministic driver's,
+//! under arbitrary schedules, both accelerator shard modes, routed mixed
+//! fleets, and backpressuring sinks; and shutdown under load loses
+//! nothing.
+//!
+//! Like `tests/properties.rs`, randomness is hand-rolled (no `proptest`
+//! in the container): many seeded cases per property, every case derived
+//! from a fixed master seed, deterministic across runs.
+
+use ridgewalker_suite::accel::{Accelerator, AcceleratorConfig};
+use ridgewalker_suite::algo::{PreparedGraph, QuerySet, ReferenceBackend, WalkQuery, WalkSpec};
+use ridgewalker_suite::graph::generators::{Dataset, ScaleFactor};
+use ridgewalker_suite::rng::{RandomSource, SplitMix64};
+use ridgewalker_suite::route::{Router, StaticHashPolicy};
+use ridgewalker_suite::service::{
+    accelerator_driver, mixed_fleet_driver, AccelShardMode, CompletedWalk, Driver, DriverMode,
+    ServiceConfig, ShardSpec, SinkAck, SinkReport, TenantId, WalkSink,
+};
+use std::sync::Arc;
+
+/// The full identity of a completed walk — if any component differs
+/// between regimes, the parity claim is broken.
+type WalkKey = (u16, u64, u64, u64, u64, Vec<u32>);
+
+fn keys(walks: Vec<CompletedWalk>) -> Vec<WalkKey> {
+    let mut keys: Vec<WalkKey> = walks
+        .into_iter()
+        .map(|c| {
+            (
+                c.tenant.0,
+                c.path.query,
+                c.arrival_tick,
+                c.flushed_tick,
+                c.completed_tick,
+                c.path.vertices,
+            )
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// One random drive schedule: interleaved submit chunks (rotating
+/// tenants) and ticks, then drain + finish. The schedule is derived
+/// entirely from `seed`, never from driver state, so both regimes replay
+/// the identical command sequence.
+fn drive_schedule<B: ridgewalker_suite::algo::WalkBackend>(
+    mut driver: Driver<B>,
+    queries: &[WalkQuery],
+    seed: u64,
+) -> (Vec<WalkKey>, u64, u64) {
+    let mut rng = SplitMix64::new(seed);
+    let mut walks = Vec::new();
+    let mut offset = 0;
+    while offset < queries.len() {
+        if rng.next_bool(0.6) {
+            let chunk = 1 + rng.next_below(48) as usize;
+            let end = (offset + chunk).min(queries.len());
+            let tenant = TenantId(1 + (rng.next_below(4)) as u16);
+            let mut part = &queries[offset..end];
+            while !part.is_empty() {
+                let taken = driver.submit(tenant, part);
+                part = &part[taken..];
+                if taken == 0 {
+                    walks.extend(driver.tick());
+                }
+            }
+            offset = end;
+        } else {
+            walks.extend(driver.tick());
+        }
+    }
+    for _ in 0..rng.next_below(4) {
+        walks.extend(driver.tick());
+    }
+    let (rest, stats) = driver.finish();
+    walks.extend(rest);
+    (keys(walks), stats.completed, stats.steps)
+}
+
+#[test]
+fn walk_multisets_match_across_random_schedules() {
+    let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+    let spec = WalkSpec::urw(12);
+    let p = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+    let nv = p.graph().vertex_count();
+    for case in 0..12u64 {
+        let qs = QuerySet::random(nv, 300, 0x5EED ^ case);
+        let shards = 1 + (case % 4) as usize;
+        let run = |mode: DriverMode| {
+            let p = p.clone();
+            let spec = spec.clone();
+            let driver = Driver::new(
+                ServiceConfig::new(shards)
+                    .max_batch(16 + 8 * (case as usize % 3))
+                    .buffer_capacity(512)
+                    .driver_mode(mode),
+                move |shard| ReferenceBackend::new(p.clone(), spec.clone(), 0xD1CE ^ shard as u64),
+            );
+            drive_schedule(driver, qs.queries(), 0xCA5E ^ case)
+        };
+        let det = run(DriverMode::Deterministic);
+        let thr = run(DriverMode::Threaded);
+        assert_eq!(det.0.len(), 300, "case {case}: stream conservation");
+        assert_eq!(
+            det, thr,
+            "case {case} ({shards} shards): walk multisets (with tick stamps) must match"
+        );
+    }
+}
+
+#[test]
+fn parity_holds_for_both_accelerator_shard_modes() {
+    let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+    let spec = WalkSpec::ppr(16);
+    let p = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+    let qs = QuerySet::random(p.graph().vertex_count(), 400, 31);
+    let accel = Accelerator::new(AcceleratorConfig::new().pipelines(4).seed(7));
+    for shard_mode in [AccelShardMode::Batch, AccelShardMode::Incremental] {
+        let run = |mode: DriverMode| {
+            let driver = accelerator_driver(
+                ServiceConfig::new(2)
+                    .max_batch(64)
+                    .buffer_capacity(512)
+                    .driver_mode(mode),
+                &accel,
+                p.clone(),
+                &spec,
+                shard_mode,
+            );
+            drive_schedule(driver, qs.queries(), 0xACCE1)
+        };
+        let det = run(DriverMode::Deterministic);
+        let thr = run(DriverMode::Threaded);
+        assert_eq!(det.1, 400, "{shard_mode:?}: conservation");
+        assert_eq!(det, thr, "{shard_mode:?}: accelerator fleet parity");
+    }
+}
+
+#[test]
+fn routed_mixed_fleet_matches_across_drivers() {
+    let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+    let spec = WalkSpec::urw(12);
+    let p = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+    let qs = QuerySet::random(p.graph().vertex_count(), 480, 17);
+    let accel = Accelerator::new(AcceleratorConfig::new().pipelines(4).seed(5));
+    let plan = [
+        ShardSpec::Accel(AccelShardMode::Incremental),
+        ShardSpec::Accel(AccelShardMode::Incremental),
+        ShardSpec::Cpu {
+            threads: 1,
+            poll_chunk: 4,
+        },
+        ShardSpec::Cpu {
+            threads: 1,
+            poll_chunk: 4,
+        },
+    ];
+    // Static hashing is the placement-deterministic policy: identical
+    // decisions in both regimes regardless of live signals (which *are*
+    // allowed to differ — threaded snapshots see in-flight commands).
+    let run = |mode: DriverMode| {
+        let driver = mixed_fleet_driver(
+            ServiceConfig::new(4)
+                .max_batch(32)
+                .buffer_capacity(1024)
+                .driver_mode(mode),
+            &accel,
+            p.clone(),
+            &spec,
+            &plan,
+            0xC0FFEE,
+        );
+        let mut router = Router::new(driver, StaticHashPolicy);
+        let mut walks = Vec::new();
+        let mut offset = 0;
+        while offset < qs.queries().len() {
+            let end = (offset + 40).min(qs.queries().len());
+            let tenant = TenantId(1 + (offset / 40 % 3) as u16);
+            let mut part = &qs.queries()[offset..end];
+            while !part.is_empty() {
+                let taken = router.submit(tenant, part);
+                part = &part[taken..];
+                if taken == 0 {
+                    walks.extend(router.tick());
+                }
+            }
+            offset = end;
+        }
+        let (rest, stats) = router.finish();
+        walks.extend(rest);
+        (keys(walks), stats.completed, stats.steps)
+    };
+    let det = run(DriverMode::Deterministic);
+    let thr = run(DriverMode::Threaded);
+    assert_eq!(det.1, 480, "routed stream conservation");
+    assert_eq!(det, thr, "routed mixed-fleet parity across drivers");
+}
+
+/// A sink that accepts at most `window` walks between flushes — the
+/// backpressure pattern of a bounded downstream consumer. Lives on a
+/// worker thread under the threaded driver, so it is plain owned state
+/// (`Send` comes for free).
+struct GatedSink {
+    window: usize,
+    since_flush: usize,
+    accepted: u64,
+    refused: u64,
+    flushes: u64,
+}
+
+impl WalkSink for GatedSink {
+    fn accept(&mut self, _walk: &CompletedWalk) -> SinkAck {
+        if self.since_flush >= self.window {
+            self.refused += 1;
+            return SinkAck::Backpressured;
+        }
+        self.since_flush += 1;
+        self.accepted += 1;
+        SinkAck::Accepted
+    }
+
+    fn flush(&mut self) {
+        self.since_flush = 0;
+        self.flushes += 1;
+    }
+
+    fn report(&self) -> SinkReport {
+        SinkReport {
+            accepted: self.accepted,
+            refused: self.refused,
+            flushes: self.flushes,
+            ..SinkReport::default()
+        }
+    }
+}
+
+#[test]
+fn backpressuring_sinks_on_worker_threads_conserve_every_walk() {
+    let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+    let spec = WalkSpec::urw(10);
+    let p = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+    let qs = QuerySet::random(p.graph().vertex_count(), 600, 23);
+    let p2 = p.clone();
+    let spec2 = spec.clone();
+    let mut driver: Driver<_> = Driver::new(
+        ServiceConfig::new(3)
+            .max_batch(32)
+            .buffer_capacity(1024)
+            .driver_mode(DriverMode::Threaded),
+        move |shard| ReferenceBackend::new(p2.clone(), spec2.clone(), 0xD1CE ^ shard as u64),
+    );
+    // A tiny window forces refusals, spills, and forced flushes on the
+    // worker threads themselves.
+    driver.attach_sinks(|_shard| {
+        Box::new(GatedSink {
+            window: 7,
+            since_flush: 0,
+            accepted: 0,
+            refused: 0,
+            flushes: 0,
+        })
+    });
+    assert_eq!(driver.submit(TenantId(1), qs.queries()), 600);
+    for _ in 0..3 {
+        // Sunk walks never come back through tick().
+        assert!(driver.tick().is_empty());
+    }
+    let per_shard = driver
+        .as_threaded()
+        .expect("threaded regime")
+        .sink_reports();
+    assert_eq!(per_shard.len(), 3, "one sink per worker thread");
+    let (rest, stats) = driver.finish();
+    assert!(rest.is_empty(), "every walk was delivered to a sink");
+    assert_eq!(stats.completed, 600, "conservation through backpressure");
+    assert_eq!(stats.sink_accepted, 600);
+    assert!(
+        stats.sink_backpressured > 0,
+        "the 7-walk window must actually push back"
+    );
+    assert!(stats.sink_forced_flushes > 0);
+}
+
+#[test]
+fn shutdown_under_load_joins_cleanly_and_loses_nothing() {
+    let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+    let spec = WalkSpec::urw(14);
+    let p = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+    let nv = p.graph().vertex_count();
+    for case in 0..6u64 {
+        let qs = QuerySet::random(nv, 350, 0xDEAD ^ case);
+        let p2 = p.clone();
+        let spec2 = spec.clone();
+        let mut driver: Driver<_> = Driver::new(
+            ServiceConfig::new(2 + (case % 3) as usize)
+                .max_batch(24)
+                .buffer_capacity(512)
+                .driver_mode(DriverMode::Threaded),
+            move |shard| ReferenceBackend::new(p2.clone(), spec2.clone(), case ^ shard as u64),
+        );
+        // Load the workers up, tick a few times (or not at all), then
+        // shut down immediately — everything accepted must come out.
+        let accepted = driver.submit(TenantId(9), qs.queries());
+        assert_eq!(accepted, 350);
+        let mut walks = Vec::new();
+        for _ in 0..case {
+            walks.extend(driver.tick());
+        }
+        let (rest, stats) = driver.finish();
+        walks.extend(rest);
+        assert_eq!(stats.completed, 350, "case {case}: finish loses nothing");
+        assert_eq!(stats.submitted, 350);
+        assert_eq!(
+            walks.len(),
+            350,
+            "case {case}: every accepted walk surfaces by shutdown"
+        );
+    }
+}
