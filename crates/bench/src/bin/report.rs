@@ -236,6 +236,57 @@ fn qps(doc: &Json) -> String {
     body
 }
 
+/// Elastic fleet vs static provisioning (`BENCH_autoscale.json`).
+fn autoscale(doc: &Json) -> String {
+    let held = |path: &str| match num(doc, path) {
+        Some(v) if v >= 1.0 => "yes".to_string(),
+        Some(_) => "NO".to_string(),
+        None => "-".to_string(),
+    };
+    let mut t = Table::new(vec![
+        "arm",
+        "p99 latency (ticks)",
+        "fleet-ticks",
+        "holds SLO",
+    ]);
+    t.row(vec![
+        "autoscaled".to_string(),
+        cell(doc, "summary.p99_autoscaled", 0),
+        cell(doc, "summary.fleet_ticks_autoscaled", 0),
+        held("summary.slo_held_autoscaled"),
+    ]);
+    t.row(vec![
+        "static-over".to_string(),
+        cell(doc, "summary.p99_static_over", 0),
+        cell(doc, "summary.fleet_ticks_static_over", 0),
+        "-".to_string(),
+    ]);
+    t.row(vec![
+        "static-under".to_string(),
+        cell(doc, "summary.p99_static_under", 0),
+        cell(doc, "summary.fleet_ticks_static_under", 0),
+        held("summary.slo_held_static_under"),
+    ]);
+    let mut body = t.markdown();
+    if let (Some(cost), Some(target)) = (
+        num(doc, "summary.cost_vs_over"),
+        num(doc, "calibration.slo_target_ticks"),
+    ) {
+        if cost > 0.0 {
+            body.push_str(&format!(
+                "\nThe SLO-driven policy held the p99 target of {target:.1} ticks at \
+                 {:.2}x fewer fleet-ticks than static over-provisioning ({} scale-ups, \
+                 {} scale-downs, peak {} shards).\n",
+                1.0 / cost,
+                cell(doc, "summary.scale_ups", 0),
+                cell(doc, "summary.scale_downs", 0),
+                cell(doc, "summary.peak_shards_autoscaled", 0),
+            ));
+        }
+    }
+    body
+}
+
 fn render(dir: &Path) -> Option<String> {
     let mut out = String::from(
         "# Benchmark comparison tables\n\n\
@@ -282,6 +333,14 @@ fn render(dir: &Path) -> Option<String> {
             &mut out,
             "Serving drivers: deterministic vs threaded",
             &qps(&doc),
+        );
+        sections += 1;
+    }
+    if let Some(doc) = load(dir, "BENCH_autoscale.json") {
+        section(
+            &mut out,
+            "Elastic autoscaling vs static provisioning",
+            &autoscale(&doc),
         );
         sections += 1;
     }
@@ -332,6 +391,29 @@ mod tests {
         assert!(body.contains("| threaded | 100 | 600 | 2500 | 5 | 30 |"));
         assert!(body.contains("multisets match"));
         assert!(body.contains("2.50x wall on 8 core(s)"));
+    }
+
+    #[test]
+    fn autoscale_section_renders_all_three_arms() {
+        let doc = Json::parse(
+            r#"{"calibration": {"slo_target_ticks": 78.2},
+                "summary": {"p99_autoscaled": 70, "p99_static_over": 56,
+                            "p99_static_under": 497,
+                            "fleet_ticks_autoscaled": 3695,
+                            "fleet_ticks_static_over": 4552,
+                            "fleet_ticks_static_under": 1482,
+                            "cost_vs_over": 0.8118,
+                            "peak_shards_autoscaled": 4,
+                            "scale_ups": 3, "scale_downs": 1,
+                            "slo_held_autoscaled": 1, "slo_held_static_under": 0}}"#,
+        )
+        .unwrap();
+        let body = autoscale(&doc);
+        assert!(body.contains("| autoscaled | 70 | 3695 | yes |"));
+        assert!(body.contains("| static-over | 56 | 4552 | - |"));
+        assert!(body.contains("| static-under | 497 | 1482 | NO |"));
+        assert!(body.contains("1.23x fewer fleet-ticks"));
+        assert!(body.contains("3 scale-ups, 1 scale-downs, peak 4 shards"));
     }
 
     #[test]

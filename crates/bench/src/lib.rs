@@ -27,10 +27,12 @@
 //! runtime-adaptive sampler kernels across degree-skew settings (writing
 //! `BENCH_sampling.json`), [`qps`] races the deterministic and threaded
 //! serving drivers over one wall-clock stream (writing `BENCH_qps.json`),
-//! and [`json`] is the minimal parser the `perf_gate` CI regression
-//! checker reads those records with. The `report` binary renders every
-//! committed `BENCH_*.json` baseline into one Table III-style markdown
-//! comparison (`benchmarks/TABLE.md`).
+//! [`autoscale`] replays a diurnal-plus-bursts multi-tenant stream
+//! through an SLO-driven elastic fleet and two static controls (writing
+//! `BENCH_autoscale.json`), and [`json`] is the minimal parser the
+//! `perf_gate` CI regression checker reads those records with. The
+//! `report` binary renders every committed `BENCH_*.json` baseline into
+//! one Table III-style markdown comparison (`benchmarks/TABLE.md`).
 //!
 //! # Example
 //!
@@ -42,6 +44,7 @@
 //! println!("{exp}");
 //! ```
 
+pub mod autoscale;
 pub mod experiments;
 mod harness;
 pub mod json;
@@ -53,6 +56,7 @@ pub mod serving;
 pub mod sinks;
 mod table;
 
+pub use autoscale::{run_autoscale_bench, ArmOutcome, AutoscaleBenchConfig, AutoscaleBenchReport};
 pub use harness::{run_accelerator_streamed, Experiment, HarnessConfig, Series};
 pub use json::Json;
 pub use load::{

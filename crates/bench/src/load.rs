@@ -443,6 +443,7 @@ impl WorkloadLoadReport {
                 "  \"config\": {{\"scale\": \"{:?}\", \"walk_len\": {}, ",
                 "\"shards\": {}, \"pipelines\": {}, \"max_batch\": {}, ",
                 "\"poll_quantum\": {}, \"queries_per_point\": {}}},\n",
+                "  \"parallelism\": {},\n",
                 "  \"calibration\": {{\"saturation_qpt\": {:.6}, ",
                 "\"solo_latency_ticks\": {:.3}, \"servers_estimate\": {}}},\n",
                 "  \"summary\": {{\"saturation_qpt\": {:.6}, ",
@@ -472,6 +473,7 @@ impl WorkloadLoadReport {
             self.config.max_batch,
             self.config.poll_quantum,
             self.config.queries_per_point,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
             self.saturation_qpt,
             self.solo_latency_ticks,
             self.servers_estimate,

@@ -307,6 +307,7 @@ impl RoutingBenchReport {
                 "\"cpu_threads\": {}, \"cpu_poll_chunk\": {}, ",
                 "\"pipelines\": {}, \"poll_quantum\": {}, \"max_batch\": {}, ",
                 "\"tenants\": {}, \"queries\": {}, \"rho\": {:.3}}},\n",
+                "  \"parallelism\": {},\n",
                 "  \"summary\": {{\"workloads\": {}, ",
                 "\"p99_static\": {}, \"p99_adaptive\": {}, ",
                 "\"p99_improvement\": {:.3}, ",
@@ -336,6 +337,7 @@ impl RoutingBenchReport {
             c.tenants,
             c.queries,
             c.rho,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
             self.workloads.len(),
             p99_static,
             p99_adaptive,

@@ -397,6 +397,7 @@ impl SamplingBenchReport {
                 "\"repeats\": {}, ",
                 "\"cache_budget\": {}, \"low_degree_max\": {}, ",
                 "\"second_order_min_degree\": {}}},\n",
+                "  \"parallelism\": {},\n",
                 "  \"summary\": {{\"cells\": {}, ",
                 "\"node2vec_speedup_skewed\": {:.3}, ",
                 "\"min_speedup\": {:.3}, ",
@@ -422,6 +423,7 @@ impl SamplingBenchReport {
             c.cache_budget,
             c.low_degree_max,
             c.second_order_min_degree,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
             self.cells.len(),
             n2v_speedup,
             self.min_speedup(),

@@ -164,6 +164,7 @@ impl ServingComparison {
                 "  \"workload\": {{\"queries\": {}, \"walk_len\": {}, ",
                 "\"arrivals_per_tick\": {}, \"shards\": {}, ",
                 "\"pipelines\": {}, \"max_batch\": {}, \"poll_quantum\": {}}},\n",
+                "  \"parallelism\": {},\n",
                 "  \"batch\": {},\n",
                 "  \"incremental\": {},\n",
                 // Per-metric CI bands (perf_gate `gate` block): throughput
@@ -186,6 +187,7 @@ impl ServingComparison {
             w.pipelines,
             w.max_batch,
             w.poll_quantum,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
             mode(&self.batch),
             mode(&self.incremental),
             // `{:.3}` would render an infinite ratio as bare `inf`, which

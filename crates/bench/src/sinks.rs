@@ -202,6 +202,7 @@ impl SinkBenchReport {
                 "\"pipelines\": {}, \"max_batch\": {}, \"poll_quantum\": {}, ",
                 "\"corpus_window\": {}, \"corpus_capacity\": {}, ",
                 "\"spill_capacity\": {}}},\n",
+                "  \"parallelism\": {},\n",
                 "  \"legacy\": {},\n",
                 "  \"sink\": {},\n",
                 "  \"corpus\": {{\"tokens\": {}, \"pairs_emitted\": {}, ",
@@ -230,6 +231,7 @@ impl SinkBenchReport {
             c.corpus_window,
             c.corpus_capacity,
             c.spill_capacity,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
             footprint(&self.legacy),
             footprint(&self.sink),
             self.corpus_tokens,

@@ -39,6 +39,15 @@
 //! query, under every policy (static hash re-hashes over the eligible
 //! subset).
 //!
+//! **Elastic scaling.** The fleet itself can change size while serving:
+//! [`Router::append_shard`] grows it at a micro-batch boundary and
+//! [`Router::begin_retire`] / [`Router::try_finish_retire`] shrink it
+//! through the drain path, with [`Router::replan`] re-hashing tenant
+//! placement over the changed shard set at each boundary. A
+//! [`ScalePolicy`] — such as [`TargetSlo`], which holds a latency SLO
+//! with hysteresis and staggered cooldowns — closes the loop through
+//! [`Router::scale_step`]; see the [`scale`] module docs.
+//!
 //! # Example
 //!
 //! ```
@@ -62,11 +71,13 @@
 //! ```
 
 mod policy;
+pub mod scale;
 mod signals;
 
 pub use policy::{
     AdaptiveConfig, AdaptivePolicy, LeastLoadedPolicy, Placement, RoutePolicy, StaticHashPolicy,
 };
+pub use scale::{ScaleDecision, ScalePolicy, SloConfig, TargetSlo};
 pub use signals::{cost_hint_rate, ClassRates, FleetView};
 
 use grw_algo::{BackendClass, WalkQuery};
@@ -88,8 +99,13 @@ pub struct RouteReport {
     /// Tenant rebindings to a *different* shard (micro-batch-boundary
     /// migrations). Hash placement binds nothing and migrates nothing.
     pub migrations: u64,
-    /// Queries accepted per shard, by shard index.
+    /// Queries accepted per shard, by shard index (live shards only).
     pub routed_per_shard: Vec<u64>,
+    /// Queries that were routed to shards which have since retired —
+    /// their per-shard counters fold in here when the fleet shrinks, so
+    /// `routed_per_shard.sum() + routed_retired` still accounts for
+    /// every accepted query across the fleet's whole lifetime.
+    pub routed_retired: u64,
     /// Queries accepted per backend class, in [`BackendClass::all`] order
     /// (classes with no shards are omitted).
     pub routed_per_class: Vec<(BackendClass, u64)>,
@@ -117,8 +133,34 @@ impl fmt::Display for RouteReport {
         for (class, n) in &self.routed_per_class {
             write!(f, " {class}: {n}")?;
         }
-        write!(f, " | per shard {:?}", self.routed_per_shard)
+        write!(f, " | per shard {:?}", self.routed_per_shard)?;
+        if self.routed_retired > 0 {
+            write!(f, " (+{} on retired shards)", self.routed_retired)?;
+        }
+        Ok(())
     }
+}
+
+/// What one [`Router::scale_step`] control step did. At most one of the
+/// action fields is `Some` per step, except that `retired` (completing
+/// an *earlier* `Down`) can coincide with this step's own verdict.
+#[derive(Debug, Default)]
+pub struct ScaleStep {
+    /// The policy's verdict this step.
+    pub decision: ScaleDecision,
+    /// Index of the shard appended by an `Up` verdict.
+    pub appended: Option<usize>,
+    /// Index of a draining tail shard that an `Up` verdict reactivated
+    /// instead of appending a new one.
+    pub reactivated: Option<usize>,
+    /// Index of the tail shard a `Down` verdict began retiring.
+    pub drain_begun: Option<usize>,
+    /// Index of a previously-draining shard that ran dry and left the
+    /// fleet this step.
+    pub retired: Option<usize>,
+    /// Straggler walks reclaimed from the retired shard's in-place
+    /// drain (usually empty — the shard only retires once idle).
+    pub reclaimed: Vec<CompletedWalk>,
 }
 
 /// The routing tier: a serving [`Driver`] over a (possibly
@@ -141,11 +183,13 @@ pub struct Router<P: RoutePolicy> {
     eligible: Vec<bool>,
     /// Tenant -> shard binding from the last `Placement::Shard` decision.
     bindings: HashMap<TenantId, usize>,
-    /// Backend class per shard, captured at construction (classes are a
-    /// static property of the fleet).
+    /// Backend class per shard, captured at construction and refreshed
+    /// by [`replan`](Self::replan) at every scale event.
     classes: Vec<BackendClass>,
     migrations: u64,
     routed_per_shard: Vec<u64>,
+    /// Routed-query counters of shards that have since retired.
+    routed_retired: u64,
 }
 
 impl<P: RoutePolicy> Router<P> {
@@ -166,6 +210,7 @@ impl<P: RoutePolicy> Router<P> {
             classes,
             migrations: 0,
             routed_per_shard: vec![0; shards],
+            routed_retired: 0,
         }
     }
 
@@ -204,6 +249,144 @@ impl<P: RoutePolicy> Router<P> {
     /// [`set_class_eligible`](Self::set_class_eligible).
     pub fn drain_class(&mut self, class: BackendClass) -> usize {
         self.set_class_eligible(class, false)
+    }
+
+    /// The per-shard eligibility mask (false while a shard is drained
+    /// or retiring).
+    pub fn eligible(&self) -> &[bool] {
+        &self.eligible
+    }
+
+    /// Re-plans placement over the current shard set — the migration
+    /// boundary of every scale event. Refreshes the per-shard class
+    /// table, resizes the eligibility mask and routing counters (new
+    /// shards start eligible; counters of removed shards fold into the
+    /// retired total), and drops tenant bindings that point at shards
+    /// which no longer exist or are no longer eligible — those tenants
+    /// re-place at their next submission, and each dropped binding
+    /// counts as a migration. Returns the number of bindings dropped.
+    ///
+    /// [`append_shard`](Self::append_shard) and
+    /// [`try_finish_retire`](Self::try_finish_retire) call this
+    /// automatically; it is idempotent between scale events.
+    pub fn replan(&mut self) -> usize {
+        self.classes = self
+            .driver
+            .shard_snapshots()
+            .iter()
+            .map(|s| s.class)
+            .collect();
+        let shards = self.classes.len();
+        if shards > self.eligible.len() {
+            self.eligible.resize(shards, true);
+            self.routed_per_shard.resize(shards, 0);
+        } else if shards < self.eligible.len() {
+            self.eligible.truncate(shards);
+            self.routed_retired += self.routed_per_shard[shards..].iter().sum::<u64>();
+            self.routed_per_shard.truncate(shards);
+        }
+        let eligible = self.eligible.clone();
+        let before = self.bindings.len();
+        self.bindings.retain(|_, s| *s < shards && eligible[*s]);
+        let dropped = before - self.bindings.len();
+        self.migrations += dropped as u64;
+        dropped
+    }
+
+    /// Grows the live fleet by one shard at a micro-batch boundary and
+    /// re-plans placement over it; returns the new shard's index (always
+    /// the highest). The shard starts eligible and receives traffic from
+    /// the very next [`submit`](Self::submit) — see
+    /// [`Driver::append_shard`] for the seeding discipline that keeps
+    /// new shards deterministic.
+    pub fn append_shard(&mut self, backend: DynWalkBackend) -> usize {
+        let shard = self.driver.append_shard(backend);
+        self.replan();
+        shard
+    }
+
+    /// Starts retiring the highest-index shard: it turns ineligible
+    /// immediately (no policy may place there from this moment) but
+    /// keeps serving what it holds. Returns the retiring shard's index,
+    /// or `None` if the tail shard is already retiring or it is the last
+    /// eligible shard. Complete the retirement with
+    /// [`try_finish_retire`](Self::try_finish_retire) once it runs dry.
+    ///
+    /// Retirement is LIFO by construction — both drivers only remove
+    /// the tail shard, which is what keeps every surviving shard's index
+    /// (and therefore bindings, counters, and snapshots) stable.
+    pub fn begin_retire(&mut self) -> Option<usize> {
+        let last = self.eligible.len().checked_sub(1)?;
+        let live = self.eligible.iter().filter(|&&e| e).count();
+        if !self.eligible[last] || live <= 1 {
+            return None;
+        }
+        self.eligible[last] = false;
+        Some(last)
+    }
+
+    /// Completes a retirement begun by [`begin_retire`](Self::begin_retire):
+    /// once the draining tail shard holds no work, removes it from the
+    /// fleet (the driver drains it in place, so any stragglers are
+    /// conserved and returned here), and re-plans placement over the
+    /// smaller fleet. Returns `None` while the shard is still busy, no
+    /// retirement is in progress, or only one shard remains.
+    pub fn try_finish_retire(&mut self) -> Option<(usize, Vec<CompletedWalk>)> {
+        let last = self.eligible.len().checked_sub(1)?;
+        if self.eligible[last] || self.eligible.len() <= 1 {
+            return None;
+        }
+        if self.driver.shard_snapshots()[last].backlog() > 0 {
+            return None;
+        }
+        let walks = self.driver.retire_shard();
+        self.replan();
+        Some((last, walks))
+    }
+
+    /// One closed-loop control step: finish any in-progress retirement
+    /// whose shard has run dry, then consult `policy` on the live fleet
+    /// and execute its verdict — `Up` appends a shard built by
+    /// `make_backend(next_index)` (or, if the tail shard is still
+    /// draining from an earlier `Down`, simply reactivates it — warm
+    /// capacity beats a cold start), `Down` begins retiring the tail
+    /// shard through the drain path. Call once per control interval
+    /// (e.g. every service tick) from a serving loop.
+    pub fn scale_step<S: ScalePolicy>(
+        &mut self,
+        policy: &mut S,
+        make_backend: impl FnOnce(usize) -> DynWalkBackend,
+    ) -> ScaleStep {
+        let mut step = ScaleStep::default();
+        if let Some((shard, walks)) = self.try_finish_retire() {
+            step.retired = Some(shard);
+            step.reclaimed = walks;
+        }
+        let snaps = self.driver.shard_snapshots();
+        let view = FleetView {
+            now: self.driver.now(),
+            shards: &snaps,
+            eligible: &self.eligible,
+            rates: &self.rates,
+        };
+        step.decision = policy.decide(&view);
+        match step.decision {
+            ScaleDecision::Hold => {}
+            ScaleDecision::Up => {
+                let last = self.eligible.len() - 1;
+                if !self.eligible[last] {
+                    self.eligible[last] = true;
+                    step.reactivated = Some(last);
+                } else {
+                    let shard = self.append_shard(make_backend(self.eligible.len()));
+                    step.appended = Some(shard);
+                }
+            }
+            ScaleDecision::Down => {
+                step.drain_begun = self.begin_retire();
+            }
+        }
+        step
     }
 
     /// The tenant's current shard binding, if a placement recorded one.
@@ -394,6 +577,7 @@ impl<P: RoutePolicy> Router<P> {
             policy: self.policy.name().to_string(),
             migrations: self.migrations,
             routed_per_shard: self.routed_per_shard.clone(),
+            routed_retired: self.routed_retired,
             routed_per_class,
             bound_tenants: self.bindings.len(),
         }
@@ -553,6 +737,188 @@ mod tests {
         assert_eq!(snaps[1].submitted, 0, "drained shard got queries");
         assert!(snaps[0].submitted > 0 && snaps[2].submitted > 0);
         assert_eq!(r.drain().len(), 500);
+    }
+
+    /// A factory minting identically-seeded CPU shards over one shared
+    /// prepared graph — the elastic-fleet tests grow fleets with it.
+    fn cpu_backend_factory(seed: u64) -> impl Fn(usize) -> DynWalkBackend + Clone {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(8);
+        let prepared = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+        move |_| {
+            Box::new(ParallelBackend::new(
+                prepared.clone(),
+                spec.clone(),
+                seed,
+                2,
+            )) as DynWalkBackend
+        }
+    }
+
+    /// A rate-limited shard: completes at most `rate` (real) walks per
+    /// poll. Software backends clear their whole queue every tick, which
+    /// makes per-shard capacity infinite under the deterministic driver —
+    /// this wrapper restores a finite service rate so queueing pressure
+    /// (and therefore SLO-driven scaling) is observable in-process.
+    struct TrickleBackend {
+        inner: ParallelBackend<Arc<PreparedGraph>>,
+        pending: std::collections::VecDeque<grw_algo::WalkQuery>,
+        rate: usize,
+    }
+
+    impl grw_algo::WalkBackend for TrickleBackend {
+        fn submit(&mut self, queries: &[WalkQuery]) -> usize {
+            self.pending.extend(queries.iter().cloned());
+            queries.len()
+        }
+        fn poll(&mut self) -> Vec<grw_algo::WalkPath> {
+            for _ in 0..self.rate {
+                match self.pending.pop_front() {
+                    Some(q) => assert_eq!(self.inner.submit(&[q]), 1),
+                    None => break,
+                }
+            }
+            self.inner.drain()
+        }
+        fn drain(&mut self) -> Vec<grw_algo::WalkPath> {
+            while let Some(q) = self.pending.pop_front() {
+                assert_eq!(self.inner.submit(&[q]), 1);
+            }
+            self.inner.drain()
+        }
+        fn capacity_hint(&self) -> usize {
+            usize::MAX
+        }
+        fn in_flight(&self) -> usize {
+            self.pending.len() + self.inner.in_flight()
+        }
+        fn telemetry(&self) -> grw_algo::BackendTelemetry {
+            self.inner.telemetry()
+        }
+    }
+
+    fn trickle_backend_factory(seed: u64, rate: usize) -> impl Fn(usize) -> DynWalkBackend + Clone {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(8);
+        let prepared = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+        move |_| {
+            Box::new(TrickleBackend {
+                inner: ParallelBackend::new(prepared.clone(), spec.clone(), seed, 2),
+                pending: Default::default(),
+                rate,
+            }) as DynWalkBackend
+        }
+    }
+
+    #[test]
+    fn append_and_retire_replan_placement_and_conserve_walks() {
+        let make = cpu_backend_factory(0xAB);
+        let svc = WalkService::new(ServiceConfig::new(2).max_batch(32), &make);
+        let mut r = Router::new(svc, StaticHashPolicy);
+        let qs = QuerySet::random(2000, 300, 11);
+        let mut done = Vec::new();
+        assert_eq!(r.submit(TenantId(1), &qs.queries()[..150]), 150);
+        done.extend(r.tick());
+
+        // Grow: the appended shard is immediately part of the hash set.
+        assert_eq!(r.append_shard(make(2)), 2);
+        assert_eq!(r.eligible(), &[true, true, true]);
+        assert_eq!(r.submit(TenantId(1), &qs.queries()[150..]), 150);
+        assert!(
+            r.shard_snapshots()[2].submitted > 0,
+            "appended shard receives hashed traffic"
+        );
+
+        // Shrink: the tail shard turns ineligible at once...
+        assert_eq!(r.begin_retire(), Some(2));
+        assert_eq!(
+            r.begin_retire(),
+            None,
+            "a retiring tail cannot retire twice"
+        );
+        let before = r.shard_snapshots()[2].submitted;
+        assert_eq!(r.submit(TenantId(2), &qs.queries()[..100]), 100);
+        assert_eq!(
+            r.shard_snapshots()[2].submitted,
+            before,
+            "no new queries land on a retiring shard"
+        );
+        // ...but leaves the fleet only once it has run dry.
+        let (retired, mut reclaimed) = loop {
+            if let Some(res) = r.try_finish_retire() {
+                break res;
+            }
+            done.extend(r.tick());
+        };
+        assert_eq!(retired, 2);
+        done.append(&mut reclaimed);
+        assert_eq!(r.eligible(), &[true, true]);
+
+        done.extend(r.drain());
+        assert_eq!(
+            done.len(),
+            400,
+            "every accepted walk completes exactly once"
+        );
+        let report = r.report();
+        assert_eq!(report.routed_per_shard.len(), 2);
+        assert!(report.routed_retired > 0);
+        assert_eq!(
+            report.routed_per_shard.iter().sum::<u64>() + report.routed_retired,
+            400,
+            "lifetime routing counters survive the shrink"
+        );
+    }
+
+    #[test]
+    fn closed_loop_scaling_grows_under_pressure_and_shrinks_when_idle() {
+        let make = trickle_backend_factory(0xAB, 4);
+        let svc = WalkService::new(ServiceConfig::new(1).max_batch(8), &make);
+        let mut r = Router::new(svc, StaticHashPolicy)
+            .with_rates(ClassRates::none().with(BackendClass::Cpu, 4.0));
+        let mut policy = TargetSlo::new(SloConfig {
+            target_latency_ticks: 4.0,
+            band: 0.25,
+            breach_ticks: 2,
+            slack_ticks: 3,
+            up_cooldown_ticks: 2,
+            cooldown_ticks: 4,
+            min_shards: 1,
+            max_shards: 3,
+        });
+        let qs = QuerySet::random(2000, 600, 13);
+        let mut done = Vec::new();
+        let mut offered = 0;
+        for chunk in qs.queries().chunks(60) {
+            offered += r.submit(TenantId(0), chunk);
+            done.extend(r.tick());
+            r.scale_step(&mut policy, |s| make(s));
+        }
+        assert!(
+            r.eligible().len() > 1,
+            "sustained SLO breach grew the fleet (events: {})",
+            policy.events()
+        );
+
+        // Arrivals stop; slack must shrink the fleet back to one shard.
+        for _ in 0..400 {
+            done.extend(r.tick());
+            r.scale_step(&mut policy, |s| make(s));
+            if r.eligible() == [true] {
+                break;
+            }
+        }
+        assert_eq!(
+            r.eligible(),
+            &[true],
+            "sustained slack shrank the fleet back to min_shards"
+        );
+        done.extend(r.drain());
+        assert_eq!(
+            done.len(),
+            offered,
+            "walks conserved across every scale event"
+        );
     }
 
     #[test]

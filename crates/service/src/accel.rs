@@ -48,6 +48,20 @@ pub enum AccelShardMode {
 /// A runtime-selected shard backend.
 pub type DynWalkBackend = Box<dyn WalkBackend + Send>;
 
+/// The deterministic per-shard seed rule every fleet constructor uses:
+/// shard `i`'s accelerator machine runs on `base_seed` decorrelated by a
+/// golden-ratio multiple of the shard index. Elastic fleets reuse this
+/// rule when growing — a shard appended at index `i` gets exactly the
+/// seed it would have had in a fleet *born* with `i + 1` shards, so scale
+/// events never change what any shard samples.
+///
+/// (CPU shards deliberately do **not** use this: they share one seed so
+/// walk content is placement-invariant — see
+/// [`mixed_fleet_service`].)
+pub fn fleet_shard_seed(base_seed: u64, shard: usize) -> u64 {
+    base_seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// What one shard of a heterogeneous fleet is made of.
 ///
 /// A fleet plan is a `&[ShardSpec]`, one entry per shard — e.g. two
@@ -148,17 +162,43 @@ fn fleet_factory(
     let base = *accel.config();
     let spec = spec.clone();
     let plan: Vec<ShardSpec> = plan.to_vec();
-    move |shard| match plan[shard] {
+    move |shard| shard_backend_from(base, prepared.clone(), &spec, plan[shard], shard, cpu_seed)
+}
+
+/// The backend that shard `shard` receives in any fleet built from these
+/// ingredients — the single-shard form of the fleet constructors, public
+/// so elastic fleets can *append* shards after construction
+/// ([`crate::Driver::append_shard`]) under the exact seed discipline a
+/// fleet born at that size would have used: a shard appended at index
+/// `i` is indistinguishable from one constructed at index `i`.
+pub fn shard_backend(
+    accel: &Accelerator,
+    prepared: Arc<PreparedGraph>,
+    spec: &WalkSpec,
+    shard_spec: ShardSpec,
+    shard: usize,
+    cpu_seed: u64,
+) -> DynWalkBackend {
+    shard_backend_from(*accel.config(), prepared, spec, shard_spec, shard, cpu_seed)
+}
+
+fn shard_backend_from(
+    base: ridgewalker::AcceleratorConfig,
+    prepared: Arc<PreparedGraph>,
+    spec: &WalkSpec,
+    shard_spec: ShardSpec,
+    shard: usize,
+    cpu_seed: u64,
+) -> DynWalkBackend {
+    match shard_spec {
         ShardSpec::Accel(mode) => {
-            let shard_accel = Accelerator::new(
-                base.seed(base.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            );
+            let shard_accel = Accelerator::new(base.seed(fleet_shard_seed(base.seed, shard)));
             match mode {
                 AccelShardMode::Batch => {
-                    Box::new(shard_accel.backend(prepared.clone(), &spec)) as DynWalkBackend
+                    Box::new(shard_accel.backend(prepared, spec)) as DynWalkBackend
                 }
                 AccelShardMode::Incremental => {
-                    Box::new(shard_accel.incremental_backend(prepared.clone(), &spec))
+                    Box::new(shard_accel.incremental_backend(prepared, spec))
                 }
             }
         }
@@ -166,7 +206,7 @@ fn fleet_factory(
             threads,
             poll_chunk,
         } => Box::new(
-            ParallelBackend::new(prepared.clone(), spec.clone(), cpu_seed, threads)
+            ParallelBackend::new(prepared, spec.clone(), cpu_seed, threads)
                 .chunk_per_thread(poll_chunk),
         ) as DynWalkBackend,
     }

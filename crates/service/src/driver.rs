@@ -43,6 +43,38 @@ impl<B: WalkBackend + Send + 'static> Driver<B> {
             DriverMode::Threaded => Driver::Threaded(ThreadedDriver::new(cfg, make_backend)),
         }
     }
+
+    /// Grows the live fleet by one shard and returns its index — see
+    /// [`WalkService::append_shard`] / [`ThreadedDriver::append_shard`].
+    /// In both regimes the append lands at a micro-batch boundary and
+    /// the new shard joins the vertex-hash partition from the next
+    /// submission; derive its seed with
+    /// [`fleet_shard_seed`](crate::fleet_shard_seed) (or reuse the
+    /// fleet's shared CPU seed) so scale events stay deterministic.
+    pub fn append_shard(&mut self, backend: B) -> usize {
+        match self {
+            Driver::Deterministic(svc) => svc.append_shard(backend),
+            Driver::Threaded(thr) => thr.append_shard(backend),
+        }
+    }
+
+    /// Shrinks the live fleet by one shard (the highest-index one),
+    /// draining it in place so walk conservation holds — see
+    /// [`WalkService::retire_shard`] / [`ThreadedDriver::retire_shard`].
+    /// The deterministic regime returns exactly the retiring shard's
+    /// remaining walks; the threaded regime returns everything harvested
+    /// at the retirement barrier (asynchronous completions from other
+    /// shards included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet has only one shard.
+    pub fn retire_shard(&mut self) -> Vec<CompletedWalk> {
+        match self {
+            Driver::Deterministic(svc) => svc.retire_shard(),
+            Driver::Threaded(thr) => thr.retire_shard(),
+        }
+    }
 }
 
 impl<B: WalkBackend> Driver<B> {
@@ -269,6 +301,59 @@ mod tests {
             assert_eq!(walks.len(), 120);
             assert_eq!(stats.completed, 120);
         }
+    }
+
+    #[test]
+    fn scale_events_keep_the_multiset_identical_across_regimes() {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(8);
+        let p = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+        let keys = |mode| {
+            let make = |shard: usize| {
+                ReferenceBackend::new(p.clone(), spec.clone(), 0xD1CE ^ shard as u64)
+            };
+            let cfg = ServiceConfig::new(2)
+                .max_batch(8)
+                .max_delay_ticks(1)
+                .driver_mode(mode);
+            let mut d = Driver::new(cfg, make);
+            let qs = QuerySet::random(200, 300, 77);
+            let mut walks = Vec::new();
+            for (i, chunk) in qs.queries().chunks(50).enumerate() {
+                assert_eq!(d.submit(TenantId(2), chunk), 50);
+                walks.extend(d.tick());
+                // Same scale schedule in both regimes: grow to 3 shards
+                // after the second chunk, shrink back after the fourth.
+                match i {
+                    1 => assert_eq!(d.append_shard(make(2)), 2),
+                    3 => walks.extend(d.retire_shard()),
+                    _ => {}
+                }
+            }
+            let (rest, stats) = d.finish();
+            walks.extend(rest);
+            assert_eq!(walks.len(), 300, "conservation across scale events");
+            assert_eq!(stats.completed, 300);
+            let mut keys: Vec<_> = walks
+                .iter()
+                .map(|c| {
+                    (
+                        c.path.query,
+                        c.arrival_tick,
+                        c.flushed_tick,
+                        c.completed_tick,
+                        c.path.vertices.clone(),
+                    )
+                })
+                .collect();
+            keys.sort();
+            keys
+        };
+        assert_eq!(
+            keys(DriverMode::Deterministic),
+            keys(DriverMode::Threaded),
+            "same walks, tick stamps included, across a scale schedule"
+        );
     }
 
     #[test]

@@ -83,8 +83,8 @@ mod tenant;
 mod threaded;
 
 pub use accel::{
-    accelerator_driver, accelerator_service, mixed_fleet_driver, mixed_fleet_service,
-    AccelShardMode, DynWalkBackend, ShardSpec,
+    accelerator_driver, accelerator_service, fleet_shard_seed, mixed_fleet_driver,
+    mixed_fleet_service, shard_backend, AccelShardMode, DynWalkBackend, ShardSpec,
 };
 pub use batch::FlushReason;
 pub use driver::Driver;
@@ -93,7 +93,7 @@ pub use stats::{percentile, ServiceStats, TenantStats};
 pub use tenant::{TenantId, LOCAL_ID_BITS, MAX_LOCAL_ID};
 pub use threaded::ThreadedDriver;
 
-use grw_algo::{BackendClass, WalkBackend, WalkPath, WalkQuery};
+use grw_algo::{BackendClass, BackendTelemetry, WalkBackend, WalkPath, WalkQuery};
 use grw_rng::SplitMix64;
 use runner::ShardRunner;
 use sink::SpillDelivery;
@@ -341,6 +341,10 @@ pub struct WalkService<B: WalkBackend> {
     /// The subscribed sink, when delivery is in streaming mode: `tick`
     /// and `drain` route every completed walk here and return nothing.
     attached: Option<Box<dyn WalkSink + Send>>,
+    /// Telemetry of shards retired by [`retire_shard`](Self::retire_shard),
+    /// folded into [`stats`](Self::stats) rollups so fleet-lifetime step
+    /// counters survive scale-down events.
+    retired_telemetry: Vec<BackendTelemetry>,
 }
 
 impl<B: WalkBackend> WalkService<B> {
@@ -358,7 +362,53 @@ impl<B: WalkBackend> WalkService<B> {
             collector: StatsCollector::new(cfg.latency_reservoir),
             spill: SpillDelivery::new(cfg.sink_spill_capacity),
             attached: None,
+            retired_telemetry: Vec::new(),
         }
+    }
+
+    /// Grows the live fleet by one shard and returns its index (always
+    /// the new highest). The shard starts empty at the current tick and
+    /// is part of the vertex-hash partition from the very next
+    /// submission — appends land at a micro-batch boundary by
+    /// construction, because the service only mutates between `submit` /
+    /// `tick` calls.
+    ///
+    /// Determinism: a shard's walks are a pure function of its own
+    /// command stream, so a fleet grown at tick T produces the same
+    /// walks as a fleet born at size N+1 receiving the same per-shard
+    /// streams. Derive the backend's seed deterministically from the
+    /// fleet seed and this index (see
+    /// [`fleet_shard_seed`]) to keep scale
+    /// events reproducible.
+    pub fn append_shard(&mut self, backend: B) -> usize {
+        let shard = self.runners.len();
+        self.runners.push(ShardRunner::new(&self.cfg, backend));
+        self.cfg.shards = self.runners.len();
+        shard
+    }
+
+    /// Shrinks the live fleet by one shard — the highest-index one —
+    /// draining it in place first so walk conservation holds: everything
+    /// the shard had accepted completes and is returned (or streamed
+    /// into the attached sink), then the shard leaves the vertex-hash
+    /// partition. Retirement is LIFO so surviving shard indices never
+    /// shift under routers or placement policies.
+    ///
+    /// The retired backend's telemetry stays folded into
+    /// [`stats`](Self::stats), so fleet-lifetime counters (steps,
+    /// sampling, cycles) survive scale-down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet has only one shard (a service always has at
+    /// least one), or if the retiring backend stalls while draining.
+    pub fn retire_shard(&mut self) -> Vec<CompletedWalk> {
+        assert!(self.runners.len() > 1, "cannot retire the last shard");
+        let mut runner = self.runners.pop().expect("fleet is non-empty");
+        let walks = runner.drain_all(&mut self.collector);
+        self.retired_telemetry.push(runner.backend.telemetry());
+        self.cfg.shards = self.runners.len();
+        self.route_or_return(walks)
     }
 
     /// The shard a start vertex routes to (stable vertex-hash partition).
@@ -638,7 +688,12 @@ impl<B: WalkBackend> WalkService<B> {
 
     /// Point-in-time service statistics.
     pub fn stats(&self) -> ServiceStats {
-        let rollup = stats::rollup_telemetry(self.runners.iter().map(|r| r.backend.telemetry()));
+        let rollup = stats::rollup_telemetry(
+            self.runners
+                .iter()
+                .map(|r| r.backend.telemetry())
+                .chain(self.retired_telemetry.iter().copied()),
+        );
         ServiceStats::build(
             &self.collector,
             self.cfg.shards,
@@ -1130,6 +1185,61 @@ mod tests {
         svc.attach_sink(Box::new(WindowSink::new(4)));
         let mut other = WindowSink::new(4);
         let _ = svc.tick_into(&mut other);
+    }
+
+    #[test]
+    fn append_and_retire_conserve_walks_and_steps() {
+        let (p, spec) = shared();
+        let prepared = p.clone();
+        let sp = spec.clone();
+        let mut svc = WalkService::new(ServiceConfig::new(2).max_batch(16), move |shard| {
+            ReferenceBackend::new(prepared.clone(), sp.clone(), 0xBEEF ^ shard as u64)
+        });
+        let nv = p.graph().vertex_count();
+        let qs = QuerySet::random(nv, 300, 13);
+        let mut done = Vec::new();
+        assert_eq!(svc.submit(TenantId(1), &qs.queries()[..150]), 150);
+        done.extend(svc.tick());
+        // Grow: the appended shard immediately joins the hash partition.
+        let shard = svc.append_shard(ReferenceBackend::new(p.clone(), spec.clone(), 0xBEEF ^ 2));
+        assert_eq!(shard, 2);
+        assert_eq!(svc.shard_count(), 3);
+        assert_eq!(svc.submit(TenantId(1), &qs.queries()[150..]), 150);
+        assert!(
+            svc.shard_snapshots()[2].submitted > 0,
+            "hash placement must spread onto the appended shard"
+        );
+        // Shrink while the tail shard still holds work: it drains in
+        // place, so nothing is lost.
+        done.extend(svc.retire_shard());
+        assert_eq!(svc.shard_count(), 2);
+        assert!(svc.shard_snapshots().iter().all(|s| s.shard < 2));
+        for v in 0..nv as u32 {
+            assert!(svc.shard_of(v) < 2, "hash partition follows the live fleet");
+        }
+        done.extend(svc.drain());
+        assert_eq!(done.len(), 300, "conservation across scale events");
+        let mut seen = std::collections::HashSet::new();
+        assert!(done.iter().all(|c| seen.insert(c.path.query)));
+        // The retired backend's steps stay in the rollup.
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 300);
+        assert_eq!(
+            stats.steps,
+            done.iter().map(|c| c.path.steps()).sum::<u64>(),
+            "retired shards keep contributing their telemetry"
+        );
+        assert_eq!(stats.shards, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot retire the last shard")]
+    fn the_last_shard_cannot_retire() {
+        let (p, spec) = shared();
+        let mut svc = WalkService::new(ServiceConfig::new(1), move |_| {
+            ReferenceBackend::new(p.clone(), spec.clone(), 7)
+        });
+        let _ = svc.retire_shard();
     }
 
     #[test]

@@ -212,6 +212,10 @@ pub struct ThreadedDriver {
     commands: Vec<Arc<SyncQueue<Command>>>,
     completions: Arc<SyncQueue<Vec<CompletedWalk>>>,
     handles: Vec<JoinHandle<WorkerReport>>,
+    /// Final reports of workers retired by
+    /// [`retire_shard`](Self::retire_shard), kept so merged statistics
+    /// (completions, steps, latency samples) survive scale-down events.
+    retired: Vec<WorkerReport>,
 }
 
 impl ThreadedDriver {
@@ -223,36 +227,92 @@ impl ThreadedDriver {
         cfg: ServiceConfig,
         mut make_backend: impl FnMut(usize) -> B,
     ) -> Self {
-        let completions = Arc::new(SyncQueue::unbounded());
-        let mut commands = Vec::with_capacity(cfg.shards);
-        let mut handles = Vec::with_capacity(cfg.shards);
-        for shard in 0..cfg.shards {
-            let queue = Arc::new(SyncQueue::bounded(COMMAND_QUEUE_DEPTH));
-            let worker = Worker {
-                runner: ShardRunner::new(&cfg, make_backend(shard)),
-                collector: StatsCollector::new(cfg.latency_reservoir),
-                spill: SpillDelivery::new(cfg.sink_spill_capacity),
-                sink: None,
-                completions: completions.clone(),
-            };
-            let q = queue.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("grw-shard-{shard}"))
-                    .spawn(move || worker.run(q))
-                    .expect("spawn shard worker"),
-            );
-            commands.push(queue);
-        }
-        Self {
+        let mut driver = Self {
             cfg,
             tick: 0,
             started: Instant::now(),
             collector: StatsCollector::new(cfg.latency_reservoir),
-            commands,
-            completions,
-            handles,
+            commands: Vec::with_capacity(cfg.shards),
+            completions: Arc::new(SyncQueue::unbounded()),
+            handles: Vec::with_capacity(cfg.shards),
+            retired: Vec::new(),
+        };
+        for shard in 0..cfg.shards {
+            driver.spawn_worker(make_backend(shard));
         }
+        driver
+    }
+
+    /// Spawns one worker thread owning `backend` as the next shard and
+    /// returns its index — the shared tail of construction and
+    /// [`append_shard`](Self::append_shard).
+    fn spawn_worker<B: WalkBackend + Send + 'static>(&mut self, backend: B) -> usize {
+        let shard = self.commands.len();
+        let queue = Arc::new(SyncQueue::bounded(COMMAND_QUEUE_DEPTH));
+        let worker = Worker {
+            runner: ShardRunner::new(&self.cfg, backend),
+            collector: StatsCollector::new(self.cfg.latency_reservoir),
+            spill: SpillDelivery::new(self.cfg.sink_spill_capacity),
+            sink: None,
+            completions: self.completions.clone(),
+        };
+        let q = queue.clone();
+        self.handles.push(
+            std::thread::Builder::new()
+                .name(format!("grw-shard-{shard}"))
+                .spawn(move || worker.run(q))
+                .expect("spawn shard worker"),
+        );
+        self.commands.push(queue);
+        self.cfg.shards = self.commands.len();
+        shard
+    }
+
+    /// Grows the live fleet by one shard: spawns a worker thread owning
+    /// `backend` and returns its index (always the new highest). The
+    /// shard joins the vertex-hash partition from the very next
+    /// submission; since submits and ticks are commands the driver
+    /// serializes, the append lands at a micro-batch boundary exactly
+    /// like [`WalkService::append_shard`](crate::WalkService::append_shard),
+    /// and the walk multiset stays identical across the two regimes for
+    /// the same submission/tick/scale schedule.
+    pub fn append_shard<B: WalkBackend + Send + 'static>(&mut self, backend: B) -> usize {
+        self.spawn_worker(backend)
+    }
+
+    /// Shrinks the live fleet by one shard — the highest-index one —
+    /// with walk conservation: a drain barrier runs the worker dry (its
+    /// remaining completions land on the completion queue, or in its
+    /// sink), then its command queue closes and the thread joins. The
+    /// returned walks are everything harvested at the barrier, the
+    /// retiring shard's final output included. Retirement is LIFO so
+    /// surviving shard indices never shift.
+    ///
+    /// The worker's final report (stats counters, latency samples, sink
+    /// report) stays folded into [`stats`](Self::stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet has only one shard, or if the retiring worker
+    /// panicked.
+    pub fn retire_shard(&mut self) -> Vec<CompletedWalk> {
+        assert!(self.commands.len() > 1, "cannot retire the last shard");
+        let shard = self.commands.len() - 1;
+        let reply = Arc::new(Reply::new());
+        self.send(
+            shard,
+            Command::Drain {
+                reply: reply.clone(),
+            },
+        );
+        reply.recv();
+        let queue = self.commands.pop().expect("fleet is non-empty");
+        queue.close();
+        let handle = self.handles.pop().expect("one handle per shard");
+        let report = handle.join().expect("shard worker panicked");
+        self.retired.push(report);
+        self.cfg.shards = self.commands.len();
+        self.harvest()
     }
 
     fn send(&self, shard: usize, cmd: Command) {
@@ -426,10 +486,10 @@ impl ThreadedDriver {
 
     fn build_stats(&self, reports: &[WorkerReport]) -> ServiceStats {
         let mut collector = self.collector.clone();
-        for r in reports {
+        for r in reports.iter().chain(&self.retired) {
             collector.merge(&r.collector);
         }
-        let rollup = rollup_telemetry(reports.iter().map(|r| r.telemetry));
+        let rollup = rollup_telemetry(reports.iter().chain(&self.retired).map(|r| r.telemetry));
         let per_shard_queue_depth: Vec<usize> = reports
             .iter()
             .enumerate()

@@ -467,3 +467,84 @@ fn routed_mixed_fleet_sink_delivery_conserves_every_walk() {
         }
     }
 }
+
+/// PR 8's elastic-fleet property: once [`Router::begin_retire`] marks
+/// the tail shard ineligible, that shard's `submitted` counter never
+/// advances again — drain-in-place means *no* new queries, not merely
+/// fewer — while the rest of the fleet keeps serving; the retirement
+/// completes only once the victim runs dry; and the whole stream is
+/// conserved across the scale-down. Holds at the placement boundary
+/// under every policy.
+#[test]
+fn retiring_shard_never_receives_queries_after_drain_begins() {
+    let (prepared, spec) = setup();
+    let nv = prepared.graph().vertex_count();
+    let qs = QuerySet::random(nv, 600, 0x7E71);
+    let policies: Vec<(&str, Box<dyn RoutePolicy + Send>)> = vec![
+        ("static-hash", Box::new(StaticHashPolicy)),
+        ("least-loaded", Box::new(LeastLoadedPolicy)),
+        (
+            "adaptive",
+            Box::new(AdaptivePolicy::new(AdaptiveConfig {
+                min_dwell_ticks: 4,
+                ..AdaptiveConfig::default()
+            })),
+        ),
+    ];
+    for (name, policy) in policies {
+        let mut router = Router::new(cpu_fleet(&prepared, &spec), policy);
+        let mut walks: Vec<CompletedWalk> = Vec::new();
+        // Warm traffic across the whole fleet so the victim has real
+        // backlog when the drain begins.
+        for chunk in qs.queries()[..300].chunks(25) {
+            assert_eq!(router.submit(TenantId(1), chunk), 25, "{name}");
+            walks.extend(router.tick());
+        }
+        let victim = router.begin_retire().expect("live fleet > 1 shard");
+        assert_eq!(victim, 2, "{name}: the tail shard is the victim");
+        let frozen_at = router.shard_snapshots()[victim].submitted;
+        // Retirement must not complete while traffic is still flowing
+        // *and* the victim still has backlog — and the victim must stay
+        // frozen at every step, not merely at the end.
+        for chunk in qs.queries()[300..].chunks(25) {
+            assert_eq!(router.submit(TenantId(1), chunk), 25, "{name}");
+            walks.extend(router.tick());
+            assert_eq!(
+                router.shard_snapshots()[victim].submitted,
+                frozen_at,
+                "{name}: retiring shard received queries after drain began"
+            );
+        }
+        // Drive the drain home: tick until the victim runs dry and the
+        // retirement barrier fires.
+        let mut spins = 0;
+        let retired = loop {
+            if let Some((shard, harvested)) = router.try_finish_retire() {
+                break (shard, harvested);
+            }
+            walks.extend(router.tick());
+            spins += 1;
+            assert!(spins < 2000, "{name}: retirement never completed");
+        };
+        assert_eq!(retired.0, victim, "{name}");
+        walks.extend(retired.1);
+        walks.extend(router.drain());
+        assert_eq!(
+            router.shard_snapshots().len(),
+            2,
+            "{name}: the fleet shrank by one shard"
+        );
+        let routed: u64 = router.shard_snapshots().iter().map(|s| s.submitted).sum();
+        assert_eq!(
+            routed + frozen_at,
+            600,
+            "{name}: every query landed on a live shard or pre-dates the drain"
+        );
+        assert_eq!(
+            walks.len(),
+            600,
+            "{name}: conservation across the scale-down"
+        );
+        assert_eq!(router.queue_depth(), 0, "{name}: fleet ran dry");
+    }
+}

@@ -111,6 +111,110 @@ fn walk_multisets_match_across_random_schedules() {
     }
 }
 
+/// PR 8's elastic extension of the parity property: the random schedule
+/// now interleaves *scale events* — appends and drain-in-place
+/// retirements — with submissions and ticks, and the full multiset
+/// (tick stamps included) must still match across regimes. The schedule,
+/// including the live-shard count that decides whether a scale event is
+/// an append or a retire, is derived purely from the seed and
+/// test-tracked state, never from driver state, so both regimes replay
+/// the identical command sequence. Appended shards get the same pure
+/// seed function of their index a fleet born at that size would have
+/// used, so a shard appended at index `i` is indistinguishable from one
+/// constructed at index `i`.
+#[test]
+fn walk_multisets_match_across_random_scale_schedules() {
+    let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+    let spec = WalkSpec::urw(12);
+    let p = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+    let nv = p.graph().vertex_count();
+    const MAX_SHARDS: usize = 4;
+    for case in 0..8u64 {
+        let qs = QuerySet::random(nv, 260, 0x51CA ^ case);
+        let run = |mode: DriverMode| {
+            let make = {
+                let p = p.clone();
+                let spec = spec.clone();
+                move |shard: usize| {
+                    ReferenceBackend::new(p.clone(), spec.clone(), 0xD1CE ^ shard as u64)
+                }
+            };
+            let mut driver = Driver::new(
+                ServiceConfig::new(2)
+                    .max_batch(16)
+                    .buffer_capacity(512)
+                    .driver_mode(mode),
+                make.clone(),
+            );
+            let mut rng = SplitMix64::new(0xE1A5 ^ case);
+            let mut walks = Vec::new();
+            let mut offset = 0;
+            // Test-tracked live count: the appended shard's index is the
+            // count *before* the append, mirroring `Driver::append_shard`.
+            let mut live = 2usize;
+            let mut scale_events = 0u32;
+            while offset < qs.queries().len() {
+                let roll = rng.next_below(10);
+                if roll < 5 {
+                    let chunk = 1 + rng.next_below(48) as usize;
+                    let end = (offset + chunk).min(qs.queries().len());
+                    let tenant = TenantId(1 + (rng.next_below(4)) as u16);
+                    let mut part = &qs.queries()[offset..end];
+                    while !part.is_empty() {
+                        let taken = driver.submit(tenant, part);
+                        part = &part[taken..];
+                        if taken == 0 {
+                            walks.extend(driver.tick());
+                        }
+                    }
+                    offset = end;
+                } else if roll < 8 {
+                    walks.extend(driver.tick());
+                } else if rng.next_bool(0.5) && live < MAX_SHARDS {
+                    let shard = driver.append_shard(make(live));
+                    assert_eq!(shard, live, "append index must equal live count");
+                    live += 1;
+                    scale_events += 1;
+                } else if live > 1 {
+                    // Drain-in-place: whatever the retirement barrier
+                    // harvests (the retiring shard's walks under the
+                    // deterministic regime, possibly more under the
+                    // threaded one) joins the same final multiset.
+                    walks.extend(driver.retire_shard());
+                    live -= 1;
+                    scale_events += 1;
+                }
+            }
+            if scale_events == 0 {
+                // A seed whose rolls never drew a scale event still must
+                // exercise the property: force one append/retire pair.
+                // `scale_events` is test-tracked, so both regimes take
+                // this branch (or neither).
+                assert_eq!(driver.append_shard(make(live)), live);
+                walks.extend(driver.retire_shard());
+                scale_events = 2;
+            }
+            for _ in 0..rng.next_below(4) {
+                walks.extend(driver.tick());
+            }
+            let (rest, stats) = driver.finish();
+            walks.extend(rest);
+            (keys(walks), stats.completed, stats.steps, scale_events)
+        };
+        let det = run(DriverMode::Deterministic);
+        let thr = run(DriverMode::Threaded);
+        assert_eq!(det.0.len(), 260, "case {case}: stream conservation");
+        assert!(
+            det.3 > 0,
+            "case {case}: the schedule must actually exercise scale events"
+        );
+        assert_eq!(
+            det, thr,
+            "case {case}: walk multisets (with tick stamps) must match across scale events"
+        );
+    }
+}
+
 #[test]
 fn parity_holds_for_both_accelerator_shard_modes() {
     let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
