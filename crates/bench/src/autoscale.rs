@@ -27,6 +27,7 @@
 use crate::load::{calibrate_saturation, ArrivalShape, LoadWorkload};
 use grw_algo::{BackendClass, PreparedGraph, QuerySet, WalkQuery};
 use grw_graph::generators::ScaleFactor;
+use grw_obs::Obs;
 use grw_route::{ClassRates, Router, ScaleDecision, SloConfig, StaticHashPolicy, TargetSlo};
 use grw_service::{
     accelerator_service, percentile, shard_backend, AccelShardMode, ServiceConfig, ShardSpec,
@@ -220,6 +221,14 @@ pub struct AutoscaleBenchReport {
     pub lambda_mid: f64,
     /// One outcome per arm, in the order they ran.
     pub arms: Vec<ArmOutcome>,
+    /// Unified metrics snapshot of the autoscaled arm (the `grw_obs`
+    /// registry's JSON rendering) — deterministic: every value is a
+    /// logical-tick counter, gauge, or histogram, never wall clock.
+    pub metrics_snapshot: String,
+    /// The autoscaled arm's event journal in canonical sorted JSONL —
+    /// bit-identical for a fixed seed, so it participates in the
+    /// report's determinism equality.
+    pub trace_jsonl: String,
 }
 
 impl AutoscaleBenchReport {
@@ -531,6 +540,7 @@ pub fn run_autoscale_bench(cfg: &AutoscaleBenchConfig) -> AutoscaleBenchReport {
     };
 
     let mut arms = Vec::new();
+    let mut obs_autoscaled = None;
     for (name, shards, elastic) in [
         ("autoscaled", cfg.min_shards, true),
         ("static-over", cfg.max_shards, false),
@@ -545,6 +555,14 @@ pub fn run_autoscale_bench(cfg: &AutoscaleBenchConfig) -> AutoscaleBenchReport {
         );
         let mut router = Router::new(service, StaticHashPolicy)
             .with_rates(ClassRates::none().with(BackendClass::Accelerator, shard_qpt));
+        // Only the headline arm is instrumented: its trace is the
+        // artifact that explains the scale history, and leaving the
+        // static arms untouched keeps them as uninstrumented controls.
+        if elastic {
+            let obs = Obs::new();
+            router.attach_obs(obs.clone());
+            obs_autoscaled = Some(obs);
+        }
         let mut policy = TargetSlo::new(cfg.slo(slo_target_ticks));
         let run = drive_arm(
             &mut router,
@@ -555,6 +573,9 @@ pub fn run_autoscale_bench(cfg: &AutoscaleBenchConfig) -> AutoscaleBenchReport {
             &arrival_ticks,
             max_ticks,
         );
+        if elastic {
+            router.flush_obs();
+        }
         let completed = run.latencies.len();
         let p99 = percentile(&run.latencies, 99.0);
         arms.push(ArmOutcome {
@@ -574,12 +595,15 @@ pub fn run_autoscale_bench(cfg: &AutoscaleBenchConfig) -> AutoscaleBenchReport {
         });
     }
 
+    let obs = obs_autoscaled.expect("autoscaled arm ran");
     AutoscaleBenchReport {
         config: cfg.clone(),
         shard_qpt,
         slo_target_ticks,
         lambda_mid,
         arms,
+        metrics_snapshot: obs.registry().snapshot_json(),
+        trace_jsonl: obs.trace_jsonl(),
     }
 }
 
@@ -627,7 +651,57 @@ mod tests {
         let cfg = AutoscaleBenchConfig::test_tiny();
         let a = run_autoscale_bench(&cfg);
         let b = run_autoscale_bench(&cfg);
+        // Report equality covers the metrics snapshot and the event
+        // journal too — the trace itself must be bit-reproducible.
         assert_eq!(a, b);
+        assert!(!a.trace_jsonl.is_empty());
+        assert!(!a.metrics_snapshot.is_empty());
+    }
+
+    #[test]
+    fn journal_explains_every_scale_event() {
+        use grw_obs::{jsonl_field, jsonl_num};
+        let cfg = AutoscaleBenchConfig::test_tiny();
+        let report = run_autoscale_bench(&cfg);
+        let auto = report.arm("autoscaled").unwrap();
+        let lines: Vec<&str> = report.trace_jsonl.lines().collect();
+        let with = |ev: &str| -> Vec<&&str> {
+            lines
+                .iter()
+                .filter(|l| jsonl_field(l, "ev") == Some(ev))
+                .collect()
+        };
+        // Every counted scale-up is an executed Up verdict (an append or
+        // a drain reactivation), and each one journals both the verdict
+        // and the membership change.
+        let ups = with("scale_decision")
+            .iter()
+            .filter(|l| jsonl_field(l, "decision") == Some("up"))
+            .count() as u64;
+        assert_eq!(ups, auto.scale_ups, "one 'up' verdict per scale-up");
+        assert_eq!(with("shard_appended").len() as u64, auto.scale_ups);
+        assert_eq!(with("shard_retired").len() as u64, auto.scale_downs);
+        // Retirements complete drains that a Down verdict began.
+        assert!(
+            with("scale_decision")
+                .iter()
+                .filter(|l| jsonl_field(l, "decision") == Some("down"))
+                .count() as u64
+                >= auto.scale_downs
+        );
+        // Every verdict carries the control-law evidence it was made on.
+        for l in with("scale_decision") {
+            for field in ["lambda_hat", "floor", "worst_ewma", "worst_wait", "shards"] {
+                assert!(
+                    jsonl_num(l, field).is_some(),
+                    "scale_decision must carry policy input '{field}': {l}"
+                );
+            }
+        }
+        // The service-level stream is journaled alongside: every query
+        // admission and delivery of the autoscaled arm.
+        assert_eq!(with("query_admitted").len(), cfg.queries);
+        assert_eq!(with("query_delivered").len(), cfg.queries);
     }
 
     #[test]

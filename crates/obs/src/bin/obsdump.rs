@@ -1,0 +1,323 @@
+//! `obsdump` — render a deterministic event trace (`TRACE_*.jsonl`,
+//! written by [`grw_obs::Obs::trace_jsonl`]) into human-readable
+//! markdown: event totals, a per-shard serving summary, a per-tenant
+//! span-style phase breakdown (batching wait → backend occupancy), the
+//! fleet-size timeline, and every scale verdict with the control-law
+//! inputs that produced it.
+//!
+//! Usage: `obsdump TRACE.jsonl [OUT.md]` — with no output path the
+//! markdown goes to stdout.
+
+use grw_obs::{jsonl_field, jsonl_num};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+#[derive(Default)]
+struct ShardRow {
+    admitted: u64,
+    batches: u64,
+    delivered: u64,
+    spilled: u64,
+    first_tick: Option<u64>,
+    last_tick: u64,
+}
+
+#[derive(Default)]
+struct TenantRow {
+    delivered: u64,
+    waits: Vec<u64>,
+    occupancy: Vec<u64>,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn mean(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<u64>() as f64 / values.len() as f64
+}
+
+fn shard_label(line: &str) -> String {
+    match jsonl_field(line, "shard") {
+        Some("null") | None => "global".to_string(),
+        Some(s) => s.to_string(),
+    }
+}
+
+fn render(trace: &str) -> String {
+    let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    let mut shards: BTreeMap<String, ShardRow> = BTreeMap::new();
+    let mut tenants: BTreeMap<u64, TenantRow> = BTreeMap::new();
+    let mut fleet: Vec<String> = Vec::new();
+    let mut decisions: Vec<String> = Vec::new();
+    let mut migrations: Vec<String> = Vec::new();
+    let mut parsed = 0u64;
+
+    for line in trace.lines().filter(|l| !l.trim().is_empty()) {
+        let Some(ev) = jsonl_field(line, "ev") else {
+            continue;
+        };
+        parsed += 1;
+        *by_kind.entry(ev.to_string()).or_default() += 1;
+        let tick = jsonl_num(line, "tick").unwrap_or(0.0) as u64;
+        let shard = shard_label(line);
+        let row = shards.entry(shard.clone()).or_default();
+        row.first_tick.get_or_insert(tick);
+        row.last_tick = row.last_tick.max(tick);
+        match ev {
+            "query_admitted" => row.admitted += 1,
+            "batch_flushed" => row.batches += 1,
+            "sink_spilled" => row.spilled += 1,
+            "query_delivered" => {
+                row.delivered += 1;
+                let tenant = jsonl_num(line, "tenant").unwrap_or(0.0) as u64;
+                let arrival = jsonl_num(line, "arrival").unwrap_or(0.0) as u64;
+                let flushed = jsonl_num(line, "flushed").unwrap_or(arrival as f64) as u64;
+                let t = tenants.entry(tenant).or_default();
+                t.delivered += 1;
+                t.waits.push(flushed.saturating_sub(arrival));
+                t.occupancy.push(tick.saturating_sub(flushed));
+            }
+            "shard_appended" => {
+                let how = if jsonl_field(line, "reactivated") == Some("true") {
+                    "reactivated"
+                } else {
+                    "appended"
+                };
+                fleet.push(format!("| {tick} | shard {shard} | {how} |"));
+            }
+            "retire_begun" => {
+                fleet.push(format!("| {tick} | shard {shard} | retire begun |"));
+            }
+            "shard_retired" => {
+                let reclaimed = jsonl_num(line, "reclaimed").unwrap_or(0.0) as u64;
+                fleet.push(format!(
+                    "| {tick} | shard {shard} | retired ({reclaimed} walks reclaimed) |"
+                ));
+            }
+            "scale_decision" => {
+                let decision = jsonl_field(line, "decision").unwrap_or("?");
+                let suppressed = jsonl_field(line, "suppressed").unwrap_or("null");
+                let note = if suppressed == "null" {
+                    String::new()
+                } else {
+                    format!(" (suppressed: {suppressed})")
+                };
+                decisions.push(format!(
+                    "| {tick} | {decision}{note} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} |",
+                    jsonl_num(line, "lambda_hat").unwrap_or(0.0),
+                    jsonl_num(line, "floor").unwrap_or(0.0),
+                    jsonl_num(line, "worst_ewma").unwrap_or(0.0),
+                    jsonl_num(line, "worst_wait").unwrap_or(0.0),
+                    jsonl_num(line, "shards").unwrap_or(0.0) as u64,
+                    jsonl_num(line, "breach_streak").unwrap_or(0.0) as u64,
+                ));
+            }
+            "migration" => {
+                migrations.push(format!(
+                    "| {tick} | tenant {} | {} → {} | {:.3} |",
+                    jsonl_num(line, "tenant").unwrap_or(0.0) as u64,
+                    jsonl_num(line, "from").unwrap_or(0.0) as u64,
+                    jsonl_num(line, "to").unwrap_or(0.0) as u64,
+                    jsonl_num(line, "cost").unwrap_or(0.0),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Trace summary\n");
+    let _ = writeln!(out, "{parsed} events.\n");
+    let _ = writeln!(out, "| event | count |");
+    let _ = writeln!(out, "|---|---|");
+    for (kind, count) in &by_kind {
+        let _ = writeln!(out, "| {kind} | {count} |");
+    }
+
+    let _ = writeln!(out, "\n## Per-shard timeline\n");
+    let _ = writeln!(
+        out,
+        "| shard | active ticks | admitted | batches | delivered | spilled |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for (shard, row) in &shards {
+        let first = row.first_tick.unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "| {shard} | {first}–{} | {} | {} | {} | {} |",
+            row.last_tick, row.admitted, row.batches, row.delivered, row.spilled
+        );
+    }
+
+    let _ = writeln!(out, "\n## Per-tenant phase breakdown\n");
+    let _ = writeln!(
+        out,
+        "Span phases per delivered walk, in ticks: *batching wait* is \
+         flush − arrival (time parked in the micro-batcher), *backend \
+         occupancy* is delivery − flush (time owned by the sampling \
+         backend and sink path).\n"
+    );
+    let _ = writeln!(
+        out,
+        "| tenant | delivered | wait mean | wait p99 | occupancy mean | occupancy p99 |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for (tenant, row) in tenants.iter_mut() {
+        row.waits.sort_unstable();
+        row.occupancy.sort_unstable();
+        let _ = writeln!(
+            out,
+            "| {tenant} | {} | {:.2} | {} | {:.2} | {} |",
+            row.delivered,
+            mean(&row.waits),
+            percentile(&row.waits, 0.99),
+            mean(&row.occupancy),
+            percentile(&row.occupancy, 0.99),
+        );
+    }
+
+    if !fleet.is_empty() {
+        let _ = writeln!(out, "\n## Fleet timeline\n");
+        let _ = writeln!(out, "| tick | shard | event |");
+        let _ = writeln!(out, "|---|---|---|");
+        for line in &fleet {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    if !decisions.is_empty() {
+        let _ = writeln!(out, "\n## Scale decisions\n");
+        let _ = writeln!(
+            out,
+            "| tick | verdict | λ̂ | floor | worst ewma | worst wait | shards | breach streak |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+        for line in &decisions {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    if !migrations.is_empty() {
+        let _ = writeln!(out, "\n## Migrations\n");
+        let _ = writeln!(out, "| tick | tenant | route | cost |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for line in &migrations {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(input) = args.next() else {
+        eprintln!("usage: obsdump TRACE.jsonl [OUT.md]");
+        std::process::exit(2);
+    };
+    let trace = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obsdump: cannot read {input}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let markdown = render(&trace);
+    match args.next() {
+        Some(out_path) => {
+            if let Err(e) = std::fs::write(&out_path, &markdown) {
+                eprintln!("obsdump: cannot write {out_path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {out_path}");
+        }
+        None => print!("{markdown}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grw_obs::{EventKind, Obs, ScaleInputs, GLOBAL_SHARD};
+
+    #[test]
+    fn renders_every_section_from_a_synthetic_trace() {
+        let obs = Obs::new();
+        let mut s = obs.shard_obs(0);
+        s.query_admitted(1, 3);
+        s.batch_flushed(2, 0, 1, "deadline");
+        s.query_delivered(5, 3, 1, 2, 8);
+        s.flush();
+        obs.record(6, 1, EventKind::ShardAppended { reactivated: false });
+        obs.record(
+            7,
+            GLOBAL_SHARD,
+            EventKind::ScaleDecision {
+                decision: "up",
+                inputs: Box::new(ScaleInputs {
+                    lambda_hat: 1.5,
+                    floor: 8.0,
+                    shards: 2,
+                    ..ScaleInputs::default()
+                }),
+            },
+        );
+        obs.record(
+            8,
+            GLOBAL_SHARD,
+            EventKind::Migration {
+                tenant: 3,
+                from: 0,
+                to: 1,
+                cost: 2.0,
+            },
+        );
+        obs.record(9, 1, EventKind::RetireBegun);
+        obs.record(10, 1, EventKind::ShardRetired { reclaimed: 4 });
+        let md = render(&obs.trace_jsonl());
+        for section in [
+            "# Trace summary",
+            "## Per-shard timeline",
+            "## Per-tenant phase breakdown",
+            "## Fleet timeline",
+            "## Scale decisions",
+            "## Migrations",
+        ] {
+            assert!(md.contains(section), "missing section {section}");
+        }
+        // Phase math: wait = flushed − arrival = 1, occupancy = tick − flushed = 3.
+        assert!(md.contains("| 3 | 1 | 1.00 | 1 | 3.00 | 3 |"), "{md}");
+        assert!(md.contains("| 10 | shard 1 | retired (4 walks reclaimed) |"));
+        assert!(!md.contains("(suppressed:"));
+    }
+
+    #[test]
+    fn tolerates_junk_lines() {
+        let md = render(
+            "not json\n\n{\"ev\": \"retire_begun\", \"tick\": 1, \"shard\": 2, \"seq\": 0}\n",
+        );
+        assert!(md.contains("1 events."));
+        assert!(md.contains("| retire_begun | 1 |"));
+    }
+
+    #[test]
+    fn sink_events_round_trip() {
+        let obs = Obs::new();
+        let mut s = obs.shard_obs(GLOBAL_SHARD);
+        s.sink_spilled(4, 2);
+        s.sink_forced_flush(5);
+        s.flush();
+        let md = render(&obs.trace_jsonl());
+        assert!(md.contains("| sink_spilled | 1 |"));
+        assert!(md.contains("| sink_forced_flush | 1 |"));
+        assert!(md.contains("| global |"));
+    }
+}

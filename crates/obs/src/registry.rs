@@ -1,0 +1,591 @@
+//! The metrics half of the observability layer: a registry of cheap
+//! atomic counters, gauges and log2-bucketed histograms, addressable by
+//! a static metric name plus a small label set (tenant, shard, walk
+//! class).
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are obtained once and
+//! then recorded through without any lock — each is an `Arc` onto the
+//! registry's atomic cell, so the hot path is one relaxed atomic RMW. A
+//! registry built with [`MetricsRegistry::disabled`] hands out no-op
+//! handles (the `None` arm), which is what the `obs_overhead` bench arm
+//! in `grw_bench::qps` measures against.
+//!
+//! Exposition is deliberately boring: [`render_prometheus`]
+//! (`name{label="v"} value` text lines) and [`snapshot_json`] — a flat
+//! hand-formatted JSON document in the same conventions as the
+//! `BENCH_*.json` records, parseable by `grw_bench::json` (metric keys
+//! carry their labels inline as `name{label=v}`, never a `.`, so dotted
+//! path lookup stays unambiguous).
+//!
+//! [`render_prometheus`]: MetricsRegistry::render_prometheus
+//! [`snapshot_json`]: MetricsRegistry::snapshot_json
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The label set a metric series is addressed by. Every field is
+/// optional; omitted labels are simply absent from the exposition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Labels {
+    /// Tenant the series belongs to.
+    pub tenant: Option<u16>,
+    /// Shard the series belongs to.
+    pub shard: Option<u32>,
+    /// Walk/backend class (`"accel"`, `"cpu"`, ...).
+    pub class: Option<&'static str>,
+}
+
+impl Labels {
+    /// No labels: a fleet-global series.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A per-shard series.
+    pub fn shard(shard: u32) -> Self {
+        Self {
+            shard: Some(shard),
+            ..Self::default()
+        }
+    }
+
+    /// A per-tenant series.
+    pub fn tenant(tenant: u16) -> Self {
+        Self {
+            tenant: Some(tenant),
+            ..Self::default()
+        }
+    }
+
+    /// Builder: adds the walk/backend class label.
+    pub fn with_class(mut self, class: &'static str) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// Canonical (alphabetical by label name) `{k="v",...}` rendering
+    /// for the Prometheus exposition; empty string when unlabelled.
+    fn prometheus(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(c) = self.class {
+            parts.push(format!("class=\"{c}\""));
+        }
+        if let Some(s) = self.shard {
+            parts.push(format!("shard=\"{s}\""));
+        }
+        if let Some(t) = self.tenant {
+            parts.push(format!("tenant=\"{t}\""));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+
+    /// Label suffix for JSON snapshot keys: `{k=v,...}` — no quotes, no
+    /// dots, so `grw_bench::json`'s dotted-path lookup never splits a
+    /// metric key.
+    fn json_key(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(c) = self.class {
+            parts.push(format!("class={c}"));
+        }
+        if let Some(s) = self.shard {
+            parts.push(format!("shard={s}"));
+        }
+        if let Some(t) = self.tenant {
+            parts.push(format!("tenant={t}"));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+}
+
+/// A monotonically increasing counter handle. No-op when obtained from a
+/// disabled registry.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A no-op counter (what a disabled registry hands out).
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A point-in-time gauge handle. No-op when obtained from a disabled
+/// registry.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A no-op gauge.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn offset(&self, delta: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket count of the log2 histograms: bucket `i` holds observations
+/// whose bit length is `i` (upper bound `2^i − 1`), bucket 0 holds exact
+/// zeros — 65 buckets cover the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+pub(crate) struct Histo {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histo {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket an observation lands in: its bit length (0 for 0).
+#[inline]
+pub fn log2_bucket(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// A log2-bucketed histogram handle. No-op when obtained from a disabled
+/// registry.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<Histo>>);
+
+impl Histogram {
+    /// A no-op histogram.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.buckets[log2_bucket(v)].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Total observations (0 for a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of observations (0 for a no-op handle).
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.sum.load(Ordering::Relaxed))
+    }
+
+    /// Merges a locally pre-binned batch of observations in one pass —
+    /// the bulk complement of [`observe`](Self::observe), so recording
+    /// hot paths can accumulate into a plain array and settle with a
+    /// handful of atomics instead of three per observation.
+    pub fn absorb_prebinned(&self, buckets: &[u64; HISTOGRAM_BUCKETS], count: u64, sum: u64) {
+        let Some(h) = &self.0 else { return };
+        if count == 0 {
+            return;
+        }
+        for (slot, &n) in h.buckets.iter().zip(buckets) {
+            if n > 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        h.count.fetch_add(count, Ordering::Relaxed);
+        h.sum.fetch_add(sum, Ordering::Relaxed);
+    }
+}
+
+type Key = (&'static str, Labels);
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<Key, Arc<AtomicU64>>,
+    gauges: BTreeMap<Key, Arc<AtomicI64>>,
+    histograms: BTreeMap<Key, Arc<Histo>>,
+}
+
+/// The metric directory: name + labels → one shared atomic cell. The
+/// registry lock is taken only when a handle is first obtained or at
+/// exposition time — recording through a handle is lock-free.
+pub struct MetricsRegistry {
+    enabled: bool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    /// A live registry.
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A registry whose handles are all no-ops — the zero-overhead arm
+    /// of the instrumentation-cost comparison.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Whether handles obtained from this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The counter series `name{labels}` (registered on first use).
+    pub fn counter(&self, name: &'static str, labels: Labels) -> Counter {
+        if !self.enabled {
+            return Counter::noop();
+        }
+        let mut inner = self.inner.lock().expect("registry lock");
+        Counter(Some(Arc::clone(
+            inner.counters.entry((name, labels)).or_default(),
+        )))
+    }
+
+    /// The gauge series `name{labels}` (registered on first use).
+    pub fn gauge(&self, name: &'static str, labels: Labels) -> Gauge {
+        if !self.enabled {
+            return Gauge::noop();
+        }
+        let mut inner = self.inner.lock().expect("registry lock");
+        Gauge(Some(Arc::clone(
+            inner.gauges.entry((name, labels)).or_default(),
+        )))
+    }
+
+    /// The histogram series `name{labels}` (registered on first use).
+    pub fn histogram(&self, name: &'static str, labels: Labels) -> Histogram {
+        if !self.enabled {
+            return Histogram::noop();
+        }
+        let mut inner = self.inner.lock().expect("registry lock");
+        Histogram(Some(Arc::clone(
+            inner
+                .histograms
+                .entry((name, labels))
+                .or_insert_with(|| Arc::new(Histo::new())),
+        )))
+    }
+
+    /// Current value of a counter series, if it was ever registered —
+    /// for tests and assertions, not hot paths.
+    pub fn counter_value(&self, name: &'static str, labels: Labels) -> Option<u64> {
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .counters
+            .get(&(name, labels))
+            .map(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Prometheus-style text exposition: one `# TYPE` header per metric
+    /// name, then `name{labels} value` sample lines in canonical
+    /// (name, labels) order. Histograms expand into cumulative
+    /// `_bucket{le=...}` samples plus `_sum` / `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut out = String::new();
+        let mut last_type: Option<(&str, &str)> = None;
+        let mut header = |out: &mut String, name: &'static str, kind: &'static str| {
+            if last_type != Some((name, kind)) {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_type = Some((name, kind));
+            }
+        };
+        for ((name, labels), cell) in &inner.counters {
+            header(&mut out, name, "counter");
+            let _ = writeln!(
+                out,
+                "{name}{} {}",
+                labels.prometheus(),
+                cell.load(Ordering::Relaxed)
+            );
+        }
+        for ((name, labels), cell) in &inner.gauges {
+            header(&mut out, name, "gauge");
+            let _ = writeln!(
+                out,
+                "{name}{} {}",
+                labels.prometheus(),
+                cell.load(Ordering::Relaxed)
+            );
+        }
+        for ((name, labels), h) in &inner.histograms {
+            header(&mut out, name, "histogram");
+            let plain = labels.prometheus();
+            let joined = |extra: &str| {
+                if plain.is_empty() {
+                    format!("{{{extra}}}")
+                } else {
+                    format!("{},{extra}}}", &plain[..plain.len() - 1])
+                }
+            };
+            let mut cumulative = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                let n = b.load(Ordering::Relaxed);
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                let le = if i == 0 {
+                    "0".to_string()
+                } else {
+                    format!("{}", (1u128 << i) - 1)
+                };
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {cumulative}",
+                    joined(&format!("le=\"{le}\""))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {}",
+                joined("le=\"+Inf\""),
+                h.count.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(out, "{name}_sum{plain} {}", h.sum.load(Ordering::Relaxed));
+            let _ = writeln!(
+                out,
+                "{name}_count{plain} {}",
+                h.count.load(Ordering::Relaxed)
+            );
+        }
+        out
+    }
+
+    /// JSON snapshot in the `BENCH_*.json` conventions (hand-formatted,
+    /// flat numeric maps, parseable by `grw_bench::json`): counters and
+    /// gauges as `"name{label=v}": value`, histograms as
+    /// `{"count", "sum", "buckets": {"<le>": n}}` objects. Everything in
+    /// the snapshot is deterministic for a deterministic run — no wall
+    /// clock anywhere.
+    pub fn snapshot_json(&self) -> String {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut out = String::from("{\n  \"obs\": \"metrics\",\n");
+        let map = |out: &mut String, title: &str, entries: Vec<String>, trailing: bool| {
+            let _ = write!(out, "  \"{title}\": {{");
+            if entries.is_empty() {
+                let _ = write!(out, "}}");
+            } else {
+                let _ = write!(out, "\n    {}\n  }}", entries.join(",\n    "));
+            }
+            let _ = writeln!(out, "{}", if trailing { "," } else { "" });
+        };
+        let counters: Vec<String> = inner
+            .counters
+            .iter()
+            .map(|((name, labels), cell)| {
+                format!(
+                    "\"{name}{}\": {}",
+                    labels.json_key(),
+                    cell.load(Ordering::Relaxed)
+                )
+            })
+            .collect();
+        map(&mut out, "counters", counters, true);
+        let gauges: Vec<String> = inner
+            .gauges
+            .iter()
+            .map(|((name, labels), cell)| {
+                format!(
+                    "\"{name}{}\": {}",
+                    labels.json_key(),
+                    cell.load(Ordering::Relaxed)
+                )
+            })
+            .collect();
+        map(&mut out, "gauges", gauges, true);
+        let histograms: Vec<String> = inner
+            .histograms
+            .iter()
+            .map(|((name, labels), h)| {
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| {
+                        let n = b.load(Ordering::Relaxed);
+                        (n > 0).then(|| {
+                            let le = if i == 0 { 0 } else { (1u128 << i) - 1 };
+                            format!("\"{le}\": {n}")
+                        })
+                    })
+                    .collect();
+                format!(
+                    "\"{name}{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": {{{}}}}}",
+                    labels.json_key(),
+                    h.count.load(Ordering::Relaxed),
+                    h.sum.load(Ordering::Relaxed),
+                    buckets.join(", ")
+                )
+            })
+            .collect();
+        map(&mut out, "histograms", histograms, false);
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_one_cell_per_series() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("grw_test_total", Labels::shard(0));
+        let b = r.counter("grw_test_total", Labels::shard(0));
+        let other = r.counter("grw_test_total", Labels::shard(1));
+        a.add(2);
+        b.inc();
+        other.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.counter_value("grw_test_total", Labels::shard(0)), Some(3));
+        assert_eq!(r.counter_value("grw_test_total", Labels::shard(1)), Some(1));
+    }
+
+    #[test]
+    fn disabled_registry_hands_out_noops() {
+        let r = MetricsRegistry::disabled();
+        assert!(!r.is_enabled());
+        let c = r.counter("grw_test_total", Labels::none());
+        c.add(40);
+        assert_eq!(c.get(), 0);
+        assert_eq!(r.counter_value("grw_test_total", Labels::none()), None);
+        let g = r.gauge("grw_depth", Labels::none());
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = r.histogram("grw_lat", Labels::none());
+        h.observe(5);
+        assert_eq!(h.count(), 0);
+        assert!(r.render_prometheus().is_empty());
+    }
+
+    #[test]
+    fn log2_buckets_cover_the_range() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(u64::MAX), 64);
+        assert!(log2_bucket(u64::MAX) < HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_canonical() {
+        let r = MetricsRegistry::new();
+        r.counter("grw_walks_total", Labels::shard(1)).add(7);
+        r.counter("grw_walks_total", Labels::shard(0)).add(5);
+        r.gauge("grw_fleet_size", Labels::none()).set(3);
+        let h = r.histogram("grw_latency_ticks", Labels::tenant(2).with_class("cpu"));
+        h.observe(0);
+        h.observe(3);
+        h.observe(3);
+        let text = r.render_prometheus();
+        let expected = "\
+# TYPE grw_walks_total counter
+grw_walks_total{shard=\"0\"} 5
+grw_walks_total{shard=\"1\"} 7
+# TYPE grw_fleet_size gauge
+grw_fleet_size 3
+# TYPE grw_latency_ticks histogram
+grw_latency_ticks_bucket{class=\"cpu\",tenant=\"2\",le=\"0\"} 1
+grw_latency_ticks_bucket{class=\"cpu\",tenant=\"2\",le=\"3\"} 3
+grw_latency_ticks_bucket{class=\"cpu\",tenant=\"2\",le=\"+Inf\"} 3
+grw_latency_ticks_sum{class=\"cpu\",tenant=\"2\"} 6
+grw_latency_ticks_count{class=\"cpu\",tenant=\"2\"} 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed() {
+        let r = MetricsRegistry::new();
+        r.counter("grw_walks_total", Labels::shard(0)).add(5);
+        r.gauge("grw_fleet_size", Labels::none()).set(2);
+        r.histogram("grw_latency_ticks", Labels::none()).observe(9);
+        let json = r.snapshot_json();
+        // Structural sanity without a parser dependency (grw_bench's
+        // parser round-trips this format in its own tests).
+        assert!(json.contains("\"grw_walks_total{shard=0}\": 5"));
+        assert!(json.contains("\"grw_fleet_size\": 2"));
+        assert!(json.contains("\"count\": 1, \"sum\": 9"));
+        assert!(json.contains("\"15\": 1"), "9 lands in the le=15 bucket");
+        assert!(!json.contains("\n\n"));
+    }
+}

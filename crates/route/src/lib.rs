@@ -77,10 +77,11 @@ mod signals;
 pub use policy::{
     AdaptiveConfig, AdaptivePolicy, LeastLoadedPolicy, Placement, RoutePolicy, StaticHashPolicy,
 };
-pub use scale::{ScaleDecision, ScalePolicy, SloConfig, TargetSlo};
+pub use scale::{ScaleDecision, ScaleObservation, ScalePolicy, SloConfig, TargetSlo};
 pub use signals::{cost_hint_rate, ClassRates, FleetView};
 
 use grw_algo::{BackendClass, WalkQuery};
+use grw_obs::{Counter, EventKind, Gauge, Labels, Obs, GLOBAL_SHARD};
 use grw_rng::SplitMix64;
 use grw_service::{
     CompletedWalk, Driver, DynWalkBackend, ServiceStats, ShardSnapshot, TenantId, WalkService,
@@ -190,6 +191,15 @@ pub struct Router<P: RoutePolicy> {
     routed_per_shard: Vec<u64>,
     /// Routed-query counters of shards that have since retired.
     routed_retired: u64,
+    /// Observability hub (disabled until [`attach_obs`](Self::attach_obs)):
+    /// the routing tier journals migrations, scale verdicts, and fleet
+    /// membership changes into it, alongside the driver's own events.
+    obs: Obs,
+    /// Registry handles, resolved once at attach time (no-ops before).
+    obs_migrations: Counter,
+    obs_scale_ups: Counter,
+    obs_scale_downs: Counter,
+    obs_fleet_shards: Gauge,
 }
 
 impl<P: RoutePolicy> Router<P> {
@@ -211,7 +221,35 @@ impl<P: RoutePolicy> Router<P> {
             migrations: 0,
             routed_per_shard: vec![0; shards],
             routed_retired: 0,
+            obs: Obs::disabled(),
+            obs_migrations: Counter::noop(),
+            obs_scale_ups: Counter::noop(),
+            obs_scale_downs: Counter::noop(),
+            obs_fleet_shards: Gauge::noop(),
         }
+    }
+
+    /// Attaches an observability hub to the routing tier *and* the
+    /// driver underneath: every shard records service events, and the
+    /// router additionally journals tenant migrations (with from/to and
+    /// moved-batch cost), every scale verdict carrying its control-law
+    /// inputs, and fleet membership changes. Attach before submitting
+    /// traffic so the trace covers the whole run.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.driver.attach_obs(obs.clone());
+        let reg = obs.registry();
+        self.obs_migrations = reg.counter("grw_migrations_total", Labels::none());
+        self.obs_scale_ups = reg.counter("grw_scale_ups_total", Labels::none());
+        self.obs_scale_downs = reg.counter("grw_scale_downs_total", Labels::none());
+        self.obs_fleet_shards = reg.gauge("grw_fleet_shards", Labels::none());
+        self.obs_fleet_shards.set(self.driver.shard_count() as i64);
+        self.obs = obs;
+    }
+
+    /// Forces an export barrier so every shard's buffered events reach
+    /// the attached hub journal — see [`Driver::flush_obs`].
+    pub fn flush_obs(&mut self) {
+        self.driver.flush_obs();
     }
 
     /// Loads calibrated per-class saturation rates (builder form).
@@ -286,10 +324,39 @@ impl<P: RoutePolicy> Router<P> {
             self.routed_per_shard.truncate(shards);
         }
         let eligible = self.eligible.clone();
-        let before = self.bindings.len();
-        self.bindings.retain(|_, s| *s < shards && eligible[*s]);
-        let dropped = before - self.bindings.len();
+        let mut dropped_bindings: Vec<(TenantId, usize)> = Vec::new();
+        self.bindings.retain(|t, s| {
+            let keep = *s < shards && eligible[*s];
+            if !keep {
+                dropped_bindings.push((*t, *s));
+            }
+            keep
+        });
+        let dropped = dropped_bindings.len();
         self.migrations += dropped as u64;
+        self.obs_migrations.add(dropped as u64);
+        self.obs_fleet_shards.set(shards as i64);
+        if self.obs.is_enabled() && !dropped_bindings.is_empty() {
+            // Binding drops surface in hash-map order; sort by tenant so
+            // the journal stays deterministic for a fixed schedule.
+            dropped_bindings.sort_by_key(|&(t, _)| t.0);
+            let now = self.driver.now();
+            for (t, s) in dropped_bindings {
+                // An unbinding, not a rebinding: the tenant re-places at
+                // its next submission, so `to` is the no-shard sentinel
+                // and no batch moved with it.
+                self.obs.record(
+                    now,
+                    GLOBAL_SHARD,
+                    EventKind::Migration {
+                        tenant: t.0,
+                        from: s as u32,
+                        to: GLOBAL_SHARD,
+                        cost: 0.0,
+                    },
+                );
+            }
+        }
         dropped
     }
 
@@ -301,6 +368,14 @@ impl<P: RoutePolicy> Router<P> {
     /// new shards deterministic.
     pub fn append_shard(&mut self, backend: DynWalkBackend) -> usize {
         let shard = self.driver.append_shard(backend);
+        if self.obs.is_enabled() {
+            self.obs.record(
+                self.driver.now(),
+                shard as u32,
+                EventKind::ShardAppended { reactivated: false },
+            );
+        }
+        self.obs_scale_ups.inc();
         self.replan();
         shard
     }
@@ -322,6 +397,10 @@ impl<P: RoutePolicy> Router<P> {
             return None;
         }
         self.eligible[last] = false;
+        if self.obs.is_enabled() {
+            self.obs
+                .record(self.driver.now(), last as u32, EventKind::RetireBegun);
+        }
         Some(last)
     }
 
@@ -340,6 +419,16 @@ impl<P: RoutePolicy> Router<P> {
             return None;
         }
         let walks = self.driver.retire_shard();
+        if self.obs.is_enabled() {
+            self.obs.record(
+                self.driver.now(),
+                last as u32,
+                EventKind::ShardRetired {
+                    reclaimed: walks.len() as u32,
+                },
+            );
+        }
+        self.obs_scale_downs.inc();
         self.replan();
         Some((last, walks))
     }
@@ -369,13 +458,44 @@ impl<P: RoutePolicy> Router<P> {
             eligible: &self.eligible,
             rates: &self.rates,
         };
-        step.decision = policy.decide(&view);
+        let observed = policy.observe(&view);
+        step.decision = observed.decision;
+        // Journal the verdict with its evidence. A quiet Hold (no
+        // pressure, no slack, nothing suppressed) journals nothing —
+        // recording every idle control step would flood the bounded
+        // ring; suppressed verdicts *are* recorded, with the guard that
+        // blocked them, so a trace explains why the fleet held still.
+        if self.obs.is_enabled()
+            && (observed.decision != ScaleDecision::Hold || observed.inputs.suppressed.is_some())
+        {
+            let tag = match observed.decision {
+                ScaleDecision::Hold => "hold",
+                ScaleDecision::Up => "up",
+                ScaleDecision::Down => "down",
+            };
+            self.obs.record(
+                self.driver.now(),
+                GLOBAL_SHARD,
+                EventKind::ScaleDecision {
+                    decision: tag,
+                    inputs: Box::new(observed.inputs),
+                },
+            );
+        }
         match step.decision {
             ScaleDecision::Hold => {}
             ScaleDecision::Up => {
                 let last = self.eligible.len() - 1;
                 if !self.eligible[last] {
                     self.eligible[last] = true;
+                    if self.obs.is_enabled() {
+                        self.obs.record(
+                            self.driver.now(),
+                            last as u32,
+                            EventKind::ShardAppended { reactivated: true },
+                        );
+                    }
+                    self.obs_scale_ups.inc();
                     step.reactivated = Some(last);
                 } else {
                     let shard = self.append_shard(make_backend(self.eligible.len()));
@@ -441,8 +561,23 @@ impl<P: RoutePolicy> Router<P> {
                     return 0;
                 }
                 let prev = self.bindings.insert(tenant, shard);
-                if prev.is_some_and(|p| p != shard) {
+                if let Some(p) = prev.filter(|&p| p != shard) {
                     self.migrations += 1;
+                    self.obs_migrations.inc();
+                    if self.obs.is_enabled() {
+                        // Cost of the move = the micro-batch that landed
+                        // on the new shard at this boundary.
+                        self.obs.record(
+                            self.driver.now(),
+                            GLOBAL_SHARD,
+                            EventKind::Migration {
+                                tenant: tenant.0,
+                                from: p as u32,
+                                to: shard as u32,
+                                cost: taken as f64,
+                            },
+                        );
+                    }
                 }
                 self.routed_per_shard[shard] += taken as u64;
                 taken

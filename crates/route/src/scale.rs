@@ -38,6 +38,7 @@
 //! [`Router::try_finish_retire`]: crate::Router::try_finish_retire
 
 use crate::signals::FleetView;
+use grw_obs::ScaleInputs;
 use grw_rng::SplitMix64;
 
 /// A scale policy's verdict for one control step.
@@ -51,6 +52,21 @@ pub enum ScaleDecision {
     Up,
     /// Begin retiring one shard (drain first, remove when dry).
     Down,
+}
+
+/// One control observation with its evidence: the verdict plus every
+/// intermediate the control law computed on the way there — the payload
+/// of the `scale_decision` event the observability journal records, so
+/// a trace explains not just *what* the scaler did but *why* (and why
+/// it held back, via [`ScaleInputs::suppressed`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScaleObservation {
+    /// The policy's verdict this step.
+    pub decision: ScaleDecision,
+    /// The control-law inputs behind it. Policies without introspection
+    /// (the default [`observe`](ScalePolicy::observe)) leave this at its
+    /// zero default.
+    pub inputs: ScaleInputs,
 }
 
 /// Decides whether the fleet should grow, shrink, or hold, from the same
@@ -68,6 +84,19 @@ pub trait ScalePolicy {
     /// cannot execute the change this step (e.g. `Down` with a drain
     /// already in progress).
     fn decide(&mut self, fleet: &FleetView<'_>) -> ScaleDecision;
+
+    /// [`decide`](Self::decide), but returning the control-law evidence
+    /// alongside the verdict so the observability journal can record
+    /// it. The default wraps `decide` with zeroed inputs; policies with
+    /// real intermediates (like [`TargetSlo`]) override this and make
+    /// `decide` delegate here — implement one of the two, never both
+    /// independently.
+    fn observe(&mut self, fleet: &FleetView<'_>) -> ScaleObservation {
+        ScaleObservation {
+            decision: self.decide(fleet),
+            inputs: ScaleInputs::default(),
+        }
+    }
 }
 
 /// Tuning knobs of [`TargetSlo`].
@@ -245,6 +274,10 @@ impl ScalePolicy for TargetSlo {
     }
 
     fn decide(&mut self, fleet: &FleetView<'_>) -> ScaleDecision {
+        self.observe(fleet).decision
+    }
+
+    fn observe(&mut self, fleet: &FleetView<'_>) -> ScaleObservation {
         // Demand estimate: EWMA the per-step growth of the fleet-wide
         // accepted-query counter (over *all* live shards — a draining
         // shard's accepted work is still demand). The counter sum drops
@@ -264,7 +297,7 @@ impl ScalePolicy for TargetSlo {
         let eligible: Vec<_> = fleet.eligible_shards().collect();
         let n = eligible.len();
         if n == 0 {
-            return ScaleDecision::Hold;
+            return ScaleObservation::default();
         }
         // The band floor: the single watermark both directions are held
         // against. See [`SloConfig::band`] for why pressure triggers
@@ -332,24 +365,58 @@ impl ScalePolicy for TargetSlo {
 
         self.breach_streak = if pressured { self.breach_streak + 1 } else { 0 };
         self.slack_streak = if slack { self.slack_streak + 1 } else { 0 };
+        // Streaks as the verdict saw them — captured before `fire`
+        // resets them, so the journal records the evidence, not the
+        // post-commitment state.
+        let (breach_streak, slack_streak) = (self.breach_streak, self.slack_streak);
 
-        if pressured
-            && self.breach_streak >= self.cfg.breach_ticks
-            && n < self.cfg.max_shards
-            && self.cooled_down(fleet.now, self.cfg.up_cooldown_ticks)
-        {
-            self.fire(fleet.now);
-            return ScaleDecision::Up;
+        // Pressure and slack are mutually exclusive (both are strict
+        // comparisons against the same floor), so at most one direction
+        // wants to act; `suppressed` names the first guard that blocked
+        // it, in evaluation order — sustain window, size bound, cooldown.
+        let mut decision = ScaleDecision::Hold;
+        let mut suppressed = None;
+        if pressured {
+            if self.breach_streak < self.cfg.breach_ticks {
+                suppressed = Some("breach-streak");
+            } else if n >= self.cfg.max_shards {
+                suppressed = Some("at-max-shards");
+            } else if !self.cooled_down(fleet.now, self.cfg.up_cooldown_ticks) {
+                suppressed = Some("up-cooldown");
+            } else {
+                self.fire(fleet.now);
+                decision = ScaleDecision::Up;
+            }
+        } else if slack {
+            if self.slack_streak < self.cfg.slack_ticks {
+                suppressed = Some("slack-streak");
+            } else if n <= self.cfg.min_shards {
+                suppressed = Some("at-min-shards");
+            } else if !self.cooled_down(fleet.now, self.cfg.cooldown_ticks) {
+                suppressed = Some("down-cooldown");
+            } else {
+                self.fire(fleet.now);
+                decision = ScaleDecision::Down;
+            }
         }
-        if slack
-            && self.slack_streak >= self.cfg.slack_ticks
-            && n > self.cfg.min_shards
-            && self.cooled_down(fleet.now, self.cfg.cooldown_ticks)
-        {
-            self.fire(fleet.now);
-            return ScaleDecision::Down;
+
+        ScaleObservation {
+            decision,
+            inputs: ScaleInputs {
+                lambda_hat,
+                floor,
+                worst_ewma,
+                worst_wait,
+                pressured,
+                fits_smaller,
+                occupancy_fits,
+                predicted_shrunk,
+                breach_streak,
+                slack_streak,
+                shards: n as u32,
+                suppressed,
+            },
         }
-        ScaleDecision::Hold
     }
 }
 

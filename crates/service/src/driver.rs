@@ -19,6 +19,7 @@ use crate::{
     ThreadedDriver, WalkService, WalkSink,
 };
 use grw_algo::{WalkBackend, WalkQuery};
+use grw_obs::Obs;
 
 /// A serving runtime in either execution regime. See the
 /// [module docs](self).
@@ -189,6 +190,28 @@ impl<B: WalkBackend> Driver<B> {
                 svc.attach_sink(make_sink(0));
             }
             Driver::Threaded(thr) => thr.attach_sinks(make_sink),
+        }
+    }
+
+    /// Attaches an observability hub: every shard records structured
+    /// events and registry metrics from now on — see
+    /// [`WalkService::attach_obs`] / [`ThreadedDriver::attach_obs`].
+    /// Attach before submitting traffic so the trace covers the whole
+    /// run; an attached hub never changes walk content or tick stamps.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        match self {
+            Driver::Deterministic(svc) => svc.attach_obs(obs),
+            Driver::Threaded(thr) => thr.attach_obs(obs),
+        }
+    }
+
+    /// Forces an export barrier so every shard's buffered events reach
+    /// the attached hub journal (a worker round-trip in the threaded
+    /// regime; inline in the deterministic one).
+    pub fn flush_obs(&mut self) {
+        match self {
+            Driver::Deterministic(svc) => svc.flush_obs(),
+            Driver::Threaded(thr) => thr.flush_obs(),
         }
     }
 

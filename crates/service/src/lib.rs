@@ -94,6 +94,7 @@ pub use tenant::{TenantId, LOCAL_ID_BITS, MAX_LOCAL_ID};
 pub use threaded::ThreadedDriver;
 
 use grw_algo::{BackendClass, BackendTelemetry, WalkBackend, WalkPath, WalkQuery};
+use grw_obs::{Obs, GLOBAL_SHARD, SEQ_BASE_SPILL};
 use grw_rng::SplitMix64;
 use runner::ShardRunner;
 use sink::SpillDelivery;
@@ -345,6 +346,10 @@ pub struct WalkService<B: WalkBackend> {
     /// folded into [`stats`](Self::stats) rollups so fleet-lifetime step
     /// counters survive scale-down events.
     retired_telemetry: Vec<BackendTelemetry>,
+    /// Observability hub (disabled until [`attach_obs`](Self::attach_obs)):
+    /// runners and the spill record into per-source buffers that flush
+    /// into this hub at barriers.
+    obs: Obs,
 }
 
 impl<B: WalkBackend> WalkService<B> {
@@ -363,7 +368,37 @@ impl<B: WalkBackend> WalkService<B> {
             spill: SpillDelivery::new(cfg.sink_spill_capacity),
             attached: None,
             retired_telemetry: Vec::new(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability hub: every shard runner gets a
+    /// per-shard recorder (queries admitted/delivered, micro-batch
+    /// boundaries, latency histograms) and the service-global spill gets
+    /// one under [`GLOBAL_SHARD`]. Recording is buffered per source and
+    /// flushed into the hub at barriers ([`drain`](Self::drain),
+    /// [`retire_shard`](Self::retire_shard), or an explicit
+    /// [`flush_obs`](Self::flush_obs)); a disabled hub makes every
+    /// recording call a no-op. Attaching never changes walk content or
+    /// tick stamps.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        for (i, r) in self.runners.iter_mut().enumerate() {
+            r.set_obs(obs.shard_obs(i as u32));
+        }
+        self.spill
+            .set_obs(obs.shard_obs(GLOBAL_SHARD).seq_base(SEQ_BASE_SPILL));
+        self.obs = obs;
+    }
+
+    /// Flushes every per-source event buffer into the hub and journals
+    /// per-shard alias-cache epochs — the explicit export barrier for
+    /// callers that want the trace current without draining.
+    pub fn flush_obs(&mut self) {
+        for r in &mut self.runners {
+            r.record_alias_epoch();
+            r.obs.flush();
+        }
+        self.spill.obs.flush();
     }
 
     /// Grows the live fleet by one shard and returns its index (always
@@ -383,6 +418,9 @@ impl<B: WalkBackend> WalkService<B> {
     pub fn append_shard(&mut self, backend: B) -> usize {
         let shard = self.runners.len();
         self.runners.push(ShardRunner::new(&self.cfg, backend));
+        if self.obs.is_enabled() {
+            self.runners[shard].set_obs(self.obs.shard_obs(shard as u32));
+        }
         self.cfg.shards = self.runners.len();
         shard
     }
@@ -406,6 +444,8 @@ impl<B: WalkBackend> WalkService<B> {
         assert!(self.runners.len() > 1, "cannot retire the last shard");
         let mut runner = self.runners.pop().expect("fleet is non-empty");
         let walks = runner.drain_all(&mut self.collector);
+        runner.record_alias_epoch();
+        runner.obs.flush();
         self.retired_telemetry.push(runner.backend.telemetry());
         self.cfg.shards = self.runners.len();
         self.route_or_return(walks)
@@ -523,10 +563,13 @@ impl<B: WalkBackend> WalkService<B> {
         if let Some(mut sink) = self.attached.take() {
             self.drain_into_sink(&mut sink);
             self.attached = Some(sink);
+            self.flush_obs();
             return Vec::new();
         }
         let out = self.drain_collect();
-        self.route_or_return(out)
+        let out = self.route_or_return(out);
+        self.flush_obs();
+        out
     }
 
     /// [`drain`](Self::drain), delivering into `sink`: every remaining
@@ -546,7 +589,9 @@ impl<B: WalkBackend> WalkService<B> {
             self.attached.is_none(),
             "detach the subscribed sink before delivering into another"
         );
-        self.drain_into_sink(sink)
+        let delivered = self.drain_into_sink(sink);
+        self.flush_obs();
+        delivered
     }
 
     /// The drain loop in streaming form: each round's completions go

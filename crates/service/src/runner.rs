@@ -32,6 +32,7 @@ use crate::batch::MicroBatcher;
 use crate::stats::StatsCollector;
 use crate::{CompletedWalk, FlushReason, ServiceConfig, TenantId, LATENCY_EWMA_ALPHA};
 use grw_algo::{WalkBackend, WalkPath, WalkQuery};
+use grw_obs::ShardObs;
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
@@ -66,6 +67,9 @@ pub(crate) struct ShardRunner<B: WalkBackend> {
     /// EWMA of per-query end-to-end latency delivered by this shard, in
     /// ticks; `None` until the shard has delivered anything.
     pub(crate) ewma_latency_ticks: Option<f64>,
+    /// Observability recorder for this shard — disabled (all no-ops)
+    /// until a hub is attached via [`set_obs`](Self::set_obs).
+    pub(crate) obs: ShardObs,
 }
 
 impl<B: WalkBackend> ShardRunner<B> {
@@ -81,7 +85,25 @@ impl<B: WalkBackend> ShardRunner<B> {
             submitted: 0,
             completed: 0,
             ewma_latency_ticks: None,
+            obs: ShardObs::disabled(),
         }
+    }
+
+    /// Installs this shard's observability recorder.
+    pub(crate) fn set_obs(&mut self, obs: ShardObs) {
+        self.obs = obs;
+    }
+
+    /// Journals the shard's cumulative alias-cache telemetry at an
+    /// export barrier (deduplicated inside the recorder — unchanged or
+    /// all-zero counters journal nothing).
+    pub(crate) fn record_alias_epoch(&mut self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let s = self.backend.telemetry().sampling;
+        self.obs
+            .alias_cache_epoch(self.tick, s.cache_hits, s.alias_builds, s.cache_evictions);
     }
 
     /// Offers one already-namespaced query at tick `now`. On a full
@@ -97,6 +119,8 @@ impl<B: WalkBackend> ShardRunner<B> {
             }
         }
         self.submitted += 1;
+        self.obs
+            .query_admitted(now, TenantId::unpack(internal.id).0 .0);
         self.arrivals.entry(internal.id).or_default().push_back(now);
         if self.batcher.due(now) == Some(FlushReason::Size) {
             self.flush(FlushReason::Size, c);
@@ -223,6 +247,12 @@ impl<B: WalkBackend> ShardRunner<B> {
             FlushReason::Deadline => c.flushed_by_deadline += 1,
             FlushReason::Drain => c.flushed_by_drain += 1,
         }
+        let reason_tag = match reason {
+            FlushReason::Size => "size",
+            FlushReason::Deadline => "deadline",
+            FlushReason::Drain => "drain",
+        };
+        self.obs.batch_flushed(self.tick, id, taken, reason_tag);
         true
     }
 
@@ -263,6 +293,13 @@ impl<B: WalkBackend> ShardRunner<B> {
         }
         let latency = self.tick - arrival_tick;
         c.record_query_done(tenant, latency, path.steps());
+        self.obs.query_delivered(
+            self.tick,
+            tenant.0,
+            arrival_tick,
+            flushed_tick,
+            path.steps() as u32,
+        );
         self.completed += 1;
         self.ewma_latency_ticks = Some(match self.ewma_latency_ticks {
             Some(prev) => prev + LATENCY_EWMA_ALPHA * (latency as f64 - prev),

@@ -37,6 +37,7 @@
 
 use crate::stats::StatsCollector;
 use crate::CompletedWalk;
+use grw_obs::ShardObs;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -159,6 +160,11 @@ pub(crate) struct SpillDelivery {
     /// first; bounded by the configured capacity.
     spill: VecDeque<CompletedWalk>,
     capacity: usize,
+    /// Observability recorder for this delivery stream (disabled until a
+    /// hub is attached). Spill events are stamped with the *walk's*
+    /// completion tick — the spill has no clock of its own, and the walk
+    /// stamp is deterministic under both drivers.
+    pub(crate) obs: ShardObs,
 }
 
 impl SpillDelivery {
@@ -166,7 +172,13 @@ impl SpillDelivery {
         Self {
             spill: VecDeque::new(),
             capacity,
+            obs: ShardObs::disabled(),
         }
+    }
+
+    /// Installs this delivery stream's observability recorder.
+    pub(crate) fn set_obs(&mut self, obs: ShardObs) {
+        self.obs = obs;
     }
 
     pub(crate) fn depth(&self) -> usize {
@@ -180,6 +192,7 @@ impl SpillDelivery {
     /// Hands every parked walk back to the caller (oldest first) — the
     /// escape hatch when delivery switches from sink to `Vec` mode.
     pub(crate) fn take_all(&mut self) -> Vec<CompletedWalk> {
+        self.obs.set_spill_depth(0);
         self.spill.drain(..).collect()
     }
 
@@ -219,10 +232,12 @@ impl SpillDelivery {
                 }
                 SinkAck::Backpressured => {
                     c.sink_backpressured += 1;
+                    self.obs.set_spill_depth(self.spill.len());
                     return;
                 }
             }
         }
+        self.obs.set_spill_depth(0);
     }
 
     /// Parks one refused walk in the spill buffer, forcing a sink flush
@@ -238,6 +253,7 @@ impl SpillDelivery {
             // the sink move buffered state downstream and retry.
             sink.flush();
             c.sink_forced_flushes += 1;
+            self.obs.sink_forced_flush(w.completed_tick);
             self.retry(sink, c);
             assert!(
                 self.spill.len() < self.capacity,
@@ -256,8 +272,10 @@ impl SpillDelivery {
                 }
             }
         }
+        let tick = w.completed_tick;
         self.spill.push_back(w);
         c.sink_spilled += 1;
+        self.obs.sink_spilled(tick, self.spill.len());
     }
 
     /// Empties the spill buffer into the sink, flushing it as often as
@@ -274,8 +292,10 @@ impl SpillDelivery {
             // forward, so don't re-offer to the unchanged sink first
             // (that would inflate the backpressure counters).
             let before = self.spill.len();
+            let tick = self.spill.front().map_or(0, |w| w.completed_tick);
             sink.flush();
             c.sink_forced_flushes += 1;
+            self.obs.sink_forced_flush(tick);
             self.retry(sink, c);
             assert!(
                 self.spill.len() < before,

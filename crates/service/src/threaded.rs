@@ -59,6 +59,7 @@ use crate::{
     WalkSink,
 };
 use grw_algo::{BackendClass, BackendTelemetry, WalkBackend, WalkQuery};
+use grw_obs::{Event, Obs, ShardObs, SEQ_BASE_SPILL};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -91,6 +92,13 @@ enum Command {
     /// lives on the worker thread, spill/conservation invariants
     /// included).
     AttachSink { sink: Box<dyn WalkSink + Send> },
+    /// Install observability recorders on the worker (runner + spill
+    /// stream). Events buffer on the worker thread and ship back inside
+    /// [`WorkerReport`]s — per-worker buffers merged at the coordinator.
+    AttachObs {
+        runner_obs: Box<ShardObs>,
+        spill_obs: Box<ShardObs>,
+    },
 }
 
 /// A worker's point-in-time (or final) state, shipped to the driver for
@@ -107,6 +115,9 @@ struct WorkerReport {
     ewma_latency_ticks: Option<f64>,
     spill_depth: usize,
     sink: Option<SinkReport>,
+    /// Buffered observability events since the last report, shipped to
+    /// the coordinator for merging into the hub journal.
+    events: Vec<Event>,
 }
 
 /// The per-thread half: a [`ShardRunner`] plus everything delivery-side
@@ -133,7 +144,12 @@ impl<B: WalkBackend> Worker<B> {
         }
     }
 
-    fn report(&self) -> WorkerReport {
+    fn report(&mut self) -> WorkerReport {
+        // A report is an export barrier: journal the alias-cache epoch
+        // and drain the local event buffers into the report.
+        self.runner.record_alias_epoch();
+        let mut events = self.runner.obs.take_events();
+        events.append(&mut self.spill.obs.take_events());
         WorkerReport {
             collector: self.collector.clone(),
             telemetry: self.runner.backend.telemetry(),
@@ -146,6 +162,7 @@ impl<B: WalkBackend> Worker<B> {
             ewma_latency_ticks: self.runner.ewma_latency_ticks,
             spill_depth: self.spill.depth(),
             sink: self.sink.as_ref().map(|s| s.report()),
+            events,
         }
     }
 
@@ -183,8 +200,18 @@ impl<B: WalkBackend> Worker<B> {
                     self.drain();
                     reply.send(());
                 }
-                Command::Report { reply } => reply.send(self.report()),
+                Command::Report { reply } => {
+                    let report = self.report();
+                    reply.send(report);
+                }
                 Command::AttachSink { sink } => self.sink = Some(sink),
+                Command::AttachObs {
+                    runner_obs,
+                    spill_obs,
+                } => {
+                    self.runner.set_obs(*runner_obs);
+                    self.spill.set_obs(*spill_obs);
+                }
             }
         }
         self.drain();
@@ -216,6 +243,9 @@ pub struct ThreadedDriver {
     /// [`retire_shard`](Self::retire_shard), kept so merged statistics
     /// (completions, steps, latency samples) survive scale-down events.
     retired: Vec<WorkerReport>,
+    /// Observability hub (disabled until [`attach_obs`](Self::attach_obs)):
+    /// worker event buffers merge into it at every report round-trip.
+    obs: Obs,
 }
 
 impl ThreadedDriver {
@@ -236,6 +266,7 @@ impl ThreadedDriver {
             completions: Arc::new(SyncQueue::unbounded()),
             handles: Vec::with_capacity(cfg.shards),
             retired: Vec::new(),
+            obs: Obs::disabled(),
         };
         for shard in 0..cfg.shards {
             driver.spawn_worker(make_backend(shard));
@@ -265,7 +296,45 @@ impl ThreadedDriver {
         );
         self.commands.push(queue);
         self.cfg.shards = self.commands.len();
+        if self.obs.is_enabled() {
+            self.send_attach_obs(shard);
+        }
         shard
+    }
+
+    /// Ships a pair of per-shard recorders (runner + spill stream) to
+    /// one worker.
+    fn send_attach_obs(&self, shard: usize) {
+        self.send(
+            shard,
+            Command::AttachObs {
+                runner_obs: Box::new(self.obs.shard_obs(shard as u32)),
+                spill_obs: Box::new(self.obs.shard_obs(shard as u32).seq_base(SEQ_BASE_SPILL)),
+            },
+        );
+    }
+
+    /// Attaches an observability hub: every worker gets per-shard
+    /// recorders, records into thread-local buffers, and ships them back
+    /// inside worker reports, where the coordinator merges them into
+    /// the hub journal. Attach before submitting traffic so the trace
+    /// covers the whole run; attaching never changes walk content or
+    /// tick stamps.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+        if self.obs.is_enabled() {
+            for shard in 0..self.commands.len() {
+                self.send_attach_obs(shard);
+            }
+        }
+    }
+
+    /// Forces an export barrier: a report round-trip to every worker,
+    /// merging their buffered events into the hub journal.
+    pub fn flush_obs(&mut self) {
+        if self.obs.is_enabled() {
+            let _ = self.reports();
+        }
     }
 
     /// Grows the live fleet by one shard: spawns a worker thread owning
@@ -309,7 +378,8 @@ impl ThreadedDriver {
         let queue = self.commands.pop().expect("fleet is non-empty");
         queue.close();
         let handle = self.handles.pop().expect("one handle per shard");
-        let report = handle.join().expect("shard worker panicked");
+        let mut report = handle.join().expect("shard worker panicked");
+        self.obs.absorb(std::mem::take(&mut report.events));
         self.retired.push(report);
         self.cfg.shards = self.commands.len();
         self.harvest()
@@ -481,7 +551,13 @@ impl ThreadedDriver {
                 reply
             })
             .collect();
-        replies.iter().map(|r| r.recv()).collect()
+        let mut reports: Vec<WorkerReport> = replies.iter().map(|r| r.recv()).collect();
+        // Merge per-worker event buffers at the coordinator: every
+        // report round-trip is an export barrier for the hub journal.
+        for r in &mut reports {
+            self.obs.absorb(std::mem::take(&mut r.events));
+        }
+        reports
     }
 
     fn build_stats(&self, reports: &[WorkerReport]) -> ServiceStats {
@@ -573,11 +649,14 @@ impl ThreadedDriver {
         for q in &self.commands {
             q.close();
         }
-        let finals: Vec<WorkerReport> = self
+        let mut finals: Vec<WorkerReport> = self
             .handles
             .drain(..)
             .map(|h| h.join().expect("shard worker panicked"))
             .collect();
+        for r in &mut finals {
+            self.obs.absorb(std::mem::take(&mut r.events));
+        }
         walks.extend(self.harvest());
         let stats = self.build_stats(&finals);
         (walks, stats)

@@ -21,6 +21,9 @@
 //! * [`sink`] — bounded streaming result consumers (skip-gram corpora,
 //!   PPR aggregation, histograms, per-tenant fan-out) over the service's
 //!   `WalkSink` delivery API ([`grw_sink`]).
+//! * [`obs`] — unified observability: atomic metrics registry plus the
+//!   deterministic tick-stamped event journal and `obsdump` trace
+//!   renderer ([`grw_obs`]).
 //! * [`mod@bench`] — the experiment harness regenerating every paper
 //!   figure and table, plus the serving and latency-vs-load benches
 //!   ([`grw_bench`]).
@@ -34,6 +37,7 @@ pub use grw_algo as algo;
 pub use grw_baselines as baselines;
 pub use grw_bench as bench;
 pub use grw_graph as graph;
+pub use grw_obs as obs;
 pub use grw_queueing as queueing;
 pub use grw_rng as rng;
 pub use grw_route as route;

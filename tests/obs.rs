@@ -1,0 +1,164 @@
+//! Observability's load-bearing property: the event journal is
+//! **deterministic**. For a fixed seed and submission schedule the
+//! canonical trace — every admission, flush, delivery, and scale event,
+//! tick-stamped and sorted by `(tick, shard, seq)` — is *byte-identical*
+//! across the deterministic and threaded serving regimes, because every
+//! stamp is a machine tick and never a wall clock. A trace diff is
+//! therefore a real behavioural diff, never scheduler noise.
+//!
+//! Also pinned here: the spill-depth gauge regression. `sink_spill_depth`
+//! reports *live* backlog, so once a drain has run the spill dry it must
+//! read zero in both regimes — a cumulative count leaking into the gauge
+//! is exactly the drift this test exists to catch.
+
+use ridgewalker_suite::algo::{PreparedGraph, QuerySet, ReferenceBackend, WalkSpec};
+use ridgewalker_suite::graph::generators::{Dataset, ScaleFactor};
+use ridgewalker_suite::obs::{jsonl_field, Obs};
+use ridgewalker_suite::service::{
+    CompletedWalk, Driver, DriverMode, ServiceConfig, SinkAck, SinkReport, TenantId, WalkSink,
+};
+use std::sync::Arc;
+
+/// Plays a fixed stream with a mid-run scale schedule (grow to three
+/// shards after the second chunk, shrink back after the fourth) through
+/// one regime and returns the canonical trace.
+fn trace_of(mode: DriverMode) -> String {
+    let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+    let spec = WalkSpec::urw(8);
+    let p = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+    let make = |shard: usize| ReferenceBackend::new(p.clone(), spec.clone(), 0xD1CE ^ shard as u64);
+    let cfg = ServiceConfig::new(2)
+        .max_batch(8)
+        .max_delay_ticks(1)
+        .driver_mode(mode);
+    let mut d = Driver::new(cfg, make);
+    let obs = Obs::new();
+    d.attach_obs(obs.clone());
+    let qs = QuerySet::random(200, 300, 77);
+    let mut walks = Vec::new();
+    for (i, chunk) in qs.queries().chunks(50).enumerate() {
+        assert_eq!(d.submit(TenantId(2), chunk), 50);
+        walks.extend(d.tick());
+        match i {
+            1 => assert_eq!(d.append_shard(make(2)), 2),
+            3 => walks.extend(d.retire_shard()),
+            _ => {}
+        }
+    }
+    let (rest, stats) = d.finish();
+    walks.extend(rest);
+    assert_eq!(walks.len(), 300, "conservation across the scale schedule");
+    assert_eq!(stats.completed, 300);
+    assert_eq!(obs.dropped(), 0, "the stream must fit the journal ring");
+    obs.trace_jsonl()
+}
+
+#[test]
+fn fixed_seed_trace_is_bit_identical_across_regimes() {
+    let det = trace_of(DriverMode::Deterministic);
+    let thr = trace_of(DriverMode::Threaded);
+    assert!(!det.is_empty());
+    assert_eq!(det, thr, "canonical JSONL must match byte for byte");
+
+    // The trace actually covers the run: one admission and one delivery
+    // per query, batches in between, stamped with logical ticks only.
+    let count = |ev: &str| {
+        det.lines()
+            .filter(|l| jsonl_field(l, "ev") == Some(ev))
+            .count()
+    };
+    assert_eq!(count("query_admitted"), 300);
+    assert_eq!(count("query_delivered"), 300);
+    assert!(count("batch_flushed") >= 300 / 8, "micro-batch boundaries");
+    for l in det.lines() {
+        assert!(
+            jsonl_field(l, "tick").is_some(),
+            "every event is tick-stamped: {l}"
+        );
+    }
+}
+
+/// A sink that accepts at most `window` walks between flushes, forcing
+/// spills and forced flushes in both regimes.
+struct GatedSink {
+    window: usize,
+    since_flush: usize,
+    accepted: u64,
+    refused: u64,
+    flushes: u64,
+}
+
+impl WalkSink for GatedSink {
+    fn accept(&mut self, _walk: &CompletedWalk) -> SinkAck {
+        if self.since_flush >= self.window {
+            self.refused += 1;
+            return SinkAck::Backpressured;
+        }
+        self.since_flush += 1;
+        self.accepted += 1;
+        SinkAck::Accepted
+    }
+
+    fn flush(&mut self) {
+        self.since_flush = 0;
+        self.flushes += 1;
+    }
+
+    fn report(&self) -> SinkReport {
+        SinkReport {
+            accepted: self.accepted,
+            refused: self.refused,
+            flushes: self.flushes,
+            ..SinkReport::default()
+        }
+    }
+}
+
+#[test]
+fn spill_depth_reads_zero_after_drain_in_both_regimes() {
+    for mode in [DriverMode::Deterministic, DriverMode::Threaded] {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(10);
+        let p = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+        let qs = QuerySet::random(p.graph().vertex_count(), 400, 29);
+        let p2 = p.clone();
+        let spec2 = spec.clone();
+        let mut d: Driver<_> = Driver::new(
+            ServiceConfig::new(2)
+                .max_batch(16)
+                .buffer_capacity(512)
+                .driver_mode(mode),
+            move |shard| ReferenceBackend::new(p2.clone(), spec2.clone(), 0xBEEF ^ shard as u64),
+        );
+        // A tiny window forces refusals into the spill buffer.
+        d.attach_sinks(|_shard| {
+            Box::new(GatedSink {
+                window: 5,
+                since_flush: 0,
+                accepted: 0,
+                refused: 0,
+                flushes: 0,
+            })
+        });
+        assert_eq!(d.submit(TenantId(3), qs.queries()), 400);
+        let rest = d.drain();
+        assert!(rest.is_empty(), "{mode:?}: sunk walks never surface");
+        let stats = d.stats();
+        assert_eq!(stats.completed, 400, "{mode:?}: conservation");
+        assert_eq!(stats.sink_accepted, 400, "{mode:?}: all delivered");
+        assert!(
+            stats.sink_spilled > 0,
+            "{mode:?}: the 5-walk window must actually spill"
+        );
+        assert_eq!(
+            stats.sink_spill_depth, 0,
+            "{mode:?}: a finished drain leaves the spill dry — the depth \
+             gauge reports live backlog, not a cumulative count"
+        );
+        // The cumulative counter keeps the history the gauge must not:
+        // a second stats() call right after must agree with the first.
+        let again = d.stats();
+        assert_eq!(again.sink_spilled, stats.sink_spilled, "{mode:?}");
+        assert_eq!(again.sink_spill_depth, 0, "{mode:?}");
+    }
+}
