@@ -27,7 +27,7 @@
 use crate::load::{calibrate_saturation, ArrivalShape, LoadWorkload};
 use grw_algo::{BackendClass, PreparedGraph, QuerySet, WalkQuery};
 use grw_graph::generators::ScaleFactor;
-use grw_obs::Obs;
+use grw_obs::SpanSet;
 use grw_route::{ClassRates, Router, ScaleDecision, SloConfig, StaticHashPolicy, TargetSlo};
 use grw_service::{
     accelerator_service, percentile, shard_backend, AccelShardMode, ServiceConfig, ShardSpec,
@@ -271,6 +271,10 @@ impl AutoscaleBenchReport {
         let over = self.arm("static-over").expect("static-over arm ran");
         let under = self.arm("static-under").expect("static-under arm ran");
         let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Exact phase attribution of the instrumented arm, reconstructed
+        // from its journal: integer sums, so `obsdiff` can diff two
+        // records losslessly without the (multi-MB) trace itself.
+        let phases = SpanSet::from_trace(&self.trace_jsonl).summary();
         format!(
             concat!(
                 "{{\n",
@@ -293,12 +297,16 @@ impl AutoscaleBenchReport {
                 "\"mean_shards_autoscaled\": {:.3}, \"peak_shards_autoscaled\": {}, ",
                 "\"scale_ups\": {}, \"scale_downs\": {}, ",
                 "\"slo_held_autoscaled\": {}, \"slo_held_static_under\": {}}},\n",
+                "  \"phases\": {},\n",
                 "  \"gate\": {{\"summary\": {{",
                 "\"p99_autoscaled\": 0.35, \"p99_static_over\": 0.35, ",
                 "\"fleet_ticks_autoscaled\": 0.30, ",
                 "\"fleet_ticks_static_over\": 0.30, ",
                 "\"scale_ups\": 0.75, \"scale_downs\": 0.75, ",
-                "\"slo_held_autoscaled\": 0.0}}}},\n",
+                "\"slo_held_autoscaled\": 0.0}}, ",
+                "\"phases\": {{\"count\": 0.0, \"total_sum\": 0.35, ",
+                "\"batch_wait_sum\": 0.50, \"backend_sum\": 0.35, ",
+                "\"sink_wait_sum\": 0.0}}}},\n",
                 "  \"arms\": [\n{}\n  ]\n",
                 "}}\n"
             ),
@@ -332,6 +340,7 @@ impl AutoscaleBenchReport {
             auto.scale_downs,
             u8::from(auto.slo_held),
             u8::from(under.slo_held),
+            phases.to_json(),
             self.arms
                 .iter()
                 .map(|a| format!("    {}", arm(a)))
@@ -516,11 +525,17 @@ pub fn run_autoscale_bench(cfg: &AutoscaleBenchConfig) -> AutoscaleBenchReport {
         + ((cfg.queries as f64 / (shard_qpt * cfg.min_shards as f64).min(1.0)) * 50.0) as u64
         + 10_000;
 
+    // Journal sized so the instrumented arm never overflows: two span
+    // events per query (admitted + delivered) plus batch/scale/migration
+    // events — 4x queries is generous, and an overflow here would turn
+    // the record's exact phase attribution into a lower bound.
+    let journal_capacity = (cfg.queries * 4).max(grw_obs::DEFAULT_JOURNAL_CAPACITY);
     let svc_cfg = |shards: usize| {
         ServiceConfig::new(shards)
             .max_batch(cfg.max_batch)
             .max_delay_ticks(1)
             .buffer_capacity(cfg.max_batch.max(cfg.queries))
+            .journal_capacity(journal_capacity)
     };
     let mut make_backend = {
         let prepared = prepared.clone();
@@ -559,9 +574,7 @@ pub fn run_autoscale_bench(cfg: &AutoscaleBenchConfig) -> AutoscaleBenchReport {
         // artifact that explains the scale history, and leaving the
         // static arms untouched keeps them as uninstrumented controls.
         if elastic {
-            let obs = Obs::new();
-            router.attach_obs(obs.clone());
-            obs_autoscaled = Some(obs);
+            obs_autoscaled = Some(router.attach_fresh_obs());
         }
         let mut policy = TargetSlo::new(cfg.slo(slo_target_ticks));
         let run = drive_arm(
@@ -734,5 +747,51 @@ mod tests {
             "host parallelism is recorded for figure-scale CI context"
         );
         assert!(json.get("arms").and_then(Json::as_arr).is_some());
+    }
+
+    #[test]
+    fn bench_json_phases_block_attributes_every_delivered_query() {
+        let cfg = AutoscaleBenchConfig::test_tiny();
+        let report = run_autoscale_bench(&cfg);
+        let json = Json::parse(&report.to_json()).expect("well-formed JSON");
+        let num = |path: &str| {
+            json.get(path)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("missing {path}"))
+        };
+        // The journal is sized to the stream, so the phase summary covers
+        // the instrumented arm's full delivery count — no overflow, no
+        // lower bounds.
+        assert_eq!(num("phases.count") as usize, cfg.queries);
+        assert_eq!(
+            num("phases.batch_wait_sum") + num("phases.backend_sum") + num("phases.sink_wait_sum"),
+            num("phases.total_sum"),
+            "phase sums must telescope exactly to the end-to-end total"
+        );
+        // Sink-less arm: delivery is the end of the span.
+        assert_eq!(num("phases.sink_wait_sum"), 0.0);
+        // The record's summary and the journal reconstruction agree on
+        // the mean: same spans, two independent measurement paths.
+        let auto = report.arm("autoscaled").unwrap();
+        let mean = num("phases.total_sum") / num("phases.count");
+        assert!(
+            (mean - auto.mean_latency_ticks).abs() < 1e-9,
+            "journal mean {mean} vs measured mean {}",
+            auto.mean_latency_ticks
+        );
+        // And the phase gate block rides along for the CI perf gate.
+        assert_eq!(
+            json.get("gate.phases.total_sum").and_then(Json::as_f64),
+            Some(0.35)
+        );
+        // The router journals fleet scale events, so spans in flight
+        // across an append/retire boundary carry the annotation — the
+        // diurnal peak forces at least one scale-up mid-run.
+        assert!(auto.scale_ups >= 1);
+        let spans = SpanSet::from_trace(&report.trace_jsonl);
+        assert!(
+            spans.spans.iter().any(|s| s.scale_events > 0),
+            "mid-run scale events must annotate overlapping spans"
+        );
     }
 }

@@ -24,6 +24,7 @@
 use grw_algo::{Node2VecMethod, PreparedGraph, QuerySet, WalkQuery, WalkSpec};
 use grw_graph::generators::{Dataset, ScaleFactor};
 use grw_graph::CsrGraph;
+use grw_obs::{PhaseSummary, SpanSet};
 use grw_queueing::{ArrivalProcess, BulkQueueModel, MmnQueue};
 use grw_service::{
     accelerator_service, percentile, AccelShardMode, CompletedWalk, ServiceConfig, SinkAck,
@@ -356,6 +357,11 @@ pub struct WorkloadLoadReport {
     pub incremental: Vec<LoadPoint>,
     /// The curve for batch-mode shards on the identical arrival streams.
     pub batch: Vec<LoadPoint>,
+    /// Exact phase attribution of the highest-load incremental point,
+    /// reconstructed from its event journal — the operating point where
+    /// latency decomposition matters most (under overload, batch-wait is
+    /// where queueing shows up). Logical ticks, deterministic.
+    pub high_load_phases: PhaseSummary,
 }
 
 impl WorkloadLoadReport {
@@ -451,6 +457,10 @@ impl WorkloadLoadReport {
                 "\"low_load_predicted_latency_ticks\": {}, ",
                 "\"low_load_model_error\": {}, ",
                 "\"high_load_mean_latency_ticks\": {}}},\n",
+                // Phase attribution of the highest-load incremental
+                // point, so an `obsdiff` of two records can say *where*
+                // a latency regression on this curve lives.
+                "  \"phases\": {},\n",
                 // Per-metric CI bands (perf_gate `gate` block): saturation
                 // throughput tight, loaded-regime latency loose — emitted
                 // by the generator so baseline refreshes keep the bands.
@@ -458,7 +468,10 @@ impl WorkloadLoadReport {
                 "\"low_load_mean_latency_ticks\": 0.25, ",
                 "\"low_load_model_error\": 0.30, ",
                 "\"high_load_mean_latency_ticks\": 0.35}}, ",
-                "\"calibration\": {{\"solo_latency_ticks\": 0.20}}}},\n",
+                "\"calibration\": {{\"solo_latency_ticks\": 0.20}}, ",
+                "\"phases\": {{\"count\": 0.0, \"total_sum\": 0.35, ",
+                "\"batch_wait_sum\": 0.50, \"backend_sum\": 0.35, ",
+                "\"sink_wait_sum\": 0.50}}}},\n",
                 "  \"incremental\": [\n{}\n  ],\n",
                 "  \"batch\": [\n{}\n  ]\n",
                 "}}\n"
@@ -482,6 +495,7 @@ impl WorkloadLoadReport {
             opt_json(low.and_then(|p| p.predicted_mmn_latency_ticks), 3),
             opt_json(self.low_load_model_error(), 4),
             opt_json(high.map(|p| p.mean_latency_ticks), 3),
+            self.high_load_phases.to_json(),
             curve(&self.incremental),
             curve(&self.batch),
         )
@@ -512,7 +526,10 @@ fn make_service(
     let svc_cfg = ServiceConfig::new(cfg.shards)
         .max_batch(cfg.max_batch)
         .max_delay_ticks(1)
-        .buffer_capacity(buffer);
+        .buffer_capacity(buffer)
+        // Sized so the instrumented grid point's journal never drops an
+        // event (phase attribution stays exact, not a lower bound).
+        .journal_capacity((cfg.queries_per_point * 6).max(grw_obs::DEFAULT_JOURNAL_CAPACITY));
     accelerator_service(svc_cfg, accel, prepared.clone(), spec, mode)
 }
 
@@ -774,6 +791,8 @@ pub fn run_latency_load(workload: LoadWorkload, cfg: &LoadConfig) -> WorkloadLoa
 
     let mut incremental = Vec::new();
     let mut batch = Vec::new();
+    let mut high_load_phases = PhaseSummary::default();
+    let last_rho = cfg.load_grid.last().copied().unwrap_or(0.0);
     for &rho in &cfg.load_grid {
         let lambda = rho * saturation_qpt;
         let arrival_ticks: Vec<u64> = base_times
@@ -806,6 +825,11 @@ pub fn run_latency_load(workload: LoadWorkload, cfg: &LoadConfig) -> WorkloadLoa
 
         for mode in [AccelShardMode::Incremental, AccelShardMode::Batch] {
             let mut svc = make_service(cfg, &accel, &prepared, &spec, mode);
+            // Only the highest-load incremental point is instrumented —
+            // the curve's headline operating point; the other points stay
+            // uninstrumented controls.
+            let instrument = mode == AccelShardMode::Incremental && rho == last_rho;
+            let obs = instrument.then(|| svc.attach_fresh_obs());
             let run = drive_open_loop(
                 &mut svc,
                 queries.queries(),
@@ -813,6 +837,10 @@ pub fn run_latency_load(workload: LoadWorkload, cfg: &LoadConfig) -> WorkloadLoa
                 max_ticks,
                 cfg.delivery,
             );
+            if let Some(obs) = obs {
+                svc.flush_obs();
+                high_load_phases = SpanSet::from_trace(&obs.trace_jsonl()).summary();
+            }
             let completed = run.latencies.len();
             let mean = run.latencies.iter().sum::<u64>() as f64 / completed.max(1) as f64;
             let point = LoadPoint {
@@ -854,6 +882,7 @@ pub fn run_latency_load(workload: LoadWorkload, cfg: &LoadConfig) -> WorkloadLoa
         servers_estimate,
         incremental,
         batch,
+        high_load_phases,
     }
 }
 

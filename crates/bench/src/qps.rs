@@ -33,7 +33,7 @@
 use crate::ArrivalShape;
 use grw_algo::{PreparedGraph, QuerySet, ReferenceBackend, WalkQuery, WalkSpec};
 use grw_graph::generators::{Dataset, ScaleFactor};
-use grw_obs::Obs;
+use grw_obs::{Obs, PhaseSummary, SpanSet};
 use grw_service::{percentile, CompletedWalk, Driver, DriverMode, ServiceConfig, TenantId};
 use std::sync::Arc;
 use std::time::Instant;
@@ -151,6 +151,11 @@ pub struct QpsReport {
     /// Gated in CI at an absolute ≤3% ceiling — the "observability is
     /// nearly free" claim.
     pub obs_overhead: f64,
+    /// Exact phase attribution of the deterministic regime's stream,
+    /// reconstructed from its event journal. Logical ticks only, so —
+    /// like `completed` and `steps` — it is gated at ±0%: any drift in
+    /// where a query's latency is spent is a behaviour change, not noise.
+    pub phases: PhaseSummary,
 }
 
 impl QpsReport {
@@ -220,7 +225,11 @@ impl QpsReport {
                 // same-run ratio).
                 "  \"gate\": {{\"summary\": {{\"completed\": 0.0, ",
                 "\"steps\": 0.0, \"checksum_match\": 0.0, ",
-                "\"obs_overhead\": 0.0}}}},\n",
+                "\"obs_overhead\": 0.0}}, ",
+                "\"phases\": {{\"count\": 0.0, \"total_sum\": 0.0, ",
+                "\"batch_wait_sum\": 0.0, \"backend_sum\": 0.0, ",
+                "\"sink_wait_sum\": 0.0}}}},\n",
+                "  \"phases\": {},\n",
                 "  \"deterministic\": {},\n",
                 "  \"threaded\": {}\n",
                 "}}\n"
@@ -241,6 +250,7 @@ impl QpsReport {
             self.threaded.qps_wall,
             self.speedup_wall(),
             self.obs_overhead,
+            self.phases.to_json(),
             regime(&self.deterministic),
             regime(&self.threaded),
         )
@@ -378,16 +388,19 @@ pub fn run_qps_bench(cfg: &QpsConfig) -> QpsReport {
                 .max_batch(cfg.max_batch)
                 .max_delay_ticks(1)
                 .buffer_capacity(cfg.queries.max(cfg.max_batch))
+                .journal_capacity((cfg.queries * 4).max(grw_obs::DEFAULT_JOURNAL_CAPACITY))
                 .driver_mode(mode),
             move |shard| ReferenceBackend::new(prepared.clone(), spec.clone(), seed ^ shard as u64),
         )
     };
 
-    let (deterministic, _) = drive(
-        make_driver(DriverMode::Deterministic),
-        queries.queries(),
-        &arrival_ticks,
-    );
+    // Only the deterministic regime's headline run is instrumented: its
+    // journal is pure logical ticks, so the phase attribution it yields
+    // is exactly reproducible (and gated as such).
+    let mut det_driver = make_driver(DriverMode::Deterministic);
+    let det_obs = det_driver.attach_fresh_obs();
+    let (deterministic, _) = drive(det_driver, queries.queries(), &arrival_ticks);
+    let phases = SpanSet::from_trace(&det_obs.trace_jsonl()).summary();
     let (threaded, _) = drive(
         make_driver(DriverMode::Threaded),
         queries.queries(),
@@ -428,6 +441,7 @@ pub fn run_qps_bench(cfg: &QpsConfig) -> QpsReport {
         deterministic,
         threaded,
         obs_overhead,
+        phases,
     };
     assert!(
         report.checksum_match(),
@@ -460,6 +474,14 @@ mod tests {
         // Digests fit the 32-bit mask, so the JSON round-trips through
         // f64 exactly.
         assert!(report.deterministic.walk_digest <= u64::from(u32::MAX));
+        // The instrumented regime's journal attributes every completed
+        // query's latency, and the phases telescope exactly.
+        assert_eq!(report.phases.count, report.deterministic.completed);
+        assert_eq!(
+            report.phases.phase_sums.iter().sum::<u64>(),
+            report.phases.total_sum
+        );
+        assert_eq!(report.phases.phase_sums[2], 0, "no sink in this bench");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use grw_algo::{PreparedGraph, QuerySet, WalkQuery, WalkSpec};
 use grw_graph::generators::{Dataset, ScaleFactor};
+use grw_obs::{PhaseSummary, SpanSet};
 use grw_service::{accelerator_service, AccelShardMode, ServiceConfig, TenantId, WalkService};
 use grw_sink::{CorpusSink, SkipGramPair, WalkSink};
 use ridgewalker::{Accelerator, AcceleratorConfig};
@@ -165,6 +166,12 @@ pub struct SinkBenchReport {
     pub sink_spilled: u64,
     /// Sink flushes the service forced to keep delivery moving.
     pub sink_forced_flushes: u64,
+    /// Exact phase attribution of the streamed arm, reconstructed from
+    /// its event journal: batch-wait / backend-service / sink-wait sums
+    /// that telescope to the end-to-end total. This is the arm where
+    /// `sink-wait` is a live phase — spilled walks wait for the
+    /// backpressured sink, and the journal prices that wait per walk.
+    pub phases: PhaseSummary,
 }
 
 impl SinkBenchReport {
@@ -212,12 +219,16 @@ impl SinkBenchReport {
                 "  \"summary\": {{\"walks_delivered\": {}, \"pairs_emitted\": {}, ",
                 "\"legacy_peak_resident\": {}, \"sink_peak_resident\": {}, ",
                 "\"residency_ratio\": {:.2}, \"ticks\": {}}},\n",
+                "  \"phases\": {},\n",
                 // Per-metric CI bands (perf_gate `gate` block): exact
                 // conservation counts tight, residency/ticks loose —
                 // emitted by the generator so refreshes keep the bands.
                 "  \"gate\": {{\"summary\": {{\"walks_delivered\": 0.05, ",
                 "\"pairs_emitted\": 0.10, \"sink_peak_resident\": 0.30, ",
-                "\"ticks\": 0.25}}}}\n",
+                "\"ticks\": 0.25}}, ",
+                "\"phases\": {{\"count\": 0.0, \"total_sum\": 0.30, ",
+                "\"batch_wait_sum\": 0.40, \"backend_sum\": 0.30, ",
+                "\"sink_wait_sum\": 0.50}}}}\n",
                 "}}\n"
             ),
             c.scale,
@@ -248,6 +259,7 @@ impl SinkBenchReport {
             self.sink.peak_resident_paths,
             self.residency_ratio(),
             self.sink.ticks,
+            self.phases.to_json(),
         )
     }
 }
@@ -264,7 +276,11 @@ fn make_service(
         .max_batch(cfg.max_batch)
         .max_delay_ticks(1)
         .buffer_capacity(cfg.max_batch.max(cfg.arrivals_per_tick) * 4)
-        .sink_spill_capacity(cfg.spill_capacity);
+        .sink_spill_capacity(cfg.spill_capacity)
+        // Three span events per query (admitted, delivered, sink-accept)
+        // plus batch events: size the journal so the instrumented arm's
+        // phase attribution is exact, never an overflow lower bound.
+        .journal_capacity((cfg.queries * 6).max(grw_obs::DEFAULT_JOURNAL_CAPACITY));
     accelerator_service(
         svc_cfg,
         accel,
@@ -350,6 +366,9 @@ pub fn run_sink_bench(cfg: &SinkBenchConfig) -> SinkBenchReport {
     // Streaming: the same stream delivered into a bounded corpus sink;
     // resident completed paths = the service's spill depth.
     let mut service = make_service(cfg, &accel, &prepared, &spec);
+    // Only the streamed arm is instrumented: it is the one with a live
+    // sink-wait phase, and the legacy arm stays an uninstrumented control.
+    let obs = service.attach_fresh_obs();
     let mut pairs_emitted_downstream = 0u64;
     let mut corpus = CorpusSink::new(
         cfg.corpus_window,
@@ -375,6 +394,8 @@ pub fn run_sink_bench(cfg: &SinkBenchConfig) -> SinkBenchReport {
     // Run the spill dry and emit the final partial window downstream.
     let leftover = service.drain_into(&mut corpus);
     debug_assert_eq!(leftover, 0, "the drive loop already finished the stream");
+    service.flush_obs();
+    let phases = SpanSet::from_trace(&obs.trace_jsonl()).summary();
     let stats = service.stats();
     sink_footprint.final_resident_paths = stats.sink_spill_depth;
     let corpus_report = corpus.report();
@@ -394,6 +415,7 @@ pub fn run_sink_bench(cfg: &SinkBenchConfig) -> SinkBenchReport {
         sink_backpressured: stats.sink_backpressured,
         sink_spilled: stats.sink_spilled,
         sink_forced_flushes: stats.sink_forced_flushes,
+        phases,
     }
 }
 
@@ -455,5 +477,62 @@ mod tests {
         assert_eq!(a.pairs_emitted, b.pairs_emitted);
         assert_eq!(a.corpus_tokens, b.corpus_tokens);
         assert_eq!(a.sink_spilled, b.sink_spilled);
+        assert_eq!(a.phases, b.phases, "phase attribution is deterministic");
+    }
+
+    #[test]
+    fn phases_cover_every_streamed_walk_and_sum_exactly() {
+        let cfg = SinkBenchConfig::test_tiny();
+        let report = run_sink_bench(&cfg);
+        let p = &report.phases;
+        assert_eq!(p.count, cfg.queries as u64, "every delivered walk spans");
+        assert_eq!(
+            p.phase_sums.iter().sum::<u64>(),
+            p.total_sum,
+            "phases telescope exactly"
+        );
+        // The record embeds the same summary it computed.
+        let json = Json::parse(&report.to_json()).expect("well-formed JSON");
+        assert_eq!(
+            json.get("phases.count").and_then(Json::as_f64),
+            Some(p.count as f64)
+        );
+        assert_eq!(
+            json.get("phases.sink_wait_sum").and_then(Json::as_f64),
+            Some(p.phase_sums[2] as f64)
+        );
+    }
+
+    #[test]
+    fn obsdiff_names_sink_wait_when_the_sink_window_shrinks() {
+        use grw_obs::TraceDiff;
+        // Injected regression: same stream, but the corpus sink's pair
+        // buffer shrinks until it refuses after every couple of walks —
+        // the sink backpressures, delivered walks queue in the spill, and
+        // the extra latency belongs to the sink-wait phase while the
+        // batch-wait and backend phases stay byte-identical. The diff
+        // must say so, not just that latency moved.
+        let baseline = run_sink_bench(&SinkBenchConfig::test_tiny());
+        let regressed_cfg = SinkBenchConfig {
+            corpus_capacity: 96,
+            ..SinkBenchConfig::test_tiny()
+        };
+        let regressed = run_sink_bench(&regressed_cfg);
+        assert!(
+            regressed.sink_backpressured > baseline.sink_backpressured,
+            "the injected config must actually induce backpressure \
+             ({} vs {})",
+            regressed.sink_backpressured,
+            baseline.sink_backpressured
+        );
+        let diff = TraceDiff::from_summaries(baseline.phases, regressed.phases);
+        assert_eq!(
+            diff.top_regressed_phase(),
+            Some("sink-wait"),
+            "phase deltas: {:?}, verdict: {}",
+            diff.phase_mean_deltas(),
+            diff.verdict()
+        );
+        assert!(diff.verdict().contains("sink-wait"), "{}", diff.verdict());
     }
 }

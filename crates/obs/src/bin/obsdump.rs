@@ -1,14 +1,17 @@
 //! `obsdump` — render a deterministic event trace (`TRACE_*.jsonl`,
 //! written by [`grw_obs::Obs::trace_jsonl`]) into human-readable
 //! markdown: event totals, a per-shard serving summary, a per-tenant
-//! span-style phase breakdown (batching wait → backend occupancy), the
+//! span-style phase breakdown (batch-wait → backend-service →
+//! sink-wait, reconstructed by [`grw_obs::SpanSet`] so the phases sum
+//! exactly), the percentile worst offenders' span timelines, the
 //! fleet-size timeline, and every scale verdict with the control-law
-//! inputs that produced it.
+//! inputs that produced it. A trace whose journal overflowed leads with
+//! a warning banner and every phase figure is marked a lower bound.
 //!
 //! Usage: `obsdump TRACE.jsonl [OUT.md]` — with no output path the
 //! markdown goes to stdout.
 
-use grw_obs::{jsonl_field, jsonl_num};
+use grw_obs::{jsonl_field, jsonl_num, SpanSet};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -22,28 +25,6 @@ struct ShardRow {
     last_tick: u64,
 }
 
-#[derive(Default)]
-struct TenantRow {
-    delivered: u64,
-    waits: Vec<u64>,
-    occupancy: Vec<u64>,
-}
-
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
-}
-
-fn mean(values: &[u64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    values.iter().sum::<u64>() as f64 / values.len() as f64
-}
-
 fn shard_label(line: &str) -> String {
     match jsonl_field(line, "shard") {
         Some("null") | None => "global".to_string(),
@@ -52,9 +33,9 @@ fn shard_label(line: &str) -> String {
 }
 
 fn render(trace: &str) -> String {
+    let spans = SpanSet::from_trace(trace);
     let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
     let mut shards: BTreeMap<String, ShardRow> = BTreeMap::new();
-    let mut tenants: BTreeMap<u64, TenantRow> = BTreeMap::new();
     let mut fleet: Vec<String> = Vec::new();
     let mut decisions: Vec<String> = Vec::new();
     let mut migrations: Vec<String> = Vec::new();
@@ -64,6 +45,9 @@ fn render(trace: &str) -> String {
         let Some(ev) = jsonl_field(line, "ev") else {
             continue;
         };
+        if ev == "journal_overflow" {
+            continue; // meta line, not an event — surfaced as the banner
+        }
         parsed += 1;
         *by_kind.entry(ev.to_string()).or_default() += 1;
         let tick = jsonl_num(line, "tick").unwrap_or(0.0) as u64;
@@ -75,16 +59,7 @@ fn render(trace: &str) -> String {
             "query_admitted" => row.admitted += 1,
             "batch_flushed" => row.batches += 1,
             "sink_spilled" => row.spilled += 1,
-            "query_delivered" => {
-                row.delivered += 1;
-                let tenant = jsonl_num(line, "tenant").unwrap_or(0.0) as u64;
-                let arrival = jsonl_num(line, "arrival").unwrap_or(0.0) as u64;
-                let flushed = jsonl_num(line, "flushed").unwrap_or(arrival as f64) as u64;
-                let t = tenants.entry(tenant).or_default();
-                t.delivered += 1;
-                t.waits.push(flushed.saturating_sub(arrival));
-                t.occupancy.push(tick.saturating_sub(flushed));
-            }
+            "query_delivered" => row.delivered += 1,
             "shard_appended" => {
                 let how = if jsonl_field(line, "reactivated") == Some("true") {
                     "reactivated"
@@ -135,6 +110,25 @@ fn render(trace: &str) -> String {
 
     let mut out = String::new();
     let _ = writeln!(out, "# Trace summary\n");
+    if spans.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "> **Warning: journal overflow.** The journal dropped its {} \
+             oldest events to stay within capacity; this trace is a \
+             suffix of the run, so every count and phase breakdown below \
+             is a **lower bound**. Raise `ServiceConfig::journal_capacity` \
+             to keep the full trace.\n",
+            spans.dropped
+        );
+    }
+    if spans.unmatched_accepts > 0 {
+        let _ = writeln!(
+            out,
+            "> {} sink accepts matched no delivered span (their delivery \
+             events were dropped by the overflow above).\n",
+            spans.unmatched_accepts
+        );
+    }
     let _ = writeln!(out, "{parsed} events.\n");
     let _ = writeln!(out, "| event | count |");
     let _ = writeln!(out, "|---|---|");
@@ -160,28 +154,60 @@ fn render(trace: &str) -> String {
     let _ = writeln!(out, "\n## Per-tenant phase breakdown\n");
     let _ = writeln!(
         out,
-        "Span phases per delivered walk, in ticks: *batching wait* is \
-         flush − arrival (time parked in the micro-batcher), *backend \
-         occupancy* is delivery − flush (time owned by the sampling \
-         backend and sink path).\n"
+        "Additive span phases per delivered walk, in ticks: *batch-wait* \
+         is flush − arrival (parked in the micro-batcher), \
+         *backend-service* is completion − flush (owned by the sampling \
+         backend), *sink-wait* is sink-accept − completion (delivery-side \
+         backpressure; 0 without a sink). The three sum exactly to the \
+         end-to-end latency{}.\n",
+        if spans.dropped > 0 {
+            " (lower bounds — see the overflow warning above)"
+        } else {
+            ""
+        }
     );
     let _ = writeln!(
         out,
-        "| tenant | delivered | wait mean | wait p99 | occupancy mean | occupancy p99 |"
+        "| tenant | delivered | batch-wait mean | p99 | backend mean | p99 | sink-wait mean | p99 |"
     );
-    let _ = writeln!(out, "|---|---|---|---|---|---|");
-    for (tenant, row) in tenants.iter_mut() {
-        row.waits.sort_unstable();
-        row.occupancy.sort_unstable();
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    for tenant in spans.tenants() {
+        let s = spans.summary_of(|span| span.tenant == tenant);
         let _ = writeln!(
             out,
-            "| {tenant} | {} | {:.2} | {} | {:.2} | {} |",
-            row.delivered,
-            mean(&row.waits),
-            percentile(&row.waits, 0.99),
-            mean(&row.occupancy),
-            percentile(&row.occupancy, 0.99),
+            "| {tenant} | {} | {:.2} | {} | {:.2} | {} | {:.2} | {} |",
+            s.count,
+            s.phase_mean(0),
+            s.phase_p99[0],
+            s.phase_mean(1),
+            s.phase_p99[1],
+            s.phase_mean(2),
+            s.phase_p99[2],
         );
+    }
+
+    if !spans.spans.is_empty() {
+        let _ = writeln!(out, "\n## Percentile exemplars\n");
+        let _ = writeln!(
+            out,
+            "The *actual* spans at the latency percentiles (nearest rank, \
+             ties broken deterministically) — worst offenders with their \
+             full reconstructed timelines:\n"
+        );
+        for (label, span) in spans.exemplars() {
+            let _ = writeln!(
+                out,
+                "**{label}** — tenant {} query {} on shard {} (total {} \
+                 ticks, {} migration(s), {} scale event(s) in flight):\n",
+                span.tenant,
+                span.query,
+                span.shard,
+                span.total(),
+                span.migrations,
+                span.scale_events,
+            );
+            let _ = writeln!(out, "```text\n{}\n```\n", span.timeline());
+        }
     }
 
     if !fleet.is_empty() {
@@ -252,9 +278,9 @@ mod tests {
     fn renders_every_section_from_a_synthetic_trace() {
         let obs = Obs::new();
         let mut s = obs.shard_obs(0);
-        s.query_admitted(1, 3);
+        s.query_admitted(1, 3, 0);
         s.batch_flushed(2, 0, 1, "deadline");
-        s.query_delivered(5, 3, 1, 2, 8);
+        s.query_delivered(5, 3, 0, 1, 2, 8);
         s.flush();
         obs.record(6, 1, EventKind::ShardAppended { reactivated: false });
         obs.record(
@@ -287,16 +313,65 @@ mod tests {
             "# Trace summary",
             "## Per-shard timeline",
             "## Per-tenant phase breakdown",
+            "## Percentile exemplars",
             "## Fleet timeline",
             "## Scale decisions",
             "## Migrations",
         ] {
             assert!(md.contains(section), "missing section {section}");
         }
-        // Phase math: wait = flushed − arrival = 1, occupancy = tick − flushed = 3.
-        assert!(md.contains("| 3 | 1 | 1.00 | 1 | 3.00 | 3 |"), "{md}");
+        // Phase math: batch-wait = flushed − arrival = 1, backend =
+        // tick − flushed = 3, sink-wait = 0 (no sink in this trace).
+        assert!(
+            md.contains("| 3 | 1 | 1.00 | 1 | 3.00 | 3 | 0.00 | 0 |"),
+            "{md}"
+        );
+        // The single span is every percentile exemplar at once.
+        assert!(
+            md.contains("admitted @1 ──(batch-wait 1)── flushed @2 ──(backend 3)── completed @5"),
+            "{md}"
+        );
         assert!(md.contains("| 10 | shard 1 | retired (4 walks reclaimed) |"));
         assert!(!md.contains("(suppressed:"));
+        assert!(!md.contains("journal overflow"));
+    }
+
+    #[test]
+    fn overflow_banner_marks_breakdowns_as_lower_bounds() {
+        // Capacity 4 with six events: the two oldest drop.
+        let obs = Obs::with_capacity(4);
+        let mut s = obs.shard_obs(0);
+        for q in 0..3u64 {
+            s.query_admitted(q + 1, 1, q);
+            s.query_delivered(q + 5, 1, q, q + 1, q + 2, 4);
+        }
+        s.flush();
+        assert_eq!(obs.dropped(), 2);
+        let md = render(&obs.trace_jsonl());
+        assert!(md.contains("**Warning: journal overflow.**"), "{md}");
+        assert!(md.contains("dropped its 2 oldest events"), "{md}");
+        assert!(md.contains("lower bound"), "{md}");
+        assert!(md.contains("4 events."), "meta line must not count: {md}");
+    }
+
+    #[test]
+    fn sink_wait_phase_appears_when_a_sink_accepts() {
+        let obs = Obs::new();
+        let mut s = obs.shard_obs(0);
+        s.query_admitted(1, 2, 7);
+        s.query_delivered(4, 2, 7, 1, 2, 6);
+        s.flush();
+        let mut spill = obs.shard_obs(grw_obs::GLOBAL_SHARD).seq_base(1 << 48);
+        spill.sink_accepted(9, 2, 7, 1, 4);
+        spill.flush();
+        let md = render(&obs.trace_jsonl());
+        // batch-wait 1, backend 2, sink-wait 5 — and the exemplar
+        // timeline ends at the sink accept.
+        assert!(
+            md.contains("| 2 | 1 | 1.00 | 1 | 2.00 | 2 | 5.00 | 5 |"),
+            "{md}"
+        );
+        assert!(md.contains("──(sink-wait 5)── accepted @9"), "{md}");
     }
 
     #[test]

@@ -90,6 +90,10 @@ pub enum EventKind {
     QueryAdmitted {
         /// Submitting tenant.
         tenant: u16,
+        /// Tenant-local query id — the span join key shared with
+        /// [`QueryDelivered`](Self::QueryDelivered) and
+        /// [`SinkAccepted`](Self::SinkAccepted).
+        query: u64,
     },
     /// A micro-batch boundary: the batcher released a batch to the
     /// backend.
@@ -106,12 +110,28 @@ pub enum EventKind {
     QueryDelivered {
         /// Owning tenant.
         tenant: u16,
+        /// Tenant-local query id.
+        query: u64,
         /// When the query was admitted.
         arrival_tick: u64,
         /// When its micro-batch flushed to the backend.
         flushed_tick: u64,
         /// Steps in the delivered walk.
         steps: u32,
+    },
+    /// A sink consumed the walk (the event's own tick is the accept
+    /// tick) — the delivery-side terminus of a query's span, so sink
+    /// backpressure shows up as `tick − completed` in the trace.
+    SinkAccepted {
+        /// Owning tenant.
+        tenant: u16,
+        /// Tenant-local query id.
+        query: u64,
+        /// When the query was admitted.
+        arrival_tick: u64,
+        /// When its walk completed (the matching
+        /// [`QueryDelivered`](Self::QueryDelivered) tick).
+        completed_tick: u64,
     },
     /// A sink refused a walk and it was parked in the bounded spill
     /// buffer.
@@ -175,6 +195,7 @@ impl EventKind {
             EventKind::QueryAdmitted { .. } => "query_admitted",
             EventKind::BatchFlushed { .. } => "batch_flushed",
             EventKind::QueryDelivered { .. } => "query_delivered",
+            EventKind::SinkAccepted { .. } => "sink_accepted",
             EventKind::SinkSpilled { .. } => "sink_spilled",
             EventKind::SinkForcedFlush => "sink_forced_flush",
             EventKind::Migration { .. } => "migration",
@@ -231,8 +252,8 @@ impl Event {
             self.seq
         );
         match &self.kind {
-            EventKind::QueryAdmitted { tenant } => {
-                let _ = write!(out, ", \"tenant\": {tenant}");
+            EventKind::QueryAdmitted { tenant, query } => {
+                let _ = write!(out, ", \"tenant\": {tenant}, \"query\": {query}");
             }
             EventKind::BatchFlushed {
                 batch,
@@ -246,14 +267,27 @@ impl Event {
             }
             EventKind::QueryDelivered {
                 tenant,
+                query,
                 arrival_tick,
                 flushed_tick,
                 steps,
             } => {
                 let _ = write!(
                     out,
-                    ", \"tenant\": {tenant}, \"arrival\": {arrival_tick}, \
+                    ", \"tenant\": {tenant}, \"query\": {query}, \"arrival\": {arrival_tick}, \
                      \"flushed\": {flushed_tick}, \"steps\": {steps}"
+                );
+            }
+            EventKind::SinkAccepted {
+                tenant,
+                query,
+                arrival_tick,
+                completed_tick,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"tenant\": {tenant}, \"query\": {query}, \"arrival\": {arrival_tick}, \
+                     \"completed\": {completed_tick}"
                 );
             }
             EventKind::SinkSpilled { depth } => {
@@ -295,6 +329,114 @@ impl Event {
         }
         out.push('}');
         out
+    }
+
+    /// Parses one canonical JSONL line (the output of
+    /// [`jsonl`](Self::jsonl)) back into an [`Event`] — the reader half
+    /// of the trace format, used by `obsdiff` and the provenance layer
+    /// to reconstruct spans from an on-disk `TRACE_*.jsonl`. Returns
+    /// `None` for junk lines, unknown event kinds, and the
+    /// `journal_overflow` meta line.
+    pub fn parse_jsonl(line: &str) -> Option<Event> {
+        let ev = jsonl_field(line, "ev")?;
+        let num = |f: &str| jsonl_num(line, f);
+        let int = |f: &str| num(f).map(|v| v as u64);
+        let tick = int("tick")?;
+        let seq = int("seq")?;
+        let shard = match jsonl_field(line, "shard")? {
+            "null" => GLOBAL_SHARD,
+            s => s.parse().ok()?,
+        };
+        let tenant = || int("tenant").map(|t| t as u16);
+        let kind = match ev {
+            "query_admitted" => EventKind::QueryAdmitted {
+                tenant: tenant()?,
+                query: int("query")?,
+            },
+            "batch_flushed" => EventKind::BatchFlushed {
+                batch: int("batch")?,
+                taken: int("taken")? as u32,
+                reason: match jsonl_field(line, "reason")? {
+                    "size" => "size",
+                    "deadline" => "deadline",
+                    "drain" => "drain",
+                    _ => return None,
+                },
+            },
+            "query_delivered" => EventKind::QueryDelivered {
+                tenant: tenant()?,
+                query: int("query")?,
+                arrival_tick: int("arrival")?,
+                flushed_tick: int("flushed")?,
+                steps: int("steps")? as u32,
+            },
+            "sink_accepted" => EventKind::SinkAccepted {
+                tenant: tenant()?,
+                query: int("query")?,
+                arrival_tick: int("arrival")?,
+                completed_tick: int("completed")?,
+            },
+            "sink_spilled" => EventKind::SinkSpilled {
+                depth: int("depth")? as u32,
+            },
+            "sink_forced_flush" => EventKind::SinkForcedFlush,
+            "migration" => EventKind::Migration {
+                tenant: tenant()?,
+                from: int("from")? as u32,
+                to: int("to")? as u32,
+                cost: num("cost")?,
+            },
+            "scale_decision" => EventKind::ScaleDecision {
+                decision: match jsonl_field(line, "decision")? {
+                    "up" => "up",
+                    "down" => "down",
+                    "hold" => "hold",
+                    _ => return None,
+                },
+                inputs: Box::new(ScaleInputs {
+                    lambda_hat: num("lambda_hat")?,
+                    floor: num("floor")?,
+                    worst_ewma: num("worst_ewma")?,
+                    worst_wait: num("worst_wait")?,
+                    pressured: jsonl_field(line, "pressured")? == "true",
+                    fits_smaller: jsonl_field(line, "fits_smaller")? == "true",
+                    occupancy_fits: jsonl_field(line, "occupancy_fits")? == "true",
+                    predicted_shrunk: num("predicted_shrunk")?,
+                    breach_streak: int("breach_streak")?,
+                    slack_streak: int("slack_streak")?,
+                    shards: int("shards")? as u32,
+                    suppressed: match jsonl_field(line, "suppressed")? {
+                        "null" => None,
+                        "breach-streak" => Some("breach-streak"),
+                        "up-cooldown" => Some("up-cooldown"),
+                        "at-max-shards" => Some("at-max-shards"),
+                        "slack-streak" => Some("slack-streak"),
+                        "down-cooldown" => Some("down-cooldown"),
+                        "at-min-shards" => Some("at-min-shards"),
+                        _ => return None,
+                    },
+                }),
+            },
+            "shard_appended" => EventKind::ShardAppended {
+                reactivated: jsonl_field(line, "reactivated")? == "true",
+            },
+            "retire_begun" => EventKind::RetireBegun,
+            "shard_retired" => EventKind::ShardRetired {
+                reclaimed: int("reclaimed")? as u32,
+            },
+            "alias_cache_epoch" => EventKind::AliasCacheEpoch {
+                hits: int("hits")?,
+                builds: int("builds")?,
+                evictions: int("evictions")?,
+            },
+            _ => return None,
+        };
+        Some(Event {
+            tick,
+            shard,
+            seq,
+            kind,
+        })
     }
 }
 
@@ -405,6 +547,7 @@ mod tests {
             seq,
             kind: EventKind::QueryDelivered {
                 tenant: 3,
+                query: 41,
                 arrival_tick: tick.saturating_sub(2),
                 flushed_tick: tick.saturating_sub(1),
                 steps: 8,
@@ -419,12 +562,86 @@ mod tests {
         assert_eq!(
             line,
             "{\"ev\": \"query_delivered\", \"tick\": 12, \"shard\": 1, \"seq\": 5, \
-             \"tenant\": 3, \"arrival\": 10, \"flushed\": 11, \"steps\": 8}"
+             \"tenant\": 3, \"query\": 41, \"arrival\": 10, \"flushed\": 11, \"steps\": 8}"
         );
         assert_eq!(jsonl_field(&line, "ev"), Some("query_delivered"));
         assert_eq!(jsonl_num(&line, "tick"), Some(12.0));
         assert_eq!(jsonl_num(&line, "arrival"), Some(10.0));
         assert_eq!(jsonl_num(&line, "missing"), None);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_parse_jsonl() {
+        let kinds = vec![
+            EventKind::QueryAdmitted {
+                tenant: 2,
+                query: 17,
+            },
+            EventKind::BatchFlushed {
+                batch: 4,
+                taken: 9,
+                reason: "deadline",
+            },
+            EventKind::QueryDelivered {
+                tenant: 2,
+                query: 17,
+                arrival_tick: 3,
+                flushed_tick: 4,
+                steps: 8,
+            },
+            EventKind::SinkAccepted {
+                tenant: 2,
+                query: 17,
+                arrival_tick: 3,
+                completed_tick: 7,
+            },
+            EventKind::SinkSpilled { depth: 5 },
+            EventKind::SinkForcedFlush,
+            EventKind::Migration {
+                tenant: 2,
+                from: 0,
+                to: 1,
+                cost: 2.125,
+            },
+            EventKind::ScaleDecision {
+                decision: "hold",
+                inputs: Box::new(ScaleInputs {
+                    lambda_hat: 2.5,
+                    floor: 9.0,
+                    worst_ewma: 10.5,
+                    worst_wait: 3.0,
+                    pressured: true,
+                    breach_streak: 2,
+                    shards: 3,
+                    suppressed: Some("breach-streak"),
+                    ..ScaleInputs::default()
+                }),
+            },
+            EventKind::ShardAppended { reactivated: true },
+            EventKind::RetireBegun,
+            EventKind::ShardRetired { reclaimed: 12 },
+            EventKind::AliasCacheEpoch {
+                hits: 8,
+                builds: 2,
+                evictions: 1,
+            },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let e = Event {
+                tick: 10 + i as u64,
+                shard: if i % 2 == 0 { i as u32 } else { GLOBAL_SHARD },
+                seq: i as u64,
+                kind,
+            };
+            let parsed = Event::parse_jsonl(&e.jsonl())
+                .unwrap_or_else(|| panic!("unparsable: {}", e.jsonl()));
+            assert_eq!(parsed, e, "round trip must be lossless");
+        }
+        assert_eq!(Event::parse_jsonl("not json"), None);
+        assert_eq!(
+            Event::parse_jsonl("{\"ev\": \"mystery\", \"tick\": 1, \"shard\": 0, \"seq\": 0}"),
+            None
+        );
     }
 
     #[test]

@@ -34,9 +34,11 @@
 //! Everything is `std`-only, like the rest of the workspace.
 
 mod journal;
+pub mod provenance;
 mod registry;
 
 pub use journal::{jsonl_field, jsonl_num, Event, EventKind, Journal, ScaleInputs, GLOBAL_SHARD};
+pub use provenance::{parse_trace, PhaseSummary, QuerySpan, SpanSet, TraceDiff, PHASE_NAMES};
 pub use registry::{
     log2_bucket, Counter, Gauge, Histogram, Labels, MetricsRegistry, HISTOGRAM_BUCKETS,
 };
@@ -175,9 +177,23 @@ impl Obs {
     /// trailing newline. Identical across runs for a fixed seed and
     /// schedule — the artifact the trace-determinism tests compare and
     /// `obsdump` renders.
+    ///
+    /// A journal that overflowed its ring leads the trace with one
+    /// `{"ev": "journal_overflow", "dropped": N}` meta line, so a
+    /// truncated trace is never mistaken for a complete one by any
+    /// reader (`obsdump` turns it into a warning banner and marks phase
+    /// breakdowns as lower bounds).
     pub fn trace_jsonl(&self) -> String {
-        let events = self.journal();
+        let (events, dropped) = {
+            let journal = self.inner.journal.lock().expect("journal lock");
+            (journal.sorted(), journal.dropped())
+        };
         let mut out = String::with_capacity(events.len() * 96);
+        if dropped > 0 {
+            out.push_str(&format!(
+                "{{\"ev\": \"journal_overflow\", \"dropped\": {dropped}}}\n"
+            ));
+        }
         for e in &events {
             out.push_str(&e.jsonl());
             out.push('\n');
@@ -216,12 +232,49 @@ impl Obs {
             delivered: r.counter("grw_queries_delivered_total", labels),
             batches: r.counter("grw_batches_flushed_total", labels),
             latency: r.histogram("grw_query_latency_ticks", labels),
+            phase_batch_wait: r.histogram("grw_phase_batch_wait_ticks", labels),
+            phase_backend: r.histogram("grw_phase_backend_service_ticks", labels),
+            phase_sink_wait: r.histogram("grw_phase_sink_wait_ticks", labels),
             spilled: r.counter("grw_sink_spilled_total", labels),
             forced_flushes: r.counter("grw_sink_forced_flushes_total", labels),
             spill_depth: r.gauge("grw_sink_spill_depth", labels),
             tenant_delivered: BTreeMap::new(),
+            tenant_phases: BTreeMap::new(),
             last_alias_epoch: None,
         }
+    }
+}
+
+/// One locally pre-binned histogram accumulation (buckets, count, sum) —
+/// the unit [`ShardObs::settle`] batches per phase before a handful of
+/// `absorb_prebinned` calls.
+#[derive(Clone)]
+struct PreBinned {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for PreBinned {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl PreBinned {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.buckets[log2_bucket(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    fn settle_into(&self, h: &Histogram) {
+        h.absorb_prebinned(&self.buckets, self.count, self.sum);
     }
 }
 
@@ -243,10 +296,16 @@ pub struct ShardObs {
     delivered: Counter,
     batches: Counter,
     latency: Histogram,
+    phase_batch_wait: Histogram,
+    phase_backend: Histogram,
+    phase_sink_wait: Histogram,
     spilled: Counter,
     forced_flushes: Counter,
     spill_depth: Gauge,
     tenant_delivered: BTreeMap<u16, Counter>,
+    /// Per-tenant phase histograms (batch-wait, backend-service,
+    /// sink-wait), registered lazily like `tenant_delivered`.
+    tenant_phases: BTreeMap<u16, [Histogram; 3]>,
     last_alias_epoch: Option<(u64, u64, u64)>,
 }
 
@@ -270,10 +329,14 @@ impl ShardObs {
             delivered: Counter::noop(),
             batches: Counter::noop(),
             latency: Histogram::noop(),
+            phase_batch_wait: Histogram::noop(),
+            phase_backend: Histogram::noop(),
+            phase_sink_wait: Histogram::noop(),
             spilled: Counter::noop(),
             forced_flushes: Counter::noop(),
             spill_depth: Gauge::noop(),
             tenant_delivered: BTreeMap::new(),
+            tenant_phases: BTreeMap::new(),
             last_alias_epoch: None,
         }
     }
@@ -309,11 +372,11 @@ impl ShardObs {
     /// the admitted counter settles in bulk at the next export barrier
     /// (see [`settle`](Self::flush)).
     #[inline]
-    pub fn query_admitted(&mut self, tick: u64, tenant: u16) {
+    pub fn query_admitted(&mut self, tick: u64, tenant: u16, query: u64) {
         if !self.enabled {
             return;
         }
-        self.push(tick, EventKind::QueryAdmitted { tenant });
+        self.push(tick, EventKind::QueryAdmitted { tenant, query });
     }
 
     /// A micro-batch boundary. Buffer-push only; counters settle at the
@@ -341,6 +404,7 @@ impl ShardObs {
         &mut self,
         tick: u64,
         tenant: u16,
+        query: u64,
         arrival_tick: u64,
         flushed_tick: u64,
         steps: u32,
@@ -352,9 +416,36 @@ impl ShardObs {
             tick,
             EventKind::QueryDelivered {
                 tenant,
+                query,
                 arrival_tick,
                 flushed_tick,
                 steps,
+            },
+        );
+    }
+
+    /// A downstream sink accepted the walk at `tick` — the delivery-side
+    /// backpressure stamp. Recorded on the spill-delivery recorder (seq
+    /// range [`SEQ_BASE_SPILL`]) so canonical ordering stays total.
+    #[inline]
+    pub fn sink_accepted(
+        &mut self,
+        tick: u64,
+        tenant: u16,
+        query: u64,
+        arrival_tick: u64,
+        completed_tick: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(
+            tick,
+            EventKind::SinkAccepted {
+                tenant,
+                query,
+                arrival_tick,
+                completed_tick,
             },
         );
     }
@@ -367,9 +458,17 @@ impl ShardObs {
     /// afford three atomics per walk).
     fn settle(&mut self) {
         let (mut admitted, mut delivered, mut batches) = (0u64, 0u64, 0u64);
-        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
-        let mut latency_sum = 0u64;
+        let mut latency = PreBinned::default();
+        // Phase accumulators: [batch-wait, backend-service, sink-wait],
+        // shard-level and lazily per tenant — same index order as the
+        // `tenant_phases` handle arrays.
+        let mut phases = [
+            PreBinned::default(),
+            PreBinned::default(),
+            PreBinned::default(),
+        ];
         let mut by_tenant: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut tenant_phase: BTreeMap<u16, [PreBinned; 3]> = BTreeMap::new();
         for e in &self.buf {
             match e.kind {
                 EventKind::QueryAdmitted { .. } => admitted += 1,
@@ -377,13 +476,28 @@ impl ShardObs {
                 EventKind::QueryDelivered {
                     tenant,
                     arrival_tick,
+                    flushed_tick,
                     ..
                 } => {
                     delivered += 1;
-                    let latency = e.tick.saturating_sub(arrival_tick);
-                    buckets[log2_bucket(latency)] += 1;
-                    latency_sum += latency;
+                    latency.add(e.tick.saturating_sub(arrival_tick));
+                    let batch_wait = flushed_tick.saturating_sub(arrival_tick);
+                    let backend = e.tick.saturating_sub(flushed_tick);
+                    phases[0].add(batch_wait);
+                    phases[1].add(backend);
                     *by_tenant.entry(tenant).or_insert(0) += 1;
+                    let tp = tenant_phase.entry(tenant).or_default();
+                    tp[0].add(batch_wait);
+                    tp[1].add(backend);
+                }
+                EventKind::SinkAccepted {
+                    tenant,
+                    completed_tick,
+                    ..
+                } => {
+                    let sink_wait = e.tick.saturating_sub(completed_tick);
+                    phases[2].add(sink_wait);
+                    tenant_phase.entry(tenant).or_default()[2].add(sink_wait);
                 }
                 _ => {}
             }
@@ -396,9 +510,11 @@ impl ShardObs {
         }
         if delivered > 0 {
             self.delivered.add(delivered);
-            self.latency
-                .absorb_prebinned(&buckets, delivered, latency_sum);
+            latency.settle_into(&self.latency);
         }
+        phases[0].settle_into(&self.phase_batch_wait);
+        phases[1].settle_into(&self.phase_backend);
+        phases[2].settle_into(&self.phase_sink_wait);
         if let Some(hub) = &self.hub {
             for (tenant, n) in by_tenant {
                 self.tenant_delivered
@@ -408,6 +524,20 @@ impl ShardObs {
                             .counter("grw_tenant_delivered_total", Labels::tenant(tenant))
                     })
                     .add(n);
+            }
+            for (tenant, tp) in tenant_phase {
+                let handles = self.tenant_phases.entry(tenant).or_insert_with(|| {
+                    let r = hub.registry();
+                    let l = Labels::tenant(tenant);
+                    [
+                        r.histogram("grw_phase_batch_wait_ticks", l),
+                        r.histogram("grw_phase_backend_service_ticks", l),
+                        r.histogram("grw_phase_sink_wait_ticks", l),
+                    ]
+                });
+                for (acc, h) in tp.iter().zip(handles.iter()) {
+                    acc.settle_into(h);
+                }
             }
         }
     }
@@ -502,9 +632,9 @@ mod tests {
         let obs = Obs::new();
         let mut s0 = obs.shard_obs(0);
         let mut s1 = obs.shard_obs(1);
-        s0.query_admitted(1, 7);
-        s1.query_admitted(1, 7);
-        s0.query_delivered(3, 7, 1, 2, 8);
+        s0.query_admitted(1, 7, 40);
+        s1.query_admitted(1, 7, 41);
+        s0.query_delivered(3, 7, 40, 1, 2, 8);
         assert!(obs.journal().is_empty(), "events buffer until a barrier");
         s0.flush();
         obs.absorb(s1.take_events());
@@ -535,8 +665,9 @@ mod tests {
         let obs = Obs::disabled();
         assert!(!obs.is_enabled());
         let mut s = obs.shard_obs(0);
-        s.query_admitted(1, 1);
-        s.query_delivered(2, 1, 1, 1, 4);
+        s.query_admitted(1, 1, 0);
+        s.query_delivered(2, 1, 0, 1, 1, 4);
+        s.sink_accepted(3, 1, 0, 1, 2);
         s.sink_spilled(3, 5);
         s.flush();
         obs.record(4, GLOBAL_SHARD, EventKind::RetireBegun);

@@ -65,12 +65,29 @@ impl Labels {
         self
     }
 
+    /// Escapes a label value per the Prometheus text exposition format:
+    /// backslash, double quote, and newline must be escaped inside the
+    /// quoted value — a class tag like `accel"v2` must not break the
+    /// line out of its quotes.
+    fn escape_label_value(v: &str) -> String {
+        let mut out = String::with_capacity(v.len());
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(ch),
+            }
+        }
+        out
+    }
+
     /// Canonical (alphabetical by label name) `{k="v",...}` rendering
     /// for the Prometheus exposition; empty string when unlabelled.
     fn prometheus(&self) -> String {
         let mut parts = Vec::new();
         if let Some(c) = self.class {
-            parts.push(format!("class=\"{c}\""));
+            parts.push(format!("class=\"{}\"", Self::escape_label_value(c)));
         }
         if let Some(s) = self.shard {
             parts.push(format!("shard=\"{s}\""));
@@ -571,6 +588,82 @@ grw_latency_ticks_sum{class=\"cpu\",tenant=\"2\"} 6
 grw_latency_ticks_count{class=\"cpu\",tenant=\"2\"} 3
 ";
         assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn absorb_prebinned_hits_the_edge_bins_exactly() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("grw_edge_ticks", Labels::none());
+        // Bin 0 (value 0) and the saturating top bin (u64::MAX → bin 64)
+        // in one pre-binned batch.
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        buckets[log2_bucket(0)] = 3;
+        buckets[log2_bucket(u64::MAX)] = 2;
+        h.absorb_prebinned(&buckets, 5, u64::MAX.wrapping_mul(2));
+        assert_eq!(h.count(), 5);
+        let text = r.render_prometheus();
+        assert!(text.contains("grw_edge_ticks_bucket{le=\"0\"} 3"), "{text}");
+        // Top bin upper edge: 2^64 − 1 rendered exactly (the u128 shift
+        // in the exposition must not overflow).
+        assert!(
+            text.contains("grw_edge_ticks_bucket{le=\"18446744073709551615\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("grw_edge_ticks_bucket{le=\"+Inf\"} 5"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn absorb_prebinned_with_zero_count_is_a_noop() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("grw_noop_ticks", Labels::none());
+        // An all-empty settle (no deliveries between barriers) must not
+        // touch the cells — even if the bucket array is (buggily)
+        // non-zero, count == 0 wins.
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        h.absorb_prebinned(&buckets, 0, 0);
+        buckets[3] = 9;
+        h.absorb_prebinned(&buckets, 0, 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("grw_noop_ticks_bucket{le=\"+Inf\"} 0"),
+            "{text}"
+        );
+        // Merging after the no-ops still lands in the right bins.
+        h.absorb_prebinned(&buckets, 9, 36);
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.sum(), 36);
+        assert!(r
+            .render_prometheus()
+            .contains("grw_noop_ticks_bucket{le=\"7\"} 9"));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let r = MetricsRegistry::new();
+        r.counter(
+            "grw_escape_total",
+            Labels::none().with_class("ac\\cel\"v2\nx"),
+        )
+        .add(1);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("grw_escape_total{class=\"ac\\\\cel\\\"v2\\nx\"} 1"),
+            "{text}"
+        );
+        // Exactly one sample line for the series (plus its # TYPE
+        // header): the newline inside the label value must not split
+        // the exposition.
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.starts_with("grw_escape_total"))
+                .count(),
+            1
+        );
     }
 
     #[test]

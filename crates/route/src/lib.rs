@@ -246,6 +246,15 @@ impl<P: RoutePolicy> Router<P> {
         self.obs = obs;
     }
 
+    /// Builds a live hub sized by the service config's
+    /// `journal_capacity`, attaches it (routing tier and driver), and
+    /// returns a handle.
+    pub fn attach_fresh_obs(&mut self) -> Obs {
+        let obs = Obs::with_capacity(self.driver.journal_capacity());
+        self.attach_obs(obs.clone());
+        obs
+    }
+
     /// Forces an export barrier so every shard's buffered events reach
     /// the attached hub journal — see [`Driver::flush_obs`].
     pub fn flush_obs(&mut self) {

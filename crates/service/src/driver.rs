@@ -23,6 +23,11 @@ use grw_obs::Obs;
 
 /// A serving runtime in either execution regime. See the
 /// [module docs](self).
+// A Driver is built once per run and lives on the stack or behind its
+// own allocation — never in bulk collections — so the size gap between
+// the inline deterministic service and the handle-sized threaded
+// driver costs nothing worth an indirection on every tick.
+#[allow(clippy::large_enum_variant)]
 pub enum Driver<B: WalkBackend> {
     /// The single-threaded logical-tick loop: inline, bit-deterministic.
     Deterministic(WalkService<B>),
@@ -202,6 +207,25 @@ impl<B: WalkBackend> Driver<B> {
         match self {
             Driver::Deterministic(svc) => svc.attach_obs(obs),
             Driver::Threaded(thr) => thr.attach_obs(obs),
+        }
+    }
+
+    /// Builds a live hub sized by [`ServiceConfig::journal_capacity`],
+    /// attaches it, and returns a handle — see
+    /// [`crate::ServiceConfig::journal_capacity`].
+    pub fn attach_fresh_obs(&mut self) -> Obs {
+        match self {
+            Driver::Deterministic(svc) => svc.attach_fresh_obs(),
+            Driver::Threaded(thr) => thr.attach_fresh_obs(),
+        }
+    }
+
+    /// The configured journal capacity
+    /// ([`crate::ServiceConfig::journal_capacity`]).
+    pub fn journal_capacity(&self) -> usize {
+        match self {
+            Driver::Deterministic(svc) => svc.journal_capacity(),
+            Driver::Threaded(thr) => thr.journal_capacity(),
         }
     }
 

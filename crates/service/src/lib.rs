@@ -150,6 +150,13 @@ pub struct ServiceConfig {
     /// before forcing a flush — the delivery-side bound on resident
     /// paths when streaming through [`WalkSink`]s.
     pub sink_spill_capacity: usize,
+    /// Event capacity of the observability journal built by
+    /// [`Driver::attach_fresh_obs`] / [`WalkService::attach_fresh_obs`].
+    /// A run that outgrows it keeps the newest events and *counts* the
+    /// drop (surfaced by `obsdump` as a warning banner) — overflow is
+    /// never silent. Raise it for figure-scale runs whose traces must
+    /// stay complete.
+    pub journal_capacity: usize,
     /// Which driver the fleet constructors ([`mixed_fleet_driver`],
     /// [`accelerator_driver`], [`Driver::new`]) build. The plain
     /// [`WalkService::new`] constructor ignores this — it *is* the
@@ -172,6 +179,7 @@ impl ServiceConfig {
             buffer_capacity: 1024,
             latency_reservoir: 4096,
             sink_spill_capacity: 1024,
+            journal_capacity: grw_obs::DEFAULT_JOURNAL_CAPACITY,
             driver: DriverMode::Deterministic,
         }
     }
@@ -224,6 +232,18 @@ impl ServiceConfig {
     pub fn sink_spill_capacity(mut self, n: usize) -> Self {
         assert!(n > 0, "spill capacity must be positive");
         self.sink_spill_capacity = n;
+        self
+    }
+
+    /// Sets the event capacity of the journal behind
+    /// [`Driver::attach_fresh_obs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn journal_capacity(mut self, n: usize) -> Self {
+        assert!(n > 0, "journal capacity must be positive");
+        self.journal_capacity = n;
         self
     }
 
@@ -390,6 +410,21 @@ impl<B: WalkBackend> WalkService<B> {
         self.obs = obs;
     }
 
+    /// Builds a live hub sized by [`ServiceConfig::journal_capacity`],
+    /// attaches it, and returns a handle — the one-liner for callers
+    /// that want the config to govern how much trace a run can keep.
+    pub fn attach_fresh_obs(&mut self) -> Obs {
+        let obs = Obs::with_capacity(self.cfg.journal_capacity);
+        self.attach_obs(obs.clone());
+        obs
+    }
+
+    /// The configured journal capacity
+    /// ([`ServiceConfig::journal_capacity`]).
+    pub fn journal_capacity(&self) -> usize {
+        self.cfg.journal_capacity
+    }
+
     /// Flushes every per-source event buffer into the hub and journals
     /// per-shard alias-cache epochs — the explicit export barrier for
     /// callers that want the trace current without draining.
@@ -545,7 +580,8 @@ impl<B: WalkBackend> WalkService<B> {
             "detach the subscribed sink before delivering into another"
         );
         let out = self.advance_tick();
-        self.spill.deliver(out, sink, &mut self.collector)
+        self.spill
+            .deliver(out, sink, self.tick, &mut self.collector)
     }
 
     /// Flushes everything and runs every shard dry; returns the remaining
@@ -600,7 +636,9 @@ impl<B: WalkBackend> WalkService<B> {
         let mut delivered = 0;
         loop {
             let (out, progressed) = self.drain_round();
-            delivered += self.spill.deliver(out, sink, &mut self.collector);
+            delivered += self
+                .spill
+                .deliver(out, sink, self.tick, &mut self.collector);
             if self.queue_depth() == 0 {
                 break;
             }
@@ -609,7 +647,7 @@ impl<B: WalkBackend> WalkService<B> {
                 "service stalled: backends hold work but complete nothing"
             );
         }
-        self.spill.run_dry(sink, &mut self.collector);
+        self.spill.run_dry(sink, self.tick, &mut self.collector);
         sink.flush();
         delivered
     }
@@ -640,7 +678,8 @@ impl<B: WalkBackend> WalkService<B> {
     /// flushing it.
     pub fn detach_sink(&mut self) -> Option<Box<dyn WalkSink + Send>> {
         let mut sink = self.attached.take()?;
-        self.spill.run_dry(&mut sink, &mut self.collector);
+        self.spill
+            .run_dry(&mut sink, self.tick, &mut self.collector);
         sink.flush();
         Some(sink)
     }
@@ -721,7 +760,8 @@ impl<B: WalkBackend> WalkService<B> {
             all.extend(out);
             return all;
         };
-        self.spill.deliver(out, &mut sink, &mut self.collector);
+        self.spill
+            .deliver(out, &mut sink, self.tick, &mut self.collector);
         self.attached = Some(sink);
         Vec::new()
     }

@@ -94,6 +94,13 @@ impl<B: WalkBackend> ShardRunner<B> {
         self.obs = obs;
     }
 
+    /// The last tick this runner advanced to — the clock a worker's
+    /// spill-delivery path stamps sink accepts with (drains do not
+    /// advance it, matching the deterministic driver).
+    pub(crate) fn now(&self) -> u64 {
+        self.tick
+    }
+
     /// Journals the shard's cumulative alias-cache telemetry at an
     /// export barrier (deduplicated inside the recorder — unchanged or
     /// all-zero counters journal nothing).
@@ -119,8 +126,8 @@ impl<B: WalkBackend> ShardRunner<B> {
             }
         }
         self.submitted += 1;
-        self.obs
-            .query_admitted(now, TenantId::unpack(internal.id).0 .0);
+        let (tenant, local) = TenantId::unpack(internal.id);
+        self.obs.query_admitted(now, tenant.0, local);
         self.arrivals.entry(internal.id).or_default().push_back(now);
         if self.batcher.due(now) == Some(FlushReason::Size) {
             self.flush(FlushReason::Size, c);
@@ -296,6 +303,7 @@ impl<B: WalkBackend> ShardRunner<B> {
         self.obs.query_delivered(
             self.tick,
             tenant.0,
+            local,
             arrival_tick,
             flushed_tick,
             path.steps() as u32,

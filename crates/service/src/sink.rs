@@ -196,39 +196,56 @@ impl SpillDelivery {
         self.spill.drain(..).collect()
     }
 
+    /// Journals one accepted walk's sink-accept stamp — the
+    /// delivery-side terminus of the query's span (`now` is the
+    /// stream's logical tick, so sink-wait = `now − completed_tick`).
+    fn record_accept(&mut self, now: u64, w: &CompletedWalk) {
+        self.obs.sink_accepted(
+            now,
+            w.tenant.0,
+            w.path.query,
+            w.arrival_tick,
+            w.completed_tick,
+        );
+    }
+
     /// Offers every walk to the sink, spilled walks first (delivery stays
     /// in completion order); pushback parks walks in the bounded spill
-    /// buffer. Returns how many walks entered the sink route.
+    /// buffer. `now` is the delivery stream's logical tick (the accept
+    /// stamp). Returns how many walks entered the sink route.
     pub(crate) fn deliver<S: WalkSink + ?Sized>(
         &mut self,
         walks: Vec<CompletedWalk>,
         sink: &mut S,
+        now: u64,
         c: &mut StatsCollector,
     ) -> usize {
         let n = walks.len();
-        self.retry(sink, c);
+        self.retry(sink, now, c);
         for w in walks {
             if self.spill.is_empty() {
                 match sink.accept(&w) {
                     SinkAck::Accepted => {
                         c.sink_accepted += 1;
+                        self.record_accept(now, &w);
                         continue;
                     }
                     SinkAck::Backpressured => c.sink_backpressured += 1,
                 }
             }
-            self.park(w, sink, c);
+            self.park(w, sink, now, c);
         }
         n
     }
 
     /// Re-offers spilled walks in order, stopping at the first refusal.
-    fn retry<S: WalkSink + ?Sized>(&mut self, sink: &mut S, c: &mut StatsCollector) {
+    fn retry<S: WalkSink + ?Sized>(&mut self, sink: &mut S, now: u64, c: &mut StatsCollector) {
         while let Some(w) = self.spill.front() {
             match sink.accept(w) {
                 SinkAck::Accepted => {
                     c.sink_accepted += 1;
-                    self.spill.pop_front();
+                    let w = self.spill.pop_front().expect("front exists");
+                    self.record_accept(now, &w);
                 }
                 SinkAck::Backpressured => {
                     c.sink_backpressured += 1;
@@ -246,6 +263,7 @@ impl SpillDelivery {
         &mut self,
         w: CompletedWalk,
         sink: &mut S,
+        now: u64,
         c: &mut StatsCollector,
     ) {
         if self.spill.len() >= self.capacity {
@@ -254,7 +272,7 @@ impl SpillDelivery {
             sink.flush();
             c.sink_forced_flushes += 1;
             self.obs.sink_forced_flush(w.completed_tick);
-            self.retry(sink, c);
+            self.retry(sink, now, c);
             assert!(
                 self.spill.len() < self.capacity,
                 "sink refused delivery after a flush: spill capacity {} exhausted",
@@ -266,6 +284,7 @@ impl SpillDelivery {
                 match sink.accept(&w) {
                     SinkAck::Accepted => {
                         c.sink_accepted += 1;
+                        self.record_accept(now, &w);
                         return;
                     }
                     SinkAck::Backpressured => c.sink_backpressured += 1,
@@ -285,8 +304,13 @@ impl SpillDelivery {
     ///
     /// Panics if a flush frees no room at all (the sink contract says it
     /// must).
-    pub(crate) fn run_dry<S: WalkSink + ?Sized>(&mut self, sink: &mut S, c: &mut StatsCollector) {
-        self.retry(sink, c);
+    pub(crate) fn run_dry<S: WalkSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        now: u64,
+        c: &mut StatsCollector,
+    ) {
+        self.retry(sink, now, c);
         while !self.spill.is_empty() {
             // retry just stopped at a refusal: flushing is the only way
             // forward, so don't re-offer to the unchanged sink first
@@ -296,7 +320,7 @@ impl SpillDelivery {
             sink.flush();
             c.sink_forced_flushes += 1;
             self.obs.sink_forced_flush(tick);
-            self.retry(sink, c);
+            self.retry(sink, now, c);
             assert!(
                 self.spill.len() < before,
                 "sink accepts no spilled walks even after a flush"

@@ -137,7 +137,8 @@ impl<B: WalkBackend> Worker<B> {
     /// the completion queue is unbounded by design.
     fn emit(&mut self, walks: Vec<CompletedWalk>) {
         if let Some(sink) = self.sink.as_mut() {
-            self.spill.deliver(walks, sink, &mut self.collector);
+            let now = self.runner.now();
+            self.spill.deliver(walks, sink, now, &mut self.collector);
         } else if !walks.is_empty() {
             // The driver only closes this queue after joining us.
             let _ = self.completions.push(walks);
@@ -172,7 +173,8 @@ impl<B: WalkBackend> Worker<B> {
         let walks = self.runner.drain_all(&mut self.collector);
         self.emit(walks);
         if let Some(mut sink) = self.sink.take() {
-            self.spill.run_dry(&mut sink, &mut self.collector);
+            let now = self.runner.now();
+            self.spill.run_dry(&mut sink, now, &mut self.collector);
             sink.flush();
             self.sink = Some(sink);
         }
@@ -327,6 +329,20 @@ impl ThreadedDriver {
                 self.send_attach_obs(shard);
             }
         }
+    }
+
+    /// Builds a live hub sized by [`ServiceConfig::journal_capacity`],
+    /// attaches it, and returns a handle.
+    pub fn attach_fresh_obs(&mut self) -> Obs {
+        let obs = Obs::with_capacity(self.cfg.journal_capacity);
+        self.attach_obs(obs.clone());
+        obs
+    }
+
+    /// The configured journal capacity
+    /// ([`ServiceConfig::journal_capacity`]).
+    pub fn journal_capacity(&self) -> usize {
+        self.cfg.journal_capacity
     }
 
     /// Forces an export barrier: a report round-trip to every worker,

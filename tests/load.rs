@@ -159,6 +159,25 @@ fn load_sweep_is_monotone_and_matches_queueing_theory() {
         doc.get("incremental").unwrap().as_arr().unwrap().len(),
         report.config.load_grid.len()
     );
+
+    // The highest-load incremental point carries its exact phase
+    // attribution: one span per query, phases telescoping to the total,
+    // and the journal's mean agreeing with the independently measured
+    // point mean.
+    let p = &report.high_load_phases;
+    assert_eq!(p.count as usize, report.config.queries_per_point);
+    assert_eq!(p.phase_sums.iter().sum::<u64>(), p.total_sum);
+    assert_eq!(p.phase_sums[2], 0, "collect delivery has no sink phase");
+    let journal_mean = p.total_sum as f64 / p.count.max(1) as f64;
+    assert!(
+        (journal_mean - last.mean_latency_ticks).abs() < 1e-9,
+        "journal mean {journal_mean} vs measured mean {}",
+        last.mean_latency_ticks
+    );
+    assert!(
+        doc.get("phases.total_sum").and_then(Json::as_f64).is_some(),
+        "the record embeds the phases block"
+    );
 }
 
 /// Under overload the machine's occupancy split is the queue-depth
@@ -290,4 +309,21 @@ fn sink_delivery_exposes_backpressure_as_latency() {
         Some("sink"),
         "delivery mode recorded"
     );
+    // The phase attribution explains the injected regression: against
+    // the collect baseline, the gated sweep's extra high-load latency
+    // lives in the sink-wait phase — and a trace diff of the two records
+    // names that phase, which is the CI failure-explanation contract.
+    use ridgewalker_suite::obs::TraceDiff;
+    assert!(
+        gated.high_load_phases.phase_sums[2] > 0,
+        "spilled walks must accrue sink-wait ticks"
+    );
+    let diff = TraceDiff::from_summaries(collect.high_load_phases, gated.high_load_phases);
+    assert_eq!(
+        diff.top_regressed_phase(),
+        Some("sink-wait"),
+        "phase deltas {:?}",
+        diff.phase_mean_deltas()
+    );
+    assert!(diff.verdict().contains("sink-wait"), "{}", diff.verdict());
 }

@@ -13,7 +13,7 @@
 
 use ridgewalker_suite::algo::{PreparedGraph, QuerySet, ReferenceBackend, WalkSpec};
 use ridgewalker_suite::graph::generators::{Dataset, ScaleFactor};
-use ridgewalker_suite::obs::{jsonl_field, Obs};
+use ridgewalker_suite::obs::{jsonl_field, jsonl_num, Obs, SpanSet};
 use ridgewalker_suite::service::{
     CompletedWalk, Driver, DriverMode, ServiceConfig, SinkAck, SinkReport, TenantId, WalkSink,
 };
@@ -76,6 +76,18 @@ fn fixed_seed_trace_is_bit_identical_across_regimes() {
             "every event is tick-stamped: {l}"
         );
     }
+
+    // Provenance rides on the same canonical order: the span trees (and
+    // with them the whole phase attribution) reconstruct identically
+    // from both regimes' traces.
+    let spans = SpanSet::from_trace(&det);
+    assert_eq!(spans.spans.len(), 300, "one span per delivered query");
+    assert_eq!(spans.dropped, 0);
+    assert_eq!(spans.summary(), SpanSet::from_trace(&thr).summary());
+    // Fleet scale events are journaled by the Router, not the raw
+    // driver, so a raw-driver trace annotates no spans with them — the
+    // end-to-end annotation check lives with the autoscale bench.
+    assert!(spans.spans.iter().all(|s| s.scale_events == 0));
 }
 
 /// A sink that accepts at most `window` walks between flushes, forcing
@@ -160,5 +172,146 @@ fn spill_depth_reads_zero_after_drain_in_both_regimes() {
         let again = d.stats();
         assert_eq!(again.sink_spilled, stats.sink_spilled, "{mode:?}");
         assert_eq!(again.sink_spill_depth, 0, "{mode:?}");
+    }
+}
+
+/// The tentpole invariant: for *every* delivered query, in *both*
+/// regimes, under a mid-run scale schedule with a backpressuring sink,
+/// the reconstructed phases sum **exactly** to the end-to-end latency —
+/// `batch-wait + backend-service + sink-wait == accepted - arrival`,
+/// tick for tick, no residuals.
+#[test]
+fn phase_decomposition_sums_exactly_in_both_regimes() {
+    for mode in [DriverMode::Deterministic, DriverMode::Threaded] {
+        let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+        let spec = WalkSpec::urw(8);
+        let p = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+        let make =
+            |shard: usize| ReferenceBackend::new(p.clone(), spec.clone(), 0xFACE ^ shard as u64);
+        let mut d: Driver<_> = Driver::new(
+            ServiceConfig::new(2)
+                .max_batch(8)
+                .max_delay_ticks(1)
+                .buffer_capacity(512)
+                .driver_mode(mode),
+            make,
+        );
+        let obs = d.attach_fresh_obs();
+        // A tight accept window prices the sink-wait phase, and the
+        // mid-run scale schedule exercises migration/scale annotation
+        // while spans are open.
+        d.attach_sinks(|_shard| {
+            Box::new(GatedSink {
+                window: 5,
+                since_flush: 0,
+                accepted: 0,
+                refused: 0,
+                flushes: 0,
+            })
+        });
+        let qs = QuerySet::random(200, 300, 99);
+        for (i, chunk) in qs.queries().chunks(50).enumerate() {
+            assert_eq!(d.submit(TenantId(4), chunk), 50, "{mode:?}");
+            d.tick();
+            match i {
+                1 => {
+                    assert_eq!(d.append_shard(make(2)), 2, "{mode:?}");
+                    // Sinks are per shard in the threaded regime, so
+                    // the newcomer needs its own delivery route too.
+                    d.attach_sinks(|_shard| {
+                        Box::new(GatedSink {
+                            window: 5,
+                            since_flush: 0,
+                            accepted: 0,
+                            refused: 0,
+                            flushes: 0,
+                        })
+                    });
+                }
+                3 => assert!(d.retire_shard().is_empty(), "{mode:?}: sunk"),
+                _ => {}
+            }
+        }
+        let rest = d.drain();
+        assert!(rest.is_empty(), "{mode:?}: sunk walks never surface");
+        let stats = d.stats();
+        assert_eq!(stats.completed, 300, "{mode:?}: conservation");
+        assert_eq!(obs.dropped(), 0, "{mode:?}: stream fits the ring");
+
+        let spans = SpanSet::from_trace(&obs.trace_jsonl());
+        assert_eq!(spans.spans.len(), 300, "{mode:?}: one span per query");
+        assert_eq!(spans.unmatched_accepts, 0, "{mode:?}");
+        let mut sink_wait_total = 0u64;
+        for s in &spans.spans {
+            assert_eq!(
+                s.phases().iter().sum::<u64>(),
+                s.total(),
+                "{mode:?}: span (tenant {}, query {}) must decompose \
+                 exactly: {:?} vs total {}",
+                s.tenant,
+                s.query,
+                s.phases(),
+                s.total()
+            );
+            assert!(
+                s.accepted_tick.is_some(),
+                "{mode:?}: with a sink attached every span closes at accept"
+            );
+            sink_wait_total += s.phases()[2];
+        }
+        assert!(
+            sink_wait_total > 0,
+            "{mode:?}: the 5-walk window must make some walks wait"
+        );
+        // The aggregate face of the same invariant.
+        let sum = spans.summary();
+        assert_eq!(sum.count, 300);
+        assert_eq!(sum.phase_sums.iter().sum::<u64>(), sum.total_sum);
+    }
+}
+
+/// `ServiceConfig::journal_capacity` regression: a ring too small for
+/// the stream *counts* what it dropped — in the handle, in the trace's
+/// leading meta line, and in the span reconstruction — never silently.
+#[test]
+fn journal_overflow_is_counted_never_silent() {
+    let g = Dataset::WebGoogle.generate(ScaleFactor::Tiny);
+    let spec = WalkSpec::urw(8);
+    let p = Arc::new(PreparedGraph::new(g, &spec).unwrap());
+    let make = |shard: usize| ReferenceBackend::new(p.clone(), spec.clone(), 0xC0DE ^ shard as u64);
+    let mut d: Driver<_> = Driver::new(
+        ServiceConfig::new(2)
+            .max_batch(8)
+            .max_delay_ticks(1)
+            .buffer_capacity(512)
+            .journal_capacity(64),
+        make,
+    );
+    assert_eq!(d.journal_capacity(), 64);
+    let obs = d.attach_fresh_obs();
+    let qs = QuerySet::random(200, 300, 55);
+    assert_eq!(d.submit(TenantId(5), qs.queries()), 300);
+    let (walks, stats) = d.finish();
+    assert_eq!(walks.len(), 300);
+    assert_eq!(stats.completed, 300);
+
+    // ~900 events through a 64-slot ring: most of the stream is gone,
+    // and every layer says so.
+    assert!(obs.dropped() > 0, "the ring must overflow");
+    let trace = obs.trace_jsonl();
+    let first = trace.lines().next().expect("non-empty trace");
+    assert_eq!(
+        jsonl_field(first, "ev"),
+        Some("journal_overflow"),
+        "the trace leads with the overflow meta line"
+    );
+    assert_eq!(jsonl_num(first, "dropped"), Some(obs.dropped() as f64));
+    let spans = SpanSet::from_trace(&trace);
+    assert_eq!(spans.dropped, obs.dropped(), "reconstruction carries it");
+    // The ring keeps the *newest* events: what remains is the tail of
+    // the run, so the surviving spans are real (exact), just fewer.
+    assert_eq!(trace.lines().count(), 65, "64 events + 1 meta line");
+    for s in &spans.spans {
+        assert_eq!(s.phases().iter().sum::<u64>(), s.total());
     }
 }
